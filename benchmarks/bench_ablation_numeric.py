@@ -1,0 +1,64 @@
+"""E16 — ablation: exact (Fraction) vs float arithmetic in Compute-CDR%.
+
+The geometry kernel is generic over the numeric tower.  This bench
+quantifies the price of exactness: the same rectilinear workload run
+with ``int``/``Fraction`` coordinates (exact percentages) and with
+``float`` coordinates.  Shape expectation: floats are several times
+faster; exact mode is the right default for stored configurations (the
+XML round-trips exactly) while floats suit interactive sweeps.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.percentages import compute_cdr_percentages
+from repro.core.tiles import Tile
+from repro.geometry.polygon import Polygon
+from repro.geometry.region import Region
+
+from benchmarks.conftest import rectilinear_workload, reference_box_region
+
+
+def _with_coordinates(region: Region, convert) -> Region:
+    return Region(
+        Polygon.from_coordinates(
+            [(convert(v.x), convert(v.y)) for v in polygon.vertices]
+        )
+        for polygon in region.polygons
+    )
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    base = rectilinear_workload(60)
+    reference = reference_box_region()
+    return {
+        "int": base,
+        "fraction": _with_coordinates(base, lambda v: Fraction(v, 3)),
+        "float": _with_coordinates(base, float),
+        "reference": reference,
+    }
+
+
+@pytest.mark.benchmark(group="ablation-numeric")
+def test_int_coordinates(benchmark, workloads):
+    matrix = benchmark(
+        compute_cdr_percentages, workloads["int"], workloads["reference"]
+    )
+    assert sum(matrix.percentage(t) for t in Tile) == 100  # exact
+
+
+@pytest.mark.benchmark(group="ablation-numeric")
+def test_fraction_coordinates(benchmark, workloads):
+    matrix = benchmark(
+        compute_cdr_percentages, workloads["fraction"], workloads["reference"]
+    )
+    assert sum(matrix.percentage(t) for t in Tile) == 100  # exact
+
+@pytest.mark.benchmark(group="ablation-numeric")
+def test_float_coordinates(benchmark, workloads):
+    matrix = benchmark(
+        compute_cdr_percentages, workloads["float"], workloads["reference"]
+    )
+    assert abs(sum(matrix.percentage(t) for t in Tile) - 100.0) < 1e-6

@@ -1,0 +1,37 @@
+"""Boolean-operation throughput on rectilinear regions.
+
+An engineering extension (the paper's algorithms deliberately avoid
+boolean geometry); recorded so the cost model of the arrangement
+approach is documented: quadratic in the number of distinct coordinates,
+i.e. fine for annotation-scale regions and deliberately not a
+computational-geometry race.
+"""
+
+import random
+
+import pytest
+
+from repro.geometry.booleans import intersection_area, union
+from repro.workloads.generators import random_rectilinear_region
+
+
+@pytest.fixture(scope="module", params=(8, 24))
+def region_pair(request):
+    rng = random.Random(request.param)
+    a = random_rectilinear_region(rng, request.param)
+    b = random_rectilinear_region(rng, request.param)
+    return a, b
+
+
+@pytest.mark.benchmark(group="booleans")
+def test_union(benchmark, region_pair):
+    a, b = region_pair
+    result = benchmark(union, a, b)
+    assert result.area() >= max(a.area(), b.area())
+
+
+@pytest.mark.benchmark(group="booleans")
+def test_intersection_area(benchmark, region_pair):
+    a, b = region_pair
+    area = benchmark(intersection_area, a, b)
+    assert area >= 0

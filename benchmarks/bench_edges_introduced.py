@@ -1,0 +1,76 @@
+"""E3/E4/E5 — the edge-accounting comparison of Fig. 3 and Example 3.
+
+Regenerates the paper's reported edge counts on its own shapes and
+extends the comparison to random workloads (the paper argues the new
+edges are pure overhead — "these new edges are only used for the
+calculation ... and are discarded afterwards").
+"""
+
+import pytest
+
+from repro.core.baseline import (
+    count_introduced_edges_clipping,
+    count_introduced_edges_compute_cdr,
+)
+from repro.workloads.scenarios import (
+    figure3_square,
+    figure3_triangle,
+    figure4_quadrangle,
+    unit_square_region,
+)
+
+from benchmarks.conftest import star_workload
+
+#: (name, region factory, paper's Compute-CDR count, paper's clipping count)
+PAPER_SHAPES = (
+    ("fig3b-square", figure3_square, 8, 16),
+    ("fig3c-triangle", figure3_triangle, 11, 35),
+    ("fig4-quadrangle", figure4_quadrangle, 9, None),  # paper: 19; see notes
+)
+
+
+@pytest.mark.benchmark(group="edge-counting")
+@pytest.mark.parametrize("name,factory,expected_cdr,expected_clip", PAPER_SHAPES)
+def test_edge_counts_on_paper_shapes(
+    benchmark, name, factory, expected_cdr, expected_clip
+):
+    region = factory()
+    reference = unit_square_region()
+    cdr_count = count_introduced_edges_compute_cdr(region, reference)
+    clip_count = count_introduced_edges_clipping(region, reference)
+    assert cdr_count == expected_cdr
+    if expected_clip is not None:
+        assert clip_count == expected_clip
+    assert clip_count > cdr_count
+    benchmark.extra_info["compute_cdr_edges"] = cdr_count
+    benchmark.extra_info["clipping_edges"] = clip_count
+    benchmark(count_introduced_edges_compute_cdr, region, reference)
+
+
+def test_edge_table_report(capsys):
+    """Print the paper-vs-measured table for EXPERIMENTS.md."""
+    reference = unit_square_region()
+    with capsys.disabled():
+        print("\nIntroduced edges, paper shapes (E3/E4/E5):")
+        print(f"{'shape':>16} {'input':>6} {'Compute-CDR':>12} {'clipping':>9}")
+        for name, factory, expected_cdr, expected_clip in PAPER_SHAPES:
+            region = factory()
+            print(
+                f"{name:>16} {region.edge_count():>6} "
+                f"{count_introduced_edges_compute_cdr(region, reference):>12} "
+                f"{count_introduced_edges_clipping(region, reference):>9}"
+            )
+
+
+@pytest.mark.benchmark(group="edge-counting-random")
+@pytest.mark.parametrize("edges", (128, 1024))
+def test_edge_inflation_on_random_workloads(benchmark, edges, reference, capsys):
+    """On random star workloads the clipping inflation persists."""
+    workload = star_workload(edges)
+    cdr_count = count_introduced_edges_compute_cdr(workload, reference)
+    clip_count = count_introduced_edges_clipping(workload, reference)
+    assert cdr_count >= workload.edge_count()
+    assert clip_count >= cdr_count
+    benchmark.extra_info["inflation_cdr"] = cdr_count / workload.edge_count()
+    benchmark.extra_info["inflation_clip"] = clip_count / workload.edge_count()
+    benchmark(count_introduced_edges_compute_cdr, workload, reference)

@@ -1,0 +1,76 @@
+"""CARDIRECT query evaluation throughput (Section 4).
+
+The paper's usage scenario: annotate many regions, compute relations,
+retrieve combinations by query.  Benches the two halves separately —
+bulk relation computation (cold store) and repeated query evaluation
+(warm store) — on a synthetic configuration of labelled patches.
+"""
+
+import random
+
+import pytest
+
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.cardirect.parser import parse_query
+from repro.cardirect.store import RelationStore
+from repro.workloads.generators import random_rectilinear_region
+
+REGIONS = 40
+
+
+@pytest.fixture(scope="module")
+def configuration() -> Configuration:
+    rng = random.Random(7)
+    colors = ("red", "blue", "green", "black")
+    config = Configuration(image_name="bench")
+    for index in range(REGIONS):
+        config.add(
+            AnnotatedRegion(
+                id=f"r{index:03d}",
+                name=f"Region {index}",
+                color=colors[index % len(colors)],
+                region=random_rectilinear_region(
+                    rng, 3, bounds=(-100, -100, 100, 100)
+                ),
+            )
+        )
+    return config
+
+
+@pytest.mark.benchmark(group="cardirect-store")
+def test_bulk_relation_computation(benchmark, configuration):
+    """All n*(n-1) pairwise relations from a cold cache."""
+
+    def run():
+        store = RelationStore(configuration)
+        return sum(1 for _ in store.all_relations())
+
+    count = benchmark(run)
+    assert count == REGIONS * (REGIONS - 1)
+
+
+@pytest.mark.benchmark(group="cardirect-query")
+def test_warm_query_evaluation(benchmark, configuration):
+    """The paper's query shape on a warm store: thematic filters plus a
+    disjunctive direction constraint."""
+    store = RelationStore(configuration)
+    query = parse_query(
+        "color(a) = red and color(b) = blue and a {N, NW:N, N:NE, NW:N:NE} b"
+    )
+    query.evaluate(store)  # warm the relation cache
+
+    results = benchmark(query.evaluate, store)
+    assert isinstance(results, list)
+
+
+@pytest.mark.benchmark(group="cardirect-query")
+def test_three_variable_query(benchmark, configuration):
+    store = RelationStore(configuration)
+    query = parse_query(
+        "color(a) = red and a {N, NW, NE, NW:N, N:NE, NW:N:NE} b "
+        "and b {N, NW, NE, NW:N, N:NE, NW:N:NE} c and color(c) = green"
+    )
+    query.evaluate(store)
+
+    results = benchmark(query.evaluate, store)
+    assert isinstance(results, list)

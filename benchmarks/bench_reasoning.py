@@ -1,0 +1,64 @@
+"""Reasoning-layer benchmarks: inverse, composition, consistency.
+
+Not part of the paper's evaluation, but the operations its framework
+cites ([20, 21, 22]); the bench documents that the qualitative
+enumeration engine is fast enough for interactive use and that the
+pairwise caches amortise.
+"""
+
+import random
+
+import pytest
+
+from repro.core.compute import compute_cdr
+from repro.core.relation import ALL_BASIC_RELATIONS
+from repro.reasoning.composition import compose
+from repro.reasoning.consistency import check_consistency
+from repro.reasoning.inverse import inverse
+from repro.workloads.generators import random_rectilinear_region
+
+
+@pytest.mark.benchmark(group="reasoning-inverse")
+def test_inverse_cold(benchmark):
+    sample = ALL_BASIC_RELATIONS[::37]
+
+    def run():
+        inverse.cache_clear()
+        return sum(len(inverse(relation)) for relation in sample)
+
+    total = benchmark(run)
+    assert total > 0
+
+
+@pytest.mark.benchmark(group="reasoning-compose")
+def test_compose_cold(benchmark):
+    pairs = [
+        (ALL_BASIC_RELATIONS[i], ALL_BASIC_RELATIONS[-i - 1])
+        for i in range(0, 511, 73)
+    ]
+
+    def run():
+        compose.cache_clear()
+        return sum(len(compose(r1, r2)) for r1, r2 in pairs)
+
+    total = benchmark(run)
+    assert total > 0
+
+
+@pytest.mark.benchmark(group="reasoning-consistency")
+@pytest.mark.parametrize("size", (4, 8))
+def test_consistency_of_geometric_networks(benchmark, size):
+    """Fully-specified consistent networks derived from real geometry."""
+    rng = random.Random(size)
+    regions = {
+        f"r{i}": random_rectilinear_region(rng, 3) for i in range(size)
+    }
+    constraints = {
+        (i, j): compute_cdr(regions[i], regions[j])
+        for i in regions
+        for j in regions
+        if i != j
+    }
+
+    result = benchmark(check_consistency, constraints)
+    assert result

@@ -1,0 +1,65 @@
+"""E8/E9 — Theorems 1 and 2: both algorithms are O(k_a + k_b).
+
+Sweeps the primary region's edge count over two orders of magnitude and
+benchmarks each size.  The linearity check itself (time ratio ≈ size
+ratio) is asserted by ``test_linearity_report``, which also prints the
+measured series so EXPERIMENTS.md can record it.
+"""
+
+import time
+
+import pytest
+
+from repro.core.compute import compute_cdr
+from repro.core.percentages import compute_cdr_percentages
+
+from benchmarks.conftest import SCALING_SIZES, reference_box_region, star_workload
+
+
+@pytest.mark.benchmark(group="scaling-cdr")
+@pytest.mark.parametrize("edges", SCALING_SIZES)
+def test_compute_cdr_scaling(benchmark, edges, reference):
+    workload = star_workload(edges)
+    benchmark(compute_cdr, workload, reference)
+
+
+@pytest.mark.benchmark(group="scaling-cdr-pct")
+@pytest.mark.parametrize("edges", SCALING_SIZES)
+def test_compute_cdr_percentages_scaling(benchmark, edges, reference):
+    workload = star_workload(edges)
+    benchmark(compute_cdr_percentages, workload, reference)
+
+
+def _median_seconds(function, *arguments, repeats: int = 5) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function(*arguments)
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+@pytest.mark.benchmark(group="scaling-report")
+def test_linearity_report(benchmark, capsys):
+    """Assert near-linear growth: per-edge time at the largest size stays
+    within 3x of the per-edge time at the smallest (generous to absorb
+    constant overheads and interpreter noise)."""
+    reference = reference_box_region()
+    rows = []
+    for edges in SCALING_SIZES:
+        workload = star_workload(edges)
+        seconds = _median_seconds(compute_cdr, workload, reference)
+        rows.append((edges, seconds, seconds / edges))
+    benchmark(compute_cdr, star_workload(SCALING_SIZES[-1]), reference)
+
+    with capsys.disabled():
+        print("\nCompute-CDR scaling (E8):")
+        print(f"{'edges':>8} {'median s':>12} {'s / edge':>12}")
+        for edges, seconds, per_edge in rows:
+            print(f"{edges:>8} {seconds:>12.6f} {per_edge:>12.3e}")
+    smallest, largest = rows[0][2], rows[-1][2]
+    assert largest < smallest * 3, (
+        f"per-edge time grew {largest / smallest:.1f}x across the sweep — "
+        "not linear"
+    )

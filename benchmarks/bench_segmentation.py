@@ -1,0 +1,44 @@
+"""Segmentation-to-queries pipeline throughput.
+
+The paper's long-term vision (segmentation software feeding CARDIRECT)
+as a benchmark: raster → vectorisation → full pairwise relation
+computation.  The interesting number is the end-to-end cost per image,
+dominated by vectorisation for large rasters and by the O(n²) pairwise
+relations for many segments.
+"""
+
+import pytest
+
+from repro.cardirect.store import RelationStore
+from repro.workloads.segmentation import (
+    configuration_from_image,
+    extract_regions,
+    random_labeled_image,
+)
+
+
+@pytest.fixture(scope="module")
+def raster():
+    return random_labeled_image(
+        20040314, width=96, height=64, segments=12, growth_steps=220
+    )
+
+
+@pytest.mark.benchmark(group="segmentation")
+def test_vectorisation(benchmark, raster):
+    regions = benchmark(extract_regions, raster)
+    assert len(regions) == len(raster.labels())
+    for label, region in regions.items():
+        assert region.area() == raster.pixel_count(label)
+
+
+@pytest.mark.benchmark(group="segmentation")
+def test_full_pipeline(benchmark, raster):
+    def pipeline():
+        configuration = configuration_from_image(raster)
+        store = RelationStore(configuration)
+        return sum(1 for _ in store.all_relations())
+
+    pairs = benchmark(pipeline)
+    count = len(raster.labels())
+    assert pairs == count * (count - 1)

@@ -1,0 +1,53 @@
+"""E10 — the paper's future-work experiment: Compute-CDR vs clipping.
+
+Section 5: "First, we would like to evaluate experimentally our
+algorithm against polygon clipping methods."  This bench runs exactly
+that comparison, for both the qualitative and the percentage variants,
+on identical workloads.  Expected shape (recorded in EXPERIMENTS.md):
+Compute-CDR wins by a constant factor (one pass and cheap arithmetic vs
+nine Sutherland–Hodgman passes), growing with how many tiles the primary
+region straddles.
+"""
+
+import pytest
+
+from repro.core.baseline import (
+    compute_cdr_clipping,
+    compute_cdr_percentages_clipping,
+)
+from repro.core.compute import compute_cdr
+from repro.core.percentages import compute_cdr_percentages
+
+from benchmarks.conftest import star_workload
+
+WORKLOAD_EDGES = 1024
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return star_workload(WORKLOAD_EDGES)
+
+
+@pytest.mark.benchmark(group="qualitative")
+def test_compute_cdr(benchmark, workload, reference):
+    relation = benchmark(compute_cdr, workload, reference)
+    assert len(relation) >= 1
+
+
+@pytest.mark.benchmark(group="qualitative")
+def test_clipping_baseline(benchmark, workload, reference):
+    relation = benchmark(compute_cdr_clipping, workload, reference)
+    assert relation == compute_cdr(workload, reference)
+
+
+@pytest.mark.benchmark(group="percentages")
+def test_compute_cdr_percentages(benchmark, workload, reference):
+    matrix = benchmark(compute_cdr_percentages, workload, reference)
+    assert abs(sum(matrix.rows()[i][j] for i in range(3) for j in range(3)) - 100) < 1e-6
+
+
+@pytest.mark.benchmark(group="percentages")
+def test_clipping_percentages_baseline(benchmark, workload, reference):
+    matrix = benchmark(compute_cdr_percentages_clipping, workload, reference)
+    fast = compute_cdr_percentages(workload, reference)
+    assert matrix.is_close_to(fast, tolerance=1e-6)

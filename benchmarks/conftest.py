@@ -1,0 +1,56 @@
+"""Shared workloads for the benchmark harness.
+
+Every benchmark gets its geometry from here so the sweeps are
+reproducible (fixed seeds) and comparable across modules.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to also see the printed tables that mirror the paper's
+reported numbers (edge counts, crossover factors); EXPERIMENTS.md records
+a reference run.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.region import Region
+from repro.workloads.generators import (
+    random_multi_polygon_region,
+    random_rectilinear_region,
+)
+
+#: Edge counts for the scaling sweeps (Theorems 1 and 2).
+SCALING_SIZES = (64, 256, 1024, 4096)
+
+#: Seed used by every generator call in the harness.
+SEED = 20040314
+
+
+def reference_box_region() -> Region:
+    """A reference region whose mbb sits amid the generated primaries."""
+    return Region.from_coordinates(
+        [[(1.0, 1.0), (1.0, 4.0), (4.0, 4.0), (4.0, 1.0)]]
+    )
+
+
+def star_workload(total_edges: int) -> Region:
+    """A multi-polygon float workload with exactly ``total_edges`` edges."""
+    polygons = max(1, total_edges // 64)
+    per_polygon = total_edges // polygons
+    return random_multi_polygon_region(SEED, polygons, per_polygon)
+
+
+def rectilinear_workload(rectangles: int) -> Region:
+    rng = random.Random(SEED)
+    bound = max(50, rectangles)
+    return random_rectilinear_region(
+        rng, rectangles, bounds=(-bound, -bound, bound, bound)
+    )
+
+
+@pytest.fixture(scope="session")
+def reference() -> Region:
+    return reference_box_region()

@@ -1,0 +1,110 @@
+"""Regenerate every worked figure of the paper in one run.
+
+Prints, for each figure of the EDBT 2004 paper, the inputs (as ASCII
+rasters where helpful) and the outputs of the two algorithms, side by
+side with the values the paper reports.  This is the human-readable
+companion to the assertions in ``tests/core/test_compute_paper_figures.py``
+and the edge-count benchmark.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro import DirectionRelationMatrix, compute_cdr, compute_cdr_percentages
+from repro.core.baseline import (
+    clipping_piece_shapes,
+    count_introduced_edges_clipping,
+    count_introduced_edges_compute_cdr,
+)
+from repro.workloads.scenarios import (
+    figure1_regions,
+    figure3_square,
+    figure3_triangle,
+    figure4_quadrangle,
+    figure9_region,
+    unit_square_region,
+)
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 64)
+    print(text)
+    print("=" * 64)
+
+
+def main() -> None:
+    b = unit_square_region()
+
+    banner("Fig. 1 / Example 1 — basic relations (paper: S, NE:E, 8 tiles)")
+    figures = figure1_regions()
+    for name in ("a", "c", "d"):
+        relation = compute_cdr(figures[name], b)
+        print(f"{name} {relation} b")
+    print()
+    print("Direction relation matrix of d (paper Fig. 2-style rendering):")
+    print(DirectionRelationMatrix(compute_cdr(figures["d"], b)).render())
+    print()
+    print("Percentages of c (paper: 50% NE / 50% E):")
+    print(compute_cdr_percentages(figures["c"], b).render())
+
+    banner("Fig. 3 — edges introduced: clipping vs Compute-CDR")
+    for name, region, paper_cdr, paper_clip in (
+        ("3b quadrangle", figure3_square(), 8, 16),
+        ("3c triangle", figure3_triangle(), 11, 35),
+    ):
+        cdr_edges = count_introduced_edges_compute_cdr(region, b)
+        clip_edges = count_introduced_edges_clipping(region, b)
+        pieces = clipping_piece_shapes(region, b)
+        inventory = sorted(n for sizes in pieces.values() for n in sizes)
+        print(
+            f"Fig. {name}: Compute-CDR {cdr_edges} (paper {paper_cdr}), "
+            f"clipping {clip_edges} (paper {paper_clip}); "
+            f"clipped piece sizes {inventory}"
+        )
+
+    banner("Fig. 4 / Examples 2-3 — vertex tiles are not enough")
+    quadrangle = figure4_quadrangle()
+    print(f"relation: {compute_cdr(quadrangle, b)} (paper: B:W:NW:N:NE:E)")
+    print(
+        f"Compute-CDR edges: "
+        f"{count_introduced_edges_compute_cdr(quadrangle, b)} (paper: 9)"
+    )
+    print(
+        f"clipping edges: "
+        f"{count_introduced_edges_clipping(quadrangle, b)} "
+        "(paper: 19 — see EXPERIMENTS.md E5 on the B-piece discrepancy)"
+    )
+
+    banner("Fig. 9 — Compute-CDR% running example")
+    scenario = figure9_region()
+    relation = compute_cdr(scenario.primary, scenario.reference)
+    matrix = compute_cdr_percentages(scenario.primary, scenario.reference)
+    print(f"relation: {relation}")
+    print("percentages (exact rationals rendered to one decimal):")
+    print(matrix.render())
+    total = scenario.primary.area()
+    print(f"region area {total}; per-tile areas sum exactly to it.")
+
+    banner("Figs. 11-12 — the CARDIRECT scenario")
+    from repro.cardirect import AnnotatedRegion, Configuration, RelationStore
+    from repro.workloads.scenarios import peloponnesian_war
+
+    configuration = Configuration(image_name="Ancient Greece")
+    for entry in peloponnesian_war():
+        configuration.add(
+            AnnotatedRegion(
+                id=entry.id, name=entry.name, color=entry.color,
+                region=entry.region,
+            )
+        )
+    store = RelationStore(configuration)
+    print(
+        f"Peloponnesos {store.relation('peloponnesos', 'attica')} Attica "
+        "(paper: B:S:SW:W)"
+    )
+    print("Attica vs Peloponnesos with percentages (Fig. 12 right):")
+    print(store.percentages("attica", "peloponnesos").render())
+
+
+if __name__ == "__main__":
+    main()

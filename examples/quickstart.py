@@ -1,0 +1,57 @@
+"""Quickstart: compute cardinal direction relations between two regions.
+
+Reproduces the worked examples of Fig. 1 / Example 1 of the paper:
+
+* ``a S b`` — a region entirely south of the reference;
+* ``c NE:E b`` — a region half north-east, half east (50% / 50%);
+* ``d B:S:SW:W:NW:N:E:SE b`` — a disconnected region with a hole
+  spreading over eight tiles.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Region,
+    Tile,
+    compute_cdr,
+    compute_cdr_percentages,
+    DirectionRelationMatrix,
+)
+
+
+def main() -> None:
+    # The reference region b: the unit square.  Only its minimum bounding
+    # box matters for the relation; its exact shape is irrelevant.
+    b = Region.from_coordinates([[(0, 0), (0, 1), (1, 1), (1, 0)]])
+
+    # a: a rectangle strictly south of b, inside b's x-span.
+    a = Region.from_coordinates(
+        [[(0.2, -0.6), (0.2, -0.2), (0.8, -0.2), (0.8, -0.6)]]
+    )
+    relation = compute_cdr(a, b)
+    print(f"a {relation} b")
+    print(DirectionRelationMatrix(relation).render())
+    print()
+
+    # c: a square straddling the NE / E tiles of b (Fig. 1c).
+    c = Region.from_coordinates(
+        [[(1.5, 0.5), (1.5, 1.5), (2.5, 1.5), (2.5, 0.5)]]
+    )
+    print(f"c {compute_cdr(c, b)} b")
+    matrix = compute_cdr_percentages(c, b)
+    print(matrix.render())
+    print(f"NE share: {matrix.percentage(Tile.NE):.1f}%")
+    print()
+
+    # d: a disconnected region — one piece per tile except NE; the NW
+    # piece is a ring with a hole (REG* in full generality).
+    from repro.workloads.scenarios import figure1_regions
+
+    d = figure1_regions()["d"]
+    print(f"d has {len(d)} polygons and {d.edge_count()} edges")
+    print(f"d {compute_cdr(d, b)} b")
+    print(compute_cdr_percentages(d, b).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Symbolic reasoning over cardinal direction relations.
+
+Demonstrates the reasoning layer the paper's framework builds on
+(Section 2 and companion papers [20, 21, 22]):
+
+* inverse relations — what ``a S b`` says about ``b`` relative to ``a``;
+* composition — what ``a R1 b`` and ``b R2 c`` imply about ``a`` vs ``c``;
+* consistency of constraint networks, with concrete witness regions.
+
+Run:  python examples/reasoning_demo.py
+"""
+
+from repro import CardinalDirection, compute_cdr
+from repro.reasoning import (
+    check_consistency,
+    compose,
+    inverse,
+    witness_regions_for_relation,
+)
+
+
+def main() -> None:
+    print("== inverse ==")
+    south = CardinalDirection.parse("S")
+    print(f"if a S b, then b inv(S) a with inv(S) = {inverse(south)}")
+    print("(the NW:NE disjunct needs a disconnected b — REG* at work)")
+    print()
+
+    print("== composition ==")
+    for left, right in [("S", "S"), ("N", "S"), ("B", "NE"), ("SW", "NE")]:
+        r1, r2 = CardinalDirection.parse(left), CardinalDirection.parse(right)
+        result = compose(r1, r2)
+        shown = str(result) if len(result) <= 8 else f"{len(result)} relations"
+        print(f"a {left} b  ∧  b {right} c   ⇒   a ? c ∈ {shown}")
+    print()
+
+    print("== every symbolic claim has a geometric witness ==")
+    relation = CardinalDirection.parse("B:S:SW:W:NW:N:E:SE")
+    a, b = witness_regions_for_relation(relation)
+    print(f"constructed regions with a {compute_cdr(a, b)} b")
+    print()
+
+    print("== consistency of constraint networks ==")
+    consistent = check_consistency(
+        {
+            ("castle", "river"): CardinalDirection.parse("N"),
+            ("river", "forest"): CardinalDirection.parse("W"),
+            ("castle", "forest"): CardinalDirection.parse("NW"),
+        }
+    )
+    print(f"castle/river/forest network: {consistent.status.value}")
+    for name, region in (consistent.witness or {}).items():
+        print(f"  witness {name}: {region!r} with mbb {region.bounding_box()!r}")
+
+    contradictory_network = {
+        ("a", "b"): CardinalDirection.parse("N"),
+        ("b", "c"): CardinalDirection.parse("N"),
+        ("c", "a"): CardinalDirection.parse("N"),
+        ("a", "d"): CardinalDirection.parse("W"),  # innocent bystander
+    }
+    contradictory = check_consistency(contradictory_network)
+    print(f"cyclic all-north network: {contradictory.status.value}")
+    print(f"  reason: {contradictory.explanation}")
+    print()
+
+    print("== explaining the contradiction (minimal core) ==")
+    from repro.reasoning import explain_inconsistency
+
+    print(explain_inconsistency(contradictory_network))
+
+
+if __name__ == "__main__":
+    main()

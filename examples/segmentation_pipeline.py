@@ -1,0 +1,81 @@
+"""The paper's long-term vision: segmentation software feeding CARDIRECT.
+
+Section 5: "a long term goal would be the integration of CARDIRECT with
+image segmentation software, which would provide a complete environment
+for the management of image configurations."  This example runs that
+environment end to end on synthetic data:
+
+1. a segmenter (simulated) produces a labeled raster image;
+2. each segment is vectorised into a rectilinear REG* region — including
+   disconnected segments and segments with holes;
+3. the configuration is rendered, all cardinal direction relations are
+   computed, and mixed spatial-thematic queries run over it.
+
+Run:  python examples/segmentation_pipeline.py
+"""
+
+from repro.cardirect import RelationStore, parse_query
+from repro.cardirect.render import render_configuration
+from repro.workloads.segmentation import (
+    configuration_from_image,
+    random_labeled_image,
+)
+
+LAND_USE = {1: "water", 2: "forest", 3: "urban", 4: "forest", 5: "fields"}
+NAMES = {1: "Lake", 2: "North Woods", 3: "Town", 4: "South Woods", 5: "Fields"}
+
+
+def main() -> None:
+    print("== 1. segmentation (simulated) ==")
+    image = random_labeled_image(
+        20040314, width=56, height=30, segments=5, growth_steps=160
+    )
+    for label in image.labels():
+        print(f"segment {label}: {image.pixel_count(label)} pixels")
+    print()
+
+    print("== 2. vectorisation into a CARDIRECT configuration ==")
+    configuration = configuration_from_image(
+        image, names=NAMES, colors=LAND_USE, image_name="survey-tile"
+    )
+    for annotated in configuration:
+        region = annotated.region
+        print(
+            f"{annotated.name:>12}: {len(region)} rectangles, "
+            f"{region.edge_count()} edges, area {region.area()}"
+        )
+    print()
+    print(render_configuration(configuration, width=56))
+    print()
+
+    print("== 3. relations and queries ==")
+    store = RelationStore(configuration)
+    lake_id = "segment1"
+    for annotated in configuration:
+        if annotated.id == lake_id:
+            continue
+        relation = store.relation(annotated.id, lake_id)
+        print(f"{annotated.name} is {relation} of the {NAMES[1]}")
+    print()
+
+    queries = [
+        ("urban areas close to water",
+         "color(t) = urban and color(w) = water and distance(t, w) = close"),
+        ("pairs of adjacent forests",
+         "color(f) = forest and color(g) = forest and rcc8(f, g) = EC"),
+        ("what the lake overlaps-the-bounding-box of",
+         "lake = Lake and lake {B:W:NW:N, B:N, B:W, B} x"),
+    ]
+    for title, text in queries:
+        query = parse_query(text)
+        results = query.evaluate(store)
+        print(f"{title}:")
+        if not results:
+            print("  (none)")
+        for row in results:
+            names = ", ".join(configuration.get(rid).name for rid in row)
+            print(f"  ({names})")
+
+
+if __name__ == "__main__":
+    main()

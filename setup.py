@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment this project targets can be fully offline; without the
+``wheel`` package, PEP 660 editable installs fail, while the legacy
+``setup.py develop`` path works.  All metadata lives in ``pyproject.toml``;
+this file only makes ``pip install -e . --no-use-pep517`` possible.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""CARDIRECT — the paper's Section 4 system, as a library + CLI.
+
+CARDIRECT lets a user annotate regions of interest over an image,
+compute the cardinal direction relations (with and without percentages)
+between them, persist the configuration in the paper's XML format, and
+query it with conjunctive queries over thematic attributes and
+(disjunctive) cardinal direction relations.
+
+* :class:`~repro.cardirect.model.AnnotatedRegion`,
+  :class:`~repro.cardirect.model.Configuration` — the annotation model;
+* :class:`~repro.cardirect.store.RelationStore` — cached pairwise
+  relation computation on top of Compute-CDR / Compute-CDR%;
+* :mod:`~repro.cardirect.xmlio` — the paper's exact DTD, import/export;
+* :mod:`~repro.cardirect.query` / :mod:`~repro.cardirect.parser` — the
+  query model ``q = {(x1..xn) | φ(x1..xn)}`` of Section 4 and a textual
+  syntax for it;
+* ``python -m repro.cardirect`` — a command-line front end.
+"""
+
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.cardirect.parser import parse_query
+from repro.cardirect.query import (
+    AttributeCondition,
+    DistanceCondition,
+    IdentityCondition,
+    Query,
+    RelationCondition,
+    TopologyCondition,
+)
+from repro.cardirect.store import RelationStore
+from repro.cardirect.xmlio import (
+    configuration_from_xml,
+    configuration_to_xml,
+    load_configuration,
+    save_configuration,
+    stored_percentages_from_xml,
+)
+
+__all__ = [
+    "AnnotatedRegion",
+    "Configuration",
+    "RelationStore",
+    "Query",
+    "IdentityCondition",
+    "AttributeCondition",
+    "RelationCondition",
+    "TopologyCondition",
+    "DistanceCondition",
+    "parse_query",
+    "configuration_to_xml",
+    "configuration_from_xml",
+    "save_configuration",
+    "load_configuration",
+    "stored_percentages_from_xml",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.cardirect`` entry point."""
+
+import sys
+
+from repro.cardirect.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

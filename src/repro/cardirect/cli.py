@@ -1,0 +1,286 @@
+"""Command-line front end for CARDIRECT.
+
+Usage (also available as ``python -m repro.cardirect``)::
+
+    cardirect validate  config.xml
+    cardirect relations config.xml [--percentages] [--primary ID] [--reference ID]
+    cardirect query     config.xml "color(a) = red and a {N, NW:N} b"
+    cardirect demo      out.xml      # write the Fig. 11 scenario
+
+The GUI of the original tool (drawing polygons over a map with a mouse)
+is out of scope for a library; everything computational — relation
+computation, XML persistence, querying — is available here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.cardirect.parser import parse_query
+from repro.cardirect.store import RelationStore
+from repro.cardirect.xmlio import load_configuration, save_configuration
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cardirect",
+        description="Compute and query cardinal direction relations "
+        "between annotated regions (EDBT 2004).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser("validate", help="check a configuration file")
+    validate.add_argument("path", help="CARDIRECT XML file")
+    validate.add_argument(
+        "--strict",
+        action="store_true",
+        help="also run the O(n²) geometric checks (polygon simplicity, "
+        "disjoint interiors, cross-region overlaps)",
+    )
+
+    relations = commands.add_parser(
+        "relations", help="print pairwise cardinal direction relations"
+    )
+    relations.add_argument("path", help="CARDIRECT XML file")
+    relations.add_argument(
+        "--percentages", action="store_true",
+        help="print percentage matrices instead of qualitative relations",
+    )
+    relations.add_argument("--primary", help="restrict to this primary region id")
+    relations.add_argument("--reference", help="restrict to this reference region id")
+
+    query = commands.add_parser("query", help="run a conjunctive query")
+    query.add_argument("path", help="CARDIRECT XML file")
+    query.add_argument("text", help='query text, e.g. "color(a) = red and a N b"')
+    query.add_argument(
+        "--allow-repeats", action="store_true",
+        help="let different variables bind the same region",
+    )
+
+    demo = commands.add_parser(
+        "demo", help="write the paper's Fig. 11 Peloponnesian-war scenario"
+    )
+    demo.add_argument("path", help="output XML file")
+
+    show = commands.add_parser("show", help="render a configuration as ASCII")
+    show.add_argument("path", help="CARDIRECT XML file")
+    show.add_argument("--width", type=int, default=60, help="raster width")
+
+    diff = commands.add_parser(
+        "diff", help="compare two configurations (regions + relations)"
+    )
+    diff.add_argument("old", help="old CARDIRECT XML file")
+    diff.add_argument("new", help="new CARDIRECT XML file")
+
+    report = commands.add_parser(
+        "report", help="print a Fig. 12-style report of a configuration"
+    )
+    report.add_argument("path", help="CARDIRECT XML file")
+    report.add_argument(
+        "--pair",
+        nargs=2,
+        metavar=("PRIMARY", "REFERENCE"),
+        help="detailed report for one ordered pair of region ids",
+    )
+
+    reason = commands.add_parser(
+        "reason",
+        help="check a cardinal-direction constraint network "
+        "(one '<name> <relation> <name>' constraint per line)",
+    )
+    reason.add_argument("path", help="constraint network file")
+    reason.add_argument(
+        "--witness-xml",
+        help="write the witness regions of a satisfiable network "
+        "to this CARDIRECT XML file",
+    )
+    return parser
+
+
+def _cmd_validate(path: str, strict: bool) -> int:
+    configuration, stored = load_configuration(path)
+    if strict:
+        from repro.core.validate import ERROR, validate_configuration
+
+        issues = validate_configuration(configuration)
+        for issue in issues:
+            print(issue)
+        if any(issue.severity == ERROR for issue in issues):
+            return 1
+    print(
+        f"OK: {len(configuration)} regions, "
+        f"{sum(len(r.region) for r in configuration)} polygons, "
+        f"{len(stored)} stored relations"
+    )
+    return 0
+
+
+def _selected_pairs(store: RelationStore, primary: Optional[str], reference: Optional[str]):
+    ids = store.configuration.region_ids
+    for primary_id in [primary] if primary else ids:
+        for reference_id in [reference] if reference else ids:
+            if primary_id != reference_id:
+                yield primary_id, reference_id
+
+
+def _cmd_relations(
+    path: str, percentages: bool, primary: Optional[str], reference: Optional[str]
+) -> int:
+    configuration, _ = load_configuration(path)
+    store = RelationStore(configuration)
+    for primary_id, reference_id in _selected_pairs(store, primary, reference):
+        if percentages:
+            matrix = store.percentages(primary_id, reference_id)
+            print(f"{primary_id} vs {reference_id}:")
+            print(matrix.render())
+        else:
+            relation = store.relation(primary_id, reference_id)
+            print(f"{primary_id} {relation} {reference_id}")
+    return 0
+
+
+def _cmd_query(path: str, text: str, allow_repeats: bool) -> int:
+    configuration, _ = load_configuration(path)
+    store = RelationStore(configuration)
+    query = parse_query(text, allow_repeats=allow_repeats)
+    results = query.evaluate(store)
+    print(f"variables: ({', '.join(query.variables)})")
+    if not results:
+        print("no results")
+        return 0
+    for row in results:
+        names = ", ".join(
+            configuration.get(region_id).name or region_id for region_id in row
+        )
+        print(f"({names})")
+    return 0
+
+
+def _cmd_demo(path: str) -> int:
+    from repro.workloads.scenarios import peloponnesian_war
+
+    configuration = Configuration(image_name="Ancient Greece", image_file="greece.png")
+    for entry in peloponnesian_war():
+        configuration.add(
+            AnnotatedRegion(
+                id=entry.id, name=entry.name, color=entry.color, region=entry.region
+            )
+        )
+    save_configuration(configuration, path)
+    print(f"wrote {len(configuration)} regions to {path}")
+    return 0
+
+
+def _cmd_show(path: str, width: int) -> int:
+    from repro.cardirect.render import render_configuration
+
+    configuration, _ = load_configuration(path)
+    print(render_configuration(configuration, width=width))
+    return 0
+
+
+def _cmd_diff(old_path: str, new_path: str) -> int:
+    from repro.cardirect.diff import diff_configurations
+
+    old_configuration, _ = load_configuration(old_path)
+    new_configuration, _ = load_configuration(new_path)
+    result = diff_configurations(old_configuration, new_configuration)
+    print(result.summary())
+    return 0 if result.is_empty else 3
+
+
+def _cmd_report(path: str, pair: Optional[List[str]]) -> int:
+    from repro.cardirect.report import full_report, pair_report
+
+    configuration, _ = load_configuration(path)
+    store = RelationStore(configuration)
+    if pair:
+        print(pair_report(store, pair[0], pair[1]))
+    else:
+        print(full_report(store))
+    return 0
+
+
+def _cmd_reason(path: str, witness_xml: Optional[str]) -> int:
+    from repro.reasoning.netio import load_network, witness_to_configuration
+
+    network = load_network(path)
+    # Snapshot before solving: algebraic closure prunes the stored
+    # constraints in place, but explanations are about the user's input.
+    original_constraints = network.constraints()
+    report = network.solve()
+    if report.solution is None:
+        if report.unverified_candidates:
+            print(
+                "unknown: no candidate refinement could be verified "
+                f"({report.unverified_candidates} left undecided)"
+            )
+            return 2
+        print("inconsistent: the network has no solution")
+        _print_core_if_basic(original_constraints)
+        return 1
+    print("consistent; one solution:")
+    for (primary, reference), relation in sorted(report.solution.assignment.items()):
+        print(f"  {primary} {relation} {reference}")
+    if witness_xml:
+        configuration = witness_to_configuration(report.solution.witness)
+        save_configuration(configuration, witness_xml)
+        print(f"witness written to {witness_xml}")
+    return 0
+
+
+def _print_core_if_basic(stored) -> None:
+    """For fully-basic networks, also print a minimal inconsistent core."""
+    constraints = {}
+    for key, relation in stored.items():
+        if len(relation) != 1:
+            return  # genuinely disjunctive: no single core to show
+        constraints[key] = next(iter(relation.relations))
+    if not constraints:
+        return
+    from repro.reasoning.consistency import ConsistencyStatus, check_consistency
+    from repro.reasoning.explain import explain_inconsistency
+
+    if check_consistency(constraints).status is ConsistencyStatus.INCONSISTENT:
+        print(explain_inconsistency(constraints))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    arguments = _build_parser().parse_args(argv)
+    try:
+        if arguments.command == "validate":
+            return _cmd_validate(arguments.path, arguments.strict)
+        if arguments.command == "relations":
+            return _cmd_relations(
+                arguments.path,
+                arguments.percentages,
+                arguments.primary,
+                arguments.reference,
+            )
+        if arguments.command == "query":
+            return _cmd_query(arguments.path, arguments.text, arguments.allow_repeats)
+        if arguments.command == "demo":
+            return _cmd_demo(arguments.path)
+        if arguments.command == "show":
+            return _cmd_show(arguments.path, arguments.width)
+        if arguments.command == "diff":
+            return _cmd_diff(arguments.old, arguments.new)
+        if arguments.command == "report":
+            return _cmd_report(arguments.path, arguments.pair)
+        if arguments.command == "reason":
+            return _cmd_reason(arguments.path, arguments.witness_xml)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Diffing two configurations — the versioned-annotation workflow.
+
+An annotated map evolves: segments get redrawn, renamed, recoloured.
+:func:`diff_configurations` compares two configurations structurally
+(by region id) and *spatially*: for region ids present in both versions,
+it reports which pairwise cardinal direction relations changed — the
+question a reviewer actually asks ("did moving the harbour change how
+anything relates to the old town?").
+
+Exposed on the CLI as ``cardirect diff old.xml new.xml``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.cardirect.model import Configuration
+from repro.cardirect.store import RelationStore
+from repro.core.relation import CardinalDirection
+
+
+@dataclass
+class ConfigurationDiff:
+    """The result of comparing an old and a new configuration."""
+
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    geometry_changed: List[str] = field(default_factory=list)
+    attributes_changed: List[str] = field(default_factory=list)
+    #: (primary, reference) -> (old relation, new relation); only pairs of
+    #: regions present in both versions whose relation differs.
+    relation_changes: Dict[
+        Tuple[str, str], Tuple[CardinalDirection, CardinalDirection]
+    ] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.added
+            or self.removed
+            or self.geometry_changed
+            or self.attributes_changed
+            or self.relation_changes
+        )
+
+    def summary(self) -> str:
+        """Human-readable account, one finding per line."""
+        if self.is_empty:
+            return "configurations are identical"
+        lines: List[str] = []
+        for region_id in self.added:
+            lines.append(f"+ added region {region_id!r}")
+        for region_id in self.removed:
+            lines.append(f"- removed region {region_id!r}")
+        for region_id in self.geometry_changed:
+            lines.append(f"~ geometry changed: {region_id!r}")
+        for region_id in self.attributes_changed:
+            lines.append(f"~ attributes changed: {region_id!r}")
+        for (primary, reference), (old, new) in sorted(
+            self.relation_changes.items()
+        ):
+            lines.append(
+                f"~ relation {primary} vs {reference}: {old} -> {new}"
+            )
+        return "\n".join(lines)
+
+
+def diff_configurations(
+    old: Configuration, new: Configuration
+) -> ConfigurationDiff:
+    """Compare two configurations by id, attributes, geometry, relations."""
+    result = ConfigurationDiff()
+    old_ids = set(old.region_ids)
+    new_ids = set(new.region_ids)
+    result.added = sorted(new_ids - old_ids)
+    result.removed = sorted(old_ids - new_ids)
+
+    common = sorted(old_ids & new_ids)
+    for region_id in common:
+        before, after = old.get(region_id), new.get(region_id)
+        if before.region != after.region:
+            result.geometry_changed.append(region_id)
+        if (before.name, before.color) != (after.name, after.color):
+            result.attributes_changed.append(region_id)
+
+    old_store, new_store = RelationStore(old), RelationStore(new)
+    for primary in common:
+        for reference in common:
+            if primary == reference:
+                continue
+            before = old_store.relation(primary, reference)
+            after = new_store.relation(primary, reference)
+            if before != after:
+                result.relation_changes[(primary, reference)] = (before, after)
+    return result

@@ -1,0 +1,205 @@
+"""A textual syntax for CARDIRECT queries.
+
+The paper writes queries as conjunctions, e.g.::
+
+    q = {(a, b) | color(a) = red, color(b) = blue, a S:SW:W:NW:N:NE:E:SE b}
+
+The parser accepts the condition part (the head is inferred from the
+variables used, in order of first appearance, unless given explicitly)::
+
+    parse_query("color(a) = red and color(b) = blue "
+                "and a S:SW:W:NW:N:NE:E:SE b")
+
+Grammar (conjuncts joined by ``and`` or ``,``):
+
+* ``attr(x) = value`` — attribute condition; ``value`` may be a bare word
+  or a double-quoted string (for values with spaces);
+* ``x = value`` — identity condition (region id or display name);
+* ``x REL y`` — relation condition; ``REL`` is a basic relation in colon
+  syntax (``B:S:SW``) or a disjunctive one in braces (``{N, W, B:S}``);
+* ``rcc8(x, y) = EC`` / ``rcc8(x, y) = {EC, PO}`` — topological atom
+  (the future-work extension [2]);
+* ``distance(x, y) = close`` / ``distance(x, y) = {equal, close}`` —
+  qualitative distance atom (the future-work extension [3]);
+* ``pct(x, y, NE) >= 50`` — quantitative directional atom over the
+  cells of the cardinal direction matrix with percentages
+  (comparators: ``>=``, ``<=``, ``>``, ``<``, ``=``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence
+
+from repro.errors import QueryError, RelationError
+from repro.cardirect.query import (
+    AttributeCondition,
+    Condition,
+    DistanceCondition,
+    IdentityCondition,
+    PercentageCondition,
+    Query,
+    RelationCondition,
+    TopologyCondition,
+)
+from repro.core.relation import DisjunctiveCD
+
+_PERCENTAGE = re.compile(
+    r"^pct\s*\(\s*(?P<primary>\w+)\s*,\s*(?P<reference>\w+)\s*,\s*(?P<tile>\w+)\s*\)"
+    r"\s*(?P<op>>=|<=|>|<|=)\s*(?P<threshold>\d+(?:\.\d+)?)\s*$"
+)
+_BINARY_FUNCTION = re.compile(
+    r"^(?P<func>rcc8|distance)\s*\(\s*(?P<primary>\w+)\s*,\s*(?P<reference>\w+)\s*\)"
+    r"\s*=\s*(?P<value>\{[^}]*\}|\S.*?)\s*$"
+)
+_ATTRIBUTE = re.compile(
+    r"^(?P<attr>\w+)\s*\(\s*(?P<var>\w+)\s*\)\s*=\s*(?P<value>\"[^\"]*\"|\S.*?)\s*$"
+)
+_IDENTITY = re.compile(
+    r"^(?P<var>\w+)\s*=\s*(?P<value>\"[^\"]*\"|\S.*?)\s*$"
+)
+_RELATION = re.compile(
+    r"^(?P<primary>\w+)\s+(?P<relation>\{[^}]*\}|[A-Z:]+)\s+(?P<reference>\w+)\s*$"
+)
+
+
+def _split_conjuncts(text: str) -> List[str]:
+    """Split on ``and`` / commas, respecting quotes, braces and parens."""
+    parts: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    brace_depth = 0
+    paren_depth = 0
+    tokens = re.split(r"(\s+|,|\"|\{|\}|\(|\))", text)
+    for token in tokens:
+        if token == '"':
+            in_quotes = not in_quotes
+            current.append(token)
+        elif token == "{":
+            brace_depth += 1
+            current.append(token)
+        elif token == "}":
+            brace_depth -= 1
+            current.append(token)
+        elif token == "(":
+            paren_depth += 1
+            current.append(token)
+        elif token == ")":
+            paren_depth -= 1
+            current.append(token)
+        elif (
+            token == ","
+            and not in_quotes
+            and brace_depth == 0
+            and paren_depth == 0
+        ):
+            parts.append("".join(current))
+            current = []
+        elif (
+            token.strip() == "and"
+            and not in_quotes
+            and brace_depth == 0
+            and paren_depth == 0
+        ):
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(token)
+    parts.append("".join(current))
+    conjuncts = [part.strip() for part in parts if part.strip()]
+    if not conjuncts:
+        raise QueryError(f"empty query: {text!r}")
+    return conjuncts
+
+
+def _unquote(value: str) -> str:
+    value = value.strip()
+    if value.startswith('"') and value.endswith('"') and len(value) >= 2:
+        return value[1:-1]
+    return value
+
+
+def _parse_condition(text: str) -> Condition:
+    match = _PERCENTAGE.match(text)
+    if match:
+        from repro.core.tiles import Tile
+
+        try:
+            tile = Tile[match.group("tile").upper()]
+        except KeyError:
+            raise QueryError(
+                f"unknown tile {match.group('tile')!r} in {text!r}"
+            ) from None
+        return PercentageCondition(
+            match.group("primary"),
+            tile,
+            match.group("op"),
+            float(match.group("threshold")),
+            match.group("reference"),
+        )
+    match = _BINARY_FUNCTION.match(text)
+    if match:
+        factory = (
+            TopologyCondition.parse_values
+            if match.group("func") == "rcc8"
+            else DistanceCondition.parse_values
+        )
+        return factory(
+            match.group("primary"),
+            _unquote(match.group("value")),
+            match.group("reference"),
+        )
+    match = _RELATION.match(text)
+    if match:
+        try:
+            relation = DisjunctiveCD.parse(match.group("relation"))
+        except RelationError as error:
+            raise QueryError(f"bad relation in {text!r}: {error}") from error
+        if relation.is_empty:
+            raise QueryError(f"empty disjunction in {text!r}")
+        return RelationCondition(
+            match.group("primary"), relation, match.group("reference")
+        )
+    match = _ATTRIBUTE.match(text)
+    if match:
+        return AttributeCondition(
+            match.group("var"),
+            match.group("attr"),
+            _unquote(match.group("value")),
+        )
+    match = _IDENTITY.match(text)
+    if match:
+        return IdentityCondition(match.group("var"), _unquote(match.group("value")))
+    raise QueryError(f"cannot parse query condition: {text!r}")
+
+
+def parse_query(
+    text: str,
+    *,
+    variables: Optional[Sequence[str]] = None,
+    allow_repeats: bool = False,
+) -> Query:
+    """Parse a conjunctive query from its textual condition list.
+
+    When ``variables`` is omitted, the query head consists of the
+    variables in order of first appearance in the conditions.
+
+    >>> q = parse_query("color(a) = red and a {N, NW:N} b")
+    >>> q.variables
+    ['a', 'b']
+    >>> len(q.conditions)
+    2
+    """
+    conditions = [_parse_condition(part) for part in _split_conjuncts(text)]
+    if variables is None:
+        seen: List[str] = []
+        for condition in conditions:
+            if isinstance(condition, (IdentityCondition, AttributeCondition)):
+                names = (condition.variable,)
+            else:
+                names = (condition.primary, condition.reference)
+            for name in names:
+                if name not in seen:
+                    seen.append(name)
+        variables = seen
+    return Query(list(variables), conditions, allow_repeats=allow_repeats)

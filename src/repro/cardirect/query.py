@@ -1,0 +1,311 @@
+"""The CARDIRECT query model (Section 4).
+
+A query is ``q = {(x1, ..., xn) | φ(x1, ..., xn)}`` where ``φ`` is a
+conjunction of three kinds of atoms:
+
+* ``x_i = a`` — direct reference to a region of the configuration
+  (:class:`IdentityCondition`);
+* ``f(x_i) = c`` — a thematic restriction, e.g. ``color(x1) = blue``
+  (:class:`AttributeCondition`);
+* ``x_i R x_j`` — a (possibly disjunctive) cardinal direction constraint
+  (:class:`RelationCondition`).
+
+Evaluation enumerates assignments of configuration regions to the
+variables with straightforward constraint propagation: unary conditions
+prune each variable's candidate set up front, then binary relation
+conditions are checked during a depth-first assignment, most-constrained
+variable first.  Relations come from a :class:`~repro.cardirect.store.
+RelationStore`, so repeated queries over one configuration never
+recompute geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple, Union
+
+from repro.errors import QueryError
+from repro.cardirect.model import THEMATIC_ATTRIBUTES, Configuration
+from repro.cardirect.store import RelationStore
+from repro.core.relation import CardinalDirection, DisjunctiveCD
+from repro.core.tiles import Tile
+from repro.extensions.topology import RCC8
+
+
+@dataclass(frozen=True)
+class IdentityCondition:
+    """``x = a`` — the variable must be a specific region (id or name)."""
+
+    variable: str
+    reference: str
+
+
+@dataclass(frozen=True)
+class AttributeCondition:
+    """``f(x) = c`` — a thematic attribute must have an exact value."""
+
+    variable: str
+    attribute: str
+    value: str
+
+    def __post_init__(self) -> None:
+        if self.attribute not in THEMATIC_ATTRIBUTES:
+            raise QueryError(
+                f"unknown attribute {self.attribute!r}; "
+                f"expected one of {THEMATIC_ATTRIBUTES}"
+            )
+
+
+@dataclass(frozen=True)
+class RelationCondition:
+    """``x R y`` — a basic or disjunctive cardinal direction constraint."""
+
+    primary: str
+    relation: DisjunctiveCD
+    reference: str
+
+    @classmethod
+    def basic(
+        cls, primary: str, relation: CardinalDirection, reference: str
+    ) -> "RelationCondition":
+        return cls(primary, DisjunctiveCD((relation,)), reference)
+
+
+@dataclass(frozen=True)
+class TopologyCondition:
+    """``rcc8(x, y) = EC`` — the future-work topological atom [2].
+
+    ``relations`` is a non-empty set of admissible RCC8 relations (a
+    disjunction, mirroring disjunctive cardinal direction atoms).
+    """
+
+    primary: str
+    relations: frozenset
+    reference: str
+
+    def __post_init__(self) -> None:
+        if not self.relations:
+            raise QueryError("topology condition needs >= 1 RCC8 relation")
+        for relation in self.relations:
+            if not isinstance(relation, RCC8):
+                raise QueryError(f"not an RCC8 relation: {relation!r}")
+
+    @classmethod
+    def parse_values(cls, primary: str, text: str, reference: str) -> "TopologyCondition":
+        names = [part.strip() for part in text.strip("{}").split(",")]
+        try:
+            relations = frozenset(RCC8[name.upper()] for name in names if name)
+        except KeyError as error:
+            raise QueryError(f"unknown RCC8 relation {error.args[0]!r}") from None
+        return cls(primary, relations, reference)
+
+
+@dataclass(frozen=True)
+class DistanceCondition:
+    """``distance(x, y) = close`` — the future-work distance atom [3].
+
+    ``symbols`` is a non-empty set of admissible distance symbols under
+    the store's frame of reference.
+    """
+
+    primary: str
+    symbols: frozenset
+    reference: str
+
+    def __post_init__(self) -> None:
+        if not self.symbols:
+            raise QueryError("distance condition needs >= 1 symbol")
+
+    @classmethod
+    def parse_values(cls, primary: str, text: str, reference: str) -> "DistanceCondition":
+        symbols = frozenset(
+            part.strip() for part in text.strip("{}").split(",") if part.strip()
+        )
+        return cls(primary, symbols, reference)
+
+
+#: Comparison operators usable in percentage conditions.
+_COMPARATORS: Dict[str, Callable[[float, float], bool]] = {
+    ">=": lambda left, right: left >= right,
+    "<=": lambda left, right: left <= right,
+    ">": lambda left, right: left > right,
+    "<": lambda left, right: left < right,
+    "=": lambda left, right: left == right,
+}
+
+
+@dataclass(frozen=True)
+class PercentageCondition:
+    """``pct(x, y, NE) >= 50`` — a quantitative directional atom.
+
+    Constrains the share of ``primary``'s area falling into one tile of
+    ``reference``'s grid (the cells of the cardinal direction matrix with
+    percentages).  ``threshold`` is in percentage points.
+    """
+
+    primary: str
+    tile: Tile
+    operator: str
+    threshold: float
+    reference: str
+
+    def __post_init__(self) -> None:
+        if self.operator not in _COMPARATORS:
+            raise QueryError(
+                f"unknown comparator {self.operator!r}; "
+                f"expected one of {sorted(_COMPARATORS)}"
+            )
+        if not isinstance(self.tile, Tile):
+            raise QueryError(f"not a tile: {self.tile!r}")
+        if not 0 <= float(self.threshold) <= 100:
+            raise QueryError(
+                f"percentage threshold must be in [0, 100], got {self.threshold!r}"
+            )
+
+    def holds(self, share) -> bool:
+        return _COMPARATORS[self.operator](float(share), float(self.threshold))
+
+
+Condition = Union[
+    IdentityCondition,
+    AttributeCondition,
+    RelationCondition,
+    TopologyCondition,
+    DistanceCondition,
+    PercentageCondition,
+]
+
+
+@dataclass
+class Query:
+    """A conjunctive query over a configuration.
+
+    ``variables`` fixes the order of each result tuple.  By default
+    distinct variables must bind to distinct regions (the natural reading
+    of the paper's examples); pass ``allow_repeats=True`` to lift that.
+    """
+
+    variables: Sequence[str]
+    conditions: List[Condition] = field(default_factory=list)
+    allow_repeats: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.variables:
+            raise QueryError("a query needs at least one variable")
+        if len(set(self.variables)) != len(self.variables):
+            raise QueryError("duplicate variable in query head")
+        known = set(self.variables)
+        for condition in self.conditions:
+            for variable in _condition_variables(condition):
+                if variable not in known:
+                    raise QueryError(
+                        f"condition uses unknown variable {variable!r} "
+                        f"(declared: {sorted(known)})"
+                    )
+
+    def evaluate(
+        self, store: RelationStore
+    ) -> List[Tuple[str, ...]]:
+        """All satisfying assignments, as tuples of region ids."""
+        return list(self.iter_results(store))
+
+    def iter_results(self, store: RelationStore) -> Iterator[Tuple[str, ...]]:
+        configuration = store.configuration
+        candidates = self._unary_filtered_candidates(configuration)
+        binary_conditions = [
+            condition
+            for condition in self.conditions
+            if isinstance(
+                condition,
+                (
+                    RelationCondition,
+                    TopologyCondition,
+                    DistanceCondition,
+                    PercentageCondition,
+                ),
+            )
+        ]
+        # Most-constrained variable first keeps the search shallow.
+        order = sorted(self.variables, key=lambda v: len(candidates[v]))
+        assignment: Dict[str, str] = {}
+
+        def admissible(variable: str, region_id: str) -> bool:
+            if not self.allow_repeats and region_id in assignment.values():
+                return False
+            assignment[variable] = region_id
+            try:
+                for condition in binary_conditions:
+                    primary = assignment.get(condition.primary)
+                    reference = assignment.get(condition.reference)
+                    if primary is None or reference is None:
+                        continue
+                    if not _binary_satisfied(condition, primary, reference, store):
+                        return False
+                return True
+            finally:
+                del assignment[variable]
+
+        def search(depth: int) -> Iterator[Tuple[str, ...]]:
+            if depth == len(order):
+                yield tuple(assignment[v] for v in self.variables)
+                return
+            variable = order[depth]
+            for region_id in candidates[variable]:
+                if admissible(variable, region_id):
+                    assignment[variable] = region_id
+                    yield from search(depth + 1)
+                    del assignment[variable]
+
+        yield from search(0)
+
+    def _unary_filtered_candidates(
+        self, configuration: Configuration
+    ) -> Dict[str, List[str]]:
+        candidates = {
+            variable: configuration.region_ids for variable in self.variables
+        }
+        for condition in self.conditions:
+            if isinstance(condition, IdentityCondition):
+                resolved = configuration.resolve(condition.reference).id
+                candidates[condition.variable] = [
+                    region_id
+                    for region_id in candidates[condition.variable]
+                    if region_id == resolved
+                ]
+            elif isinstance(condition, AttributeCondition):
+                candidates[condition.variable] = [
+                    region_id
+                    for region_id in candidates[condition.variable]
+                    if configuration.get(region_id).attribute(condition.attribute)
+                    == condition.value
+                ]
+        return candidates
+
+
+def _condition_variables(condition: Condition) -> Tuple[str, ...]:
+    if isinstance(condition, (IdentityCondition, AttributeCondition)):
+        return (condition.variable,)
+    if isinstance(
+        condition,
+        (
+            RelationCondition,
+            TopologyCondition,
+            DistanceCondition,
+            PercentageCondition,
+        ),
+    ):
+        return (condition.primary, condition.reference)
+    raise QueryError(f"unknown condition type: {type(condition).__name__}")
+
+
+def _binary_satisfied(
+    condition: Condition, primary: str, reference: str, store: RelationStore
+) -> bool:
+    if isinstance(condition, RelationCondition):
+        return condition.relation.contains(store.relation(primary, reference))
+    if isinstance(condition, TopologyCondition):
+        return store.topology(primary, reference) in condition.relations
+    if isinstance(condition, PercentageCondition):
+        share = store.percentages(primary, reference).percentage(condition.tile)
+        return condition.holds(share)
+    return store.qualitative_distance(primary, reference) in condition.symbols

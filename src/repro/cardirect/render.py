@@ -1,0 +1,115 @@
+"""Terminal rendering of CARDIRECT configurations.
+
+The original CARDIRECT drew regions over a map image; the library
+equivalent is an ASCII raster: each annotated region is sampled onto a
+character grid and drawn with its own letter (overlaps show ``*``).
+This keeps the "look at the configuration" part of the tool usable from
+a terminal and gives the CLI a ``show`` command.
+
+Rendering is for human eyes only — every computation in the library
+works on the exact geometry, never on this raster.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from repro.cardirect.model import Configuration
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.geometry.predicates import point_in_region
+
+#: Symbols assigned to regions in insertion order.
+_SYMBOLS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+#: Marker for cells covered by more than one region.
+OVERLAP = "*"
+
+#: Marker for empty cells.
+EMPTY = "·"
+
+
+def scene_box(configuration: Configuration) -> BoundingBox:
+    """The union mbb of every region in the configuration."""
+    regions = configuration.regions()
+    if not regions:
+        raise ValueError("cannot render an empty configuration")
+    box = regions[0].region.bounding_box()
+    for annotated in regions[1:]:
+        box = box.union(annotated.region.bounding_box())
+    return box
+
+
+def render_configuration(
+    configuration: Configuration,
+    *,
+    width: int = 60,
+    height: Optional[int] = None,
+    legend: bool = True,
+) -> str:
+    """Render the configuration as an ASCII raster (north up).
+
+    ``width`` is the raster width in characters; ``height`` defaults to
+    keeping the aspect ratio (with a 0.5 vertical compression matching
+    typical terminal cell proportions).
+    """
+    if width < 1:
+        raise ValueError(f"raster width must be >= 1, got {width}")
+    if height is not None and height < 1:
+        raise ValueError(f"raster height must be >= 1, got {height}")
+    box = scene_box(configuration)
+    if height is None:
+        height = max(3, round(width * float(box.height) / float(box.width) * 0.5))
+    symbols = assign_symbols(configuration)
+
+    rows: List[str] = []
+    for row in range(height):
+        cells = []
+        for column in range(width):
+            point = _sample_point(box, column, row, width, height)
+            hits = [
+                annotated.id
+                for annotated in configuration
+                if point_in_region(point, annotated.region)
+            ]
+            if not hits:
+                cells.append(EMPTY)
+            elif len(hits) == 1:
+                cells.append(symbols[hits[0]])
+            else:
+                cells.append(OVERLAP)
+        rows.append("".join(cells))
+
+    output = "\n".join(rows)
+    if legend:
+        entries = [
+            f"{symbols[annotated.id]} = {annotated.name or annotated.id}"
+            + (f" ({annotated.color})" if annotated.color else "")
+            for annotated in configuration
+        ]
+        output += "\n\n" + "\n".join(entries)
+    return output
+
+
+def assign_symbols(configuration: Configuration) -> Dict[str, str]:
+    """Stable symbol assignment: insertion order, cycling past 62 regions."""
+    return {
+        annotated.id: _SYMBOLS[index % len(_SYMBOLS)]
+        for index, annotated in enumerate(configuration)
+    }
+
+
+def _sample_point(
+    box: BoundingBox, column: int, row: int, width: int, height: int
+) -> Point:
+    """Sample point of raster cell (column, row); row 0 is the north edge.
+
+    The sample sits at 1/3 of the cell rather than its centre: centres
+    often coincide with region boundaries (integer geometry rendered at
+    matching resolutions), which would paint spurious overlap markers
+    where closed regions merely touch.
+    """
+    x = box.min_x + Fraction(3 * column + 1, 3 * width) * box.width
+    y = box.max_y - Fraction(3 * row + 1, 3 * height) * box.height
+    return Point(x, y)

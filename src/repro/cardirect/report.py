@@ -1,0 +1,114 @@
+"""Textual reports over a configuration — the Fig. 12 view of CARDIRECT.
+
+Fig. 12 of the paper shows the tool's two outputs: the list of computed
+relations ("Peloponnesos is B:S:SW:W of Attica") and per-pair percentage
+matrices.  This module renders both as plain text, plus a configuration
+summary, for the CLI's ``report`` command and for logging/debugging.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import GeometryError
+from repro.cardirect.model import Configuration
+from repro.cardirect.store import RelationStore
+from repro.core.matrix import DirectionRelationMatrix
+
+
+def configuration_summary(configuration: Configuration) -> str:
+    """A one-region-per-line inventory of the configuration."""
+    lines: List[str] = []
+    title = configuration.image_name or "(unnamed configuration)"
+    lines.append(f"Configuration: {title}")
+    if configuration.image_file:
+        lines.append(f"Image file:    {configuration.image_file}")
+    lines.append(f"Regions:       {len(configuration)}")
+    lines.append("")
+    header = f"{'id':<16} {'name':<20} {'color':<10} {'polygons':>8} {'edges':>6} {'area':>10}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for annotated in configuration:
+        region = annotated.region
+        lines.append(
+            f"{annotated.id:<16} {annotated.name[:20]:<20} "
+            f"{annotated.color[:10]:<10} {len(region):>8} "
+            f"{region.edge_count():>6} {float(region.area()):>10.1f}"
+        )
+    return "\n".join(lines)
+
+
+def relation_report(store: RelationStore, *, names: bool = True) -> str:
+    """Every ordered pair's relation, one sentence per line (Fig. 12 left).
+
+    With ``names`` (default) regions print by display name when set.
+    """
+    configuration = store.configuration
+
+    def label(region_id: str) -> str:
+        if names:
+            return configuration.get(region_id).name or region_id
+        return region_id
+
+    lines = [
+        f"{label(primary)} is {relation} of {label(reference)}"
+        for primary, reference, relation in store.all_relations()
+    ]
+    return "\n".join(lines)
+
+
+def pair_report(
+    store: RelationStore, primary_id: str, reference_id: str
+) -> str:
+    """Everything CARDIRECT knows about one ordered pair.
+
+    Qualitative relation with its direction-relation matrix, the
+    percentage matrix, qualitative distance, and — when both regions are
+    rectilinear — the RCC8 relation of the extension layer.
+    """
+    configuration = store.configuration
+    primary = configuration.get(primary_id)
+    reference = configuration.get(reference_id)
+    primary_label = primary.name or primary.id
+    reference_label = reference.name or reference.id
+
+    from repro.extensions.combined import describe_pair
+
+    relation = store.relation(primary_id, reference_id)
+    description = describe_pair(store, primary_id, reference_id)
+    lines: List[str] = [
+        f"{primary_label} is {relation} of {reference_label}",
+        description.sentence(primary_label, reference_label),
+        "",
+        "Direction relation matrix:",
+        DirectionRelationMatrix(relation).render(),
+        "",
+        "With percentages:",
+        store.percentages(primary_id, reference_id).render(),
+        "",
+        f"Qualitative distance: "
+        f"{store.qualitative_distance(primary_id, reference_id)} "
+        f"(min distance {store.distance(primary_id, reference_id):.2f})",
+    ]
+    topology = _topology_or_none(store, primary_id, reference_id)
+    if topology is not None:
+        lines.append(f"Topology (RCC8): {topology}")
+    return "\n".join(lines)
+
+
+def _topology_or_none(
+    store: RelationStore, primary_id: str, reference_id: str
+) -> Optional[str]:
+    try:
+        return str(store.topology(primary_id, reference_id))
+    except GeometryError:
+        return None  # non-rectilinear geometry: the exact RCC8 opts out
+
+
+def full_report(store: RelationStore) -> str:
+    """Summary + all relations — the default output of ``cardirect report``."""
+    return (
+        configuration_summary(store.configuration)
+        + "\n\n"
+        + relation_report(store)
+    )

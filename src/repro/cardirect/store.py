@@ -1,0 +1,190 @@
+"""Cached pairwise relation computation for a configuration.
+
+CARDIRECT stores "the direction relations among the different regions"
+alongside the geometry.  :class:`RelationStore` computes them on demand
+with Compute-CDR / Compute-CDR%, caches them, and lets edits invalidate
+exactly the affected entries.  Reference mbbs are cached too, so
+comparing ``n`` regions pairwise scans each region's edges ``O(n)``
+times rather than recomputing boxes from scratch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.core.compute import compute_cdr_against_box
+from repro.core.matrix import PercentageMatrix
+from repro.core.percentages import compute_cdr_percentages_against_box
+from repro.core.relation import CardinalDirection
+from repro.extensions.distance import DistanceFrame, minimum_distance
+from repro.extensions.topology import RCC8, rcc8
+from repro.geometry.bbox import BoundingBox
+
+
+class RelationStore:
+    """Lazy, invalidation-aware cache of pairwise spatial relations.
+
+    Besides the paper's cardinal directions (qualitative and with
+    percentages), the store also serves the future-work extensions —
+    RCC8 topology and qualitative distance — under the same caching and
+    invalidation discipline, so the enriched query language costs each
+    geometric computation once.
+    """
+
+    def __init__(
+        self,
+        configuration: Configuration,
+        *,
+        distance_frame: Optional[DistanceFrame] = None,
+        fast: bool = False,
+    ) -> None:
+        """``fast=True`` routes cardinal-direction computation through the
+        vectorised float64 implementations (:mod:`repro.core.fast`) —
+        appropriate for large float configurations where exact rational
+        percentages are not required."""
+        self._configuration = configuration
+        self._relations: Dict[Tuple[str, str], CardinalDirection] = {}
+        self._percentages: Dict[Tuple[str, str], PercentageMatrix] = {}
+        self._boxes: Dict[str, BoundingBox] = {}
+        self._topology: Dict[Tuple[str, str], RCC8] = {}
+        self._distances: Dict[Tuple[str, str], float] = {}
+        self._distance_frame = distance_frame
+        self._fast = fast
+
+    @property
+    def configuration(self) -> Configuration:
+        return self._configuration
+
+    def _box(self, region_id: str) -> BoundingBox:
+        box = self._boxes.get(region_id)
+        if box is None:
+            box = self._configuration.get(region_id).region.bounding_box()
+            self._boxes[region_id] = box
+        return box
+
+    def relation(self, primary_id: str, reference_id: str) -> CardinalDirection:
+        """``R`` with ``primary R reference`` (cached)."""
+        key = (primary_id, reference_id)
+        cached = self._relations.get(key)
+        if cached is None:
+            primary = self._configuration.get(primary_id).region
+            if self._fast:
+                from repro.core.fast import compute_cdr_fast
+
+                cached = compute_cdr_fast(
+                    primary, self._configuration.get(reference_id).region
+                )
+            else:
+                cached = compute_cdr_against_box(
+                    primary, self._box(reference_id)
+                )
+            self._relations[key] = cached
+        return cached
+
+    def percentages(self, primary_id: str, reference_id: str) -> PercentageMatrix:
+        """The percentage matrix of ``primary`` vs ``reference`` (cached)."""
+        key = (primary_id, reference_id)
+        cached = self._percentages.get(key)
+        if cached is None:
+            primary = self._configuration.get(primary_id).region
+            if self._fast:
+                from repro.core.fast import compute_cdr_percentages_fast
+
+                cached = compute_cdr_percentages_fast(
+                    primary, self._configuration.get(reference_id).region
+                )
+            else:
+                cached = compute_cdr_percentages_against_box(
+                    primary, self._box(reference_id)
+                )
+            self._percentages[key] = cached
+        return cached
+
+    def all_relations(
+        self, *, include_self: bool = False
+    ) -> Iterator[Tuple[str, str, CardinalDirection]]:
+        """Every ordered pair's relation — what CARDIRECT persists as
+        ``Relation`` elements."""
+        ids = self._configuration.region_ids
+        for primary_id in ids:
+            for reference_id in ids:
+                if primary_id == reference_id and not include_self:
+                    continue
+                yield primary_id, reference_id, self.relation(
+                    primary_id, reference_id
+                )
+
+    @property
+    def distance_frame(self) -> DistanceFrame:
+        """The frame used by :meth:`qualitative_distance`.
+
+        Derived from the configuration's regions on first use unless one
+        was supplied at construction.
+        """
+        if self._distance_frame is None:
+            self._distance_frame = DistanceFrame.for_scene(
+                [annotated.region for annotated in self._configuration]
+            )
+        return self._distance_frame
+
+    def topology(self, primary_id: str, reference_id: str) -> RCC8:
+        """The RCC8 relation (cached; requires rectilinear regions)."""
+        key = (primary_id, reference_id)
+        cached = self._topology.get(key)
+        if cached is None:
+            cached = rcc8(
+                self._configuration.get(primary_id).region,
+                self._configuration.get(reference_id).region,
+            )
+            self._topology[key] = cached
+            self._topology[(reference_id, primary_id)] = cached.inverse()
+        return cached
+
+    def distance(self, primary_id: str, reference_id: str) -> float:
+        """Minimum distance between the two regions (cached, symmetric)."""
+        key = (primary_id, reference_id)
+        cached = self._distances.get(key)
+        if cached is None:
+            cached = minimum_distance(
+                self._configuration.get(primary_id).region,
+                self._configuration.get(reference_id).region,
+            )
+            self._distances[key] = cached
+            self._distances[(reference_id, primary_id)] = cached
+        return cached
+
+    def qualitative_distance(self, primary_id: str, reference_id: str) -> str:
+        """The distance symbol under :attr:`distance_frame`."""
+        return self.distance_frame.classify(
+            self.distance(primary_id, reference_id)
+        )
+
+    def invalidate(self, region_id: Optional[str] = None) -> None:
+        """Drop cache entries touching ``region_id`` (or everything).
+
+        Call after editing a region's geometry via
+        :meth:`Configuration.replace_region`.
+        """
+        if region_id is None:
+            self._relations.clear()
+            self._percentages.clear()
+            self._boxes.clear()
+            self._topology.clear()
+            self._distances.clear()
+            return
+        self._boxes.pop(region_id, None)
+        for cache in (
+            self._relations,
+            self._percentages,
+            self._topology,
+            self._distances,
+        ):
+            stale = [key for key in cache if region_id in key]
+            for key in stale:
+                del cache[key]
+
+    def update_region(self, annotated: AnnotatedRegion) -> None:
+        """Replace a region in the configuration and invalidate its entries."""
+        self._configuration.replace_region(annotated)
+        self.invalidate(annotated.id)

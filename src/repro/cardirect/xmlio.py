@@ -1,0 +1,341 @@
+"""XML persistence in the paper's exact CARDIRECT format.
+
+The DTD (Section 4)::
+
+    <!ELEMENT Image (Region+, Relation*)>
+    <!ATTLIST Image name CDATA #IMPLIED file CDATA #IMPLIED>
+    <!ELEMENT Region (Polygon*)>
+    <!ATTLIST Region id ID #REQUIRED name CDATA #IMPLIED color CDATA #IMPLIED>
+    <!ELEMENT Polygon (Edge, Edge, Edge, Edge*)>
+    <!ATTLIST Polygon id CDATA #REQUIRED>
+    <!ELEMENT Edge EMPTY>
+    <!ATTLIST Edge x CDATA #REQUIRED y CDATA #REQUIRED>
+    <!ELEMENT Relation EMPTY>
+    <!ATTLIST Relation type CDATA #REQUIRED
+              primary IDREF #REQUIRED reference IDREF #REQUIRED>
+
+Each ``Edge`` element carries one vertex of the clockwise ring (an edge
+is defined by consecutive vertices, ring closed implicitly).  ``Relation``
+elements store the computed cardinal directions so a saved configuration
+can be queried without recomputation; on import they are validated
+against the DTD's referential rules but recomputed on demand by the
+relation store, so stale values can never corrupt query answers.
+
+Coordinates round-trip exactly: integers as integers, rationals as
+``p/q``, floats via ``repr``.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from fractions import Fraction
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import GeometryError, XMLFormatError
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.cardirect.store import RelationStore
+from repro.core.relation import CardinalDirection
+from repro.errors import RelationError
+from repro.geometry.point import Coordinate
+from repro.geometry.polygon import Polygon
+from repro.geometry.region import Region
+
+#: The DTD, emitted verbatim into saved documents.  It is the paper's DTD
+#: plus one backward-compatible optional attribute: ``Relation
+#: percentages`` stores the cardinal direction matrix with percentages
+#: (nine values in the paper's matrix layout), since CARDIRECT computes
+#: relations "with and without percentages".
+CARDIRECT_DTD = """<!DOCTYPE Image [
+<!ELEMENT Image (Region+, Relation*)>
+<!ATTLIST Image name CDATA #IMPLIED file CDATA #IMPLIED>
+<!ELEMENT Region (Polygon*)>
+<!ATTLIST Region id ID #REQUIRED name CDATA #IMPLIED color CDATA #IMPLIED>
+<!ELEMENT Polygon (Edge, Edge, Edge, Edge*)>
+<!ATTLIST Polygon id CDATA #REQUIRED>
+<!ELEMENT Edge EMPTY>
+<!ATTLIST Edge x CDATA #REQUIRED y CDATA #REQUIRED>
+<!ELEMENT Relation EMPTY>
+<!ATTLIST Relation type CDATA #REQUIRED primary IDREF #REQUIRED reference IDREF #REQUIRED percentages CDATA #IMPLIED>
+]>"""
+
+
+def format_coordinate(value: Coordinate) -> str:
+    """Serialise a coordinate losslessly."""
+    if isinstance(value, bool):  # pragma: no cover - nonsensical input
+        raise XMLFormatError("boolean is not a coordinate")
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return str(value.numerator)
+        return f"{value.numerator}/{value.denominator}"
+    if isinstance(value, float):
+        return repr(value)
+    raise XMLFormatError(f"cannot serialise coordinate {value!r}")
+
+
+def parse_coordinate(text: str) -> Coordinate:
+    """Inverse of :func:`format_coordinate`."""
+    text = text.strip()
+    try:
+        if "/" in text:
+            return Fraction(text)
+        if any(ch in text for ch in ".eE") and not text.lstrip("+-").isdigit():
+            return float(text)
+        return int(text)
+    except (ValueError, ZeroDivisionError) as error:
+        raise XMLFormatError(f"bad coordinate {text!r}: {error}") from error
+
+
+def format_percentages(matrix) -> str:
+    """Serialise a percentage matrix: nine values, paper's matrix layout."""
+    from repro.core.matrix import MATRIX_LAYOUT
+
+    cells = []
+    for row in MATRIX_LAYOUT:
+        for tile in row:
+            value = matrix.percentage(tile)
+            if isinstance(value, float):
+                cells.append(repr(value))
+            else:
+                cells.append(format_coordinate(Fraction(value)))
+    return " ".join(cells)
+
+
+def parse_percentages(text: str):
+    """Inverse of :func:`format_percentages`."""
+    from repro.core.matrix import MATRIX_LAYOUT, PercentageMatrix
+
+    parts = text.split()
+    if len(parts) != 9:
+        raise XMLFormatError(
+            f"percentages attribute needs 9 values, got {len(parts)}"
+        )
+    values = [parse_coordinate(part) for part in parts]
+    cells = {}
+    index = 0
+    for row in MATRIX_LAYOUT:
+        for tile in row:
+            cells[tile] = values[index]
+            index += 1
+    try:
+        return PercentageMatrix(cells)
+    except RelationError as error:
+        raise XMLFormatError(f"bad percentages attribute: {error}") from error
+
+
+def configuration_to_xml(
+    configuration: Configuration,
+    *,
+    store: Optional[RelationStore] = None,
+    include_relations: bool = True,
+    include_percentages: bool = False,
+) -> str:
+    """Serialise a configuration (and its relations) to a CARDIRECT document.
+
+    With ``include_relations`` (the default) all pairwise relations are
+    computed — through ``store`` if given, so an existing cache is
+    reused — and written as ``Relation`` elements, matching the paper's
+    "the direction relations among the different regions are all stored
+    in the XML description".
+    """
+    image = ET.Element("Image")
+    if configuration.image_name:
+        image.set("name", configuration.image_name)
+    if configuration.image_file:
+        image.set("file", configuration.image_file)
+    for annotated in configuration:
+        region_element = ET.SubElement(image, "Region", id=annotated.id)
+        if annotated.name:
+            region_element.set("name", annotated.name)
+        if annotated.color:
+            region_element.set("color", annotated.color)
+        for index, polygon in enumerate(annotated.region.polygons):
+            polygon_element = ET.SubElement(
+                region_element, "Polygon", id=f"{annotated.id}-{index}"
+            )
+            for vertex in polygon.vertices:
+                ET.SubElement(
+                    polygon_element,
+                    "Edge",
+                    x=format_coordinate(vertex.x),
+                    y=format_coordinate(vertex.y),
+                )
+    if include_relations and len(configuration) > 1:
+        store = store or RelationStore(configuration)
+        for primary_id, reference_id, relation in store.all_relations():
+            element = ET.SubElement(
+                image,
+                "Relation",
+                type=str(relation),
+                primary=primary_id,
+                reference=reference_id,
+            )
+            if include_percentages:
+                element.set(
+                    "percentages",
+                    format_percentages(
+                        store.percentages(primary_id, reference_id)
+                    ),
+                )
+    ET.indent(image)
+    body = ET.tostring(image, encoding="unicode")
+    return f'<?xml version="1.0" encoding="UTF-8"?>\n{CARDIRECT_DTD}\n{body}\n'
+
+
+def configuration_from_xml(
+    text: str,
+) -> Tuple[Configuration, Dict[Tuple[str, str], CardinalDirection]]:
+    """Parse a CARDIRECT document.
+
+    Returns the configuration and the stored ``Relation`` entries (which
+    callers may use as a warm cache, or ignore — the store recomputes on
+    demand).  Raises :class:`XMLFormatError` on any DTD violation:
+    missing required attributes, fewer than three edges in a polygon,
+    duplicate region ids, or relations referencing unknown regions.
+    """
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as error:
+        raise XMLFormatError(f"not well-formed XML: {error}") from error
+    if root.tag != "Image":
+        raise XMLFormatError(f"root element must be Image, got {root.tag!r}")
+
+    configuration = Configuration(
+        image_name=root.get("name", ""), image_file=root.get("file", "")
+    )
+    for element in root:
+        if element.tag == "Region":
+            region = _parse_region(element)
+            if region.id in configuration:
+                raise XMLFormatError(f"duplicate Region id {region.id!r}")
+            configuration.add(region)
+        elif element.tag != "Relation":
+            raise XMLFormatError(f"unexpected element {element.tag!r} under Image")
+    if len(configuration) == 0:
+        raise XMLFormatError("Image must contain at least one Region")
+
+    relations: Dict[Tuple[str, str], CardinalDirection] = {}
+    for element in root.iter("Relation"):
+        relations[_parse_relation_key(element, configuration)] = (
+            _parse_relation_type(element)
+        )
+    return configuration, relations
+
+
+def stored_percentages_from_xml(text: str) -> Dict[Tuple[str, str], object]:
+    """Extract the stored percentage matrices of a document.
+
+    Returns ``{(primary, reference): PercentageMatrix}`` for every
+    ``Relation`` element carrying the optional ``percentages`` attribute
+    (written by ``configuration_to_xml(..., include_percentages=True)``).
+    """
+    configuration, _ = configuration_from_xml(text)
+    root = ET.fromstring(text)
+    matrices: Dict[Tuple[str, str], object] = {}
+    for element in root.iter("Relation"):
+        raw = element.get("percentages")
+        if raw is None:
+            continue
+        key = _parse_relation_key(element, configuration)
+        matrices[key] = parse_percentages(raw)
+    return matrices
+
+
+def _require(element: ET.Element, attribute: str) -> str:
+    value = element.get(attribute)
+    if value is None:
+        raise XMLFormatError(
+            f"<{element.tag}> is missing required attribute {attribute!r}"
+        )
+    return value
+
+
+def _parse_region(element: ET.Element) -> AnnotatedRegion:
+    region_id = _require(element, "id")
+    polygons: List[Polygon] = []
+    for child in element:
+        if child.tag != "Polygon":
+            raise XMLFormatError(
+                f"unexpected element {child.tag!r} under Region {region_id!r}"
+            )
+        _require(child, "id")
+        vertices = []
+        for edge in child:
+            if edge.tag != "Edge":
+                raise XMLFormatError(
+                    f"unexpected element {edge.tag!r} under Polygon"
+                )
+            vertices.append(
+                (parse_coordinate(_require(edge, "x")),
+                 parse_coordinate(_require(edge, "y")))
+            )
+        if len(vertices) < 3:
+            raise XMLFormatError(
+                f"Polygon in Region {region_id!r} has {len(vertices)} edges; "
+                "the DTD requires at least three"
+            )
+        try:
+            polygons.append(Polygon.from_coordinates(vertices))
+        except GeometryError as error:
+            raise XMLFormatError(
+                f"invalid polygon in Region {region_id!r}: {error}"
+            ) from error
+    if not polygons:
+        raise XMLFormatError(
+            f"Region {region_id!r} has no polygons; regions must be non-empty"
+        )
+    return AnnotatedRegion(
+        id=region_id,
+        region=Region(polygons),
+        name=element.get("name", ""),
+        color=element.get("color", ""),
+    )
+
+
+def _parse_relation_key(
+    element: ET.Element, configuration: Configuration
+) -> Tuple[str, str]:
+    primary = _require(element, "primary")
+    reference = _require(element, "reference")
+    for region_id in (primary, reference):
+        if region_id not in configuration:
+            raise XMLFormatError(
+                f"Relation references unknown region id {region_id!r}"
+            )
+    return primary, reference
+
+
+def _parse_relation_type(element: ET.Element) -> CardinalDirection:
+    try:
+        return CardinalDirection.parse(_require(element, "type"))
+    except RelationError as error:
+        raise XMLFormatError(f"bad Relation type: {error}") from error
+
+
+def save_configuration(
+    configuration: Configuration,
+    path: Union[str, Path],
+    *,
+    store: Optional[RelationStore] = None,
+    include_relations: bool = True,
+    include_percentages: bool = False,
+) -> None:
+    """Write a configuration to ``path`` in CARDIRECT XML."""
+    Path(path).write_text(
+        configuration_to_xml(
+            configuration,
+            store=store,
+            include_relations=include_relations,
+            include_percentages=include_percentages,
+        ),
+        encoding="utf-8",
+    )
+
+
+def load_configuration(
+    path: Union[str, Path],
+) -> Tuple[Configuration, Dict[Tuple[str, str], CardinalDirection]]:
+    """Read a configuration from a CARDIRECT XML file."""
+    return configuration_from_xml(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,123 @@
+"""The polygon-clipping baseline the paper argues against (Section 3).
+
+Before presenting Compute-CDR, the paper discusses the obvious
+alternative: clip the primary region's polygons against each of the nine
+tiles of ``mbb(b)`` with a classic clipping algorithm (Liang–Barsky [7],
+Maillot [10]), then
+
+* **qualitative**: report the tiles with a non-degenerate piece;
+* **quantitative**: sum each tile's piece areas (shoelace).
+
+Both are linear per tile, hence linear overall — the paper's objections
+are the *nine passes* over the edges, the much larger number of edges the
+clips introduce (Fig. 3: a quadrangle becomes 4 quadrangles/16 edges, a
+triangle becomes 2 triangles + 6 quadrangles + 1 pentagon), and the
+heavier per-edge arithmetic.  This module exists so the benchmarks in
+``benchmarks/bench_vs_clipping.py`` and
+``benchmarks/bench_edges_introduced.py`` can quantify exactly that — the
+experimental comparison the paper lists as future work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.clipping import clip_polygon_to_halfplanes
+from repro.geometry.polygon import Polygon
+from repro.geometry.region import Region
+from repro.core.compute import RegionLike, _as_region
+from repro.core.matrix import PercentageMatrix
+from repro.core.relation import CardinalDirection
+from repro.core.split import iter_divided_edges
+from repro.core.tiles import Tile, tile_halfplanes
+
+
+def clip_region_to_tiles(
+    primary: Region, box: BoundingBox
+) -> Dict[Tile, List[Polygon]]:
+    """Clip every polygon of ``primary`` against every tile of ``box``.
+
+    Returns, per tile, the non-degenerate clipped pieces.  This performs
+    the nine edge scans the paper criticises.
+    """
+    pieces: Dict[Tile, List[Polygon]] = {tile: [] for tile in Tile}
+    for tile in Tile:
+        halfplanes = tile_halfplanes(tile, box)
+        for polygon in primary.polygons:
+            piece = clip_polygon_to_halfplanes(polygon, halfplanes)
+            if piece is not None:
+                pieces[tile].append(piece)
+    return pieces
+
+
+def compute_cdr_clipping(
+    primary: RegionLike, reference: RegionLike
+) -> CardinalDirection:
+    """Qualitative relation via the clipping baseline.
+
+    Agrees with :func:`~repro.core.compute.compute_cdr` on every input —
+    an agreement the property tests exercise heavily — just slower and
+    with more intermediate geometry.
+    """
+    primary_region = _as_region(primary)
+    box = _as_region(reference).bounding_box()
+    pieces = clip_region_to_tiles(primary_region, box)
+    tiles = [tile for tile, polys in pieces.items() if polys]
+    return CardinalDirection(*tiles)
+
+
+def compute_cdr_percentages_clipping(
+    primary: RegionLike, reference: RegionLike
+) -> PercentageMatrix:
+    """Percentage matrix via clip-then-shoelace (the naive method of §3.2)."""
+    primary_region = _as_region(primary)
+    box = _as_region(reference).bounding_box()
+    pieces = clip_region_to_tiles(primary_region, box)
+    areas = {
+        tile: sum((p.area() for p in polys), start=0)
+        for tile, polys in pieces.items()
+    }
+    return PercentageMatrix.from_areas(areas)
+
+
+def count_introduced_edges_clipping(
+    primary: RegionLike, reference: RegionLike
+) -> int:
+    """Total edges of all clipped pieces over all nine tiles.
+
+    This is the paper's accounting in Fig. 3 ("region a is formed by 4
+    quadrangles, i.e., a total of 16 edges").
+    """
+    primary_region = _as_region(primary)
+    box = _as_region(reference).bounding_box()
+    pieces = clip_region_to_tiles(primary_region, box)
+    return sum(p.edge_count() for polys in pieces.values() for p in polys)
+
+
+def count_introduced_edges_compute_cdr(
+    primary: RegionLike, reference: RegionLike
+) -> int:
+    """Total sub-edges after Compute-CDR's edge division.
+
+    The number the paper contrasts with the clipping count (Example 3: the
+    Fig. 4 quadrangle yields 9 edges against 19 for clipping).
+    """
+    primary_region = _as_region(primary)
+    box = _as_region(reference).bounding_box()
+    return sum(1 for _ in iter_divided_edges(primary_region, box))
+
+
+def clipping_piece_shapes(
+    primary: RegionLike, reference: RegionLike
+) -> Dict[Tile, Tuple[int, ...]]:
+    """Per-tile piece sizes (vertex counts) — for reproducing Fig. 3's
+    "2 triangles, 6 quadrangles and 1 pentagon" descriptions."""
+    primary_region = _as_region(primary)
+    box = _as_region(reference).bounding_box()
+    pieces = clip_region_to_tiles(primary_region, box)
+    return {
+        tile: tuple(sorted(p.edge_count() for p in polys))
+        for tile, polys in pieces.items()
+        if polys
+    }

@@ -1,0 +1,239 @@
+"""Vectorised (numpy) implementations of Compute-CDR and Compute-CDR%.
+
+The reference implementations in :mod:`repro.core.compute` and
+:mod:`repro.core.percentages` are exact over Python's numeric tower and
+process one edge at a time.  For large float workloads this module
+offers a drop-in fast path that processes *all* edges as numpy arrays.
+
+The trick is to avoid materialising the edge division entirely.  For an
+edge ``P(t) = start + t·(end − start)``, ``t ∈ [0, 1]``:
+
+* the parameter set where ``P(t)`` lies in a column band of the grid is
+  an interval (``x(t)`` is monotone or constant), and likewise for rows;
+* the edge has a positive-length piece in tile ``(c, r)`` exactly when
+  the column interval ∩ row interval has positive length — which is the
+  tile-of-midpoint classification of the divided sub-edges, without the
+  division (Compute-CDR);
+* the trapezoid contribution of the piece is a closed form in the
+  interval endpoints: ``E'_m = dy·(t1−t0)·(x(t0)+x(t1)−2m)/2`` — so the
+  per-tile accumulators of Compute-CDR% become masked sums
+  (the ``B+N`` strip is the single interval ``y(t) ≥ l1`` intersected
+  with the central column, so it needs no tile classification at all).
+
+Edges lying exactly on a grid line keep the interior-side rule through a
+sign mask on ``dy`` / ``−dx``.
+
+Semantics: identical to the reference on well-conditioned input; being
+float arithmetic, ties at grid lines are only as exact as float64.  The
+property tests cross-validate both algorithms on thousands of random
+workloads; the benchmark ``bench_fast.py`` documents the speedup (an
+order of magnitude on 10k-edge regions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.compute import RegionLike, _as_region
+from repro.core.matrix import PercentageMatrix
+from repro.core.relation import CardinalDirection
+from repro.core.tiles import Tile
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.predicates import point_in_polygon
+from repro.geometry.region import Region
+
+#: Parameter-length threshold under which a piece counts as degenerate.
+#: Real pieces of non-adversarial input are many orders of magnitude
+#: longer; this only absorbs float round-off at grid crossings.
+_EPSILON = 1e-12
+
+
+def _edge_arrays(region: Region) -> Tuple[np.ndarray, ...]:
+    """All edges of ``region`` as float64 arrays (x1, y1, dx, dy)."""
+    x1_list, y1_list, x2_list, y2_list = [], [], [], []
+    for polygon in region.polygons:
+        vertices = polygon.vertices
+        count = len(vertices)
+        for i in range(count):
+            a, b = vertices[i], vertices[(i + 1) % count]
+            x1_list.append(float(a.x))
+            y1_list.append(float(a.y))
+            x2_list.append(float(b.x))
+            y2_list.append(float(b.y))
+    x1 = np.asarray(x1_list)
+    y1 = np.asarray(y1_list)
+    x2 = np.asarray(x2_list)
+    y2 = np.asarray(y2_list)
+    return x1, y1, x2 - x1, y2 - y1
+
+
+def _axis_band_intervals(
+    start: np.ndarray, delta: np.ndarray, low: float, high: float,
+    tie_sign: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-edge parameter intervals of the three bands of one axis.
+
+    Returns ``(lo, hi)`` of shape (n, 3): band 0 = below ``low``,
+    band 1 = between, band 2 = above ``high``.  Constant edges
+    (``delta == 0``) occupy a single band chosen by position — with the
+    interior-side rule via ``tie_sign`` when sitting exactly on a line.
+    """
+    n = start.shape[0]
+    lo = np.full((n, 3), np.inf)
+    hi = np.full((n, 3), -np.inf)
+
+    moving = delta != 0
+    if np.any(moving):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t_low = (low - start) / delta    # param where the edge meets x=low
+            t_high = (high - start) / delta
+        clip_low = np.clip(t_low, 0.0, 1.0)
+        clip_high = np.clip(t_high, 0.0, 1.0)
+        ascending = delta > 0
+        # Below band {position < low}: ascending edges occupy it before
+        # t_low, descending edges after it.
+        lo[moving, 0] = np.where(ascending, 0.0, clip_low)[moving]
+        hi[moving, 0] = np.where(ascending, clip_low, 1.0)[moving]
+        # Middle band: between the two crossings, whichever order.
+        lo[moving, 1] = np.minimum(clip_low, clip_high)[moving]
+        hi[moving, 1] = np.maximum(clip_low, clip_high)[moving]
+        # Above band {position > high}: mirrored.
+        lo[moving, 2] = np.where(ascending, clip_high, 0.0)[moving]
+        hi[moving, 2] = np.where(ascending, 1.0, clip_high)[moving]
+
+    constant = ~moving
+    if np.any(constant):
+        position = start
+        band = np.full(n, 1)
+        band = np.where(position < low, 0, band)
+        band = np.where(position > high, 2, band)
+        # Exactly on a line: interior side decides (tie_sign > 0 means
+        # the material lies toward increasing coordinate).
+        on_low = constant & (position == low)
+        band = np.where(on_low & (tie_sign > 0), 1, band)
+        band = np.where(on_low & (tie_sign < 0), 0, band)
+        on_high = constant & (position == high)
+        band = np.where(on_high & (tie_sign > 0), 2, band)
+        band = np.where(on_high & (tie_sign < 0), 1, band)
+        rows = np.nonzero(constant)[0]
+        lo[rows, band[rows]] = 0.0
+        hi[rows, band[rows]] = 1.0
+    return lo, hi
+
+
+#: Tile at (column band, row band), bands indexed 0=-1, 1=0, 2=+1.
+_TILE_GRID = [
+    [Tile.from_bands(c - 1, r - 1) for r in range(3)] for c in range(3)
+]
+
+
+def _band_intervals(
+    region: Region, box: BoundingBox
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, Tuple[np.ndarray, ...]]:
+    x1, y1, dx, dy = _edge_arrays(region)
+    col_lo, col_hi = _axis_band_intervals(
+        x1, dx, float(box.min_x), float(box.max_x), tie_sign=dy
+    )
+    row_lo, row_hi = _axis_band_intervals(
+        y1, dy, float(box.min_y), float(box.max_y), tie_sign=-dx
+    )
+    return col_lo, col_hi, row_lo, row_hi, (x1, y1, dx, dy)
+
+
+def compute_cdr_fast(primary: RegionLike, reference: RegionLike) -> CardinalDirection:
+    """Vectorised Compute-CDR (float64).
+
+    Same contract as :func:`repro.core.compute.compute_cdr`; intended for
+    large float workloads.
+    """
+    primary_region = _as_region(primary)
+    box = _as_region(reference).bounding_box()
+    col_lo, col_hi, row_lo, row_hi, _ = _band_intervals(primary_region, box)
+
+    tiles = set()
+    for c in range(3):
+        for r in range(3):
+            lo = np.maximum(col_lo[:, c], row_lo[:, r])
+            hi = np.minimum(col_hi[:, c], row_hi[:, r])
+            if np.any(hi - lo > _EPSILON):
+                tiles.add(_TILE_GRID[c][r])
+    if Tile.B not in tiles:
+        centre = box.center
+        if any(point_in_polygon(centre, p) for p in primary_region.polygons):
+            tiles.add(Tile.B)
+    return CardinalDirection(*tiles)
+
+
+def compute_cdr_percentages_fast(
+    primary: RegionLike, reference: RegionLike
+) -> PercentageMatrix:
+    """Vectorised Compute-CDR% (float64).
+
+    Same accumulation scheme as the reference (per-tile reference lines,
+    ``B`` derived from the ``B+N`` strip), evaluated in closed form over
+    the per-edge parameter intervals.
+    """
+    primary_region = _as_region(primary)
+    box = _as_region(reference).bounding_box()
+    col_lo, col_hi, row_lo, row_hi, (x1, y1, dx, dy) = _band_intervals(
+        primary_region, box
+    )
+    m1, m2 = float(box.min_x), float(box.max_x)
+    l1, l2 = float(box.min_y), float(box.max_y)
+
+    def _sanitise(lo: np.ndarray, hi: np.ndarray):
+        """Clear the ±inf empty-interval sentinels before arithmetic."""
+        valid = hi > lo
+        lo = np.where(valid, lo, 0.0)
+        hi = np.where(valid, hi, 0.0)
+        return lo, hi
+
+    def e_m_sum(lo: np.ndarray, hi: np.ndarray, m: float) -> float:
+        lo, hi = _sanitise(lo, hi)
+        length = hi - lo
+        x_sum = 2.0 * x1 + (lo + hi) * dx
+        return float(np.sum(dy * length * (x_sum - 2.0 * m)) / 2.0)
+
+    def e_l_sum(lo: np.ndarray, hi: np.ndarray, l: float) -> float:
+        lo, hi = _sanitise(lo, hi)
+        length = hi - lo
+        y_sum = 2.0 * y1 + (lo + hi) * dy
+        return float(np.sum(dx * length * (y_sum - 2.0 * l)) / 2.0)
+
+    def tile_interval(c: int, r: int) -> Tuple[np.ndarray, np.ndarray]:
+        return (
+            np.maximum(col_lo[:, c], row_lo[:, r]),
+            np.minimum(col_hi[:, c], row_hi[:, r]),
+        )
+
+    areas: Dict[Tile, float] = {}
+    for c, m in ((0, m1), (2, m2)):
+        for r in range(3):
+            lo, hi = tile_interval(c, r)
+            areas[_TILE_GRID[c][r]] = abs(e_m_sum(lo, hi, m))
+    lo, hi = tile_interval(1, 0)
+    areas[Tile.S] = abs(e_l_sum(lo, hi, l1))
+    lo, hi = tile_interval(1, 2)
+    area_n = abs(e_l_sum(lo, hi, l2))
+    areas[Tile.N] = area_n
+
+    # The B+N strip: central column ∩ { y(t) >= l1 } = central column ∩
+    # (row 1 ∪ row 2), a single interval because y(t) is monotone.
+    strip_lo = np.minimum(row_lo[:, 1], row_lo[:, 2])
+    strip_hi = np.maximum(row_hi[:, 1], row_hi[:, 2])
+    # Rows can be empty (+inf/-inf sentinels); an empty row must not
+    # corrupt the union, so fall back to the other row where needed.
+    empty_row1 = row_hi[:, 1] < row_lo[:, 1]
+    empty_row2 = row_hi[:, 2] < row_lo[:, 2]
+    strip_lo = np.where(empty_row1, row_lo[:, 2], strip_lo)
+    strip_lo = np.where(empty_row2, row_lo[:, 1], strip_lo)
+    strip_hi = np.where(empty_row1, row_hi[:, 2], strip_hi)
+    strip_hi = np.where(empty_row2, row_hi[:, 1], strip_hi)
+    lo = np.maximum(col_lo[:, 1], strip_lo)
+    hi = np.minimum(col_hi[:, 1], strip_hi)
+    area_bn = abs(e_l_sum(lo, hi, l1))
+    areas[Tile.B] = max(area_bn - area_n, 0.0)
+
+    return PercentageMatrix.from_areas(areas)

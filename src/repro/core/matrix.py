@@ -1,0 +1,194 @@
+"""Direction-relation matrices (Goyal & Egenhofer, Section 2).
+
+Two 3×3 matrix views are provided:
+
+* :class:`DirectionRelationMatrix` — the boolean matrix whose cells mark
+  which tiles a basic relation occupies, laid out exactly like the paper::
+
+      [ NW  N  NE ]
+      [ W   B  E  ]
+      [ SW  S  SE ]
+
+* :class:`PercentageMatrix` — the quantitative refinement whose cells hold
+  the percentage of the primary region's area falling in each tile.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import RelationError
+from repro.core.relation import CardinalDirection
+from repro.core.tiles import Tile
+
+#: The paper's matrix layout: rows top-to-bottom, columns left-to-right.
+MATRIX_LAYOUT: Tuple[Tuple[Tile, ...], ...] = (
+    (Tile.NW, Tile.N, Tile.NE),
+    (Tile.W, Tile.B, Tile.E),
+    (Tile.SW, Tile.S, Tile.SE),
+)
+
+
+class DirectionRelationMatrix:
+    """The boolean direction-relation matrix of a basic relation."""
+
+    __slots__ = ("_relation",)
+
+    def __init__(self, relation: CardinalDirection) -> None:
+        self._relation = relation
+
+    @property
+    def relation(self) -> CardinalDirection:
+        return self._relation
+
+    def cell(self, tile: Tile) -> bool:
+        return tile in self._relation.tiles
+
+    def rows(self) -> List[List[bool]]:
+        """The matrix as nested lists, in the paper's layout."""
+        return [[self.cell(tile) for tile in row] for row in MATRIX_LAYOUT]
+
+    def render(self, filled: str = "■", empty: str = "□") -> str:
+        """Pretty-print like the paper's figures (``■``/``□`` cells)."""
+        lines = []
+        for row in MATRIX_LAYOUT:
+            cells = " ".join(filled if self.cell(t) else empty for t in row)
+            lines.append(f"[ {cells} ]")
+        return "\n".join(lines)
+
+    @classmethod
+    def from_rows(cls, rows) -> "DirectionRelationMatrix":
+        """Build from a 3×3 truthy/falsy nested sequence in paper layout."""
+        tiles = []
+        if len(rows) != 3 or any(len(r) != 3 for r in rows):
+            raise RelationError("direction relation matrix must be 3x3")
+        for layout_row, row in zip(MATRIX_LAYOUT, rows):
+            for tile, value in zip(layout_row, row):
+                if value:
+                    tiles.append(tile)
+        if not tiles:
+            raise RelationError("direction relation matrix must mark >= 1 tile")
+        return cls(CardinalDirection(*tiles))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DirectionRelationMatrix):
+            return NotImplemented
+        return self._relation == other._relation
+
+    def __hash__(self) -> int:
+        return hash(("drm", self._relation))
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DirectionRelationMatrix({self._relation!r})"
+
+
+class PercentageMatrix:
+    """Cardinal direction matrix with percentages (Section 2).
+
+    Cells are percentages in ``[0, 100]`` summing to 100 (exactly, for
+    Fraction-valued geometry; within ``tolerance`` for floats).  The
+    qualitative relation induced by the matrix — tiles with a strictly
+    positive share — is available as :attr:`relation`.
+    """
+
+    __slots__ = ("_cells",)
+
+    #: Relative slack allowed on the "sums to 100" invariant for floats.
+    SUM_TOLERANCE = 1e-6
+
+    def __init__(self, cells: Mapping[Tile, object]) -> None:
+        full: Dict[Tile, object] = {tile: cells.get(tile, 0) for tile in Tile}
+        for tile, value in full.items():
+            if value < 0:
+                # Tiny negative float noise is clamped; real negatives are bugs.
+                if isinstance(value, float) and value > -self.SUM_TOLERANCE:
+                    full[tile] = 0.0
+                else:
+                    raise RelationError(
+                        f"negative percentage for tile {tile}: {value!r}"
+                    )
+        total = sum(full.values())
+        if isinstance(total, float):
+            if abs(total - 100.0) > 100.0 * self.SUM_TOLERANCE:
+                raise RelationError(f"percentages sum to {total!r}, not 100")
+        elif total != 100:
+            raise RelationError(f"percentages sum to {total!r}, not 100")
+        self._cells: Dict[Tile, object] = full
+
+    @classmethod
+    def from_areas(cls, areas: Mapping[Tile, object]) -> "PercentageMatrix":
+        """Normalise raw per-tile areas into percentages.
+
+        Exact for Fraction/int areas, floating otherwise — mirroring the
+        ``100% / area(a)`` scaling in the paper's matrix definition.
+        """
+        total = sum(areas.values())
+        if total <= 0:
+            raise RelationError("total area must be positive")
+        exact = not isinstance(total, float) and not any(
+            isinstance(v, float) for v in areas.values()
+        )
+        if exact:
+            scale = Fraction(100) / Fraction(total)
+            return cls({t: Fraction(v) * scale for t, v in areas.items()})
+        return cls({t: 100.0 * float(v) / float(total) for t, v in areas.items()})
+
+    def percentage(self, tile: Tile) -> object:
+        """The share of the primary region's area in ``tile`` (0..100)."""
+        return self._cells[tile]
+
+    def __getitem__(self, tile: Tile) -> object:
+        return self._cells[tile]
+
+    @property
+    def relation(self) -> CardinalDirection:
+        """The qualitative relation of tiles with strictly positive share.
+
+        Note: this can be *coarser* than ``compute_cdr``'s answer only in
+        degenerate inputs where a region meets a tile with zero area; for
+        full-dimensional parts (Definition 1) the two agree — a property
+        the test suite checks.
+        """
+        positive = [tile for tile, value in self._cells.items() if value > 0]
+        return CardinalDirection(*positive)
+
+    def rows(self) -> List[List[float]]:
+        """Float cells in the paper's layout (for display / numpy)."""
+        return [[float(self._cells[t]) for t in row] for row in MATRIX_LAYOUT]
+
+    def render(self, precision: int = 1) -> str:
+        """Pretty-print like the paper: a 3×3 grid of percentages."""
+        width = max(
+            len(f"{float(self._cells[t]):.{precision}f}%") for t in Tile
+        )
+        lines = []
+        for row in MATRIX_LAYOUT:
+            cells = " ".join(
+                f"{float(self._cells[t]):.{precision}f}%".rjust(width)
+                for t in row
+            )
+            lines.append(f"[ {cells} ]")
+        return "\n".join(lines)
+
+    def is_close_to(self, other: "PercentageMatrix", tolerance: float = 1e-9) -> bool:
+        """Cell-wise comparison within ``tolerance`` percentage points."""
+        return all(
+            abs(float(self._cells[t]) - float(other._cells[t])) <= tolerance
+            for t in Tile
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PercentageMatrix):
+            return NotImplemented
+        return self._cells == other._cells
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cells = {t.name: float(v) for t, v in self._cells.items() if v > 0}
+        return f"PercentageMatrix({cells})"

@@ -1,0 +1,55 @@
+"""Relative position pairs (Section 2).
+
+The paper: "the relative position of two regions a and b is fully
+characterized by the pair ``(R1, R2)``, where (a) ``a R1 b``, (b)
+``b R2 a``, (c) ``R1`` is a disjunct of ``inv(R2)`` and (d) ``R2`` is a
+disjunct of ``inv(R1)``."
+
+:func:`relative_position` computes that pair from concrete geometry with
+two Compute-CDR runs (sharing nothing is needed — both runs are linear),
+and asserts the mutual-inverse sanity conditions, which ties the
+geometric algorithms and the symbolic reasoning layer together at
+runtime: a violation would mean a bug in one of them.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.core.compute import RegionLike, _as_region, compute_cdr
+from repro.core.relation import CardinalDirection
+
+
+class RelativePosition(NamedTuple):
+    """The mutually characterising pair ``(a R1 b, b R2 a)``."""
+
+    primary_to_reference: CardinalDirection
+    reference_to_primary: CardinalDirection
+
+    def __str__(self) -> str:
+        return f"({self.primary_to_reference}, {self.reference_to_primary})"
+
+
+def relative_position(
+    primary: RegionLike, reference: RegionLike, *, verify: bool = True
+) -> RelativePosition:
+    """Compute the pair ``(R1, R2)`` fully characterising two regions.
+
+    With ``verify`` (the default) the mutual-inverse conditions (c) and
+    (d) of the paper are checked against the symbolic
+    :func:`~repro.reasoning.inverse.inverse` operator — a cheap runtime
+    cross-validation of the geometric and symbolic layers.
+    """
+    primary_region = _as_region(primary)
+    reference_region = _as_region(reference)
+    r1 = compute_cdr(primary_region, reference_region)
+    r2 = compute_cdr(reference_region, primary_region)
+    if verify:
+        from repro.reasoning.inverse import inverse
+
+        if r2 not in inverse(r1) or r1 not in inverse(r2):  # pragma: no cover
+            raise AssertionError(
+                f"internal inconsistency: observed pair ({r1}, {r2}) violates "
+                "the mutual-inverse conditions — please report this as a bug"
+            )
+    return RelativePosition(r1, r2)

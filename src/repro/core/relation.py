@@ -1,0 +1,236 @@
+"""Cardinal direction relations — the set ``D*`` and its powerset.
+
+A *basic* cardinal direction relation (Definition 1) is an expression
+``R1:...:Rk`` with ``1 <= k <= 9`` pairwise-distinct tiles.  There are
+``2^9 − 1 = 511`` such relations; they are jointly exhaustive and pairwise
+disjoint over pairs of ``REG*`` regions.  :class:`CardinalDirection`
+represents one of them as a frozen set of :class:`~repro.core.tiles.Tile`
+values with the paper's canonical spelling.
+
+*Disjunctive* relations (elements of ``2^{D*}``, used for indefinite
+information such as ``a {N, W} b`` and for the results of inverse and
+composition) are represented by :class:`DisjunctiveCD` — a frozen set of
+basic relations.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, Tuple, Union
+
+from repro.errors import RelationError
+from repro.core.tiles import CANONICAL_ORDER, Tile
+
+TileLike = Union[Tile, str]
+
+
+def _coerce_tile(value: TileLike) -> Tile:
+    if isinstance(value, Tile):
+        return value
+    try:
+        return Tile[value.strip()]
+    except (KeyError, AttributeError):
+        raise RelationError(f"unknown tile name: {value!r}") from None
+
+
+class CardinalDirection:
+    """A basic cardinal direction relation — an element of ``D*``.
+
+    Instances are immutable, hashable and compare by tile set.  The
+    constructor accepts tiles, tile names, or a mix::
+
+        CardinalDirection(Tile.S)
+        CardinalDirection("NE", "E")
+        CardinalDirection.parse("B:S:SW")
+    """
+
+    __slots__ = ("_tiles",)
+
+    def __init__(self, *tiles: TileLike) -> None:
+        if len(tiles) == 1 and not isinstance(tiles[0], (Tile, str)):
+            # Allow CardinalDirection(iterable_of_tiles).
+            tiles = tuple(tiles[0])
+        coerced = frozenset(_coerce_tile(t) for t in tiles)
+        if not coerced:
+            raise RelationError("a cardinal direction relation needs >= 1 tile")
+        self._tiles: FrozenSet[Tile] = coerced
+
+    @classmethod
+    def parse(cls, text: str) -> "CardinalDirection":
+        """Parse the paper's colon syntax, e.g. ``"B:S:SW:W"``.
+
+        Repeated tiles are rejected (Definition 1 requires distinct tiles).
+        """
+        parts = [part.strip() for part in text.split(":") if part.strip()]
+        if not parts:
+            raise RelationError(f"empty relation text: {text!r}")
+        tiles = [_coerce_tile(part) for part in parts]
+        if len(set(tiles)) != len(tiles):
+            raise RelationError(f"repeated tile in relation: {text!r}")
+        return cls(*tiles)
+
+    @property
+    def tiles(self) -> FrozenSet[Tile]:
+        return self._tiles
+
+    @property
+    def is_single_tile(self) -> bool:
+        """True for single-tile relations (``k = 1``, Definition 1)."""
+        return len(self._tiles) == 1
+
+    def ordered_tiles(self) -> Tuple[Tile, ...]:
+        """The tiles in the paper's canonical order ``B,S,SW,W,NW,N,NE,E,SE``."""
+        return tuple(t for t in CANONICAL_ORDER if t in self._tiles)
+
+    def tile_union(self, *others: "CardinalDirection") -> "CardinalDirection":
+        """The paper's ``tile-union`` (Definition 2)."""
+        tiles = set(self._tiles)
+        for other in others:
+            tiles |= other._tiles
+        return CardinalDirection(*tiles)
+
+    def includes(self, tile: TileLike) -> bool:
+        return _coerce_tile(tile) in self._tiles
+
+    @property
+    def spans_columns(self) -> FrozenSet[int]:
+        """The horizontal bands (-1/0/1) covered by this relation's tiles."""
+        return frozenset(t.column for t in self._tiles)
+
+    @property
+    def spans_rows(self) -> FrozenSet[int]:
+        """The vertical bands (-1/0/1) covered by this relation's tiles."""
+        return frozenset(t.row for t in self._tiles)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CardinalDirection):
+            return NotImplemented
+        return self._tiles == other._tiles
+
+    def __hash__(self) -> int:
+        return hash(self._tiles)
+
+    def __lt__(self, other: "CardinalDirection") -> bool:
+        """Deterministic total order (by canonical tile tuple) for sorting."""
+        if not isinstance(other, CardinalDirection):
+            return NotImplemented
+        return self.ordered_tiles() < other.ordered_tiles()
+
+    def __iter__(self) -> Iterator[Tile]:
+        return iter(self.ordered_tiles())
+
+    def __len__(self) -> int:
+        return len(self._tiles)
+
+    def __str__(self) -> str:
+        return ":".join(t.name for t in self.ordered_tiles())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CardinalDirection({str(self)!r})"
+
+
+def tile_union(
+    relations: Iterable[CardinalDirection],
+) -> CardinalDirection:
+    """Definition 2: the relation formed by the union of the inputs' tiles."""
+    tiles = set()
+    for relation in relations:
+        tiles |= relation.tiles
+    if not tiles:
+        raise RelationError("tile-union of an empty collection is undefined")
+    return CardinalDirection(*tiles)
+
+
+def _all_basic_relations() -> Tuple[CardinalDirection, ...]:
+    relations = []
+    tiles = list(Tile)
+    for mask in range(1, 1 << 9):
+        members = [tiles[i] for i in range(9) if mask >> i & 1]
+        relations.append(CardinalDirection(*members))
+    return tuple(sorted(relations, key=lambda r: (len(r), r.ordered_tiles())))
+
+
+#: All 511 basic relations of ``D*``, sorted by tile count then canonically.
+ALL_BASIC_RELATIONS: Tuple[CardinalDirection, ...] = _all_basic_relations()
+
+
+class DisjunctiveCD:
+    """A disjunctive cardinal direction relation — an element of ``2^{D*}``.
+
+    ``a {N, W} b`` means *a N b or a W b*.  The empty disjunction is the
+    unsatisfiable relation (allowed: it is what an inconsistent composition
+    would produce) and :meth:`universal` is the 511-element "no
+    information" relation.
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[CardinalDirection] = ()) -> None:
+        items = frozenset(relations)
+        for item in items:
+            if not isinstance(item, CardinalDirection):
+                raise RelationError(
+                    f"DisjunctiveCD members must be CardinalDirection, got {item!r}"
+                )
+        self._relations: FrozenSet[CardinalDirection] = items
+
+    @classmethod
+    def parse(cls, text: str) -> "DisjunctiveCD":
+        """Parse ``"{N, W, B:S}"`` or a bare basic relation ``"N:NE"``."""
+        text = text.strip()
+        if text.startswith("{") and text.endswith("}"):
+            inner = text[1:-1].strip()
+            if not inner:
+                return cls()
+            return cls(CardinalDirection.parse(p) for p in inner.split(","))
+        return cls((CardinalDirection.parse(text),))
+
+    @classmethod
+    def universal(cls) -> "DisjunctiveCD":
+        """The complete relation ``D*`` (no information)."""
+        return cls(ALL_BASIC_RELATIONS)
+
+    @property
+    def relations(self) -> FrozenSet[CardinalDirection]:
+        return self._relations
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._relations
+
+    @property
+    def is_basic(self) -> bool:
+        return len(self._relations) == 1
+
+    def contains(self, relation: CardinalDirection) -> bool:
+        """True when ``relation`` is one of the disjuncts."""
+        return relation in self._relations
+
+    def union(self, other: "DisjunctiveCD") -> "DisjunctiveCD":
+        return DisjunctiveCD(self._relations | other._relations)
+
+    def intersection(self, other: "DisjunctiveCD") -> "DisjunctiveCD":
+        return DisjunctiveCD(self._relations & other._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DisjunctiveCD):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(self._relations)
+
+    def __iter__(self) -> Iterator[CardinalDirection]:
+        return iter(sorted(self._relations, key=lambda r: r.ordered_tiles()))
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, relation: object) -> bool:
+        return relation in self._relations
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(r) for r in self)
+        return "{" + inner + "}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DisjunctiveCD({str(self)})"

@@ -1,0 +1,128 @@
+"""Symmetries of the direction calculus (the dihedral group D4).
+
+The nine-tile grid has the symmetries of the square: reflections across
+the N–S and E–W axes and the two diagonals, and rotations by 90°, 180°,
+270°.  Each induces a permutation of the tiles and hence of the 511
+basic relations; the whole calculus is *equivariant* under them —
+mirroring two regions east–west mirrors their relation, inverses and
+compositions transform accordingly.
+
+The module is used in two ways:
+
+* as API — e.g. flip a stored relation when an image is mirrored rather
+  than recomputing all geometry;
+* as a test oracle — the property tests assert equivariance of
+  Compute-CDR, Compute-CDR%, ``inverse`` and ``compose`` under all eight
+  symmetries, which would expose directional asymmetry bugs (a wrong
+  ``m1``/``m2`` in a branch, a flipped tie-break) anywhere in the stack.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict
+
+from repro.core.relation import CardinalDirection
+from repro.core.tiles import Tile
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.region import Region
+
+
+class Symmetry(enum.Enum):
+    """The eight elements of D4, named by their action on the plane."""
+
+    IDENTITY = "identity"
+    MIRROR_EW = "mirror_ew"          #: x -> -x (east/west swap)
+    MIRROR_NS = "mirror_ns"          #: y -> -y (north/south swap)
+    ROTATE_90 = "rotate_90"          #: quarter turn counter-clockwise
+    ROTATE_180 = "rotate_180"
+    ROTATE_270 = "rotate_270"
+    MIRROR_DIAGONAL = "mirror_diag"      #: (x, y) -> (y, x)
+    MIRROR_ANTIDIAGONAL = "mirror_anti"  #: (x, y) -> (-y, -x)
+
+
+#: Point action of each symmetry, as (x, y) -> (x', y').
+_POINT_ACTIONS: Dict[Symmetry, Callable] = {
+    Symmetry.IDENTITY: lambda x, y: (x, y),
+    Symmetry.MIRROR_EW: lambda x, y: (-x, y),
+    Symmetry.MIRROR_NS: lambda x, y: (x, -y),
+    Symmetry.ROTATE_90: lambda x, y: (-y, x),
+    Symmetry.ROTATE_180: lambda x, y: (-x, -y),
+    Symmetry.ROTATE_270: lambda x, y: (y, -x),
+    Symmetry.MIRROR_DIAGONAL: lambda x, y: (y, x),
+    Symmetry.MIRROR_ANTIDIAGONAL: lambda x, y: (-y, -x),
+}
+
+
+def transform_point(symmetry: Symmetry, point: Point) -> Point:
+    """Apply ``symmetry`` to a point (about the origin)."""
+    x, y = _POINT_ACTIONS[symmetry](point.x, point.y)
+    return Point(x, y)
+
+
+def transform_region(symmetry: Symmetry, region: Region) -> Region:
+    """Apply ``symmetry`` to every vertex of ``region``.
+
+    Reflections invert polygon orientation; it is repaired so the result
+    is again a valid clockwise representation.
+    """
+    action = _POINT_ACTIONS[symmetry]
+    return Region(
+        Polygon(
+            [Point(*action(v.x, v.y)) for v in polygon.vertices],
+            ensure_clockwise=True,
+        )
+        for polygon in region.polygons
+    )
+
+
+def _tile_action(symmetry: Symmetry) -> Dict[Tile, Tile]:
+    """The induced permutation of tiles: transform each band pair."""
+    action = _POINT_ACTIONS[symmetry]
+    mapping = {}
+    for tile in Tile:
+        column, row = action(tile.column, tile.row)
+        mapping[tile] = Tile.from_bands(column, row)
+    return mapping
+
+
+_TILE_ACTIONS: Dict[Symmetry, Dict[Tile, Tile]] = {
+    symmetry: _tile_action(symmetry) for symmetry in Symmetry
+}
+
+
+def transform_tile(symmetry: Symmetry, tile: Tile) -> Tile:
+    """The image of ``tile`` under the symmetry (e.g. EW-mirror sends NE to NW)."""
+    return _TILE_ACTIONS[symmetry][tile]
+
+
+def transform_relation(
+    symmetry: Symmetry, relation: CardinalDirection
+) -> CardinalDirection:
+    """The image of a basic relation: transform each of its tiles.
+
+    Equivariance (verified by the property tests): for all regions,
+    ``compute_cdr(σa, σb) == transform_relation(σ, compute_cdr(a, b))``.
+    """
+    mapping = _TILE_ACTIONS[symmetry]
+    return CardinalDirection(mapping[tile] for tile in relation.tiles)
+
+
+def compose_symmetries(first: Symmetry, second: Symmetry) -> Symmetry:
+    """The symmetry "apply ``first``, then ``second``" (group operation)."""
+    combined = {}
+    for tile in Tile:
+        combined[tile] = _TILE_ACTIONS[second][_TILE_ACTIONS[first][tile]]
+    for candidate, mapping in _TILE_ACTIONS.items():
+        if mapping == combined:
+            return candidate
+    raise AssertionError("D4 is closed; unreachable")  # pragma: no cover
+
+
+def inverse_symmetry(symmetry: Symmetry) -> Symmetry:
+    """The group inverse (rotations invert; reflections are involutions)."""
+    for candidate in Symmetry:
+        if compose_symmetries(symmetry, candidate) is Symmetry.IDENTITY:
+            return candidate
+    raise AssertionError("every D4 element has an inverse")  # pragma: no cover

@@ -1,0 +1,156 @@
+"""Structured validation of regions and configurations.
+
+The constructors in :mod:`repro.geometry` enforce the *cheap* invariants
+(≥3 vertices, non-zero area, clockwise order).  Two further invariants of
+the paper's data model are quadratic to check and therefore opt-in:
+
+* every polygon is **simple** (Section 3's representation assumes it);
+* the polygons of one region have **pairwise disjoint interiors**
+  (Definition 1's parts "have disjoint interiors but may share points in
+  their boundaries").
+
+:func:`validate_region` checks both; :func:`validate_configuration` runs
+them over every annotated region and additionally flags *inter*-region
+interior overlaps (legal for the algorithms, which treat regions
+independently, but usually an annotation mistake — reported as a
+warning).  The CLI's ``validate --strict`` surfaces all of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cardirect.model import Configuration
+from repro.geometry.intersect import segments_intersection_parameter
+from repro.geometry.polygon import Polygon
+from repro.geometry.predicates import point_strictly_in_polygon
+from repro.geometry.region import Region
+
+#: Issue severities: errors break the algorithms' assumptions; warnings
+#: are legal but suspicious.
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One finding of the validator."""
+
+    severity: str
+    code: str
+    message: str
+    region_id: Optional[str] = None
+
+    def __str__(self) -> str:
+        scope = f" [{self.region_id}]" if self.region_id else ""
+        return f"{self.severity}{scope}: {self.message}"
+
+
+def _edges_properly_cross(first, second) -> bool:
+    """Strict interior crossing of two segments (shared endpoints allowed)."""
+    params = segments_intersection_parameter(
+        first.start, (first.dx, first.dy), second.start, (second.dx, second.dy)
+    )
+    if params is None:
+        return False
+    t, u = params
+    return 0 < t < 1 and 0 < u < 1
+
+
+def polygons_interiors_overlap(first: Polygon, second: Polygon) -> bool:
+    """Do two simple polygons share interior points?
+
+    Checks (in order): proper edge crossings, vertices of one strictly
+    inside the other (containment without boundary crossing), and edge
+    midpoints strictly inside the other (crossings that pass exactly
+    through vertices).  This decides every practically occurring
+    configuration; the one blind spot is an overlap whose *entire*
+    boundary interaction runs through coincident vertices with all
+    midpoints outside — detecting that exactly requires full polygon
+    boolean operations, which a diagnostics pass does not justify.
+    """
+    if not first.bounding_box().intersects(second.bounding_box()):
+        return False
+    first_edges, second_edges = first.edges, second.edges
+    for edge_a in first_edges:
+        for edge_b in second_edges:
+            if _edges_properly_cross(edge_a, edge_b):
+                return True
+    if any(point_strictly_in_polygon(v, second) for v in first.vertices):
+        return True
+    if any(point_strictly_in_polygon(v, first) for v in second.vertices):
+        return True
+    if any(
+        point_strictly_in_polygon(edge.midpoint, second) for edge in first_edges
+    ):
+        return True
+    return any(
+        point_strictly_in_polygon(edge.midpoint, first) for edge in second_edges
+    )
+
+
+def validate_region(
+    region: Region, *, region_id: Optional[str] = None
+) -> List[ValidationIssue]:
+    """Check the expensive representation invariants of one region."""
+    issues: List[ValidationIssue] = []
+    polygons = region.polygons
+    for index, polygon in enumerate(polygons):
+        if not polygon.is_simple():
+            issues.append(
+                ValidationIssue(
+                    ERROR,
+                    "non-simple-polygon",
+                    f"polygon #{index} self-intersects",
+                    region_id,
+                )
+            )
+    for i in range(len(polygons)):
+        for j in range(i + 1, len(polygons)):
+            if polygons_interiors_overlap(polygons[i], polygons[j]):
+                issues.append(
+                    ValidationIssue(
+                        ERROR,
+                        "overlapping-parts",
+                        f"polygons #{i} and #{j} have overlapping interiors "
+                        "(Definition 1 requires disjoint interiors)",
+                        region_id,
+                    )
+                )
+    return issues
+
+
+def validate_configuration(
+    configuration: Configuration, *, check_cross_overlaps: bool = True
+) -> List[ValidationIssue]:
+    """Validate every region, plus cross-region overlap warnings."""
+    issues: List[ValidationIssue] = []
+    annotated = configuration.regions()
+    for entry in annotated:
+        issues.extend(validate_region(entry.region, region_id=entry.id))
+    if check_cross_overlaps:
+        for i in range(len(annotated)):
+            for j in range(i + 1, len(annotated)):
+                if _regions_interiors_overlap(
+                    annotated[i].region, annotated[j].region
+                ):
+                    issues.append(
+                        ValidationIssue(
+                            WARNING,
+                            "regions-overlap",
+                            f"regions {annotated[i].id!r} and "
+                            f"{annotated[j].id!r} have overlapping interiors",
+                        )
+                    )
+    return issues
+
+
+def _regions_interiors_overlap(first: Region, second: Region) -> bool:
+    if not first.bounding_box().intersects(second.bounding_box()):
+        return False
+    return any(
+        polygons_interiors_overlap(p, q)
+        for p in first.polygons
+        for q in second.polygons
+    )

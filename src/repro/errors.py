@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  Sub-classes separate the three layers of the
+system: geometry construction, relation handling, and the CARDIRECT
+configuration / query front end.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (degenerate polygon, empty region, ...)."""
+
+
+class RelationError(ReproError):
+    """Invalid cardinal direction relation (bad tile name, empty relation)."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid CARDIRECT configuration (duplicate ids, dangling references)."""
+
+
+class XMLFormatError(ConfigurationError):
+    """An XML document does not conform to the CARDIRECT DTD."""
+
+
+class QueryError(ReproError):
+    """Malformed query text or an unsatisfiable query specification."""
+
+
+class ReasoningError(ReproError):
+    """Errors from the reasoning layer (inverse / composition / consistency)."""

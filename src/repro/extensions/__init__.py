@@ -1,0 +1,36 @@
+"""Extensions the paper lists as future work (Section 5).
+
+"A second interesting topic is the possibility of combining topological
+[2] and distance relations [3]" — this subpackage supplies both and
+:mod:`repro.cardirect` exposes them in the query language:
+
+* :mod:`repro.extensions.topology` — RCC8 topological relations between
+  rectilinear ``REG*`` regions, computed exactly on the coordinate
+  arrangement (Egenhofer-style calculus [2]);
+* :mod:`repro.extensions.distance` — qualitative distance relations in
+  the style of Frank [3]: a configurable frame of distance symbols over
+  exact minimum-distance computation.
+"""
+
+from repro.extensions.combined import (
+    SpatialDescription,
+    describe_configuration,
+    describe_pair,
+)
+from repro.extensions.distance import (
+    DistanceFrame,
+    minimum_distance,
+    qualitative_distance,
+)
+from repro.extensions.topology import RCC8, rcc8
+
+__all__ = [
+    "RCC8",
+    "rcc8",
+    "DistanceFrame",
+    "minimum_distance",
+    "qualitative_distance",
+    "SpatialDescription",
+    "describe_pair",
+    "describe_configuration",
+]

@@ -1,0 +1,124 @@
+"""Combined qualitative descriptions — directions, topology, distance.
+
+The paper's conclusions sketch a system that "combines topological [2]
+and distance relations [3]" with cardinal directions.  The query layer
+already evaluates the three vocabularies side by side; this module
+packages them into one value object per ordered pair —
+:class:`SpatialDescription` — and renders it as a sentence, giving
+downstream users (and the report command) a single articulation point
+for "everything qualitative about a and b".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple
+
+from repro.errors import GeometryError
+from repro.core.matrix import PercentageMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - cardirect.store imports this package
+    from repro.cardirect.store import RelationStore
+from repro.core.relation import CardinalDirection
+from repro.core.tiles import Tile
+from repro.extensions.topology import RCC8
+
+#: Human wording for the RCC8 symbols in sentences.
+_RCC8_PHRASES = {
+    RCC8.DC: "disjoint from",
+    RCC8.EC: "adjacent to",
+    RCC8.PO: "partially overlapping",
+    RCC8.TPP: "inside (touching the border of)",
+    RCC8.NTPP: "strictly inside",
+    RCC8.TPPI: "containing (border-touching)",
+    RCC8.NTPPI: "strictly containing",
+    RCC8.EQ: "coincident with",
+}
+
+#: Direction wording, canonical order.
+_DIRECTION_PHRASES = {
+    Tile.B: "within the bounding box",
+    Tile.S: "south",
+    Tile.SW: "southwest",
+    Tile.W: "west",
+    Tile.NW: "northwest",
+    Tile.N: "north",
+    Tile.NE: "northeast",
+    Tile.E: "east",
+    Tile.SE: "southeast",
+}
+
+
+@dataclass(frozen=True)
+class SpatialDescription:
+    """Everything qualitative about one ordered pair of regions."""
+
+    primary_id: str
+    reference_id: str
+    direction: CardinalDirection
+    percentages: PercentageMatrix
+    distance_symbol: str
+    minimum_distance: float
+    topology: Optional[RCC8]  #: None when a region is not rectilinear
+
+    @property
+    def dominant_tile(self) -> Tile:
+        """The tile holding the largest share of the primary's area."""
+        return max(Tile, key=lambda tile: float(self.percentages.percentage(tile)))
+
+    def sentence(self, primary_label: str = "", reference_label: str = "") -> str:
+        """One readable sentence combining the three vocabularies."""
+        primary = primary_label or self.primary_id
+        reference = reference_label or self.reference_id
+        tiles = self.direction.ordered_tiles()
+        if len(tiles) == 1:
+            where = _DIRECTION_PHRASES[tiles[0]]
+            if tiles[0] is Tile.B:
+                direction_part = f"{primary} lies {where} of {reference}"
+            else:
+                direction_part = f"{primary} is {where} of {reference}"
+        else:
+            dominant = self.dominant_tile
+            share = float(self.percentages.percentage(dominant))
+            direction_part = (
+                f"{primary} spreads over {len(tiles)} tiles of {reference} "
+                f"(mostly {_DIRECTION_PHRASES[dominant]}, {share:.0f}%)"
+            )
+        parts: List[str] = [direction_part]
+        if self.topology is not None:
+            parts.append(_RCC8_PHRASES[self.topology] + " it")
+        parts.append(f"at {self.distance_symbol} range")
+        return ", ".join(parts) + "."
+
+
+def describe_pair(
+    store: "RelationStore", primary_id: str, reference_id: str
+) -> SpatialDescription:
+    """Compute the combined description of one ordered pair (cached via
+    the store)."""
+    try:
+        topology: Optional[RCC8] = store.topology(primary_id, reference_id)
+    except GeometryError:
+        topology = None
+    return SpatialDescription(
+        primary_id=primary_id,
+        reference_id=reference_id,
+        direction=store.relation(primary_id, reference_id),
+        percentages=store.percentages(primary_id, reference_id),
+        distance_symbol=store.qualitative_distance(primary_id, reference_id),
+        minimum_distance=store.distance(primary_id, reference_id),
+        topology=topology,
+    )
+
+
+def describe_configuration(
+    store: "RelationStore",
+) -> Iterator[Tuple[Tuple[str, str], SpatialDescription]]:
+    """Yield the combined description of every ordered pair."""
+    ids = store.configuration.region_ids
+    for primary_id in ids:
+        for reference_id in ids:
+            if primary_id != reference_id:
+                yield (primary_id, reference_id), describe_pair(
+                    store, primary_id, reference_id
+                )

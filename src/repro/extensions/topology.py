@@ -1,0 +1,102 @@
+"""RCC8 topological relations for rectilinear ``REG*`` regions.
+
+The paper's future work asks for "combining topological [2] and distance
+relations" with the cardinal direction machinery.  This module computes
+the RCC8 relation (Egenhofer/Randell calculus) between two *rectilinear*
+composite regions **exactly**:
+
+1. overlay the two regions' coordinates into an arrangement grid;
+2. each grid cell lies wholly inside or outside each region (rectilinear
+   boundaries lie on grid lines), so one point-in-region test per cell
+   gives an exact cell cover of both regions;
+3. interior overlap, containment and boundary contact — including
+   single-point corner contact — read off the covers.
+
+Rectilinearity is the price of exactness without a general polygon
+boolean-operation engine; it matches the CARDIRECT setting (annotation
+over raster images) and the paper's own hole representation (Fig. 2),
+which the cell cover handles natively: an edge shared by two polygons of
+one region is interior to it, not boundary.
+"""
+
+from __future__ import annotations
+
+import enum
+from repro.geometry.arrangement import (
+    arrangement_axes,
+    boundary_features,
+    cell_cover,
+    is_rectilinear,
+    require_rectilinear,
+)
+from repro.geometry.region import Region
+
+
+class RCC8(enum.Enum):
+    """The eight jointly-exhaustive, pairwise-disjoint RCC8 relations."""
+
+    DC = "DC"        #: disconnected — no shared point
+    EC = "EC"        #: externally connected — boundaries touch only
+    PO = "PO"        #: partial overlap
+    TPP = "TPP"      #: tangential proper part (a inside b, touching)
+    NTPP = "NTPP"    #: non-tangential proper part (a strictly inside b)
+    TPPI = "TPPI"    #: inverse tangential proper part
+    NTPPI = "NTPPI"  #: inverse non-tangential proper part
+    EQ = "EQ"        #: equal point sets
+
+    def inverse(self) -> "RCC8":
+        """The relation of ``b`` to ``a`` when ``a self b``."""
+        return _INVERSES[self]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_INVERSES = {
+    RCC8.DC: RCC8.DC,
+    RCC8.EC: RCC8.EC,
+    RCC8.PO: RCC8.PO,
+    RCC8.TPP: RCC8.TPPI,
+    RCC8.NTPP: RCC8.NTPPI,
+    RCC8.TPPI: RCC8.TPP,
+    RCC8.NTPPI: RCC8.NTPP,
+    RCC8.EQ: RCC8.EQ,
+}
+
+
+def rcc8(a: Region, b: Region) -> RCC8:
+    """The RCC8 relation between two rectilinear ``REG*`` regions.
+
+    >>> from repro.geometry import Region
+    >>> left = Region.from_coordinates([[(0, 0), (0, 2), (2, 2), (2, 0)]])
+    >>> right = Region.from_coordinates([[(2, 0), (2, 2), (4, 2), (4, 0)]])
+    >>> str(rcc8(left, right))
+    'EC'
+    """
+    require_rectilinear(a, "primary")
+    require_rectilinear(b, "reference")
+    xs, ys = arrangement_axes((a, b))
+    in_a = cell_cover(a, xs, ys)
+    in_b = cell_cover(b, xs, ys)
+
+    interiors_overlap = bool(in_a & in_b)
+    a_in_b = in_a <= in_b
+    b_in_a = in_b <= in_a
+
+    if a_in_b and b_in_a:
+        return RCC8.EQ
+    if interiors_overlap and not a_in_b and not b_in_a:
+        return RCC8.PO
+
+    columns, rows = len(xs) - 1, len(ys) - 1
+    segments_a, vertices_a = boundary_features(in_a, columns, rows)
+    segments_b, vertices_b = boundary_features(in_b, columns, rows)
+    boundaries_touch = bool(segments_a & segments_b) or bool(
+        vertices_a & vertices_b
+    )
+
+    if a_in_b:
+        return RCC8.TPP if boundaries_touch else RCC8.NTPP
+    if b_in_a:
+        return RCC8.TPPI if boundaries_touch else RCC8.NTPPI
+    return RCC8.EC if boundaries_touch else RCC8.DC

@@ -1,0 +1,76 @@
+"""Geometric substrate for cardinal direction computation.
+
+This subpackage is a small, self-contained computational-geometry kernel
+covering exactly what the EDBT 2004 algorithms need:
+
+* :class:`~repro.geometry.point.Point`, :class:`~repro.geometry.segment.Segment`
+  and :class:`~repro.geometry.bbox.BoundingBox` primitives;
+* simple clockwise :class:`~repro.geometry.polygon.Polygon` objects and
+  composite :class:`~repro.geometry.region.Region` objects (the paper's
+  ``REG*`` class, supporting disconnected regions and holes);
+* exact segment/grid-line intersection (:mod:`repro.geometry.intersect`);
+* the paper's trapezoid expressions ``E_l`` / ``E'_m``
+  (:mod:`repro.geometry.area`);
+* a Sutherland–Hodgman half-plane clipper extended to the nine — partly
+  unbounded — direction tiles (:mod:`repro.geometry.clipping`), used only by
+  the baseline the paper compares against.
+
+Every routine is generic over Python's numeric tower: feed it
+:class:`fractions.Fraction` coordinates and all results (intersection
+points, areas, percentages) are exact; feed it floats and it is fast.
+"""
+
+from repro.geometry.area import e_l, e_m, polygon_area_about_line
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.booleans import (
+    difference,
+    intersection,
+    intersection_area,
+    symmetric_difference,
+    union,
+)
+from repro.geometry.clipping import (
+    clip_polygon_to_bbox,
+    clip_polygon_to_halfplane,
+)
+from repro.geometry.intersect import (
+    segment_crosses_line,
+    split_segment_at_values,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.predicates import (
+    orientation,
+    point_in_polygon,
+    point_in_region,
+    point_on_segment,
+)
+from repro.geometry.region import Region
+from repro.geometry.segment import Segment
+from repro.geometry.transform import scale_region, translate_region
+
+__all__ = [
+    "Point",
+    "Segment",
+    "BoundingBox",
+    "Polygon",
+    "Region",
+    "orientation",
+    "point_in_polygon",
+    "point_in_region",
+    "point_on_segment",
+    "segment_crosses_line",
+    "split_segment_at_values",
+    "e_l",
+    "e_m",
+    "polygon_area_about_line",
+    "clip_polygon_to_halfplane",
+    "clip_polygon_to_bbox",
+    "scale_region",
+    "translate_region",
+    "union",
+    "intersection",
+    "intersection_area",
+    "difference",
+    "symmetric_difference",
+]

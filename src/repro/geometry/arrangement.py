@@ -1,0 +1,164 @@
+"""Coordinate arrangements of rectilinear regions.
+
+Several exact computations on rectilinear ``REG*`` regions (RCC8
+topology, boolean operations, consistency witnesses) share one idea: on
+the grid induced by *all* x/y coordinates of the participating regions,
+every cell lies wholly inside or outside each region, so a single
+point-in-region test per cell yields an exact finite model.  This module
+centralises that machinery:
+
+* :func:`arrangement_axes` — the sorted coordinate arrays;
+* :func:`cell_cover` — the set of covered cells of one region;
+* :func:`cells_to_region` — back to a :class:`Region`, with runs merged
+  into maximal rectangles so the output stays compact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point, _half
+from repro.geometry.polygon import Polygon
+from repro.geometry.predicates import point_in_region
+from repro.geometry.region import Region
+
+Cell = Tuple[int, int]
+
+
+def is_rectilinear(region: Region) -> bool:
+    """True when every edge of every polygon is axis-parallel."""
+    return all(
+        edge.is_vertical or edge.is_horizontal
+        for polygon in region.polygons
+        for edge in polygon.edges
+    )
+
+
+def require_rectilinear(region: Region, label: str = "input") -> None:
+    if not is_rectilinear(region):
+        raise GeometryError(
+            f"{label} region is not rectilinear; exact arrangement "
+            "computations require axis-parallel edges"
+        )
+
+
+def arrangement_axes(regions: Iterable[Region]) -> Tuple[List, List]:
+    """Sorted distinct x and y coordinates over all regions' vertices."""
+    xs: Set = set()
+    ys: Set = set()
+    for region in regions:
+        for polygon in region.polygons:
+            for vertex in polygon.vertices:
+                xs.add(vertex.x)
+                ys.add(vertex.y)
+    if len(xs) < 2 or len(ys) < 2:
+        raise GeometryError("arrangement needs at least one non-empty region")
+    return sorted(xs), sorted(ys)
+
+
+def cell_cover(region: Region, xs: Sequence, ys: Sequence) -> FrozenSet[Cell]:
+    """The cells ``(i, j)`` of the grid whose interior lies in ``region``.
+
+    Exact for rectilinear regions whose vertex coordinates appear in
+    ``xs`` / ``ys`` (cell centres then avoid every boundary).
+    """
+    cells = set()
+    for i in range(len(xs) - 1):
+        for j in range(len(ys) - 1):
+            center = Point(_half(xs[i] + xs[i + 1]), _half(ys[j] + ys[j + 1]))
+            if point_in_region(center, region):
+                cells.add((i, j))
+    return frozenset(cells)
+
+
+def cells_to_region(
+    cells: FrozenSet[Cell], xs: Sequence, ys: Sequence
+) -> Optional[Region]:
+    """Assemble covered cells into a region of maximal rectangles.
+
+    Horizontal runs per row are merged, and identical runs on adjacent
+    rows stack into taller rectangles.  Returns ``None`` for an empty
+    cell set (the empty set is not a ``REG*`` region).
+    """
+    if not cells:
+        return None
+    runs_per_row: Dict[int, List[Tuple[int, int]]] = {}
+    for j in sorted({cell[1] for cell in cells}):
+        columns = sorted(i for i, jj in cells if jj == j)
+        runs: List[Tuple[int, int]] = []
+        start = previous = columns[0]
+        for column in columns[1:]:
+            if column == previous + 1:
+                previous = column
+                continue
+            runs.append((start, previous))
+            start = previous = column
+        runs.append((start, previous))
+        runs_per_row[j] = runs
+
+    rectangles: List[Tuple[int, int, int, int]] = []  # (i0, i1, j0, j1) incl.
+    open_runs: Dict[Tuple[int, int], Tuple[int, int]] = {}  # run -> (j0, j1)
+    for j in sorted(runs_per_row):
+        current = set(runs_per_row[j])
+        still_open: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for run, (j0, j1) in open_runs.items():
+            if run in current and j == j1 + 1:
+                still_open[run] = (j0, j)
+                current.discard(run)
+            else:
+                rectangles.append((run[0], run[1], j0, j1))
+        for run in current:
+            still_open[run] = (j, j)
+        open_runs = still_open
+    for run, (j0, j1) in open_runs.items():
+        rectangles.append((run[0], run[1], j0, j1))
+
+    polygons = [
+        Polygon.from_coordinates(
+            [
+                (xs[i0], ys[j0]),
+                (xs[i0], ys[j1 + 1]),
+                (xs[i1 + 1], ys[j1 + 1]),
+                (xs[i1 + 1], ys[j0]),
+            ]
+        )
+        for i0, i1, j0, j1 in rectangles
+    ]
+    return Region(polygons)
+
+
+def boundary_features(
+    cells: FrozenSet[Cell], columns: int, rows: int
+) -> Tuple[Set, Set]:
+    """(boundary grid segments, boundary grid vertices) of a cell cover.
+
+    A vertical segment ``('v', i, j)`` separates cells (i-1, j) and
+    (i, j); a horizontal segment ``('h', i, j)`` separates (i, j-1) and
+    (i, j).  A grid vertex is on the boundary when its incident cells
+    (out-of-grid counted as outside) are neither all in nor all out.
+    """
+    segments: Set = set()
+    vertices: Set = set()
+    for i in range(columns + 1):
+        for j in range(rows):
+            left = (i - 1, j) in cells if i > 0 else False
+            right = (i, j) in cells if i < columns else False
+            if left != right:
+                segments.add(("v", i, j))
+    for i in range(columns):
+        for j in range(rows + 1):
+            below = (i, j - 1) in cells if j > 0 else False
+            above = (i, j) in cells if j < rows else False
+            if below != above:
+                segments.add(("h", i, j))
+    for i in range(columns + 1):
+        for j in range(rows + 1):
+            incident = [
+                0 <= ci < columns and 0 <= cj < rows and (ci, cj) in cells
+                for ci in (i - 1, i)
+                for cj in (j - 1, j)
+            ]
+            if any(incident) and not all(incident):
+                vertices.add((i, j))
+    return segments, vertices

@@ -1,0 +1,132 @@
+"""Polygon clipping against half-planes, boxes and direction tiles.
+
+This module implements the **baseline** the paper argues against
+(Section 3, Fig. 3): computing cardinal direction relations by clipping
+the primary region's polygons against each of the nine tiles of
+``mbb(b)``.  We use the Sutherland–Hodgman algorithm restricted to
+axis-parallel half-planes, which clips a polygon against a convex window
+one boundary at a time — a tile is the intersection of at most four such
+half-planes (the outer tiles are unbounded, so they need fewer).
+
+The clipper is linear per half-plane, exactly as the clipping literature
+the paper cites (Liang–Barsky [7], Maillot [10]) promises; the paper's
+complaint is not asymptotics but the constant factors: nine passes over
+the edges and the many *new* edges the clips introduce.  The benchmark
+``benchmarks/bench_vs_clipping.py`` measures both.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Coordinate, Point
+from repro.geometry.polygon import Polygon
+
+#: A half-plane is ``(axis, bound, keep_leq)``: it keeps points whose
+#: ``axis`` coordinate ('x' or 'y') is <= ``bound`` (``keep_leq=True``)
+#: or >= ``bound`` (``keep_leq=False``).
+HalfPlane = Tuple[str, Coordinate, bool]
+
+
+def _coordinate(point: Point, axis: str) -> Coordinate:
+    return point.x if axis == "x" else point.y
+
+
+def _interpolate(a: Point, b: Point, axis: str, bound: Coordinate) -> Point:
+    """The point of segment ``ab`` lying on the line ``axis = bound``."""
+    ca, cb = _coordinate(a, axis), _coordinate(b, axis)
+    num, den = bound - ca, cb - ca
+    if isinstance(num, float) or isinstance(den, float):
+        t = num / den
+    else:
+        t = Fraction(num) / Fraction(den)
+    if axis == "x":
+        return Point(bound, a.y + t * (b.y - a.y))
+    return Point(a.x + t * (b.x - a.x), bound)
+
+
+def clip_ring_to_halfplane(
+    ring: Sequence[Point], halfplane: HalfPlane
+) -> List[Point]:
+    """One Sutherland–Hodgman pass: clip a vertex ring to a half-plane.
+
+    Returns the (possibly empty) clipped ring.  Vertices exactly on the
+    boundary line are kept — tiles are closed sets.
+    """
+    axis, bound, keep_leq = halfplane
+
+    def inside(p: Point) -> bool:
+        c = _coordinate(p, axis)
+        return c <= bound if keep_leq else c >= bound
+
+    output: List[Point] = []
+    n = len(ring)
+    for i in range(n):
+        current, following = ring[i], ring[(i + 1) % n]
+        current_in, following_in = inside(current), inside(following)
+        if current_in:
+            output.append(current)
+            if not following_in:
+                output.append(_interpolate(current, following, axis, bound))
+        elif following_in:
+            output.append(_interpolate(current, following, axis, bound))
+    return output
+
+
+def clip_polygon_to_halfplane(
+    polygon: Polygon, halfplane: HalfPlane
+) -> Optional[Polygon]:
+    """Clip ``polygon`` to a half-plane; ``None`` when nothing 2-D remains."""
+    ring = clip_ring_to_halfplane(list(polygon.vertices), halfplane)
+    return _ring_to_polygon(ring)
+
+
+def clip_polygon_to_halfplanes(
+    polygon: Polygon, halfplanes: Sequence[HalfPlane]
+) -> Optional[Polygon]:
+    """Clip ``polygon`` to the intersection of several half-planes.
+
+    Also returns the ring vertex count *before* degenerate cleanup via
+    :func:`clip_ring_statistics` when callers need edge accounting.
+    """
+    ring: Sequence[Point] = list(polygon.vertices)
+    for halfplane in halfplanes:
+        ring = clip_ring_to_halfplane(ring, halfplane)
+        if not ring:
+            return None
+    return _ring_to_polygon(list(ring))
+
+
+def clip_polygon_to_bbox(polygon: Polygon, box: BoundingBox) -> Optional[Polygon]:
+    """Clip ``polygon`` to a closed rectangle."""
+    return clip_polygon_to_halfplanes(polygon, bbox_halfplanes(box))
+
+
+def bbox_halfplanes(box: BoundingBox) -> List[HalfPlane]:
+    """The four half-planes whose intersection is the closed box."""
+    return [
+        ("x", box.min_x, False),
+        ("x", box.max_x, True),
+        ("y", box.min_y, False),
+        ("y", box.max_y, True),
+    ]
+
+
+def _ring_to_polygon(ring: List[Point]) -> Optional[Polygon]:
+    """Build a polygon from a clipped ring, discarding degenerate output.
+
+    Sutherland–Hodgman can emit rings that have collapsed to a point, a
+    line, or that contain repeated vertices; those represent zero-area
+    intersections, which do not count as parts of a region (Definition 1
+    partitions the primary region into full-dimensional pieces).
+    """
+    from repro.errors import GeometryError
+
+    if len(ring) < 3:
+        return None
+    try:
+        return Polygon(ring, ensure_clockwise=True)
+    except GeometryError:
+        return None

@@ -1,0 +1,88 @@
+"""Immutable 2-D points.
+
+Points are deliberately *not* numpy arrays: the algorithms in this package
+rely on Python's numeric tower so that :class:`fractions.Fraction`
+coordinates propagate exactly through every intersection and area
+computation.  A point is a lightweight frozen value object with the handful
+of vector operations the rest of the package needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from numbers import Real
+from typing import Union
+
+Coordinate = Union[int, float, Fraction]
+
+_NUMERIC_TYPES = frozenset((int, float, Fraction))
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in the Euclidean plane.
+
+    Coordinates may be ``int``, ``float`` or :class:`fractions.Fraction`
+    (anything implementing :class:`numbers.Real` works).  Mixing exact and
+    inexact coordinates follows Python's usual coercion rules.
+    """
+
+    x: Coordinate
+    y: Coordinate
+
+    def __post_init__(self) -> None:
+        # Fast path: the three concrete types the library uses.  The
+        # abstract-base-class check only runs for exotic Real subtypes
+        # (e.g. numpy scalars) — ABC dispatch is ~4x slower and this
+        # constructor sits on the hot path of every algorithm.
+        if type(self.x) in _NUMERIC_TYPES and type(self.y) in _NUMERIC_TYPES:
+            return
+        if not isinstance(self.x, Real) or not isinstance(self.y, Real):
+            raise TypeError(
+                f"Point coordinates must be real numbers, got ({self.x!r}, {self.y!r})"
+            )
+
+    def translated(self, dx: Coordinate, dy: Coordinate) -> "Point":
+        """Return this point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def scaled(self, factor: Coordinate, origin: "Point" = None) -> "Point":
+        """Return this point scaled by ``factor`` about ``origin`` (default the origin)."""
+        if origin is None:
+            return Point(self.x * factor, self.y * factor)
+        return Point(
+            origin.x + (self.x - origin.x) * factor,
+            origin.y + (self.y - origin.y) * factor,
+        )
+
+    def midpoint_with(self, other: "Point") -> "Point":
+        """Return the midpoint of the segment joining this point to ``other``.
+
+        With :class:`~fractions.Fraction` coordinates the midpoint is exact;
+        integer inputs are promoted to fractions so no precision is lost.
+        """
+        return Point(_half(self.x + other.x), _half(self.y + other.y))
+
+    def as_float_tuple(self) -> tuple:
+        """Return ``(float(x), float(y))`` — handy for plotting and numpy."""
+        return (float(self.x), float(self.y))
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Point({self.x}, {self.y})"
+
+
+def _half(value: Coordinate) -> Coordinate:
+    """Halve ``value`` exactly when it is exact, cheaply when it is a float."""
+    if isinstance(value, float):
+        return value / 2.0
+    if isinstance(value, int):
+        # Keep integers exact: odd sums become Fractions rather than floats.
+        if value % 2 == 0:
+            return value // 2
+        return Fraction(value, 2)
+    return value / 2

@@ -1,0 +1,86 @@
+"""Geometric predicates: orientation, point-on-segment, point-in-polygon.
+
+All predicates are exact for exact (int / Fraction) coordinates — they are
+built solely from comparisons, additions and multiplications.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.geometry.polygon import Polygon
+    from repro.geometry.region import Region
+
+
+def orientation(a: Point, b: Point, c: Point):
+    """Twice the signed area of triangle ``abc``.
+
+    Positive when ``c`` lies to the left of the directed line ``a -> b``
+    (counter-clockwise turn), negative to the right, zero when collinear.
+    """
+    return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+
+
+def point_on_segment(point: Point, segment: Segment) -> bool:
+    """True when ``point`` lies on the closed segment."""
+    if orientation(segment.start, segment.end, point) != 0:
+        return False
+    min_x, max_x = sorted((segment.start.x, segment.end.x))
+    min_y, max_y = sorted((segment.start.y, segment.end.y))
+    return min_x <= point.x <= max_x and min_y <= point.y <= max_y
+
+
+def point_in_ring(point: Point, vertices: Iterable[Point]) -> bool:
+    """Even–odd (ray casting) test against a closed vertex ring.
+
+    Points exactly on the boundary count as inside — the paper's tiles and
+    regions are closed sets, so boundary membership is the semantics we
+    need everywhere (e.g. the centre-of-``mbb(b)`` test in Compute-CDR).
+    """
+    ring = list(vertices)
+    n = len(ring)
+    inside = False
+    for i in range(n):
+        a, b = ring[i], ring[(i + 1) % n]
+        if a == b:
+            continue
+        if point_on_segment(point, Segment(a, b)):
+            return True
+        # Standard even-odd crossing: count edges straddling the horizontal
+        # ray to the right of the point.  The half-open comparison on y
+        # handles vertices lying exactly on the ray without double counting.
+        if (a.y > point.y) != (b.y > point.y):
+            # x coordinate of the edge at the ray's height, compared via
+            # cross-multiplication to stay exact for rational inputs.
+            # Edge from a to b, parameter where y == point.y.
+            dy = b.y - a.y
+            t_num = point.y - a.y
+            x_cross_num = a.x * dy + t_num * (b.x - a.x)
+            if dy > 0:
+                if x_cross_num > point.x * dy:
+                    inside = not inside
+            else:
+                if x_cross_num < point.x * dy:
+                    inside = not inside
+    return inside
+
+
+def point_in_polygon(point: Point, polygon: "Polygon") -> bool:
+    """True when ``point`` lies in the closed polygon."""
+    return point_in_ring(point, polygon.vertices)
+
+
+def point_strictly_in_polygon(point: Point, polygon: "Polygon") -> bool:
+    """True when ``point`` lies in the polygon's *interior*."""
+    if any(point_on_segment(point, edge) for edge in polygon.edges):
+        return False
+    return point_in_ring(point, polygon.vertices)
+
+
+def point_in_region(point: Point, region: "Region") -> bool:
+    """True when ``point`` lies in (the closure of) any polygon of ``region``."""
+    return any(point_in_polygon(point, polygon) for polygon in region.polygons)

@@ -1,0 +1,82 @@
+"""Directed line segments (polygon edges).
+
+The paper stores polygons as clockwise lists of *edges*; a
+:class:`Segment` is one such directed edge ``AB``.  Direction matters:
+the signed trapezoid expressions ``E_l(AB) = -E_l(BA)`` of Definition 4
+depend on it, as does the interior-side rule used to classify edges that
+lie exactly on a grid line.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+from repro.geometry.point import Coordinate, Point
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A directed segment from :attr:`start` to :attr:`end`.
+
+    Degenerate (zero-length) segments are rejected: they carry no
+    geometric information and would break midpoint classification.
+    """
+
+    start: Point
+    end: Point
+
+    def __post_init__(self) -> None:
+        if self.start == self.end:
+            raise GeometryError(f"degenerate segment at {self.start!r}")
+
+    @property
+    def midpoint(self) -> Point:
+        """The midpoint of the segment (exact for exact coordinates)."""
+        return self.start.midpoint_with(self.end)
+
+    @property
+    def dx(self) -> Coordinate:
+        return self.end.x - self.start.x
+
+    @property
+    def dy(self) -> Coordinate:
+        return self.end.y - self.start.y
+
+    @property
+    def is_vertical(self) -> bool:
+        """True when the segment lies on a vertical line ``x = const``."""
+        return self.start.x == self.end.x
+
+    @property
+    def is_horizontal(self) -> bool:
+        """True when the segment lies on a horizontal line ``y = const``."""
+        return self.start.y == self.end.y
+
+    def length(self) -> float:
+        """Euclidean length (always a float; exactness is not needed here)."""
+        return math.hypot(float(self.dx), float(self.dy))
+
+    def reversed(self) -> "Segment":
+        """The same carrier traversed in the opposite direction."""
+        return Segment(self.end, self.start)
+
+    def inward_normal_clockwise(self) -> tuple:
+        """Unit-free normal pointing to the polygon interior.
+
+        For an edge of a *clockwise* polygon (in the standard y-up plane)
+        the interior lies to the *right* of the direction of travel, so the
+        inward normal is ``(dx, dy)`` rotated by -90°: ``(dy, -dx)``.
+
+        The returned vector is not normalised (callers only need its
+        direction, and normalising would force floats on exact inputs).
+        """
+        return (self.dy, -self.dx)
+
+    def point_at(self, t: Coordinate) -> Point:
+        """The point ``start + t * (end - start)`` for ``t`` in ``[0, 1]``."""
+        return Point(self.start.x + t * self.dx, self.start.y + t * self.dy)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Segment({self.start!r} -> {self.end!r})"

@@ -1,0 +1,42 @@
+"""Affine helpers for building workloads and test fixtures.
+
+Only the transformations the workload generators and tests need are
+provided (translation and uniform scaling); the library's core never
+transforms geometry.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Coordinate, Point
+from repro.geometry.region import Region
+
+
+def translate_region(region: Region, dx: Coordinate, dy: Coordinate) -> Region:
+    """Return ``region`` shifted by ``(dx, dy)``."""
+    return region.translated(dx, dy)
+
+
+def scale_region(
+    region: Region, factor: Coordinate, origin: Point = None
+) -> Region:
+    """Return ``region`` scaled by ``factor`` about ``origin``.
+
+    Negative factors mirror the region; polygon orientation is repaired
+    automatically.
+    """
+    return region.scaled(factor, origin)
+
+
+def normalise_region_to_unit_square(region: Region) -> Region:
+    """Map ``region`` affinely into ``[0, 1] × [0, 1]`` (aspect preserved).
+
+    Used by workload generators to compose scenes at predictable scales.
+    """
+    box = region.bounding_box()
+    span = max(box.width, box.height)
+    moved = region.translated(-box.min_x, -box.min_y)
+    if isinstance(span, float):
+        return moved.scaled(1.0 / span)
+    from fractions import Fraction
+
+    return moved.scaled(Fraction(1, 1) / Fraction(span))

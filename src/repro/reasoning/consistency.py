@@ -1,0 +1,300 @@
+"""Consistency of networks of basic cardinal direction constraints ([21]).
+
+A *network* is a set of constraints ``{a_i R_ij a_j}`` with basic
+relations over variables standing for ``REG*`` regions.  The checker
+answers: does a concrete assignment of regions exist satisfying all
+constraints simultaneously?
+
+The algorithm, in the spirit of the companion paper's reduction to order
+constraints:
+
+1. **Projection.**  Each constraint ``a R b`` translates, per axis, into
+   a conjunction of order constraints between the mbb endpoints of ``a``
+   and ``b`` (see :func:`_axis_inequalities`): which side bands the
+   relation's tiles occupy pins strict/weak inequalities, and middle-band
+   tiles require overlapping spans.  These conditions are exactly
+   tile-wise reachability + attainment (they decompose per axis), so they
+   are *necessary*.
+2. **Order solving.**  The two (independent) axis systems of ``≤`` / ``<``
+   constraints are solved over ℚ by SCC condensation: variables forced
+   into one SCC must be equal; a strict edge inside an SCC is a
+   contradiction (**INCONSISTENT** — with the offending cycle reported);
+   otherwise SCCs get increasing integer coordinates in topological
+   order.
+3. **Canonical models.**  With all boxes placed, each region takes the
+   *maximal* material allowed by its constraints
+   (:func:`~repro.reasoning.witness.maximal_model`), and every constraint
+   is re-checked on the witness with the paper's own Compute-CDR
+   algorithm.  Success is a proof of consistency (**CONSISTENT**, witness
+   returned).  A failure only rules out the *chosen* endpoint order:
+   variables the constraints leave incomparable were linearised
+   arbitrarily, and another extension might admit a model.  The checker
+   therefore retries with several randomised (deterministically seeded)
+   linear extensions before answering **UNKNOWN** — the honest residue of
+   a polynomial-time canonical construction.  (For networks obtained from
+   actual geometry the test suite shows the first order virtually always
+   succeeds.)
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.errors import ReasoningError
+from repro.core.compute import compute_cdr
+from repro.core.relation import CardinalDirection
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.region import Region
+from repro.reasoning.witness import maximal_model
+
+Constraints = Mapping[Tuple[str, str], CardinalDirection]
+
+
+class ConsistencyStatus(enum.Enum):
+    """Outcome of a consistency check."""
+
+    CONSISTENT = "consistent"
+    INCONSISTENT = "inconsistent"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class ConsistencyResult:
+    """Result of :func:`check_consistency`.
+
+    ``witness`` maps variable names to concrete regions when the status is
+    CONSISTENT; ``explanation`` is a human-readable account of the
+    decision (the violated cycle for INCONSISTENT, the failing constraint
+    for UNKNOWN).
+    """
+
+    status: ConsistencyStatus
+    witness: Optional[Dict[str, Region]] = None
+    explanation: str = ""
+    boxes: Optional[Dict[str, BoundingBox]] = None
+
+    def __bool__(self) -> bool:
+        return self.status is ConsistencyStatus.CONSISTENT
+
+
+@dataclass
+class _AxisSystem:
+    """Order constraints over one axis's endpoint variables."""
+
+    weak: List[Tuple[str, str]] = field(default_factory=list)    # u <= v
+    strict: List[Tuple[str, str]] = field(default_factory=list)  # u < v
+
+    def leq(self, u: str, v: str) -> None:
+        self.weak.append((u, v))
+
+    def lt(self, u: str, v: str) -> None:
+        self.strict.append((u, v))
+
+
+def _axis_inequalities(
+    system: _AxisSystem, i: str, j: str, bands: frozenset
+) -> None:
+    """Add the order constraints of one constraint on one axis.
+
+    ``bands`` is the set of side bands (-1/0/1) that the relation's tiles
+    occupy on this axis; ``lo(i), hi(i)`` denote the primary's endpoints
+    and ``lo(j), hi(j)`` the reference's.
+    """
+    lo_i, hi_i = f"lo:{i}", f"hi:{i}"
+    lo_j, hi_j = f"lo:{j}", f"hi:{j}"
+    if -1 in bands:
+        system.lt(lo_i, lo_j)  # material strictly below the low grid line
+    else:
+        system.leq(lo_j, lo_i)
+    if 1 in bands:
+        system.lt(hi_j, hi_i)
+    else:
+        system.leq(hi_i, hi_j)
+    if 0 in bands:
+        # A middle-band tile needs full-dimensional overlap of the spans.
+        system.lt(lo_i, hi_j)
+        system.lt(lo_j, hi_i)
+    if bands == frozenset({1}):
+        system.leq(hi_j, lo_i)  # attainment of lo(i) through the high band
+    if bands == frozenset({-1}):
+        system.leq(hi_i, lo_j)  # attainment of hi(i) through the low band
+
+
+def _solve_axis(
+    system: _AxisSystem,
+    variables: Sequence[str],
+    rng: Optional["random.Random"] = None,
+) -> Tuple[Optional[Dict[str, int]], str]:
+    """Solve one axis's order system.
+
+    Returns ``(assignment, "")`` on success or ``(None, explanation)``
+    when a strict inequality lies inside a forced-equality cycle.  With
+    ``rng``, ties between incomparable components are broken randomly —
+    each call samples one linear extension of the induced partial order.
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(variables)
+    graph.add_edges_from(system.weak)
+    graph.add_edges_from(system.strict)
+    component_of: Dict[str, int] = {}
+    components = list(nx.strongly_connected_components(graph))
+    for index, component in enumerate(components):
+        for node in component:
+            component_of[node] = index
+    for u, v in system.strict:
+        if component_of[u] == component_of[v]:
+            return None, (
+                f"contradictory cycle: {u} < {v} but both are forced equal"
+            )
+    condensation = nx.condensation(graph, scc=components)
+    order = _topological_order(condensation, rng)
+    position = {scc_id: rank for rank, scc_id in enumerate(order)}
+    return (
+        {node: position[component_of[node]] for node in variables},
+        "",
+    )
+
+
+def _topological_order(graph: "nx.DiGraph", rng: Optional["random.Random"]):
+    """A topological order; with ``rng``, a random linear extension
+    (Kahn's algorithm with a shuffled ready set)."""
+    if rng is None:
+        return list(nx.topological_sort(graph))
+    indegree = {node: degree for node, degree in graph.in_degree()}
+    ready = [node for node, degree in indegree.items() if degree == 0]
+    order = []
+    while ready:
+        index = rng.randrange(len(ready))
+        node = ready.pop(index)
+        order.append(node)
+        for successor in graph.successors(node):
+            indegree[successor] -= 1
+            if indegree[successor] == 0:
+                ready.append(successor)
+    return order
+
+
+def _validate_constraints(constraints: Constraints) -> List[str]:
+    names: List[str] = []
+    for (i, j), relation in constraints.items():
+        if i == j:
+            raise ReasoningError(
+                f"self-constraint {i} {relation} {i} is not allowed "
+                "(every region is trivially B of itself)"
+            )
+        if not isinstance(relation, CardinalDirection):
+            raise ReasoningError(f"constraint ({i}, {j}) is not a basic relation")
+        for name in (i, j):
+            if name not in names:
+                names.append(name)
+    if not names:
+        raise ReasoningError("empty constraint network")
+    return names
+
+
+def check_consistency(
+    constraints: Constraints, *, attempts: int = 4
+) -> ConsistencyResult:
+    """Decide satisfiability of a basic cardinal-direction network.
+
+    ``attempts`` bounds how many endpoint linear extensions are tried:
+    the deterministic canonical one first, then ``attempts − 1``
+    randomised (deterministically seeded) extensions.  Order
+    infeasibility is independent of the extension, so INCONSISTENT
+    answers never need retries.
+
+    >>> from repro.core.relation import CardinalDirection as CD
+    >>> result = check_consistency({("a", "b"): CD.parse("N"),
+    ...                             ("b", "a"): CD.parse("N")})
+    >>> result.status.value
+    'inconsistent'
+    """
+    names = _validate_constraints(constraints)
+
+    x_system, y_system = _AxisSystem(), _AxisSystem()
+    for name in names:
+        x_system.lt(f"lo:{name}", f"hi:{name}")
+        y_system.lt(f"lo:{name}", f"hi:{name}")
+    for (i, j), relation in constraints.items():
+        _axis_inequalities(x_system, i, j, relation.spans_columns)
+        _axis_inequalities(y_system, i, j, relation.spans_rows)
+
+    variables = [f"{kind}:{name}" for name in names for kind in ("lo", "hi")]
+    last_unknown: Optional[ConsistencyResult] = None
+    for attempt in range(max(1, attempts)):
+        rng = random.Random(20040000 + attempt) if attempt else None
+        x_values, x_reason = _solve_axis(x_system, variables, rng)
+        if x_values is None:
+            return ConsistencyResult(
+                ConsistencyStatus.INCONSISTENT,
+                explanation=f"x-axis: {x_reason}",
+            )
+        y_values, y_reason = _solve_axis(y_system, variables, rng)
+        if y_values is None:
+            return ConsistencyResult(
+                ConsistencyStatus.INCONSISTENT,
+                explanation=f"y-axis: {y_reason}",
+            )
+        boxes = {
+            name: BoundingBox(
+                x_values[f"lo:{name}"],
+                y_values[f"lo:{name}"],
+                x_values[f"hi:{name}"],
+                y_values[f"hi:{name}"],
+            )
+            for name in names
+        }
+        result = _verify_maximal_model(boxes, constraints)
+        if result.status is ConsistencyStatus.CONSISTENT:
+            return result
+        last_unknown = result
+    assert last_unknown is not None
+    return last_unknown
+
+
+def _verify_maximal_model(
+    boxes: Dict[str, BoundingBox], constraints: Constraints
+) -> ConsistencyResult:
+    """Build and verify the maximal model for one box placement."""
+    model = maximal_model(boxes, constraints)
+    for name, region in model.items():
+        if region is None:
+            return ConsistencyResult(
+                ConsistencyStatus.UNKNOWN,
+                boxes=boxes,
+                explanation=(
+                    f"the chosen endpoint order leaves no room for {name!r}; "
+                    "a different order might admit a model"
+                ),
+            )
+        if region.bounding_box() != boxes[name]:
+            return ConsistencyResult(
+                ConsistencyStatus.UNKNOWN,
+                boxes=boxes,
+                explanation=(
+                    f"{name!r} cannot attain its bounding box under the "
+                    "chosen endpoint order"
+                ),
+            )
+    for (i, j), relation in constraints.items():
+        computed = compute_cdr(model[i], model[j])
+        if computed != relation:
+            return ConsistencyResult(
+                ConsistencyStatus.UNKNOWN,
+                boxes=boxes,
+                explanation=(
+                    f"the maximal model realises {i} {computed} {j} instead "
+                    f"of {i} {relation} {j}"
+                ),
+            )
+    return ConsistencyResult(
+        ConsistencyStatus.CONSISTENT,
+        witness={name: region for name, region in model.items()},
+        boxes=boxes,
+        explanation="maximal model verified by Compute-CDR",
+    )

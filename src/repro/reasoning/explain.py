@@ -1,0 +1,74 @@
+"""Explaining inconsistent constraint networks.
+
+When a basic network is unsatisfiable, users want to know *which*
+constraints clash, not just that something does.
+:func:`minimal_inconsistent_subset` shrinks an inconsistent network to a
+minimal core by the classic deletion filter: drop one constraint at a
+time, keep the drop whenever the remainder is still provably
+inconsistent.  Each oracle call is the full consistency checker, so the
+returned core is a genuine proof object — removing *any* of its
+constraints makes the rest satisfiable (as far as the checker can
+certify; see the UNKNOWN caveat below).
+
+The checker is tri-state; a shrink step is only taken on a certified
+INCONSISTENT answer, so the result is sound: the returned subset really
+is inconsistent.  Minimality is relative to the checker — a constraint
+whose removal yields UNKNOWN is kept (conservative).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ReasoningError
+from repro.core.relation import CardinalDirection
+from repro.reasoning.consistency import ConsistencyStatus, check_consistency
+
+Constraints = Dict[Tuple[str, str], CardinalDirection]
+
+
+def minimal_inconsistent_subset(constraints: Constraints) -> Constraints:
+    """Shrink an inconsistent network to a minimal inconsistent core.
+
+    Raises :class:`~repro.errors.ReasoningError` when the input network
+    is not certified inconsistent in the first place (consistent or
+    undecided networks have no inconsistent core to extract).
+
+    >>> from repro.core.relation import CardinalDirection as CD
+    >>> core = minimal_inconsistent_subset({
+    ...     ("a", "b"): CD.parse("N"),
+    ...     ("b", "c"): CD.parse("N"),
+    ...     ("c", "a"): CD.parse("N"),
+    ...     ("a", "d"): CD.parse("W"),   # irrelevant to the conflict
+    ... })
+    >>> sorted(core)
+    [('a', 'b'), ('b', 'c'), ('c', 'a')]
+    """
+    status = check_consistency(constraints).status
+    if status is not ConsistencyStatus.INCONSISTENT:
+        raise ReasoningError(
+            f"cannot extract an inconsistent core from a {status.value} network"
+        )
+    core = dict(constraints)
+    for key in list(constraints):
+        trial = {k: v for k, v in core.items() if k != key}
+        if not trial:
+            continue
+        if check_consistency(trial).status is ConsistencyStatus.INCONSISTENT:
+            core = trial
+    return core
+
+
+def explain_inconsistency(constraints: Constraints) -> str:
+    """A human-readable account of why a network is unsatisfiable."""
+    core = minimal_inconsistent_subset(constraints)
+    lines: List[str] = [
+        f"the following {len(core)} constraints are jointly unsatisfiable "
+        "(removing any one restores satisfiability):"
+    ]
+    for (primary, reference), relation in sorted(core.items()):
+        lines.append(f"  {primary} {relation} {reference}")
+    detail = check_consistency(core).explanation
+    if detail:
+        lines.append(f"projection conflict: {detail}")
+    return "\n".join(lines)

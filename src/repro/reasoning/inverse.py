@@ -1,0 +1,67 @@
+"""Inverse cardinal direction relations (Section 2; algorithm from [21]).
+
+The inverse of a basic relation ``R`` is in general *disjunctive*:
+``inv(R)`` is the set of basic relations ``S`` for which some pair of
+``REG*`` regions satisfies both ``a R b`` and ``b S a``.  The paper's
+example: when ``a S b``, region ``b`` may be ``N``, ``NW:N``, ``N:NE``,
+``NW:N:NE`` — or, for a disconnected ``b``, ``NW:NE`` — of ``a``.
+
+Computation enumerates the 169 qualitative placements of ``mbb(a)``
+against ``mbb(b)``'s grid.  For each placement where ``R`` is realisable
+by ``a``, every tile-occupancy option of ``b`` against ``a``'s grid is a
+member of the inverse (regions are free to overlap, so the two material
+choices are independent given the boxes).  The enumeration is sound and
+complete for ``REG*`` — see :mod:`repro.reasoning.orderings` — and the
+test suite cross-checks it against Compute-CDR on random geometry.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Set
+
+from repro.core.relation import CardinalDirection, DisjunctiveCD
+from repro.reasoning.orderings import (
+    GRID_HI,
+    GRID_LO,
+    Interval,
+    box_placements,
+    occupancy_options,
+    relation_realizable_for_box,
+)
+
+
+@lru_cache(maxsize=None)
+def inverse(relation: CardinalDirection) -> DisjunctiveCD:
+    """The disjunctive inverse ``inv(R)`` of a basic relation.
+
+    >>> from repro.core.relation import CardinalDirection
+    >>> inv_s = inverse(CardinalDirection.parse("S"))
+    >>> sorted(str(s) for s in inv_s)
+    ['N', 'N:NE', 'NW:N', 'NW:N:NE', 'NW:NE']
+    """
+    members: Set[CardinalDirection] = set()
+    reference_box_x = Interval(GRID_LO, GRID_HI)
+    reference_box_y = Interval(GRID_LO, GRID_HI)
+    for placement in box_placements():
+        if not relation_realizable_for_box(relation, placement):
+            continue
+        options = occupancy_options(
+            reference_box_x,
+            reference_box_y,
+            (placement.x.p1, placement.x.p2),
+            (placement.y.p1, placement.y.p2),
+        )
+        members.update(CardinalDirection(tiles) for tiles in options)
+    return DisjunctiveCD(members)
+
+
+@lru_cache(maxsize=None)
+def pair_realizable(r1: CardinalDirection, r2: CardinalDirection) -> bool:
+    """Can ``a R1 b`` and ``b R2 a`` hold simultaneously?
+
+    This is the paper's characterisation of relative position: the pair
+    ``(R1, R2)`` fully describes two regions' mutual placement exactly
+    when each is a disjunct of the other's inverse.
+    """
+    return r2 in inverse(r1)

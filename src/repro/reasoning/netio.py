@@ -1,0 +1,86 @@
+"""A plain-text format for cardinal-direction constraint networks.
+
+One constraint per line, in the notation of the paper::
+
+    castle N river
+    river  W forest
+    castle {NW, NW:N} forest      # disjunctive constraints allowed
+    # comments and blank lines are ignored
+
+:func:`parse_network` reads this into a
+:class:`~repro.reasoning.network.DisjunctiveNetwork`;
+:func:`witness_to_configuration` turns a solution's witness regions into
+a CARDIRECT configuration so the result can be saved as XML, rendered
+with the ASCII viewer, or queried — closing the loop between the
+symbolic and the geometric halves of the library.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Mapping, Union
+
+from repro.errors import ReasoningError, RelationError
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.geometry.region import Region
+from repro.reasoning.network import DisjunctiveNetwork
+
+_LINE = re.compile(
+    r"^(?P<primary>[A-Za-z_][\w.\-]*)\s+"
+    r"(?P<relation>\{[^}]*\}|[A-Z:]+)\s+"
+    r"(?P<reference>[A-Za-z_][\w.\-]*)$"
+)
+
+
+def parse_network(text: str) -> DisjunctiveNetwork:
+    """Parse a constraint network from its text form.
+
+    Raises :class:`~repro.errors.ReasoningError` on malformed lines,
+    with the offending line number.
+    """
+    network = DisjunctiveNetwork()
+    seen_any = False
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _LINE.match(line)
+        if not match:
+            raise ReasoningError(
+                f"line {number}: cannot parse constraint {line!r} "
+                "(expected: <name> <relation> <name>)"
+            )
+        try:
+            network.constrain(
+                match.group("primary"),
+                match.group("reference"),
+                match.group("relation"),
+            )
+        except (ReasoningError, RelationError) as error:
+            raise ReasoningError(f"line {number}: {error}") from error
+        seen_any = True
+    if not seen_any:
+        raise ReasoningError("no constraints found")
+    return network
+
+
+def load_network(path: Union[str, Path]) -> DisjunctiveNetwork:
+    """Read a constraint network from a file."""
+    return parse_network(Path(path).read_text(encoding="utf-8"))
+
+
+def witness_to_configuration(
+    witness: Mapping[str, Region], *, image_name: str = "witness"
+) -> Configuration:
+    """Wrap witness regions as a CARDIRECT configuration.
+
+    Region ids are the network's variable names (they share the same
+    identifier syntax), so queries and XML round-trips work directly.
+    """
+    configuration = Configuration(image_name=image_name)
+    for name in sorted(witness):
+        configuration.add(
+            AnnotatedRegion(id=name, region=witness[name], name=name)
+        )
+    return configuration

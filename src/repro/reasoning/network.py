@@ -1,0 +1,242 @@
+"""Disjunctive constraint networks over cardinal direction relations.
+
+Section 2 introduces disjunctive relations (elements of ``2^{D*}``) for
+*indefinite* information — "region a is north or west of region b".  This
+module provides the standard machinery for reasoning with whole networks
+of such constraints, built on the composition and inverse operators:
+
+* :class:`DisjunctiveNetwork` — variables plus disjunctive constraints,
+  normalised so each unordered pair stores one forward relation (the
+  reverse direction is implied through :func:`~repro.reasoning.inverse.
+  inverse`);
+* :meth:`DisjunctiveNetwork.algebraic_closure` — path consistency: prune
+  each ``R_ij`` against ``R_ik ∘ R_kj`` and against the inverses, to a
+  fixpoint.  Sound (never removes a relation that participates in a
+  solution) but — as for most non-trivial calculi — not complete;
+* :meth:`DisjunctiveNetwork.solve` — backtracking refinement search: pick
+  a basic relation from each disjunction and hand the basic network to
+  :func:`~repro.reasoning.consistency.check_consistency`.  Every returned
+  solution carries *verified witness regions*; because the basic-network
+  checker may answer UNKNOWN on exotic orderings, the search is sound and
+  witness-producing but may miss solutions it cannot verify (it reports
+  how many candidates were skipped for that reason).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ReasoningError
+from repro.core.relation import (
+    ALL_BASIC_RELATIONS,
+    CardinalDirection,
+    DisjunctiveCD,
+)
+from repro.geometry.region import Region
+from repro.reasoning.composition import compose
+from repro.reasoning.consistency import (
+    ConsistencyStatus,
+    check_consistency,
+)
+from repro.reasoning.inverse import inverse
+
+
+def inverse_disjunctive(relation: DisjunctiveCD) -> DisjunctiveCD:
+    """The inverse of a disjunctive relation: union of member inverses."""
+    members: Set[CardinalDirection] = set()
+    for basic in relation.relations:
+        members.update(inverse(basic).relations)
+    return DisjunctiveCD(members)
+
+
+@dataclass
+class Solution:
+    """One verified solution of a disjunctive network."""
+
+    assignment: Dict[Tuple[str, str], CardinalDirection]
+    witness: Dict[str, Region]
+
+
+@dataclass
+class SolveReport:
+    """Outcome of :meth:`DisjunctiveNetwork.solve`.
+
+    ``solution`` is ``None`` when no candidate refinement could be
+    verified; ``unverified_candidates`` counts refinements the basic
+    checker answered UNKNOWN on (0 means the negative answer is certain).
+    """
+
+    solution: Optional[Solution]
+    unverified_candidates: int = 0
+
+    def __bool__(self) -> bool:
+        return self.solution is not None
+
+
+class DisjunctiveNetwork:
+    """A set of disjunctive cardinal-direction constraints."""
+
+    def __init__(self) -> None:
+        self._variables: List[str] = []
+        self._constraints: Dict[Tuple[str, str], DisjunctiveCD] = {}
+
+    @property
+    def variables(self) -> List[str]:
+        return list(self._variables)
+
+    def add_variable(self, name: str) -> None:
+        if name not in self._variables:
+            self._variables.append(name)
+
+    def constrain(self, primary: str, reference: str, relation) -> None:
+        """Add (or intersect with) a constraint ``primary R reference``.
+
+        ``relation`` may be a :class:`CardinalDirection`, a
+        :class:`DisjunctiveCD`, or parseable text (``"N"``, ``"{N, W}"``).
+        Constraints on ``(j, i)`` are folded into the stored ``(i, j)``
+        entry through the inverse, so contradictory directions meet in
+        one place.
+        """
+        if primary == reference:
+            raise ReasoningError("self-constraints are not allowed")
+        relation = self._coerce(relation)
+        self.add_variable(primary)
+        self.add_variable(reference)
+        forward_key, stored = self._normalised_key(primary, reference)
+        if not stored:
+            relation = inverse_disjunctive(relation)
+        existing = self._constraints.get(forward_key)
+        if existing is None:
+            self._constraints[forward_key] = relation
+        else:
+            self._constraints[forward_key] = existing.intersection(relation)
+
+    @staticmethod
+    def _coerce(relation) -> DisjunctiveCD:
+        if isinstance(relation, DisjunctiveCD):
+            return relation
+        if isinstance(relation, CardinalDirection):
+            return DisjunctiveCD((relation,))
+        if isinstance(relation, str):
+            return DisjunctiveCD.parse(relation)
+        raise ReasoningError(f"cannot interpret constraint {relation!r}")
+
+    def _normalised_key(self, i: str, j: str) -> Tuple[Tuple[str, str], bool]:
+        """Store each unordered pair under its first-seen orientation."""
+        if (i, j) in self._constraints:
+            return (i, j), True
+        if (j, i) in self._constraints:
+            return (j, i), False
+        return (i, j), True
+
+    def constraints(self) -> Dict[Tuple[str, str], DisjunctiveCD]:
+        """The stored constraints, in their stored orientation (a copy)."""
+        return dict(self._constraints)
+
+    def relation_between(self, i: str, j: str) -> DisjunctiveCD:
+        """The current (possibly pruned) relation of ``i`` w.r.t. ``j``."""
+        if (i, j) in self._constraints:
+            return self._constraints[(i, j)]
+        if (j, i) in self._constraints:
+            return inverse_disjunctive(self._constraints[(j, i)])
+        return DisjunctiveCD.universal()
+
+    @property
+    def is_trivially_inconsistent(self) -> bool:
+        """True when some constraint has been pruned to the empty set."""
+        return any(relation.is_empty for relation in self._constraints.values())
+
+    def algebraic_closure(self, *, max_rounds: int = 50) -> bool:
+        """Run path consistency to a fixpoint.
+
+        Returns ``False`` when a constraint empties (definite
+        inconsistency), ``True`` otherwise (consistency *not* guaranteed).
+        """
+        names = self._variables
+        changed = True
+        rounds = 0
+        while changed:
+            changed = False
+            rounds += 1
+            if rounds > max_rounds:  # pragma: no cover - safety valve
+                raise ReasoningError("algebraic closure did not converge")
+            for i, k, j in itertools.permutations(names, 3):
+                if i >= j:
+                    continue  # handle each unordered (i, j) once per k
+                r_ij = self.relation_between(i, j)
+                if len(r_ij) == 511:
+                    through = self._compose_pair(i, k, j)
+                    pruned = through
+                else:
+                    through = self._compose_pair(i, k, j)
+                    pruned = r_ij.intersection(through)
+                if pruned != r_ij:
+                    self._store(i, j, pruned)
+                    changed = True
+                    if pruned.is_empty:
+                        return False
+        return not self.is_trivially_inconsistent
+
+    #: Above this many (R_ik, R_kj) pairs the composition is approximated
+    #: by the universal relation — sound (no pruning), just weaker.
+    COMPOSE_BUDGET = 4096
+
+    def _compose_pair(self, i: str, k: str, j: str) -> DisjunctiveCD:
+        r_ik = self.relation_between(i, k)
+        r_kj = self.relation_between(k, j)
+        if len(r_ik) == 511 or len(r_kj) == 511:
+            return DisjunctiveCD.universal()
+        if len(r_ik) * len(r_kj) > self.COMPOSE_BUDGET:
+            return DisjunctiveCD.universal()
+        members: Set[CardinalDirection] = set()
+        for basic_ik in r_ik.relations:
+            for basic_kj in r_kj.relations:
+                members.update(compose(basic_ik, basic_kj).relations)
+                if len(members) == 511:
+                    return DisjunctiveCD.universal()
+        return DisjunctiveCD(members)
+
+    def _store(self, i: str, j: str, relation: DisjunctiveCD) -> None:
+        if (j, i) in self._constraints:
+            self._constraints[(j, i)] = inverse_disjunctive(relation)
+        else:
+            self._constraints[(i, j)] = relation
+
+    def solve(self, *, max_candidates: int = 20000) -> SolveReport:
+        """Search for a verified solution by refinement.
+
+        Runs algebraic closure first, then backtracks over basic choices
+        for each constrained pair (smallest disjunctions first), checking
+        each complete refinement with the basic-network consistency
+        checker.  ``max_candidates`` bounds the number of complete
+        refinements examined.
+        """
+        if not self._constraints:
+            raise ReasoningError("empty network")
+        if not self.algebraic_closure():
+            return SolveReport(solution=None, unverified_candidates=0)
+
+        keys = sorted(
+            self._constraints, key=lambda key: len(self._constraints[key])
+        )
+        choices: List[List[CardinalDirection]] = [
+            sorted(self._constraints[key].relations) for key in keys
+        ]
+        unverified = 0
+        examined = 0
+        for combo in itertools.product(*choices):
+            examined += 1
+            if examined > max_candidates:
+                break
+            candidate = dict(zip(keys, combo))
+            result = check_consistency(candidate)
+            if result.status is ConsistencyStatus.CONSISTENT:
+                return SolveReport(
+                    Solution(assignment=candidate, witness=result.witness),
+                    unverified_candidates=unverified,
+                )
+            if result.status is ConsistencyStatus.UNKNOWN:
+                unverified += 1
+        return SolveReport(solution=None, unverified_candidates=unverified)

@@ -1,0 +1,42 @@
+"""Workload generators and the paper's worked-example geometries.
+
+* :mod:`repro.workloads.scenarios` digitises the figures of the paper
+  (Fig. 1, Fig. 3, Fig. 4/Examples 2–3, Fig. 9, and the Fig. 11
+  Peloponnesian-war CARDIRECT configuration) as concrete geometry;
+* :mod:`repro.workloads.generators` produces seeded random regions of
+  controllable size and shape for the benchmarks and property tests.
+"""
+
+from repro.workloads.generators import (
+    random_multi_polygon_region,
+    random_rectilinear_region,
+    random_star_polygon,
+    region_with_hole,
+    star_polygon,
+)
+from repro.workloads.scenarios import (
+    figure1_regions,
+    figure2_regions,
+    figure3_square,
+    figure3_triangle,
+    figure4_quadrangle,
+    figure9_region,
+    peloponnesian_war,
+    unit_square_region,
+)
+
+__all__ = [
+    "star_polygon",
+    "random_star_polygon",
+    "random_rectilinear_region",
+    "random_multi_polygon_region",
+    "region_with_hole",
+    "unit_square_region",
+    "figure1_regions",
+    "figure2_regions",
+    "figure3_square",
+    "figure3_triangle",
+    "figure4_quadrangle",
+    "figure9_region",
+    "peloponnesian_war",
+]

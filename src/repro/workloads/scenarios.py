@@ -1,0 +1,260 @@
+"""The paper's worked examples and figures as concrete geometry.
+
+Every function returns exact (integer / Fraction coordinate) geometry, so
+the tests that reproduce the paper's numbers can assert equalities rather
+than tolerances.
+
+The CARDIRECT configuration of Fig. 11 (the Peloponnesian-war map) is
+digitised on a 200 × 200 grid with north = +y.  The coordinates are laid
+out so that every qualitative claim the paper makes about the scenario
+holds: Peloponnesos is ``B:S:SW:W`` of Attica, the three alliances carry
+their colours, and the paper's "surrounded by" query has a witness —
+Pylos, the Athenian enclave of 425 BC, is completely surrounded by
+Peloponnesos (which is modelled with a hole at Pylos, exercising the
+composite-region machinery end to end).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction as F
+from typing import Dict, List, NamedTuple, Tuple
+
+from repro.geometry.polygon import Polygon
+from repro.geometry.region import Region
+
+
+def _rect(x0, y0, x1, y1) -> Polygon:
+    """Clockwise axis-aligned rectangle."""
+    return Polygon.from_coordinates(
+        [(x0, y0), (x0, y1), (x1, y1), (x1, y0)]
+    )
+
+
+def unit_square_region() -> Region:
+    """The reference region ``b`` used by the worked examples: ``[0,1]²``.
+
+    Its mbb grid lines are ``x = 0``, ``x = 1``, ``y = 0`` and ``y = 1``.
+    """
+    return Region.from_polygon(_rect(0, 0, 1, 1))
+
+
+def figure1_regions() -> Dict[str, Region]:
+    """Regions realising Fig. 1 / Example 1 of the paper.
+
+    * ``a S b`` — a rectangle strictly south of the box;
+    * ``c NE:E b`` — a square straddling the north-east / east tiles with
+      a 50% / 50% area split (the paper's percentage example);
+    * ``d B:S:SW:W:NW:N:E:SE b`` — a disconnected region with one piece in
+      each of eight tiles (no NE), whose north-west piece is a region with
+      a hole in the paper's multi-polygon representation.
+    """
+    b = unit_square_region()
+    a = Region.from_polygon(
+        _rect(F(1, 5), F(-3, 5), F(4, 5), F(-1, 5))
+    )
+    c = Region.from_polygon(
+        _rect(F(3, 2), F(1, 2), F(5, 2), F(3, 2))
+    )
+    d_pieces: List[Polygon] = [
+        _rect(F(3, 10), F(3, 10), F(7, 10), F(7, 10)),      # B
+        _rect(F(3, 10), F(-5, 10), F(7, 10), F(-1, 10)),    # S
+        _rect(F(-7, 10), F(-7, 10), F(-1, 10), F(-1, 10)),  # SW
+        _rect(F(-7, 10), F(3, 10), F(-1, 10), F(7, 10)),    # W
+        _rect(F(3, 10), F(13, 10), F(7, 10), F(17, 10)),    # N
+        _rect(F(13, 10), F(3, 10), F(17, 10), F(7, 10)),    # E
+        _rect(F(13, 10), F(-7, 10), F(17, 10), F(-3, 10)),  # SE
+    ]
+    # The NW piece is a square ring with a hole, split into the paper's
+    # two-polygon shared-edge representation (Fig. 2, region b).
+    d_pieces.extend(
+        ring_with_hole(
+            F(-8, 10), F(12, 10), F(-2, 10), F(18, 10),
+            F(-6, 10), F(14, 10), F(-4, 10), F(16, 10),
+        )
+    )
+    return {"a": a, "b": b, "c": c, "d": Region(d_pieces)}
+
+
+def ring_with_hole(x0, y0, x1, y1, hx0, hy0, hx1, hy1) -> List[Polygon]:
+    """A rectangle with a rectangular hole as two edge-sharing polygons.
+
+    This mirrors the paper's Fig. 2 representation of holes: the union of
+    the two simple clockwise polygons is the ring, their interiors are
+    disjoint, and they share boundary edges along the cut.
+    """
+    c_shape = Polygon.from_coordinates(
+        [
+            (x0, y0), (x0, y1), (x1, y1), (x1, hy1),
+            (hx0, hy1), (hx0, hy0), (x1, hy0), (x1, y0),
+        ],
+        ensure_clockwise=True,
+    )
+    band = _rect(hx1, hy0, x1, hy1)
+    return [c_shape, band]
+
+
+def figure2_regions() -> Dict[str, Region]:
+    """Fig. 2: how sets of polygons represent composite regions.
+
+    * ``a`` — a disconnected region represented by two polygons in the
+      spirit of the figure: a 9-vertex polygon ``(M1 ... M9)`` and a
+      10-vertex polygon ``(N1 ... N10)``;
+    * ``b`` — a region with a hole represented by two simple clockwise
+      polygons that share boundary edges (the figure's
+      ``(O2 O3 O4 P3 P2 P1)`` / ``(O1 O2 P1 P4 P3 O4)`` trick).
+    """
+    m_polygon = Polygon.from_coordinates(
+        [
+            (0, 0), (-1, 2), (0, 4), (2, 5), (4, 4),
+            (5, 2), (4, 1), (3, 2), (2, 1),
+        ],
+        ensure_clockwise=True,
+    )
+    n_polygon = Polygon.from_coordinates(
+        [
+            (8, 0), (7, 2), (8, 4), (9, 3), (10, 4),
+            (11, 3), (12, 4), (13, 2), (12, 0), (10, 1),
+        ],
+        ensure_clockwise=True,
+    )
+    # b: an outer hexagon-ish ring with a rectangular hole, cut into two
+    # edge-sharing simple polygons exactly as the paper draws it.
+    left_piece = Polygon.from_coordinates(
+        [
+            (20, 0), (20, 6), (26, 6), (26, 4), (22, 4), (22, 2), (26, 2), (26, 0),
+        ],
+        ensure_clockwise=True,
+    )
+    right_piece = Polygon.from_coordinates(
+        [(26, 0), (26, 2), (24, 2), (24, 4), (26, 4), (26, 6), (28, 6), (28, 0)],
+        ensure_clockwise=True,
+    )
+    return {
+        "a": Region([m_polygon, n_polygon]),
+        "b": Region([left_piece, right_piece]),
+    }
+
+
+def figure3_square() -> Region:
+    """Fig. 3a/3b: a quadrangle overlapping four tiles of the unit box.
+
+    Clipping splits it into 4 quadrangles (16 edges); Compute-CDR's edge
+    division yields 8 edges.
+    """
+    return Region.from_polygon(
+        _rect(F(-1, 2), F(-1, 2), F(1, 2), F(1, 2))
+    )
+
+
+def figure3_triangle() -> Region:
+    """Fig. 3c: a triangle overlapping all nine tiles of the unit box.
+
+    The paper's worst case: clipping produces 2 triangles, 6 quadrangles
+    and 1 pentagon (35 edges); Compute-CDR's division yields 11 edges.
+    """
+    return Region.from_polygon(
+        Polygon.from_coordinates([(-3, -1), (F(1, 2), 4), (4, -1)])
+    )
+
+
+def figure4_quadrangle() -> Region:
+    """The quadrangle of Fig. 4 / Examples 2 and 3.
+
+    Vertices ``N1..N4`` lie in ``W(b)``, ``NW(b)``, ``NW(b)`` and
+    ``NE(b)`` of the unit box, yet the relation is ``B:W:NW:N:NE:E`` —
+    the paper's demonstration that recording vertex tiles is not enough.
+    Compute-CDR divides its 4 edges into 9.
+    """
+    return Region.from_polygon(
+        Polygon.from_coordinates(
+            [
+                (0, F(1, 2)),        # N1 — on the W/B boundary, in W(b)
+                (-1, F(3, 2)),       # N2 ∈ NW(b)
+                (F(-1, 2), 2),       # N3 ∈ NW(b)
+                (2, F(5, 4)),        # N4 ∈ NE(b)
+            ]
+        )
+    )
+
+
+class Figure9(NamedTuple):
+    """The Fig. 9 configuration: a two-polygon primary and its reference box."""
+
+    primary: Region
+    reference: Region
+
+
+def figure9_region() -> Figure9:
+    """Fig. 9: region ``a`` = quadrangle ``(N1 N2 N3 N4)`` ∪ triangle ``(M1 M2 M3)``.
+
+    The quadrangle spans tiles ``W, NW, N, B`` of the reference box and
+    the triangle spans ``B, E`` — the shape used in the running example of
+    Section 3.2 to demonstrate the per-tile reference-line accumulation
+    and the ``B = (B+N) − N`` derivation.
+    """
+    reference = Region.from_polygon(_rect(0, 0, 4, 3))
+    quad = Polygon.from_coordinates(
+        [(-2, 2), (-1, 4), (2, 5), (1, 1)]
+    )
+    triangle = Polygon.from_coordinates(
+        [(3, 2), (5, F(3, 2)), (3, 1)]
+    )
+    return Figure9(primary=Region([quad, triangle]), reference=reference)
+
+
+class ScenarioRegion(NamedTuple):
+    """One annotated region of the Fig. 11 CARDIRECT configuration."""
+
+    id: str
+    name: str
+    color: str
+    region: Region
+
+
+def peloponnesian_war() -> List[ScenarioRegion]:
+    """The Fig. 11 configuration: Ancient Greece at the Peloponnesian war.
+
+    Colours follow the paper: the Athenean Alliance is blue, the Spartan
+    Alliance red, the pro-Spartan regions black.  Geometry is laid out so
+    that the paper's reported relation holds (Peloponnesos ``B:S:SW:W`` of
+    Attica) and so that the paper's example query — *"find all regions of
+    the Athenean Alliance which are surrounded by a region in the Spartan
+    Alliance"* — has the historically satisfying answer Pylos (the
+    Athenian enclave surrounded by Peloponnesos).
+    """
+    # Peloponnesos: an L-shaped landmass with a hole at Pylos, modelled as
+    # five axis-aligned polygons with pairwise disjoint interiors.
+    peloponnesos = Region(
+        [
+            _rect(50, 60, 55, 96),    # west strip of the lower block
+            _rect(61, 60, 90, 96),    # east part of the lower block
+            _rect(55, 60, 61, 65),    # below the Pylos hole
+            _rect(55, 71, 61, 96),    # above the Pylos hole
+            _rect(50, 96, 86, 110),   # upper block reaching into B(Attica)
+        ]
+    )
+    # Attica is L-shaped: its mbb spans [80,100] x [100,116] (so the
+    # Peloponnesian arm reaches into B(Attica) as Fig. 12 requires) while
+    # its actual territory stays clear of Peloponnesos.
+    attica = Region(
+        [
+            _rect(88, 100, 100, 116),  # main block
+            _rect(80, 112, 88, 116),   # north-west arm
+        ]
+    )
+    scenario = [
+        ScenarioRegion("attica", "Attica", "blue", attica),
+        ScenarioRegion("islands", "Islands", "blue", Region(
+            [_rect(110, 90, 120, 100), _rect(124, 104, 134, 114)]
+        )),
+        ScenarioRegion("east", "East", "blue", Region.from_polygon(_rect(150, 90, 170, 150))),
+        ScenarioRegion("corfu", "Corfu", "blue", Region.from_polygon(_rect(30, 124, 40, 134))),
+        ScenarioRegion("south_italy", "South Italy", "blue", Region.from_polygon(_rect(4, 110, 20, 150))),
+        ScenarioRegion("pylos", "Pylos", "blue", Region.from_polygon(_rect(56, 66, 60, 70))),
+        ScenarioRegion("peloponnesos", "Peloponnesos", "red", peloponnesos),
+        ScenarioRegion("beotia", "Beotia", "red", Region.from_polygon(_rect(70, 120, 96, 136))),
+        ScenarioRegion("crete", "Crete", "red", Region.from_polygon(_rect(90, 40, 140, 52))),
+        ScenarioRegion("sicily", "Sicily", "red", Region.from_polygon(_rect(4, 60, 24, 80))),
+        ScenarioRegion("macedonia", "Macedonia", "black", Region.from_polygon(_rect(40, 160, 120, 190))),
+    ]
+    return scenario

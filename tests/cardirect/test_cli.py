@@ -1,0 +1,76 @@
+"""Tests for the CARDIRECT command-line interface."""
+
+import pytest
+
+from repro.cardirect.cli import main
+
+
+@pytest.fixture
+def demo_xml(tmp_path):
+    path = tmp_path / "greece.xml"
+    assert main(["demo", str(path)]) == 0
+    return path
+
+
+class TestDemoAndValidate:
+    def test_demo_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "fresh.xml"
+        assert main(["demo", str(path)]) == 0
+        assert path.exists()
+        assert "wrote 11 regions" in capsys.readouterr().out
+
+    def test_validate_ok(self, demo_xml, capsys):
+        assert main(["validate", str(demo_xml)]) == 0
+        out = capsys.readouterr().out
+        assert "OK: 11 regions" in out
+
+    def test_validate_missing_file(self, tmp_path, capsys):
+        assert main(["validate", str(tmp_path / "nope.xml")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_validate_bad_xml(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<Image></Image>")
+        assert main(["validate", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRelations:
+    def test_all_pairs(self, demo_xml, capsys):
+        assert main(["relations", str(demo_xml)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 11 * 10
+
+    def test_restricted_pair(self, demo_xml, capsys):
+        assert main([
+            "relations", str(demo_xml),
+            "--primary", "peloponnesos", "--reference", "attica",
+        ]) == 0
+        assert capsys.readouterr().out.strip() == "peloponnesos B:S:SW:W attica"
+
+    def test_percentages(self, demo_xml, capsys):
+        assert main([
+            "relations", str(demo_xml), "--percentages",
+            "--primary", "attica", "--reference", "peloponnesos",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "attica vs peloponnesos:" in out
+        assert "%" in out
+
+
+class TestQuery:
+    def test_papers_query(self, demo_xml, capsys):
+        assert main([
+            "query", str(demo_xml),
+            "color(a) = red and color(b) = blue and a S:SW:W:NW:N:NE:E:SE b",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(Peloponnesos, Pylos)" in out
+
+    def test_query_without_results(self, demo_xml, capsys):
+        assert main(["query", str(demo_xml), "color(a) = purple"]) == 0
+        assert "no results" in capsys.readouterr().out
+
+    def test_bad_query_reports_error(self, demo_xml, capsys):
+        assert main(["query", str(demo_xml), "a likes b a lot"]) == 1
+        assert "error:" in capsys.readouterr().err

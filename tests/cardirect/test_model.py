@@ -1,0 +1,112 @@
+"""Tests for the CARDIRECT annotation model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.geometry.region import Region
+
+
+def region() -> Region:
+    return Region.from_coordinates([[(0, 0), (0, 1), (1, 1), (1, 0)]])
+
+
+class TestAnnotatedRegion:
+    def test_construction(self):
+        annotated = AnnotatedRegion("r1", region(), name="Lake", color="blue")
+        assert annotated.attribute("color") == "blue"
+        assert annotated.attribute("name") == "Lake"
+        assert annotated.attribute("id") == "r1"
+
+    def test_invalid_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnnotatedRegion("1r", region())
+        with pytest.raises(ConfigurationError):
+            AnnotatedRegion("has space", region())
+
+    def test_valid_ids(self):
+        for region_id in ("a", "_x", "region-1", "south.italy", "R2D2"):
+            AnnotatedRegion(region_id, region())
+
+    def test_non_region_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnnotatedRegion("r1", [(0, 0), (1, 1)])
+
+    def test_unknown_attribute_rejected(self):
+        annotated = AnnotatedRegion("r1", region())
+        with pytest.raises(ConfigurationError):
+            annotated.attribute("altitude")
+
+    def test_recolored(self):
+        annotated = AnnotatedRegion("r1", region(), color="red")
+        assert annotated.recolored("blue").color == "blue"
+        assert annotated.color == "red"  # original untouched (frozen)
+
+
+class TestConfiguration:
+    def make(self) -> Configuration:
+        return Configuration.from_regions(
+            [
+                AnnotatedRegion("a", region(), name="Alpha", color="red"),
+                AnnotatedRegion("b", region().translated(5, 0), name="Beta", color="blue"),
+            ],
+            image_name="map",
+        )
+
+    def test_from_regions(self):
+        configuration = self.make()
+        assert len(configuration) == 2
+        assert configuration.image_name == "map"
+
+    def test_duplicate_id_rejected(self):
+        configuration = self.make()
+        with pytest.raises(ConfigurationError):
+            configuration.add(AnnotatedRegion("a", region()))
+
+    def test_get_and_contains(self):
+        configuration = self.make()
+        assert configuration.get("a").name == "Alpha"
+        assert "a" in configuration and "zzz" not in configuration
+
+    def test_get_missing_raises(self):
+        with pytest.raises(ConfigurationError):
+            self.make().get("zzz")
+
+    def test_remove(self):
+        configuration = self.make()
+        removed = configuration.remove("a")
+        assert removed.name == "Alpha"
+        assert "a" not in configuration
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(ConfigurationError):
+            self.make().remove("zzz")
+
+    def test_replace_region(self):
+        configuration = self.make()
+        configuration.replace_region(
+            AnnotatedRegion("a", region().translated(100, 0), name="Alpha2")
+        )
+        assert configuration.get("a").name == "Alpha2"
+
+    def test_replace_missing_raises(self):
+        with pytest.raises(ConfigurationError):
+            self.make().replace_region(AnnotatedRegion("zzz", region()))
+
+    def test_find_by_name(self):
+        configuration = self.make()
+        assert configuration.find_by_name("Beta").id == "b"
+        assert configuration.find_by_name("Gamma") is None
+
+    def test_resolve_prefers_id(self):
+        configuration = self.make()
+        configuration.add(AnnotatedRegion("Alpha", region(), name="Trap"))
+        assert configuration.resolve("Alpha").id == "Alpha"
+        assert configuration.resolve("Beta").id == "b"
+
+    def test_resolve_missing_raises(self):
+        with pytest.raises(ConfigurationError):
+            self.make().resolve("nope")
+
+    def test_iteration_preserves_insertion_order(self):
+        assert [r.id for r in self.make()] == ["a", "b"]

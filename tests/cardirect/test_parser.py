@@ -1,0 +1,106 @@
+"""Tests for the query text parser."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.cardirect.parser import parse_query
+from repro.cardirect.query import (
+    AttributeCondition,
+    IdentityCondition,
+    RelationCondition,
+)
+from repro.core.relation import CardinalDirection
+
+
+class TestConditionKinds:
+    def test_attribute_condition(self):
+        query = parse_query("color(a) = red")
+        (condition,) = query.conditions
+        assert condition == AttributeCondition("a", "color", "red")
+
+    def test_identity_condition(self):
+        query = parse_query("a = Attica")
+        (condition,) = query.conditions
+        assert condition == IdentityCondition("a", "Attica")
+
+    def test_quoted_value_with_spaces(self):
+        query = parse_query('name(a) = "South Italy"')
+        (condition,) = query.conditions
+        assert condition.value == "South Italy"
+
+    def test_basic_relation_condition(self):
+        query = parse_query("a B:S:SW b")
+        (condition,) = query.conditions
+        assert isinstance(condition, RelationCondition)
+        assert condition.relation.contains(CardinalDirection.parse("B:S:SW"))
+        assert len(condition.relation) == 1
+
+    def test_disjunctive_relation_condition(self):
+        query = parse_query("a {N, W, B:S} b")
+        (condition,) = query.conditions
+        assert len(condition.relation) == 3
+
+    def test_the_papers_query(self):
+        """The exact query of Section 4."""
+        query = parse_query(
+            "color(a) = red, color(b) = blue, a S:SW:W:NW:N:NE:E:SE b"
+        )
+        assert query.variables == ["a", "b"]
+        kinds = [type(c).__name__ for c in query.conditions]
+        assert kinds == [
+            "AttributeCondition", "AttributeCondition", "RelationCondition",
+        ]
+
+
+class TestConjunctions:
+    def test_and_separator(self):
+        query = parse_query("color(a) = red and color(b) = blue")
+        assert len(query.conditions) == 2
+
+    def test_comma_separator(self):
+        query = parse_query("color(a) = red, color(b) = blue")
+        assert len(query.conditions) == 2
+
+    def test_mixed_separators(self):
+        query = parse_query("color(a) = red, a N b and b = Box")
+        assert len(query.conditions) == 3
+
+    def test_comma_inside_braces_is_not_a_separator(self):
+        query = parse_query("a {N, W} b and color(a) = red")
+        assert len(query.conditions) == 2
+
+    def test_and_inside_quotes_is_not_a_separator(self):
+        query = parse_query('name(a) = "Trinidad and Tobago"')
+        (condition,) = query.conditions
+        assert condition.value == "Trinidad and Tobago"
+
+
+class TestHeads:
+    def test_variables_in_order_of_appearance(self):
+        query = parse_query("color(b) = blue and a N b")
+        assert query.variables == ["b", "a"]
+
+    def test_explicit_head(self):
+        query = parse_query("a N b", variables=["a", "b", "c"])
+        assert query.variables == ["a", "b", "c"]
+
+    def test_allow_repeats_flag(self):
+        assert parse_query("a B b", allow_repeats=True).allow_repeats
+
+
+class TestErrors:
+    def test_empty_query(self):
+        with pytest.raises(QueryError):
+            parse_query("   ")
+
+    def test_garbage_condition(self):
+        with pytest.raises(QueryError):
+            parse_query("a likes b maybe")
+
+    def test_bad_relation(self):
+        with pytest.raises(QueryError):
+            parse_query("a N:N b")
+
+    def test_empty_disjunction(self):
+        with pytest.raises(QueryError):
+            parse_query("a {} b")

@@ -1,0 +1,153 @@
+"""Tests for the CARDIRECT query model and evaluator (E12)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.cardirect.query import (
+    AttributeCondition,
+    IdentityCondition,
+    Query,
+    RelationCondition,
+)
+from repro.cardirect.store import RelationStore
+from repro.core.relation import CardinalDirection, DisjunctiveCD
+from repro.geometry.region import Region
+
+
+def rect_region(x0, y0, x1, y1) -> Region:
+    return Region.from_coordinates([[(x0, y0), (x0, y1), (x1, y1), (x1, y0)]])
+
+
+def make_store() -> RelationStore:
+    configuration = Configuration.from_regions(
+        [
+            AnnotatedRegion("box", rect_region(0, 0, 10, 10), name="Box", color="red"),
+            AnnotatedRegion("s1", rect_region(2, -8, 8, -2), name="South One", color="blue"),
+            AnnotatedRegion("s2", rect_region(2, -20, 8, -12), name="South Two", color="blue"),
+            AnnotatedRegion("e1", rect_region(12, 2, 18, 8), name="East One", color="green"),
+        ]
+    )
+    return RelationStore(configuration)
+
+
+class TestValidation:
+    def test_needs_variables(self):
+        with pytest.raises(QueryError):
+            Query([], [])
+
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(QueryError):
+            Query(["x", "x"], [])
+
+    def test_unknown_variable_in_condition_rejected(self):
+        with pytest.raises(QueryError):
+            Query(["x"], [AttributeCondition("y", "color", "red")])
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(QueryError):
+            AttributeCondition("x", "altitude", "high")
+
+
+class TestEvaluation:
+    def test_unconstrained_single_variable(self):
+        store = make_store()
+        results = Query(["x"], []).evaluate(store)
+        assert len(results) == 4
+
+    def test_attribute_filter(self):
+        store = make_store()
+        query = Query(["x"], [AttributeCondition("x", "color", "blue")])
+        assert {row[0] for row in query.evaluate(store)} == {"s1", "s2"}
+
+    def test_identity_by_id(self):
+        store = make_store()
+        query = Query(["x"], [IdentityCondition("x", "box")])
+        assert query.evaluate(store) == [("box",)]
+
+    def test_identity_by_name(self):
+        store = make_store()
+        query = Query(["x"], [IdentityCondition("x", "South One")])
+        assert query.evaluate(store) == [("s1",)]
+
+    def test_basic_relation_condition(self):
+        store = make_store()
+        query = Query(
+            ["a", "b"],
+            [RelationCondition.basic("a", CardinalDirection.parse("S"), "b")],
+        )
+        results = set(query.evaluate(store))
+        assert ("s1", "box") in results and ("s2", "box") in results
+
+    def test_disjunctive_relation_condition(self):
+        store = make_store()
+        relation = DisjunctiveCD.parse("{S, E}")
+        query = Query(
+            ["a", "b"],
+            [
+                RelationCondition("a", relation, "b"),
+                IdentityCondition("b", "box"),
+            ],
+        )
+        assert {row[0] for row in query.evaluate(store)} == {"s1", "s2", "e1"}
+
+    def test_conjunction_of_conditions(self):
+        store = make_store()
+        query = Query(
+            ["a", "b"],
+            [
+                AttributeCondition("a", "color", "blue"),
+                RelationCondition.basic("a", CardinalDirection.parse("S"), "b"),
+                AttributeCondition("b", "color", "red"),
+            ],
+        )
+        assert set(query.evaluate(store)) == {("s1", "box"), ("s2", "box")}
+
+    def test_distinctness_default(self):
+        store = make_store()
+        query = Query(
+            ["a", "b"],
+            [RelationCondition.basic("a", CardinalDirection.parse("B"), "b")],
+        )
+        # Every region is B of itself, but repeats are disallowed by
+        # default — and no two distinct regions here are B-related.
+        assert query.evaluate(store) == []
+
+    def test_allow_repeats(self):
+        store = make_store()
+        query = Query(
+            ["a", "b"],
+            [RelationCondition.basic("a", CardinalDirection.parse("B"), "b")],
+            allow_repeats=True,
+        )
+        assert len(query.evaluate(store)) == 4  # each region with itself
+
+    def test_result_tuple_order_follows_head(self):
+        store = make_store()
+        query = Query(
+            ["b", "a"],
+            [
+                IdentityCondition("b", "box"),
+                RelationCondition.basic("a", CardinalDirection.parse("E"), "b"),
+            ],
+        )
+        assert query.evaluate(store) == [("box", "e1")]
+
+    def test_empty_result(self):
+        store = make_store()
+        query = Query(
+            ["a", "b"],
+            [RelationCondition.basic("a", CardinalDirection.parse("NW"), "b")],
+        )
+        assert query.evaluate(store) == []
+
+    def test_three_variable_chain(self):
+        store = make_store()
+        query = Query(
+            ["a", "b", "c"],
+            [
+                RelationCondition.basic("a", CardinalDirection.parse("S"), "b"),
+                RelationCondition.basic("b", CardinalDirection.parse("S"), "c"),
+            ],
+        )
+        assert query.evaluate(store) == [("s2", "s1", "box")]

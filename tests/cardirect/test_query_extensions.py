@@ -1,0 +1,157 @@
+"""Tests for the enriched query language (topology + distance atoms).
+
+This is the paper's future-work item realised end to end: RCC8 and
+qualitative-distance conditions evaluate through the relation store and
+compose freely with the original thematic/directional atoms.
+"""
+
+import pytest
+
+from repro.errors import GeometryError, QueryError
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.cardirect.parser import parse_query
+from repro.cardirect.query import DistanceCondition, Query, TopologyCondition
+from repro.cardirect.store import RelationStore
+from repro.extensions.distance import DistanceFrame
+from repro.extensions.topology import RCC8
+from repro.geometry.region import Region
+
+
+def rect_region(x0, y0, x1, y1) -> Region:
+    return Region.from_coordinates([[(x0, y0), (x0, y1), (x1, y1), (x1, y0)]])
+
+
+@pytest.fixture()
+def store() -> RelationStore:
+    configuration = Configuration.from_regions(
+        [
+            AnnotatedRegion("lake", rect_region(0, 0, 10, 10), color="water"),
+            AnnotatedRegion("island", rect_region(4, 4, 6, 6), color="land"),
+            AnnotatedRegion("shore", rect_region(10, 0, 14, 10), color="land"),
+            AnnotatedRegion("village", rect_region(20, 0, 24, 4), color="urban"),
+            AnnotatedRegion("far_town", rect_region(200, 0, 204, 4), color="urban"),
+        ]
+    )
+    frame = DistanceFrame(("equal", "close", "far"), (0.0, 10.0))
+    return RelationStore(configuration, distance_frame=frame)
+
+
+class TestStoreExtensions:
+    def test_topology_cached_with_inverse(self, store):
+        assert store.topology("island", "lake") is RCC8.NTPP
+        assert store.topology("lake", "island") is RCC8.NTPPI
+
+    def test_topology_values(self, store):
+        assert store.topology("shore", "lake") is RCC8.EC
+        assert store.topology("village", "lake") is RCC8.DC
+
+    def test_distance_symmetric(self, store):
+        assert store.distance("village", "lake") == 10.0
+        assert store.distance("lake", "village") == 10.0
+
+    def test_qualitative_distance(self, store):
+        assert store.qualitative_distance("island", "lake") == "equal"
+        assert store.qualitative_distance("village", "lake") == "close"
+        assert store.qualitative_distance("far_town", "lake") == "far"
+
+    def test_default_frame_derived_from_scene(self):
+        configuration = Configuration.from_regions(
+            [AnnotatedRegion("a", rect_region(0, 0, 30, 40))]
+        )
+        bare = RelationStore(configuration)
+        assert bare.distance_frame.symbols[0] == "equal"
+
+    def test_invalidation_covers_extensions(self, store):
+        assert store.topology("island", "lake") is RCC8.NTPP
+        store.update_region(
+            AnnotatedRegion("island", rect_region(40, 40, 42, 42), color="land")
+        )
+        assert store.topology("island", "lake") is RCC8.DC
+        assert store.qualitative_distance("island", "lake") == "far"
+
+
+class TestConditions:
+    def test_topology_condition_validation(self):
+        with pytest.raises(QueryError):
+            TopologyCondition("a", frozenset(), "b")
+        with pytest.raises(QueryError):
+            TopologyCondition("a", frozenset({"EC"}), "b")  # not RCC8 values
+
+    def test_distance_condition_validation(self):
+        with pytest.raises(QueryError):
+            DistanceCondition("a", frozenset(), "b")
+
+    def test_topology_query(self, store):
+        query = Query(
+            ["x", "y"],
+            [TopologyCondition("x", frozenset({RCC8.NTPP}), "y")],
+        )
+        assert query.evaluate(store) == [("island", "lake")]
+
+    def test_distance_query(self, store):
+        query = Query(
+            ["x", "y"],
+            [
+                DistanceCondition("x", frozenset({"far"}), "y"),
+            ],
+        )
+        results = set(query.evaluate(store))
+        assert ("far_town", "lake") in results
+
+
+class TestParserSyntax:
+    def test_rcc8_single(self):
+        query = parse_query("rcc8(a, b) = EC")
+        (condition,) = query.conditions
+        assert isinstance(condition, TopologyCondition)
+        assert condition.relations == frozenset({RCC8.EC})
+
+    def test_rcc8_case_insensitive(self):
+        (condition,) = parse_query("rcc8(a, b) = ntpp").conditions
+        assert condition.relations == frozenset({RCC8.NTPP})
+
+    def test_rcc8_disjunction(self):
+        (condition,) = parse_query("rcc8(a, b) = {EC, PO}").conditions
+        assert condition.relations == frozenset({RCC8.EC, RCC8.PO})
+
+    def test_rcc8_unknown_relation(self):
+        with pytest.raises(QueryError):
+            parse_query("rcc8(a, b) = ADJACENTISH")
+
+    def test_distance_single(self):
+        (condition,) = parse_query("distance(a, b) = close").conditions
+        assert isinstance(condition, DistanceCondition)
+        assert condition.symbols == frozenset({"close"})
+
+    def test_distance_disjunction(self):
+        (condition,) = parse_query("distance(a, b) = {equal, close}").conditions
+        assert condition.symbols == frozenset({"equal", "close"})
+
+    def test_commas_in_function_args_do_not_split(self):
+        query = parse_query("rcc8(a, b) = EC and distance(a, b) = close")
+        assert len(query.conditions) == 2
+
+    def test_variables_collected_from_function_atoms(self):
+        query = parse_query("rcc8(a, b) = EC")
+        assert query.variables == ["a", "b"]
+
+
+class TestCombinedQueries:
+    def test_mixing_all_atom_kinds(self, store):
+        query = parse_query(
+            "color(x) = land and rcc8(x, lake_var) = {EC, NTPP} "
+            "and lake_var = lake and distance(x, lake_var) = equal "
+            "and x {B, E, B:E} lake_var"
+        )
+        results = query.evaluate(store)
+        assert {row[0] for row in results} == {"island", "shore"}
+
+    def test_topology_query_rejects_non_rectilinear(self, store):
+        store.configuration.add(
+            AnnotatedRegion(
+                "triangle",
+                Region.from_coordinates([[(50, 0), (50, 5), (55, 0)]]),
+            )
+        )
+        with pytest.raises(GeometryError):
+            store.topology("triangle", "lake")

@@ -1,0 +1,110 @@
+"""Tests for quantitative percentage atoms in the query language."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.cardirect.parser import parse_query
+from repro.cardirect.query import PercentageCondition, Query
+from repro.cardirect.store import RelationStore
+from repro.core.tiles import Tile
+from repro.geometry.region import Region
+
+
+def rect_region(x0, y0, x1, y1) -> Region:
+    return Region.from_coordinates([[(x0, y0), (x0, y1), (x1, y1), (x1, y0)]])
+
+
+@pytest.fixture()
+def store() -> RelationStore:
+    configuration = Configuration.from_regions(
+        [
+            AnnotatedRegion("box", rect_region(0, 0, 10, 10)),
+            # 25% in each of B, W, S, SW of box.
+            AnnotatedRegion("corner", rect_region(-5, -5, 5, 5)),
+            # 100% N of box.
+            AnnotatedRegion("due_north", rect_region(0, 12, 10, 20)),
+            # 75% E / 25% NE of box.
+            AnnotatedRegion("mostly_east", rect_region(12, 4, 18, 12)),
+        ]
+    )
+    return RelationStore(configuration)
+
+
+class TestConditionValidation:
+    def test_bad_operator(self):
+        with pytest.raises(QueryError):
+            PercentageCondition("a", Tile.N, "!=", 50, "b")
+
+    def test_bad_tile(self):
+        with pytest.raises(QueryError):
+            PercentageCondition("a", "N", ">=", 50, "b")
+
+    def test_threshold_bounds(self):
+        with pytest.raises(QueryError):
+            PercentageCondition("a", Tile.N, ">=", 150, "b")
+        with pytest.raises(QueryError):
+            PercentageCondition("a", Tile.N, ">=", -1, "b")
+
+    def test_holds_comparators(self):
+        condition = PercentageCondition("a", Tile.N, ">=", 50, "b")
+        assert condition.holds(50) and condition.holds(80)
+        assert not condition.holds(49.9)
+        assert PercentageCondition("a", Tile.N, "=", 25, "b").holds(25.0)
+        assert PercentageCondition("a", Tile.N, "<", 25, "b").holds(10)
+
+
+class TestEvaluation:
+    def test_exact_quarter(self, store):
+        query = Query(
+            ["x", "y"],
+            [
+                PercentageCondition("x", Tile.SW, "=", 25, "y"),
+            ],
+        )
+        assert ("corner", "box") in set(query.evaluate(store))
+
+    def test_majority_share(self, store):
+        query = Query(
+            ["x", "y"],
+            [PercentageCondition("x", Tile.E, ">", 50, "y")],
+        )
+        assert set(query.evaluate(store)) == {("mostly_east", "box")}
+
+    def test_full_share(self, store):
+        query = Query(
+            ["x", "y"],
+            [PercentageCondition("x", Tile.N, ">=", 100, "y")],
+        )
+        assert set(query.evaluate(store)) == {("due_north", "box")}
+
+    def test_combined_with_relation_atom(self, store):
+        query = parse_query(
+            "x NE:E y and pct(x, y, NE) <= 30 and y = box"
+        )
+        assert query.evaluate(store) == [("mostly_east", "box")]
+
+
+class TestParser:
+    def test_basic(self):
+        (condition,) = parse_query("pct(a, b, NE) >= 50").conditions
+        assert isinstance(condition, PercentageCondition)
+        assert condition.tile is Tile.NE
+        assert condition.operator == ">=" and condition.threshold == 50.0
+
+    def test_lowercase_tile(self):
+        (condition,) = parse_query("pct(a, b, sw) < 10.5").conditions
+        assert condition.tile is Tile.SW and condition.threshold == 10.5
+
+    def test_unknown_tile(self):
+        with pytest.raises(QueryError):
+            parse_query("pct(a, b, NNE) >= 50")
+
+    def test_variables_collected(self):
+        query = parse_query("pct(a, b, B) > 0 and color(a) = red")
+        assert query.variables == ["a", "b"]
+
+    def test_all_comparators_parse(self):
+        for op in (">=", "<=", ">", "<", "="):
+            (condition,) = parse_query(f"pct(a, b, N) {op} 10").conditions
+            assert condition.operator == op

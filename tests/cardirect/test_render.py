@@ -1,0 +1,126 @@
+"""Tests for the ASCII configuration renderer."""
+
+import pytest
+
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.cardirect.render import (
+    EMPTY,
+    OVERLAP,
+    assign_symbols,
+    render_configuration,
+    scene_box,
+)
+from repro.geometry.region import Region
+
+
+def rect_region(x0, y0, x1, y1) -> Region:
+    return Region.from_coordinates([[(x0, y0), (x0, y1), (x1, y1), (x1, y0)]])
+
+
+def make_configuration() -> Configuration:
+    return Configuration.from_regions(
+        [
+            AnnotatedRegion("west", rect_region(0, 0, 4, 10), name="West", color="red"),
+            AnnotatedRegion("east", rect_region(6, 0, 10, 10), name="East"),
+        ]
+    )
+
+
+class TestSceneBox:
+    def test_union_of_boxes(self):
+        box = scene_box(make_configuration())
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 0, 10, 10)
+
+    def test_empty_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            scene_box(Configuration())
+
+
+class TestSymbols:
+    def test_insertion_order(self):
+        symbols = assign_symbols(make_configuration())
+        assert symbols == {"west": "A", "east": "B"}
+
+
+class TestRender:
+    def test_grid_dimensions(self):
+        art = render_configuration(make_configuration(), width=20, legend=False)
+        lines = art.splitlines()
+        assert all(len(line) == 20 for line in lines)
+        assert len(lines) == 10  # aspect 1:1, halved vertically
+
+    def test_west_east_layout(self):
+        art = render_configuration(make_configuration(), width=20, legend=False)
+        first_row = art.splitlines()[0]
+        assert first_row.startswith("A")
+        assert first_row.endswith("B")
+        assert EMPTY in first_row  # the gap between them
+
+    def test_overlap_marker(self):
+        configuration = Configuration.from_regions(
+            [
+                AnnotatedRegion("a", rect_region(0, 0, 6, 10)),
+                AnnotatedRegion("b", rect_region(4, 0, 10, 10)),
+            ]
+        )
+        art = render_configuration(configuration, width=20, legend=False)
+        assert OVERLAP in art
+
+    def test_legend(self):
+        art = render_configuration(make_configuration(), width=10)
+        assert "A = West (red)" in art
+        assert "B = East" in art
+
+    def test_north_is_up(self):
+        configuration = Configuration.from_regions(
+            [
+                AnnotatedRegion("north", rect_region(0, 8, 10, 10)),
+                AnnotatedRegion("south", rect_region(0, 0, 10, 2)),
+            ]
+        )
+        art = render_configuration(configuration, width=10, height=10, legend=False)
+        lines = art.splitlines()
+        assert lines[0].count("A") == 10
+        assert lines[-1].count("B") == 10
+
+    def test_explicit_height(self):
+        art = render_configuration(make_configuration(), width=8, height=4, legend=False)
+        assert len(art.splitlines()) == 4
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            render_configuration(make_configuration(), width=0)
+        with pytest.raises(ValueError):
+            render_configuration(make_configuration(), width=10, height=0)
+
+    def test_minimal_raster(self):
+        art = render_configuration(make_configuration(), width=1, height=1, legend=False)
+        assert len(art) == 1
+
+    def test_peloponnese_scene_renders(self):
+        from repro.workloads.scenarios import peloponnesian_war
+
+        configuration = Configuration()
+        for entry in peloponnesian_war():
+            configuration.add(
+                AnnotatedRegion(
+                    id=entry.id, name=entry.name, color=entry.color,
+                    region=entry.region,
+                )
+            )
+        art = render_configuration(configuration, width=40)
+        assert "Peloponnesos" in art      # legend present
+        assert OVERLAP not in art         # scenario regions are disjoint
+
+
+class TestCliShow:
+    def test_show_command(self, tmp_path, capsys):
+        from repro.cardirect.cli import main
+
+        path = tmp_path / "greece.xml"
+        assert main(["demo", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["show", str(path), "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Macedonia" in out
+        assert EMPTY in out

@@ -1,0 +1,113 @@
+"""Tests for the report module and its CLI command."""
+
+import pytest
+
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.cardirect.report import (
+    configuration_summary,
+    full_report,
+    pair_report,
+    relation_report,
+)
+from repro.cardirect.store import RelationStore
+from repro.geometry.region import Region
+
+
+def rect_region(x0, y0, x1, y1) -> Region:
+    return Region.from_coordinates([[(x0, y0), (x0, y1), (x1, y1), (x1, y0)]])
+
+
+@pytest.fixture()
+def store() -> RelationStore:
+    configuration = Configuration.from_regions(
+        [
+            AnnotatedRegion("box", rect_region(0, 0, 10, 10), name="Box", color="red"),
+            AnnotatedRegion("south", rect_region(0, -8, 10, -2), name="South", color="blue"),
+        ],
+        image_name="demo map",
+    )
+    return RelationStore(configuration)
+
+
+class TestConfigurationSummary:
+    def test_contains_header_and_rows(self, store):
+        summary = configuration_summary(store.configuration)
+        assert "Configuration: demo map" in summary
+        assert "Regions:       2" in summary
+        assert "box" in summary and "South" in summary
+
+    def test_area_column(self, store):
+        assert "100.0" in configuration_summary(store.configuration)
+
+
+class TestRelationReport:
+    def test_sentences(self, store):
+        report = relation_report(store)
+        assert "South is S of Box" in report
+        assert "Box is N of South" in report
+
+    def test_ids_variant(self, store):
+        report = relation_report(store, names=False)
+        assert "south is S of box" in report
+
+    def test_line_count(self, store):
+        assert len(relation_report(store).splitlines()) == 2
+
+
+class TestPairReport:
+    def test_sections(self, store):
+        report = pair_report(store, "south", "box")
+        assert "South is S of Box" in report
+        assert "Direction relation matrix:" in report
+        assert report.count("■") == 1
+        assert "With percentages:" in report
+        assert "100.0%" in report
+        assert "Qualitative distance:" in report
+        assert "Topology (RCC8): DC" in report
+
+    def test_non_rectilinear_omits_topology(self):
+        configuration = Configuration.from_regions(
+            [
+                AnnotatedRegion(
+                    "tri",
+                    Region.from_coordinates([[(0, 0), (0, 2), (2, 0)]]),
+                ),
+                AnnotatedRegion("box", rect_region(5, 0, 7, 2)),
+            ]
+        )
+        store = RelationStore(configuration)
+        report = pair_report(store, "tri", "box")
+        assert "Topology" not in report
+        assert "Qualitative distance:" in report
+
+
+class TestFullReport:
+    def test_combines_summary_and_relations(self, store):
+        report = full_report(store)
+        assert "Configuration: demo map" in report
+        assert "South is S of Box" in report
+
+
+class TestCli:
+    def test_report_command(self, tmp_path, capsys):
+        from repro.cardirect.cli import main
+
+        path = tmp_path / "greece.xml"
+        assert main(["demo", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Peloponnesos is B:S:SW:W of Attica" in out
+
+    def test_pair_report_command(self, tmp_path, capsys):
+        from repro.cardirect.cli import main
+
+        path = tmp_path / "greece.xml"
+        assert main(["demo", str(path)]) == 0
+        capsys.readouterr()
+        assert main([
+            "report", str(path), "--pair", "attica", "peloponnesos",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Attica is B:N:NE:E of Peloponnesos" in out
+        assert "With percentages:" in out

@@ -1,0 +1,75 @@
+"""E11/E12: the Fig. 11 CARDIRECT scenario behaves as the paper reports."""
+
+import pytest
+
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.cardirect.parser import parse_query
+from repro.cardirect.store import RelationStore
+from repro.cardirect.xmlio import configuration_from_xml, configuration_to_xml
+from repro.core.tiles import Tile
+from repro.workloads.scenarios import peloponnesian_war
+
+
+@pytest.fixture(scope="module")
+def store() -> RelationStore:
+    configuration = Configuration(image_name="Ancient Greece")
+    for entry in peloponnesian_war():
+        configuration.add(
+            AnnotatedRegion(
+                id=entry.id, name=entry.name, color=entry.color, region=entry.region
+            )
+        )
+    return RelationStore(configuration)
+
+
+class TestScenarioContents:
+    def test_eleven_regions(self, store):
+        assert len(store.configuration) == 11
+
+    def test_alliance_colours(self, store):
+        colours = {r.color for r in store.configuration}
+        assert colours == {"blue", "red", "black"}
+        blues = [r.id for r in store.configuration if r.color == "blue"]
+        assert set(blues) == {
+            "attica", "islands", "east", "corfu", "south_italy", "pylos",
+        }
+
+    def test_peloponnesos_is_composite(self, store):
+        peloponnesos = store.configuration.get("peloponnesos").region
+        assert len(peloponnesos) == 5  # hole at Pylos via 5 rectangles
+
+
+class TestPaperClaims:
+    def test_peloponnesos_b_s_sw_w_of_attica(self, store):
+        """The relation the paper prints in Fig. 12."""
+        assert str(store.relation("peloponnesos", "attica")) == "B:S:SW:W"
+
+    def test_attica_percentages_vs_peloponnesos(self, store):
+        matrix = store.percentages("attica", "peloponnesos")
+        positive = {t.name for t in Tile if matrix.percentage(t) > 0}
+        assert positive == {"B", "E", "N", "NE"}
+        assert sum(matrix.percentage(t) for t in Tile) == 100
+
+    def test_macedonia_is_north(self, store):
+        relation = store.relation("macedonia", "attica")
+        assert set(relation.tiles) <= {Tile.N, Tile.NW, Tile.NE}
+
+    def test_surround_query(self, store):
+        query = parse_query(
+            "color(a) = red and color(b) = blue and a S:SW:W:NW:N:NE:E:SE b"
+        )
+        assert query.evaluate(store) == [("peloponnesos", "pylos")]
+
+    def test_pylos_inside_the_hole(self, store):
+        assert str(store.relation("pylos", "peloponnesos")) == "B"
+
+
+class TestScenarioXmlRoundtrip:
+    def test_roundtrip(self, store):
+        text = configuration_to_xml(store.configuration, store=store)
+        reloaded, relations = configuration_from_xml(text)
+        assert len(reloaded) == 11
+        assert len(relations) == 11 * 10
+        assert str(relations[("peloponnesos", "attica")]) == "B:S:SW:W"
+        for original in store.configuration:
+            assert reloaded.get(original.id).region == original.region

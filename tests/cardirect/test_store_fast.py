@@ -1,0 +1,61 @@
+"""Tests for the store's vectorised fast mode."""
+
+import random
+
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.cardirect.store import RelationStore
+from repro.core.tiles import Tile
+from repro.workloads.generators import random_rectilinear_region
+
+
+def build_configuration(seed: int = 5, count: int = 6) -> Configuration:
+    rng = random.Random(seed)
+    return Configuration.from_regions(
+        [
+            AnnotatedRegion(
+                f"r{i}", random_rectilinear_region(rng, rng.randint(1, 5))
+            )
+            for i in range(count)
+        ]
+    )
+
+
+class TestFastStore:
+    def test_relations_agree_with_exact_store(self):
+        configuration = build_configuration()
+        exact = RelationStore(configuration)
+        fast = RelationStore(configuration, fast=True)
+        for primary, reference, relation in exact.all_relations():
+            assert fast.relation(primary, reference) == relation
+
+    def test_percentages_agree_within_float_noise(self):
+        configuration = build_configuration(9)
+        exact = RelationStore(configuration)
+        fast = RelationStore(configuration, fast=True)
+        ids = configuration.region_ids
+        for i in ids:
+            for j in ids:
+                if i == j:
+                    continue
+                fast_matrix = fast.percentages(i, j)
+                exact_matrix = exact.percentages(i, j)
+                for tile in Tile:
+                    assert abs(
+                        float(fast_matrix.percentage(tile))
+                        - float(exact_matrix.percentage(tile))
+                    ) < 1e-8
+
+    def test_fast_store_caches(self):
+        store = RelationStore(build_configuration(), fast=True)
+        first = store.relation("r0", "r1")
+        assert store.relation("r0", "r1") is first
+
+    def test_fast_store_invalidation(self):
+        configuration = build_configuration()
+        store = RelationStore(configuration, fast=True)
+        store.relation("r0", "r1")
+        moved = configuration.get("r0")
+        store.update_region(
+            AnnotatedRegion(moved.id, moved.region.translated(1000, 0))
+        )
+        assert str(store.relation("r0", "r1")) in ("E", "NE", "SE", "NE:E", "E:SE", "NE:E:SE", "NE:SE")

@@ -1,0 +1,73 @@
+"""Hypothesis fuzz: arbitrary generated configurations round-trip."""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.cardirect.xmlio import configuration_from_xml, configuration_to_xml
+from repro.workloads.generators import (
+    random_multi_polygon_region,
+    random_rectilinear_region,
+)
+
+_NAMES = ["", "Lake", "North Forest", 'quoted "name"', "ünïcode-Ωmega", "a & b < c"]
+_COLORS = ["", "red", "blue", "rgb(1,2,3)", "#00ff00"]
+
+
+@st.composite
+def configurations(draw):
+    seed = draw(st.integers(0, 10**9))
+    rng = random.Random(seed)
+    count = draw(st.integers(1, 5))
+    configuration = Configuration(
+        image_name=draw(st.sampled_from(_NAMES)),
+        image_file=draw(st.sampled_from(["", "map.png"])),
+    )
+    for index in range(count):
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            region = random_rectilinear_region(rng, rng.randint(1, 4))
+        elif kind == 1:
+            region = random_multi_polygon_region(
+                rng.randint(0, 10**6), 2, rng.randint(3, 9)
+            )
+        else:
+            region = random_rectilinear_region(rng, 2).scaled(
+                Fraction(1, rng.choice([3, 7, 11]))
+            )
+        configuration.add(
+            AnnotatedRegion(
+                id=f"region{index}",
+                region=region,
+                name=draw(st.sampled_from(_NAMES)),
+                color=draw(st.sampled_from(_COLORS)),
+            )
+        )
+    return configuration
+
+
+@settings(max_examples=30, deadline=None)
+@given(configurations())
+def test_roundtrip_preserves_everything(configuration):
+    text = configuration_to_xml(configuration)
+    reloaded, relations = configuration_from_xml(text)
+    assert [r.id for r in reloaded] == [r.id for r in configuration]
+    for original in configuration:
+        clone = reloaded.get(original.id)
+        assert clone.region == original.region
+        assert clone.name == original.name
+        assert clone.color == original.color
+    expected_pairs = len(configuration) * (len(configuration) - 1)
+    assert len(relations) == expected_pairs
+    assert reloaded.image_name == configuration.image_name
+
+
+@settings(max_examples=15, deadline=None)
+@given(configurations())
+def test_double_roundtrip_is_fixed_point(configuration):
+    once = configuration_to_xml(configuration)
+    reloaded, _ = configuration_from_xml(once)
+    assert configuration_to_xml(reloaded) == once

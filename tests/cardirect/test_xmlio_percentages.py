@@ -1,0 +1,95 @@
+"""Tests for the percentage extension of the XML format."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import XMLFormatError
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.cardirect.store import RelationStore
+from repro.cardirect.xmlio import (
+    configuration_from_xml,
+    configuration_to_xml,
+    format_percentages,
+    parse_percentages,
+    stored_percentages_from_xml,
+)
+from repro.core.matrix import PercentageMatrix
+from repro.core.tiles import Tile
+from repro.geometry.region import Region
+
+
+def rect_region(x0, y0, x1, y1) -> Region:
+    return Region.from_coordinates([[(x0, y0), (x0, y1), (x1, y1), (x1, y0)]])
+
+
+def make_configuration() -> Configuration:
+    return Configuration.from_regions(
+        [
+            AnnotatedRegion("box", rect_region(0, 0, 10, 10)),
+            AnnotatedRegion("corner", rect_region(-5, -5, 5, 5)),
+        ]
+    )
+
+
+class TestMatrixSerialisation:
+    def test_roundtrip_exact(self):
+        matrix = PercentageMatrix(
+            {Tile.NE: Fraction(100, 3), Tile.E: Fraction(200, 3)}
+        )
+        assert parse_percentages(format_percentages(matrix)) == matrix
+
+    def test_roundtrip_float(self):
+        matrix = PercentageMatrix({Tile.B: 62.5, Tile.N: 37.5})
+        parsed = parse_percentages(format_percentages(matrix))
+        assert parsed.is_close_to(matrix, tolerance=1e-12)
+
+    def test_wrong_cell_count_rejected(self):
+        with pytest.raises(XMLFormatError):
+            parse_percentages("1 2 3")
+
+    def test_bad_sum_rejected(self):
+        with pytest.raises(XMLFormatError):
+            parse_percentages("10 0 0 0 0 0 0 0 0")
+
+    def test_layout_order_is_papers(self):
+        """First serialized cell is NW, fifth is B, last is SE."""
+        matrix = PercentageMatrix({Tile.NW: 40, Tile.B: 35, Tile.SE: 25})
+        cells = format_percentages(matrix).split()
+        assert cells[0] == "40" and cells[4] == "35" and cells[8] == "25"
+
+
+class TestDocumentLevel:
+    def test_disabled_by_default(self):
+        text = configuration_to_xml(make_configuration())
+        assert "percentages=" not in text
+
+    def test_enabled(self):
+        text = configuration_to_xml(
+            make_configuration(), include_percentages=True
+        )
+        assert text.count("percentages=") == 2
+
+    def test_stored_matrices_match_store(self):
+        configuration = make_configuration()
+        store = RelationStore(configuration)
+        text = configuration_to_xml(
+            configuration, store=store, include_percentages=True
+        )
+        matrices = stored_percentages_from_xml(text)
+        assert len(matrices) == 2
+        assert matrices[("corner", "box")] == store.percentages("corner", "box")
+        # The exact rationals survive: 25% in each of B/S/W/SW.
+        assert matrices[("corner", "box")].percentage(Tile.SW) == 25
+
+    def test_documents_without_percentages_yield_empty(self):
+        text = configuration_to_xml(make_configuration())
+        assert stored_percentages_from_xml(text) == {}
+
+    def test_plain_import_still_works(self):
+        """The percentage attribute must not break ordinary parsing."""
+        text = configuration_to_xml(
+            make_configuration(), include_percentages=True
+        )
+        reloaded, relations = configuration_from_xml(text)
+        assert len(reloaded) == 2 and len(relations) == 2

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.polygon import Polygon
+from repro.geometry.region import Region
+from repro.workloads.scenarios import figure1_regions, unit_square_region
+
+
+@pytest.fixture
+def unit_square() -> Region:
+    """The reference region ``b`` of the worked examples: ``[0, 1]²``."""
+    return unit_square_region()
+
+
+@pytest.fixture
+def figure1():
+    """The Fig. 1 regions keyed ``a``, ``b``, ``c``, ``d``."""
+    return figure1_regions()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; reseed per test for reproducibility."""
+    return random.Random(20040314)  # EDBT 2004 vintage
+
+
+def rectangle(x0, y0, x1, y1) -> Polygon:
+    """Clockwise axis-aligned rectangle (helper importable from conftest)."""
+    return Polygon.from_coordinates([(x0, y0), (x0, y1), (x1, y1), (x1, y0)])
+
+
+@pytest.fixture
+def rect():
+    """The :func:`rectangle` helper as a fixture."""
+    return rectangle
+
+
+# --- hypothesis profiles -------------------------------------------------
+# "dev" (default) keeps the suite fast; "thorough" widens every property
+# test for pre-release sweeps:  HYPOTHESIS_PROFILE=thorough pytest tests/
+from hypothesis import settings as _settings
+
+_settings.register_profile("dev", max_examples=50)
+_settings.register_profile("thorough", max_examples=400, deadline=None)
+
+import os as _os
+
+_settings.load_profile(_os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -1,0 +1,79 @@
+"""Tests for the clipping baseline itself."""
+
+from fractions import Fraction
+
+from repro.core.baseline import (
+    clip_region_to_tiles,
+    clipping_piece_shapes,
+    compute_cdr_clipping,
+    compute_cdr_percentages_clipping,
+    count_introduced_edges_clipping,
+    count_introduced_edges_compute_cdr,
+)
+from repro.core.tiles import Tile
+from repro.geometry.region import Region
+
+
+def rect_region(x0, y0, x1, y1) -> Region:
+    return Region.from_coordinates([[(x0, y0), (x0, y1), (x1, y1), (x1, y0)]])
+
+
+REF = rect_region(0, 0, 10, 10)
+
+
+class TestClipRegionToTiles:
+    def test_interior_region_single_piece(self):
+        pieces = clip_region_to_tiles(rect_region(2, 2, 8, 8), REF.bounding_box())
+        assert len(pieces[Tile.B]) == 1
+        assert all(not pieces[t] for t in Tile if t is not Tile.B)
+
+    def test_straddling_region_two_pieces(self):
+        pieces = clip_region_to_tiles(rect_region(-5, 2, 5, 8), REF.bounding_box())
+        assert len(pieces[Tile.W]) == 1 and len(pieces[Tile.B]) == 1
+        assert pieces[Tile.W][0].area() == 30
+
+    def test_touching_region_yields_no_degenerate_piece(self):
+        """A region flush against x=0 must not produce a zero-area B piece."""
+        pieces = clip_region_to_tiles(rect_region(-4, 2, 0, 8), REF.bounding_box())
+        assert not pieces[Tile.B]
+        assert len(pieces[Tile.W]) == 1
+
+    def test_multi_polygon_pieces_accumulate(self):
+        region = Region.from_coordinates(
+            [
+                [(2, 2), (2, 4), (4, 4), (4, 2)],
+                [(6, 6), (6, 8), (8, 8), (8, 6)],
+            ]
+        )
+        pieces = clip_region_to_tiles(region, REF.bounding_box())
+        assert len(pieces[Tile.B]) == 2
+
+
+class TestBaselineOutputs:
+    def test_relation(self):
+        assert str(compute_cdr_clipping(rect_region(-5, -5, 5, 5), REF)) == "B:S:SW:W"
+
+    def test_percentages_exact(self):
+        matrix = compute_cdr_percentages_clipping(rect_region(-5, -5, 5, 5), REF)
+        assert matrix.percentage(Tile.SW) == 25
+
+    def test_edge_counts(self):
+        square = rect_region(-5, -5, 5, 5)
+        assert count_introduced_edges_clipping(square, REF) == 16
+        assert count_introduced_edges_compute_cdr(square, REF) == 8
+
+    def test_edge_count_of_undivided_region(self):
+        inside = rect_region(2, 2, 8, 8)
+        assert count_introduced_edges_compute_cdr(inside, REF) == 4
+        assert count_introduced_edges_clipping(inside, REF) == 4
+
+    def test_piece_shapes(self):
+        shapes = clipping_piece_shapes(rect_region(-5, -5, 5, 5), REF)
+        assert set(shapes) == {Tile.B, Tile.S, Tile.SW, Tile.W}
+        assert all(sizes == (4,) for sizes in shapes.values())
+
+    def test_fraction_inputs_stay_exact(self):
+        region = rect_region(Fraction(-1, 3), 2, Fraction(1, 3), 8)
+        matrix = compute_cdr_percentages_clipping(region, REF)
+        assert matrix.percentage(Tile.W) == 50
+        assert matrix.percentage(Tile.B) == 50

@@ -1,0 +1,121 @@
+"""Tests for the vectorised fast path (repro.core.fast).
+
+The fast implementations must agree with the exact reference
+implementations — bit-for-bit on the qualitative side, within float
+round-off on percentages — across every region family the generators
+produce, including the degenerate cases the interval formulation has to
+get right (grid-flush edges, holes, regions covering the whole grid).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compute import compute_cdr
+from repro.core.fast import compute_cdr_fast, compute_cdr_percentages_fast
+from repro.core.percentages import compute_cdr_percentages
+from repro.core.tiles import Tile
+from repro.geometry.region import Region
+from repro.workloads.generators import (
+    random_multi_polygon_region,
+    random_rectilinear_region,
+    region_with_hole,
+)
+
+
+def rect_region(x0, y0, x1, y1) -> Region:
+    return Region.from_coordinates([[(x0, y0), (x0, y1), (x1, y1), (x1, y0)]])
+
+
+REF = rect_region(0, 0, 10, 10)
+
+
+class TestQualitativeAgainstReference:
+    @pytest.mark.parametrize(
+        "bounds",
+        [
+            (2, 2, 8, 8),        # B
+            (2, -8, 8, -2),      # S
+            (-8, 12, -2, 18),    # NW
+            (-5, -5, 5, 5),      # corner straddle
+            (-10, -10, 20, 20),  # everything
+        ],
+    )
+    def test_rectangles(self, bounds):
+        region = rect_region(*bounds)
+        assert compute_cdr_fast(region, REF) == compute_cdr(region, REF)
+
+    def test_grid_flush_edges(self):
+        """The interior-side tie-break must survive vectorisation."""
+        flush_west = rect_region(-4, 2, 0, 8)
+        assert str(compute_cdr_fast(flush_west, REF)) == "W"
+        flush_box = rect_region(0, 0, 10, 10)
+        assert str(compute_cdr_fast(flush_box, REF)) == "B"
+        flush_north = rect_region(2, 10, 8, 14)
+        assert str(compute_cdr_fast(flush_north, REF)) == "N"
+
+    def test_hole_over_center(self):
+        holed = region_with_hole((-10, -10, 20, 20), (-2, -2, 12, 12))
+        assert Tile.B not in compute_cdr_fast(holed, REF).tiles
+
+    def test_annulus_needs_center_test(self):
+        big = rect_region(-10, -10, 20, 20)
+        assert Tile.B in compute_cdr_fast(big, REF).tiles
+
+    def test_paper_figures(self, unit_square):
+        from repro.workloads.scenarios import (
+            figure3_triangle,
+            figure4_quadrangle,
+        )
+
+        for region in (figure3_triangle(), figure4_quadrangle()):
+            assert compute_cdr_fast(region, unit_square) == compute_cdr(
+                region, unit_square
+            )
+
+
+class TestPercentagesAgainstReference:
+    def test_quarter_split(self):
+        matrix = compute_cdr_percentages_fast(rect_region(-5, -5, 5, 5), REF)
+        for tile in (Tile.B, Tile.S, Tile.W, Tile.SW):
+            assert abs(matrix.percentage(tile) - 25.0) < 1e-9
+
+    def test_hole_region(self):
+        ring = region_with_hole((-10, -10, 20, 20), (0, 0, 10, 10))
+        fast = compute_cdr_percentages_fast(ring, REF)
+        exact = compute_cdr_percentages(ring, REF)
+        assert fast.is_close_to(exact, tolerance=1e-8)
+        assert fast.percentage(Tile.B) == 0.0
+
+    def test_b_strip_with_concavity(self):
+        u_shape = Region.from_coordinates(
+            [[(1, 1), (1, 9), (3, 9), (3, 3), (7, 3), (7, 9), (9, 9), (9, 1)]]
+        )
+        fast = compute_cdr_percentages_fast(u_shape, REF)
+        exact = compute_cdr_percentages(u_shape, REF)
+        assert fast.is_close_to(exact, tolerance=1e-8)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(0, 10**9))
+def test_rectilinear_fuzz(seed):
+    rng = random.Random(seed)
+    a = random_rectilinear_region(rng, rng.randint(1, 8))
+    b = random_rectilinear_region(rng, rng.randint(1, 8))
+    assert compute_cdr_fast(a, b) == compute_cdr(a, b)
+    fast = compute_cdr_percentages_fast(a, b)
+    exact = compute_cdr_percentages(a, b)
+    assert fast.is_close_to(exact, tolerance=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**9), st.integers(3, 24))
+def test_star_fuzz(seed, edges):
+    a = random_multi_polygon_region(seed, 4, edges)
+    b = rect_region(1.0, 1.0, 4.0, 4.0)
+    assert compute_cdr_fast(a, b) == compute_cdr(a, b)
+    assert compute_cdr_percentages_fast(a, b).is_close_to(
+        compute_cdr_percentages(a, b), tolerance=1e-8
+    )

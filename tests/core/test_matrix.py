@@ -1,0 +1,128 @@
+"""Tests for direction-relation matrices and percentage matrices."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import RelationError
+from repro.core.matrix import (
+    MATRIX_LAYOUT,
+    DirectionRelationMatrix,
+    PercentageMatrix,
+)
+from repro.core.relation import CardinalDirection
+from repro.core.tiles import Tile
+
+
+class TestLayout:
+    def test_matches_paper(self):
+        """Rows top-to-bottom: NW N NE / W B E / SW S SE."""
+        assert MATRIX_LAYOUT[0] == (Tile.NW, Tile.N, Tile.NE)
+        assert MATRIX_LAYOUT[1] == (Tile.W, Tile.B, Tile.E)
+        assert MATRIX_LAYOUT[2] == (Tile.SW, Tile.S, Tile.SE)
+
+
+class TestDirectionRelationMatrix:
+    def test_south_matrix(self):
+        """The paper's rendering of S: only the bottom-middle cell filled."""
+        matrix = DirectionRelationMatrix(CardinalDirection.parse("S"))
+        assert matrix.rows() == [
+            [False, False, False],
+            [False, False, False],
+            [False, True, False],
+        ]
+
+    def test_ne_e_matrix(self):
+        matrix = DirectionRelationMatrix(CardinalDirection.parse("NE:E"))
+        assert matrix.rows() == [
+            [False, False, True],
+            [False, False, True],
+            [False, False, False],
+        ]
+
+    def test_eight_tile_matrix(self):
+        """Example 1's B:S:SW:W:NW:N:E:SE — everything except NE."""
+        matrix = DirectionRelationMatrix(
+            CardinalDirection.parse("B:S:SW:W:NW:N:E:SE")
+        )
+        assert matrix.rows() == [
+            [True, True, False],
+            [True, True, True],
+            [True, True, True],
+        ]
+
+    def test_render_shapes(self):
+        rendered = DirectionRelationMatrix(CardinalDirection.parse("S")).render()
+        assert rendered.count("■") == 1 and rendered.count("□") == 8
+
+    def test_from_rows_roundtrip(self):
+        for text in ("S", "NE:E", "B:S:SW:W:NW:N:E:SE"):
+            matrix = DirectionRelationMatrix(CardinalDirection.parse(text))
+            assert DirectionRelationMatrix.from_rows(matrix.rows()) == matrix
+
+    def test_from_rows_rejects_bad_shape(self):
+        with pytest.raises(RelationError):
+            DirectionRelationMatrix.from_rows([[True, False]])
+
+    def test_from_rows_rejects_empty(self):
+        with pytest.raises(RelationError):
+            DirectionRelationMatrix.from_rows([[False] * 3] * 3)
+
+
+class TestPercentageMatrix:
+    def test_paper_example_50_50(self):
+        """Region c of Fig. 1c: 50% NE and 50% E."""
+        matrix = PercentageMatrix({Tile.NE: 50, Tile.E: 50})
+        assert matrix.percentage(Tile.NE) == 50
+        assert matrix.percentage(Tile.B) == 0
+
+    def test_must_sum_to_100_exact(self):
+        with pytest.raises(RelationError):
+            PercentageMatrix({Tile.NE: 50, Tile.E: 49})
+
+    def test_float_tolerance(self):
+        matrix = PercentageMatrix({Tile.N: 100.0000000001})
+        assert abs(matrix.percentage(Tile.N) - 100.0) < 1e-6
+
+    def test_negative_rejected(self):
+        with pytest.raises(RelationError):
+            PercentageMatrix({Tile.N: 104, Tile.S: -4})
+
+    def test_tiny_negative_float_clamped(self):
+        matrix = PercentageMatrix({Tile.N: 100.0, Tile.S: -1e-12})
+        assert matrix.percentage(Tile.S) == 0.0
+
+    def test_from_areas_exact(self):
+        matrix = PercentageMatrix.from_areas({Tile.NE: Fraction(1), Tile.E: Fraction(2)})
+        assert matrix.percentage(Tile.NE) == Fraction(100, 3)
+        assert matrix.percentage(Tile.E) == Fraction(200, 3)
+
+    def test_from_areas_zero_total_rejected(self):
+        with pytest.raises(RelationError):
+            PercentageMatrix.from_areas({Tile.NE: 0})
+
+    def test_relation_from_positive_cells(self):
+        matrix = PercentageMatrix({Tile.NE: 50, Tile.E: 50})
+        assert matrix.relation == CardinalDirection.parse("NE:E")
+
+    def test_getitem(self):
+        matrix = PercentageMatrix({Tile.B: 100})
+        assert matrix[Tile.B] == 100
+
+    def test_rows_layout(self):
+        matrix = PercentageMatrix({Tile.NW: 25, Tile.SE: 75})
+        rows = matrix.rows()
+        assert rows[0][0] == 25.0 and rows[2][2] == 75.0
+
+    def test_render_contains_percent_signs(self):
+        rendered = PercentageMatrix({Tile.B: 100}).render()
+        assert rendered.count("%") == 9
+
+    def test_is_close_to(self):
+        a = PercentageMatrix({Tile.B: 100.0})
+        b = PercentageMatrix({Tile.B: 100.0 - 5e-10, Tile.N: 5e-10})
+        assert a.is_close_to(b, tolerance=1e-9)
+        assert not a.is_close_to(PercentageMatrix({Tile.N: 100}), tolerance=1e-9)
+
+    def test_equality_exact(self):
+        assert PercentageMatrix({Tile.B: 100}) == PercentageMatrix({Tile.B: 100})

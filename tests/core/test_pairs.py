@@ -1,0 +1,66 @@
+"""Tests for relative position pairs (Section 2's (R1, R2) characterisation)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pairs import RelativePosition, relative_position
+from repro.core.relation import CardinalDirection
+from repro.geometry.region import Region
+from repro.workloads.generators import random_rectilinear_region
+
+
+def rect_region(x0, y0, x1, y1) -> Region:
+    return Region.from_coordinates([[(x0, y0), (x0, y1), (x1, y1), (x1, y0)]])
+
+
+class TestRelativePosition:
+    def test_south_north_pair(self):
+        pair = relative_position(
+            rect_region(0, -8, 10, -2), rect_region(0, 0, 10, 10)
+        )
+        assert pair == RelativePosition(
+            CardinalDirection.parse("S"), CardinalDirection.parse("N")
+        )
+
+    def test_b_pair_with_itself(self):
+        box = rect_region(0, 0, 10, 10)
+        pair = relative_position(box, box)
+        assert str(pair) == "(B, B)"
+
+    def test_asymmetric_pair(self):
+        """The paper's point: R2 is generally not determined by R1."""
+        reference = rect_region(0, 0, 10, 10)
+        narrow = rect_region(2, 12, 8, 18)       # N, and b NW:N:NE... no:
+        pair = relative_position(narrow, reference)
+        assert str(pair.primary_to_reference) == "N"
+        # The reference is *wider* than the primary, so it spreads over
+        # the primary's whole southern row.
+        assert str(pair.reference_to_primary) == "S:SW:SE"
+
+    def test_str(self):
+        pair = relative_position(
+            rect_region(12, 12, 18, 18), rect_region(0, 0, 10, 10)
+        )
+        assert str(pair) == "(NE, SW)"
+
+    def test_verify_flag_can_be_disabled(self):
+        pair = relative_position(
+            rect_region(2, -8, 8, -2), rect_region(0, 0, 10, 10), verify=False
+        )
+        assert str(pair.primary_to_reference) == "S"
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 10**9))
+def test_pairs_satisfy_mutual_inverse_conditions(seed):
+    """relative_position's internal verification must never trip on
+    random geometry (it would raise AssertionError if it did)."""
+    rng = random.Random(seed)
+    a = random_rectilinear_region(rng, rng.randint(1, 6))
+    b = random_rectilinear_region(rng, rng.randint(1, 6))
+    pair = relative_position(a, b)
+    reversed_pair = relative_position(b, a)
+    assert pair.primary_to_reference == reversed_pair.reference_to_primary
+    assert pair.reference_to_primary == reversed_pair.primary_to_reference

@@ -1,0 +1,151 @@
+"""Property and edge-case tests for Algorithm Compute-CDR%."""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baseline import compute_cdr_percentages_clipping
+from repro.core.compute import compute_cdr
+from repro.core.percentages import compute_cdr_percentages, tile_areas
+from repro.core.tiles import Tile
+from repro.geometry.region import Region
+from repro.workloads.generators import (
+    random_multi_polygon_region,
+    random_rectilinear_region,
+    region_with_hole,
+)
+
+
+def rect_region(x0, y0, x1, y1) -> Region:
+    return Region.from_coordinates([[(x0, y0), (x0, y1), (x1, y1), (x1, y0)]])
+
+
+REF = rect_region(0, 0, 10, 10)
+
+
+class TestBasics:
+    def test_region_inside_box_is_100_b(self):
+        matrix = compute_cdr_percentages(rect_region(2, 2, 8, 8), REF)
+        assert matrix.percentage(Tile.B) == 100
+
+    def test_half_and_half_split(self):
+        matrix = compute_cdr_percentages(rect_region(-5, 2, 5, 8), REF)
+        assert matrix.percentage(Tile.W) == 50
+        assert matrix.percentage(Tile.B) == 50
+
+    def test_quarter_split_at_corner(self):
+        matrix = compute_cdr_percentages(rect_region(-5, -5, 5, 5), REF)
+        for tile in (Tile.B, Tile.S, Tile.W, Tile.SW):
+            assert matrix.percentage(tile) == 25
+
+    def test_all_nine_tiles(self):
+        matrix = compute_cdr_percentages(rect_region(-10, -10, 20, 20), REF)
+        # 30x30 total; B = 10x10, corners 10x10, sides 10x10 each -> all
+        # cells get 100/9... no: corners are 10x10=100, sides 10x10=100,
+        # B=100 — the box is square so every cell is 100/900.
+        for tile in Tile:
+            assert matrix.percentage(tile) == Fraction(100, 9)
+
+    def test_hole_region(self):
+        """A ring with its hole exactly over the box: 0% in B."""
+        ring = region_with_hole((-10, -10, 20, 20), (0, 0, 10, 10))
+        matrix = compute_cdr_percentages(ring, REF)
+        assert matrix.percentage(Tile.B) == 0
+        assert sum(matrix.percentage(t) for t in Tile) == 100
+
+    def test_degenerate_touch_contributes_zero(self):
+        """A region touching a tile only along a grid line has 0% there."""
+        flush = rect_region(-4, 2, 0, 8)  # east edge on x=0
+        matrix = compute_cdr_percentages(flush, REF)
+        assert matrix.percentage(Tile.W) == 100
+        assert matrix.percentage(Tile.B) == 0
+
+
+class TestBTileDerivation:
+    """The B = |B+N| − |N| step (the one tile with no reference line)."""
+
+    def test_b_only(self):
+        areas = tile_areas(rect_region(1, 1, 9, 9), REF.bounding_box())
+        assert areas[Tile.B] == 64
+
+    def test_b_and_n_mix(self):
+        areas = tile_areas(rect_region(2, 5, 8, 15), REF.bounding_box())
+        assert areas[Tile.N] == 6 * 5
+        assert areas[Tile.B] == 6 * 5
+
+    def test_n_only(self):
+        areas = tile_areas(rect_region(2, 12, 8, 15), REF.bounding_box())
+        assert areas[Tile.N] == 18
+        assert areas[Tile.B] == 0
+
+    def test_b_with_concavity_opening_north(self):
+        """A U-shape inside the strip: signed contributions must cancel
+        correctly across the concavity."""
+        u_shape = Region.from_coordinates(
+            [[(1, 1), (1, 9), (3, 9), (3, 3), (7, 3), (7, 9), (9, 9), (9, 1)]]
+        )
+        areas = tile_areas(u_shape, REF.bounding_box())
+        assert areas[Tile.B] == u_shape.area()
+        assert areas[Tile.N] == 0
+
+
+def _random_pair(seed):
+    rng = random.Random(seed)
+    primary = random_rectilinear_region(rng, rng.randint(1, 8))
+    reference = random_rectilinear_region(rng, rng.randint(1, 8))
+    return primary, reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10**9))
+def test_percentages_sum_to_100_exactly(seed):
+    primary, reference = _random_pair(seed)
+    matrix = compute_cdr_percentages(primary, reference)
+    assert sum(matrix.percentage(t) for t in Tile) == 100
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10**9))
+def test_tile_areas_partition_region_area(seed):
+    primary, reference = _random_pair(seed)
+    areas = tile_areas(primary, reference.bounding_box())
+    assert sum(areas.values()) == primary.area()
+    assert all(value >= 0 for value in areas.values())
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10**9))
+def test_agrees_with_clipping_baseline_exactly(seed):
+    """Compute-CDR% and clip-then-shoelace agree cell for cell — and with
+    integer coordinates, *exactly*."""
+    primary, reference = _random_pair(seed)
+    fast = compute_cdr_percentages(primary, reference)
+    naive = compute_cdr_percentages_clipping(primary, reference)
+    for tile in Tile:
+        assert fast.percentage(tile) == naive.percentage(tile)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 10**9))
+def test_positive_cells_match_qualitative_relation(seed):
+    """On rectilinear regions (which never meet a tile in a degenerate
+    line only... unless they do — then the qualitative relation is a
+    superset), tiles with positive area are exactly Compute-CDR's tiles
+    up to zero-area touches."""
+    primary, reference = _random_pair(seed)
+    matrix = compute_cdr_percentages(primary, reference)
+    relation = compute_cdr(primary, reference)
+    assert matrix.relation.tiles <= relation.tiles
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**9), st.integers(3, 14))
+def test_float_star_regions_close_to_baseline(seed, edges):
+    """Float geometry: the two algorithms agree within rounding noise."""
+    primary = random_multi_polygon_region(seed, 4, edges)
+    reference = rect_region(1.0, 1.0, 4.0, 4.0)
+    fast = compute_cdr_percentages(primary, reference)
+    naive = compute_cdr_percentages_clipping(primary, reference)
+    assert fast.is_close_to(naive, tolerance=1e-6)

@@ -1,0 +1,179 @@
+"""Tests for the D4 symmetry module, including the equivariance oracles.
+
+Equivariance of the full stack under all eight symmetries is one of the
+strongest correctness statements available for the calculus: a single
+mixed-up ``m1``/``m2`` or a flipped tie-break anywhere in Compute-CDR,
+Compute-CDR%, ``inverse`` or ``compose`` breaks one of these tests.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compute import compute_cdr
+from repro.core.percentages import compute_cdr_percentages
+from repro.core.relation import CardinalDirection
+from repro.core.symmetry import (
+    Symmetry,
+    compose_symmetries,
+    inverse_symmetry,
+    transform_point,
+    transform_region,
+    transform_relation,
+    transform_tile,
+)
+from repro.core.tiles import Tile
+from repro.geometry.point import Point
+from repro.workloads.generators import random_rectilinear_region
+
+ALL = list(Symmetry)
+
+
+class TestGroupStructure:
+    def test_identity_fixes_tiles(self):
+        for tile in Tile:
+            assert transform_tile(Symmetry.IDENTITY, tile) is tile
+
+    def test_actions_are_permutations(self):
+        for symmetry in ALL:
+            images = {transform_tile(symmetry, tile) for tile in Tile}
+            assert images == set(Tile)
+
+    def test_b_is_always_fixed(self):
+        for symmetry in ALL:
+            assert transform_tile(symmetry, Tile.B) is Tile.B
+
+    def test_known_images(self):
+        assert transform_tile(Symmetry.MIRROR_EW, Tile.NE) is Tile.NW
+        assert transform_tile(Symmetry.MIRROR_NS, Tile.N) is Tile.S
+        assert transform_tile(Symmetry.ROTATE_90, Tile.E) is Tile.N
+        assert transform_tile(Symmetry.ROTATE_180, Tile.SW) is Tile.NE
+        assert transform_tile(Symmetry.MIRROR_DIAGONAL, Tile.N) is Tile.E
+
+    def test_rotations_compose(self):
+        assert compose_symmetries(
+            Symmetry.ROTATE_90, Symmetry.ROTATE_90
+        ) is Symmetry.ROTATE_180
+        assert compose_symmetries(
+            Symmetry.ROTATE_180, Symmetry.ROTATE_90
+        ) is Symmetry.ROTATE_270
+        assert compose_symmetries(
+            Symmetry.ROTATE_270, Symmetry.ROTATE_90
+        ) is Symmetry.IDENTITY
+
+    def test_reflections_are_involutions(self):
+        for symmetry in (
+            Symmetry.MIRROR_EW,
+            Symmetry.MIRROR_NS,
+            Symmetry.MIRROR_DIAGONAL,
+            Symmetry.MIRROR_ANTIDIAGONAL,
+        ):
+            assert compose_symmetries(symmetry, symmetry) is Symmetry.IDENTITY
+
+    def test_group_closure(self):
+        for first in ALL:
+            for second in ALL:
+                assert compose_symmetries(first, second) in ALL
+
+    def test_inverses(self):
+        for symmetry in ALL:
+            inverse = inverse_symmetry(symmetry)
+            assert compose_symmetries(symmetry, inverse) is Symmetry.IDENTITY
+
+    def test_point_and_tile_actions_agree(self):
+        """The tile action is exactly the point action on band pairs."""
+        probes = {
+            Tile.NE: Point(5, 5), Tile.W: Point(-5, 0), Tile.S: Point(0, -5),
+        }
+        for symmetry in ALL:
+            for tile, probe in probes.items():
+                image_point = transform_point(symmetry, probe)
+                expected_column = (
+                    -1 if image_point.x < 0 else (1 if image_point.x > 0 else 0)
+                )
+                expected_row = (
+                    -1 if image_point.y < 0 else (1 if image_point.y > 0 else 0)
+                )
+                image_tile = transform_tile(symmetry, tile)
+                assert (image_tile.column, image_tile.row) == (
+                    expected_column, expected_row,
+                )
+
+
+class TestRelationAction:
+    def test_mirror_relation(self):
+        relation = CardinalDirection.parse("B:S:SW:W")
+        mirrored = transform_relation(Symmetry.MIRROR_EW, relation)
+        assert str(mirrored) == "B:S:E:SE"
+
+    def test_rotation_relation(self):
+        relation = CardinalDirection.parse("N:NE")
+        assert str(transform_relation(Symmetry.ROTATE_90, relation)) == "W:NW"
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10**9), st.sampled_from(ALL))
+def test_compute_cdr_equivariance(seed, symmetry):
+    """compute_cdr(σa, σb) == σ(compute_cdr(a, b)) for all σ in D4."""
+    rng = random.Random(seed)
+    a = random_rectilinear_region(rng, rng.randint(1, 6))
+    b = random_rectilinear_region(rng, rng.randint(1, 6))
+    direct = transform_relation(symmetry, compute_cdr(a, b))
+    transformed = compute_cdr(
+        transform_region(symmetry, a), transform_region(symmetry, b)
+    )
+    assert direct == transformed
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10**9), st.sampled_from(ALL))
+def test_percentages_equivariance(seed, symmetry):
+    """Percentages travel with the tiles under every symmetry, exactly."""
+    rng = random.Random(seed)
+    a = random_rectilinear_region(rng, rng.randint(1, 5))
+    b = random_rectilinear_region(rng, rng.randint(1, 5))
+    original = compute_cdr_percentages(a, b)
+    transformed = compute_cdr_percentages(
+        transform_region(symmetry, a), transform_region(symmetry, b)
+    )
+    for tile in Tile:
+        assert transformed.percentage(
+            transform_tile(symmetry, tile)
+        ) == original.percentage(tile)
+
+
+@pytest.mark.parametrize("symmetry", ALL)
+@pytest.mark.parametrize("relation_text", ["S", "NE", "B:S:SW", "NW:NE"])
+def test_inverse_equivariance(symmetry, relation_text):
+    """inv(σR) == σ(inv(R)) — the symbolic layer transforms the same way."""
+    from repro.reasoning.inverse import inverse
+
+    relation = CardinalDirection.parse(relation_text)
+    direct = {
+        transform_relation(symmetry, member) for member in inverse(relation)
+    }
+    transformed = set(inverse(transform_relation(symmetry, relation)).relations)
+    assert direct == transformed
+
+
+@pytest.mark.parametrize("symmetry", ALL)
+@pytest.mark.parametrize(
+    "pair", [("S", "S"), ("N", "S"), ("B:S", "W"), ("NE", "B")]
+)
+def test_compose_equivariance(symmetry, pair):
+    """compose(σR1, σR2) == σ(compose(R1, R2))."""
+    from repro.reasoning.composition import compose
+
+    r1 = CardinalDirection.parse(pair[0])
+    r2 = CardinalDirection.parse(pair[1])
+    direct = {
+        transform_relation(symmetry, member) for member in compose(r1, r2)
+    }
+    transformed = set(
+        compose(
+            transform_relation(symmetry, r1), transform_relation(symmetry, r2)
+        ).relations
+    )
+    assert direct == transformed

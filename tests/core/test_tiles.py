@@ -1,0 +1,107 @@
+"""Tests for repro.core.tiles."""
+
+import pytest
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import Point
+from repro.core.tiles import (
+    CANONICAL_ORDER,
+    Tile,
+    tile_halfplanes,
+    tile_of_point,
+    tiles_of_point,
+)
+
+BOX = BoundingBox(0, 0, 10, 10)
+
+
+class TestCanonicalOrder:
+    def test_matches_paper(self):
+        """Section 2: "we always write B:S:W instead of W:B:S"."""
+        assert [t.name for t in CANONICAL_ORDER] == [
+            "B", "S", "SW", "W", "NW", "N", "NE", "E", "SE",
+        ]
+
+    def test_bands_roundtrip(self):
+        for tile in Tile:
+            assert Tile.from_bands(tile.column, tile.row) is tile
+
+    def test_band_values(self):
+        assert (Tile.SW.column, Tile.SW.row) == (-1, -1)
+        assert (Tile.B.column, Tile.B.row) == (0, 0)
+        assert (Tile.NE.column, Tile.NE.row) == (1, 1)
+        assert (Tile.N.column, Tile.N.row) == (0, 1)
+
+
+class TestTilesOfPoint:
+    def test_interior_points_single_tile(self):
+        assert tiles_of_point(Point(5, 5), BOX) == {Tile.B}
+        assert tiles_of_point(Point(5, -5), BOX) == {Tile.S}
+        assert tiles_of_point(Point(-5, 15), BOX) == {Tile.NW}
+        assert tiles_of_point(Point(15, 5), BOX) == {Tile.E}
+
+    def test_grid_line_point_two_tiles(self):
+        assert tiles_of_point(Point(0, 5), BOX) == {Tile.W, Tile.B}
+        assert tiles_of_point(Point(5, 10), BOX) == {Tile.B, Tile.N}
+        assert tiles_of_point(Point(0, -5), BOX) == {Tile.SW, Tile.S}
+
+    def test_box_corner_four_tiles(self):
+        assert tiles_of_point(Point(0, 0), BOX) == {
+            Tile.SW, Tile.S, Tile.W, Tile.B,
+        }
+        assert tiles_of_point(Point(10, 10), BOX) == {
+            Tile.B, Tile.N, Tile.E, Tile.NE,
+        }
+
+    def test_every_point_is_somewhere(self):
+        """The union of the nine closed tiles is the whole plane."""
+        for x in (-1, 0, 5, 10, 11):
+            for y in (-1, 0, 5, 10, 11):
+                assert tiles_of_point(Point(x, y), BOX)
+
+
+class TestTileOfPoint:
+    def test_unambiguous(self):
+        assert tile_of_point(Point(5, 5), BOX) is Tile.B
+
+    def test_tie_breaks_toward_center(self):
+        assert tile_of_point(Point(0, 5), BOX) is Tile.B
+        assert tile_of_point(Point(0, 0), BOX) is Tile.B
+        assert tile_of_point(Point(0, 10), BOX) is Tile.B
+
+    def test_prefer_overrides(self):
+        assert tile_of_point(Point(0, 5), BOX, prefer=Tile.W) is Tile.W
+
+    def test_prefer_ignored_when_inapplicable(self):
+        assert tile_of_point(Point(5, 5), BOX, prefer=Tile.N) is Tile.B
+
+    def test_outer_tie(self):
+        # (-5, 0) is on the S/SW boundary far west; center-most is SW?
+        # |col|+|row|: SW = 2, W... W is (col -1, row 0): point y=0 is on
+        # rows {-1, 0}: candidates W and SW -> W (weight 1) wins.
+        assert tile_of_point(Point(-5, 0), BOX) is Tile.W
+
+
+class TestTileHalfplanes:
+    @pytest.mark.parametrize("tile", list(Tile))
+    def test_halfplane_count(self, tile):
+        planes = tile_halfplanes(tile, BOX)
+        expected = (2 if tile.column == 0 else 1) + (2 if tile.row == 0 else 1)
+        assert len(planes) == expected
+
+    @pytest.mark.parametrize("tile", list(Tile))
+    def test_halfplanes_characterise_tile(self, tile):
+        """A probe grid agrees between the half-planes and tiles_of_point."""
+        def satisfies(point):
+            for axis, bound, keep_leq in tile_halfplanes(tile, BOX):
+                value = point.x if axis == "x" else point.y
+                if keep_leq and not value <= bound:
+                    return False
+                if not keep_leq and not value >= bound:
+                    return False
+            return True
+
+        for x in (-3, 0, 5, 10, 13):
+            for y in (-3, 0, 5, 10, 13):
+                point = Point(x, y)
+                assert satisfies(point) == (tile in tiles_of_point(point, BOX))

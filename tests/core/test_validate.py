@@ -1,0 +1,147 @@
+"""Tests for the structured validator."""
+
+import pytest
+
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.core.validate import (
+    ERROR,
+    WARNING,
+    ValidationIssue,
+    polygons_interiors_overlap,
+    validate_configuration,
+    validate_region,
+)
+from repro.geometry.polygon import Polygon
+from repro.geometry.region import Region
+
+
+def rect(x0, y0, x1, y1) -> Polygon:
+    return Polygon.from_coordinates([(x0, y0), (x0, y1), (x1, y1), (x1, y0)])
+
+
+class TestPolygonsInteriorsOverlap:
+    def test_disjoint(self):
+        assert not polygons_interiors_overlap(rect(0, 0, 1, 1), rect(5, 5, 6, 6))
+
+    def test_shared_edge_is_not_overlap(self):
+        """Definition 1 allows parts to share boundary points."""
+        assert not polygons_interiors_overlap(rect(0, 0, 1, 1), rect(1, 0, 2, 1))
+
+    def test_shared_corner_is_not_overlap(self):
+        assert not polygons_interiors_overlap(rect(0, 0, 1, 1), rect(1, 1, 2, 2))
+
+    def test_proper_crossing(self):
+        assert polygons_interiors_overlap(rect(0, 0, 4, 4), rect(2, 2, 6, 6))
+
+    def test_containment_without_boundary_contact(self):
+        assert polygons_interiors_overlap(rect(0, 0, 10, 10), rect(3, 3, 5, 5))
+        assert polygons_interiors_overlap(rect(3, 3, 5, 5), rect(0, 0, 10, 10))
+
+    def test_crossing_through_vertices(self):
+        """The diamond pierces the square only through its corners —
+        caught by the midpoint probe."""
+        square = rect(0, 0, 2, 2)
+        diamond = Polygon.from_coordinates(
+            [(1, -1), (-1, 1), (1, 3), (3, 1)], ensure_clockwise=True
+        )
+        assert polygons_interiors_overlap(square, diamond)
+
+    def test_diagonal_neighbors(self):
+        triangle_low = Polygon.from_coordinates([(0, 0), (0, 2), (2, 0)])
+        triangle_high = Polygon.from_coordinates(
+            [(0, 2), (2, 2), (2, 0)], ensure_clockwise=True
+        )
+        # They share the diagonal edge only.
+        assert not polygons_interiors_overlap(triangle_low, triangle_high)
+
+
+class TestValidateRegion:
+    def test_clean_region(self):
+        region = Region([rect(0, 0, 1, 1), rect(2, 0, 3, 1)])
+        assert validate_region(region) == []
+
+    def test_hole_representation_is_clean(self):
+        from repro.workloads.generators import region_with_hole
+
+        ring = region_with_hole((0, 0, 10, 10), (4, 4, 6, 6))
+        assert validate_region(ring) == []
+
+    def test_overlapping_parts_flagged(self):
+        region = Region([rect(0, 0, 4, 4), rect(2, 2, 6, 6)])
+        issues = validate_region(region, region_id="bad")
+        assert len(issues) == 1
+        assert issues[0].severity == ERROR
+        assert issues[0].code == "overlapping-parts"
+        assert issues[0].region_id == "bad"
+
+    def test_non_simple_polygon_flagged(self):
+        bowtie = Polygon.from_coordinates(
+            [(0, 0), (2, 2), (2, 0), (0, 1)], ensure_clockwise=True
+        )
+        issues = validate_region(Region([bowtie]))
+        assert [issue.code for issue in issues] == ["non-simple-polygon"]
+
+    def test_issue_str(self):
+        issue = ValidationIssue(ERROR, "x", "broken", "r1")
+        assert str(issue) == "error [r1]: broken"
+
+
+class TestValidateConfiguration:
+    def test_cross_region_overlap_is_warning(self):
+        configuration = Configuration.from_regions(
+            [
+                AnnotatedRegion("a", Region([rect(0, 0, 4, 4)])),
+                AnnotatedRegion("b", Region([rect(2, 2, 6, 6)])),
+            ]
+        )
+        issues = validate_configuration(configuration)
+        assert len(issues) == 1
+        assert issues[0].severity == WARNING
+        assert issues[0].code == "regions-overlap"
+
+    def test_cross_checks_can_be_disabled(self):
+        configuration = Configuration.from_regions(
+            [
+                AnnotatedRegion("a", Region([rect(0, 0, 4, 4)])),
+                AnnotatedRegion("b", Region([rect(2, 2, 6, 6)])),
+            ]
+        )
+        assert validate_configuration(
+            configuration, check_cross_overlaps=False
+        ) == []
+
+    def test_peloponnese_scenario_is_clean(self):
+        from repro.workloads.scenarios import peloponnesian_war
+
+        configuration = Configuration()
+        for entry in peloponnesian_war():
+            configuration.add(
+                AnnotatedRegion(id=entry.id, region=entry.region)
+            )
+        assert validate_configuration(configuration) == []
+
+
+class TestCliStrict:
+    def test_clean_file(self, tmp_path, capsys):
+        from repro.cardirect.cli import main
+
+        path = tmp_path / "greece.xml"
+        assert main(["demo", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["validate", str(path), "--strict"]) == 0
+        assert "OK: 11 regions" in capsys.readouterr().out
+
+    def test_overlapping_file(self, tmp_path, capsys):
+        from repro.cardirect.cli import main
+        from repro.cardirect.xmlio import save_configuration
+
+        configuration = Configuration.from_regions(
+            [
+                AnnotatedRegion("bad", Region([rect(0, 0, 4, 4), rect(2, 2, 6, 6)])),
+            ]
+        )
+        path = tmp_path / "bad.xml"
+        save_configuration(configuration, path)
+        assert main(["validate", str(path), "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "overlapping-parts" in out or "overlapping interiors" in out

@@ -1,0 +1,94 @@
+"""Tests for combined spatial descriptions."""
+
+import pytest
+
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.cardirect.store import RelationStore
+from repro.core.tiles import Tile
+from repro.extensions.combined import (
+    SpatialDescription,
+    describe_configuration,
+    describe_pair,
+)
+from repro.extensions.distance import DistanceFrame
+from repro.extensions.topology import RCC8
+from repro.geometry.region import Region
+
+
+def rect_region(x0, y0, x1, y1) -> Region:
+    return Region.from_coordinates([[(x0, y0), (x0, y1), (x1, y1), (x1, y0)]])
+
+
+@pytest.fixture()
+def store() -> RelationStore:
+    configuration = Configuration.from_regions(
+        [
+            AnnotatedRegion("lake", rect_region(0, 0, 10, 10), name="Lake"),
+            AnnotatedRegion("island", rect_region(4, 4, 6, 6), name="Island"),
+            AnnotatedRegion("town", rect_region(14, 0, 18, 10), name="Town"),
+            AnnotatedRegion("ridge", rect_region(-4, 9, 16, 13), name="Ridge"),
+        ]
+    )
+    frame = DistanceFrame(("equal", "close", "far"), (0.0, 5.0))
+    return RelationStore(configuration, distance_frame=frame)
+
+
+class TestDescribePair:
+    def test_fields(self, store):
+        description = describe_pair(store, "island", "lake")
+        assert str(description.direction) == "B"
+        assert description.topology is RCC8.NTPP
+        assert description.distance_symbol == "equal"
+        assert description.minimum_distance == 0.0
+        assert float(description.percentages.percentage(Tile.B)) == 100
+
+    def test_dominant_tile(self, store):
+        description = describe_pair(store, "ridge", "lake")
+        # Ridge straddles NW/N/NE/W/B/E of the lake; its N band (10 x 3)
+        # holds the largest share.
+        assert description.dominant_tile is Tile.N
+
+    def test_sentence_single_tile(self, store):
+        sentence = describe_pair(store, "town", "lake").sentence("Town", "Lake")
+        assert sentence.startswith("Town is east of Lake")
+        assert "disjoint from it" in sentence
+        assert "close range" in sentence
+
+    def test_sentence_b_tile(self, store):
+        sentence = describe_pair(store, "island", "lake").sentence(
+            "Island", "Lake"
+        )
+        assert "lies within the bounding box of Lake" in sentence
+        assert "strictly inside it" in sentence
+        assert "equal range" in sentence
+
+    def test_sentence_multi_tile(self, store):
+        sentence = describe_pair(store, "ridge", "lake").sentence("Ridge", "Lake")
+        assert "spreads over" in sentence and "mostly" in sentence
+
+    def test_non_rectilinear_omits_topology(self):
+        configuration = Configuration.from_regions(
+            [
+                AnnotatedRegion(
+                    "tri", Region.from_coordinates([[(0, 0), (0, 2), (2, 0)]])
+                ),
+                AnnotatedRegion("box", rect_region(5, 0, 7, 2)),
+            ]
+        )
+        store = RelationStore(configuration)
+        description = describe_pair(store, "tri", "box")
+        assert description.topology is None
+        assert "range." in description.sentence()
+
+
+class TestDescribeConfiguration:
+    def test_all_ordered_pairs(self, store):
+        entries = dict(describe_configuration(store))
+        assert len(entries) == 4 * 3
+        assert all(
+            isinstance(value, SpatialDescription) for value in entries.values()
+        )
+
+    def test_consistent_with_store(self, store):
+        for (primary, reference), description in describe_configuration(store):
+            assert description.direction == store.relation(primary, reference)

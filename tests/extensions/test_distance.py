@@ -1,0 +1,151 @@
+"""Tests for the qualitative-distance extension (Frank [3])."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.extensions.distance import (
+    DEFAULT_SYMBOLS,
+    DistanceFrame,
+    minimum_distance,
+    qualitative_distance,
+    segment_distance,
+)
+from repro.geometry.point import Point
+from repro.geometry.region import Region
+from repro.geometry.segment import Segment
+from repro.workloads.generators import region_with_hole
+
+
+def rect(x0, y0, x1, y1) -> Region:
+    return Region.from_coordinates([[(x0, y0), (x0, y1), (x1, y1), (x1, y0)]])
+
+
+class TestSegmentDistance:
+    def test_crossing_segments(self):
+        s1 = Segment(Point(0, 0), Point(2, 2))
+        s2 = Segment(Point(0, 2), Point(2, 0))
+        assert segment_distance(s1, s2) == 0.0
+
+    def test_touching_at_endpoint(self):
+        s1 = Segment(Point(0, 0), Point(1, 1))
+        s2 = Segment(Point(1, 1), Point(2, 0))
+        assert segment_distance(s1, s2) == 0.0
+
+    def test_parallel_segments(self):
+        s1 = Segment(Point(0, 0), Point(4, 0))
+        s2 = Segment(Point(0, 3), Point(4, 3))
+        assert segment_distance(s1, s2) == 3.0
+
+    def test_collinear_disjoint(self):
+        s1 = Segment(Point(0, 0), Point(1, 0))
+        s2 = Segment(Point(3, 0), Point(5, 0))
+        assert segment_distance(s1, s2) == 2.0
+
+    def test_perpendicular_offset(self):
+        s1 = Segment(Point(0, 0), Point(0, 4))
+        s2 = Segment(Point(3, 2), Point(6, 2))
+        assert segment_distance(s1, s2) == 3.0
+
+    def test_closest_at_interior_projection(self):
+        s1 = Segment(Point(0, 0), Point(10, 0))
+        s2 = Segment(Point(5, 2), Point(5, 9))
+        assert segment_distance(s1, s2) == 2.0
+
+
+class TestMinimumDistance:
+    def test_disjoint_rectangles(self):
+        assert minimum_distance(rect(0, 0, 1, 1), rect(4, 0, 5, 1)) == 3.0
+
+    def test_diagonal_gap(self):
+        distance = minimum_distance(rect(0, 0, 1, 1), rect(2, 2, 3, 3))
+        assert math.isclose(distance, math.sqrt(2))
+
+    def test_touching_is_zero(self):
+        assert minimum_distance(rect(0, 0, 1, 1), rect(1, 0, 2, 1)) == 0.0
+
+    def test_overlapping_is_zero(self):
+        assert minimum_distance(rect(0, 0, 2, 2), rect(1, 1, 3, 3)) == 0.0
+
+    def test_containment_is_zero(self):
+        """Strict containment has no boundary contact; the component
+        test must still report zero."""
+        assert minimum_distance(rect(1, 1, 2, 2), rect(0, 0, 5, 5)) == 0.0
+        assert minimum_distance(rect(0, 0, 5, 5), rect(1, 1, 2, 2)) == 0.0
+
+    def test_region_in_hole_has_positive_distance(self):
+        ring = region_with_hole((0, 0, 10, 10), (3, 3, 7, 7))
+        inner = rect(4, 4, 6, 6)
+        assert minimum_distance(inner, ring) == 1.0
+
+    def test_far_component_does_not_hide_containment(self):
+        scattered = Region.from_coordinates(
+            [
+                [(100, 100), (100, 101), (101, 101), (101, 100)],
+                [(1, 1), (1, 2), (2, 2), (2, 1)],
+            ]
+        )
+        container = rect(0, 0, 5, 5)
+        assert minimum_distance(scattered, container) == 0.0
+
+    def test_symmetric(self):
+        a, b = rect(0, 0, 1, 1), rect(5, 7, 6, 8)
+        assert minimum_distance(a, b) == minimum_distance(b, a)
+
+
+class TestDistanceFrame:
+    def test_threshold_count_enforced(self):
+        with pytest.raises(GeometryError):
+            DistanceFrame(("close", "far"), (0.0, 1.0))
+
+    def test_thresholds_must_increase(self):
+        with pytest.raises(GeometryError):
+            DistanceFrame(("a", "b", "c"), (5.0, 1.0))
+
+    def test_classify_buckets(self):
+        frame = DistanceFrame(("equal", "close", "far"), (0.0, 10.0))
+        assert frame.classify(0.0) == "equal"
+        assert frame.classify(5.0) == "close"
+        assert frame.classify(10.0) == "close"   # inclusive upper bound
+        assert frame.classify(10.5) == "far"
+
+    def test_classify_rejects_negative(self):
+        frame = DistanceFrame(("equal", "far"), (0.0,))
+        with pytest.raises(GeometryError):
+            frame.classify(-1.0)
+
+    def test_for_scene_defaults(self):
+        frame = DistanceFrame.for_scene([rect(0, 0, 30, 40)])
+        assert frame.symbols == DEFAULT_SYMBOLS
+        assert frame.thresholds[0] == 0.0
+        assert math.isclose(frame.thresholds[1], 50 / 16)
+        assert math.isclose(frame.thresholds[2], 50 / 4)
+
+    def test_for_scene_needs_regions(self):
+        with pytest.raises(GeometryError):
+            DistanceFrame.for_scene([])
+
+
+class TestQualitativeDistance:
+    FRAME = DistanceFrame(("equal", "close", "medium", "far"), (0.0, 2.0, 10.0))
+
+    def test_equal(self):
+        assert qualitative_distance(
+            rect(0, 0, 2, 2), rect(1, 1, 3, 3), self.FRAME
+        ) == "equal"
+
+    def test_close(self):
+        assert qualitative_distance(
+            rect(0, 0, 1, 1), rect(2, 0, 3, 1), self.FRAME
+        ) == "close"
+
+    def test_medium(self):
+        assert qualitative_distance(
+            rect(0, 0, 1, 1), rect(6, 0, 7, 1), self.FRAME
+        ) == "medium"
+
+    def test_far(self):
+        assert qualitative_distance(
+            rect(0, 0, 1, 1), rect(100, 0, 101, 1), self.FRAME
+        ) == "far"

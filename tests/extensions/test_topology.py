@@ -1,0 +1,143 @@
+"""Tests for the RCC8 extension (paper future work, Section 5)."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.extensions.topology import RCC8, is_rectilinear, rcc8
+from repro.geometry.region import Region
+from repro.workloads.generators import region_with_hole
+
+
+def rect(x0, y0, x1, y1) -> Region:
+    return Region.from_coordinates([[(x0, y0), (x0, y1), (x1, y1), (x1, y0)]])
+
+
+class TestEnum:
+    def test_inverses(self):
+        assert RCC8.TPP.inverse() is RCC8.TPPI
+        assert RCC8.NTPPI.inverse() is RCC8.NTPP
+        for symmetric in (RCC8.DC, RCC8.EC, RCC8.PO, RCC8.EQ):
+            assert symmetric.inverse() is symmetric
+
+    def test_str(self):
+        assert str(RCC8.NTPP) == "NTPP"
+
+
+class TestRectilinearityGuard:
+    def test_detects_rectilinear(self):
+        assert is_rectilinear(rect(0, 0, 2, 2))
+
+    def test_detects_diagonal(self):
+        triangle = Region.from_coordinates([[(0, 0), (0, 2), (2, 0)]])
+        assert not is_rectilinear(triangle)
+        with pytest.raises(GeometryError):
+            rcc8(triangle, rect(0, 0, 1, 1))
+
+
+class TestBaseRelations:
+    def test_dc(self):
+        assert rcc8(rect(0, 0, 1, 1), rect(5, 5, 6, 6)) is RCC8.DC
+
+    def test_ec_shared_edge(self):
+        assert rcc8(rect(0, 0, 2, 2), rect(2, 0, 4, 2)) is RCC8.EC
+
+    def test_ec_shared_corner_point(self):
+        """Single-point contact — the case a naive cell test misses."""
+        assert rcc8(rect(0, 0, 2, 2), rect(2, 2, 4, 4)) is RCC8.EC
+
+    def test_po(self):
+        assert rcc8(rect(0, 0, 4, 4), rect(2, 2, 6, 6)) is RCC8.PO
+
+    def test_tpp(self):
+        assert rcc8(rect(0, 0, 2, 4), rect(0, 0, 4, 4)) is RCC8.TPP
+
+    def test_ntpp(self):
+        assert rcc8(rect(1, 1, 2, 2), rect(0, 0, 4, 4)) is RCC8.NTPP
+
+    def test_tppi_and_ntppi(self):
+        assert rcc8(rect(0, 0, 4, 4), rect(0, 0, 2, 4)) is RCC8.TPPI
+        assert rcc8(rect(0, 0, 4, 4), rect(1, 1, 2, 2)) is RCC8.NTPPI
+
+    def test_eq(self):
+        assert rcc8(rect(0, 0, 3, 3), rect(0, 0, 3, 3)) is RCC8.EQ
+
+    def test_eq_different_decomposition(self):
+        """Equality is about point sets, not polygon decompositions."""
+        split = Region.from_coordinates(
+            [
+                [(0, 0), (0, 3), (1, 3), (1, 0)],
+                [(1, 0), (1, 3), (3, 3), (3, 0)],
+            ]
+        )
+        assert rcc8(split, rect(0, 0, 3, 3)) is RCC8.EQ
+
+    @pytest.mark.parametrize(
+        "b_factory,expected",
+        [
+            (lambda: rect(5, 5, 6, 6), RCC8.DC),
+            (lambda: rect(2, 0, 4, 2), RCC8.EC),
+            (lambda: rect(2, 2, 6, 6), RCC8.PO),
+        ],
+    )
+    def test_inverse_agrees(self, b_factory, expected):
+        a, b = rect(0, 0, 4, 4) if expected is RCC8.PO else rect(0, 0, 2, 2), b_factory()
+        assert rcc8(b, a) is rcc8(a, b).inverse()
+
+
+class TestCompositeRegions:
+    def test_region_in_hole_is_dc(self):
+        """A region inside another's hole shares no point with it."""
+        ring = region_with_hole((0, 0, 10, 10), (3, 3, 7, 7))
+        inner = rect(4, 4, 6, 6)
+        assert rcc8(inner, ring) is RCC8.DC
+
+    def test_region_filling_hole_is_ec(self):
+        ring = region_with_hole((0, 0, 10, 10), (3, 3, 7, 7))
+        plug = rect(3, 3, 7, 7)
+        assert rcc8(plug, ring) is RCC8.EC
+
+    def test_hole_boundary_is_not_interior_boundary(self):
+        """The two polygons of the ring share edges; those shared edges
+        must not count as boundary (the paper's Fig. 2 representation)."""
+        ring = region_with_hole((0, 0, 10, 10), (3, 3, 7, 7))
+        # A region overlapping the ring across the internal shared cut.
+        band = rect(0, 4, 2, 6)
+        assert rcc8(band, ring) is RCC8.TPP
+
+    def test_disconnected_components(self):
+        scattered = Region.from_coordinates(
+            [
+                [(0, 0), (0, 1), (1, 1), (1, 0)],
+                [(5, 5), (5, 6), (6, 6), (6, 5)],
+            ]
+        )
+        container = rect(-1, -1, 7, 7)
+        assert rcc8(scattered, container) is RCC8.NTPP
+
+    def test_one_component_touching(self):
+        scattered = Region.from_coordinates(
+            [
+                [(0, 0), (0, 1), (1, 1), (1, 0)],
+                [(5, 5), (5, 6), (6, 7), (6, 5)],
+            ],
+            ensure_clockwise=True,
+        )
+        # Make it rectilinear: replace with two rectangles, one flush.
+        scattered = Region.from_coordinates(
+            [
+                [(0, 0), (0, 1), (1, 1), (1, 0)],
+                [(5, 5), (5, 7), (6, 7), (6, 5)],
+            ]
+        )
+        container = Region.from_coordinates([[(-1, -1), (-1, 7), (7, 7), (7, -1)]])
+        assert rcc8(scattered, container) is RCC8.TPP
+
+
+class TestCrossValidation:
+    def test_rcc8_vs_cardinal_directions(self):
+        """NTPP implies the cardinal relation B (and not conversely)."""
+        from repro.core.compute import compute_cdr
+
+        inner, outer = rect(1, 1, 2, 2), rect(0, 0, 4, 4)
+        assert rcc8(inner, outer) is RCC8.NTPP
+        assert str(compute_cdr(inner, outer)) == "B"

@@ -1,0 +1,109 @@
+"""Tests for the paper's E_l / E'_m expressions (Definition 4, Fig. 8)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.area import e_l, e_m, polygon_area_about_line
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.segment import Segment
+
+
+class TestDefinition4:
+    def test_e_l_matches_trapezoid_area(self):
+        # Edge from (0, 2) to (4, 4) above the line y = 0: the trapezoid
+        # has parallel sides 2 and 4 and width 4 -> area 12.
+        seg = Segment(Point(0, 2), Point(4, 4))
+        assert e_l(seg, 0) == 12
+
+    def test_e_m_matches_trapezoid_area(self):
+        seg = Segment(Point(2, 0), Point(4, 4))
+        assert e_m(seg, 0) == 12
+
+    def test_antisymmetry_e_l(self):
+        seg = Segment(Point(1, 3), Point(5, 7))
+        assert e_l(seg, 2) == -e_l(seg.reversed(), 2)
+
+    def test_antisymmetry_e_m(self):
+        seg = Segment(Point(1, 3), Point(5, 7))
+        assert e_m(seg, 2) == -e_m(seg.reversed(), 2)
+
+    def test_vertical_edge_contributes_zero_to_e_l(self):
+        """The property that lets Compute-CDR% skip closure segments."""
+        seg = Segment(Point(3, 0), Point(3, 9))
+        assert e_l(seg, -5) == 0
+
+    def test_horizontal_edge_contributes_zero_to_e_m(self):
+        seg = Segment(Point(0, 3), Point(9, 3))
+        assert e_m(seg, -5) == 0
+
+    def test_edge_on_the_reference_line_contributes_zero(self):
+        assert e_l(Segment(Point(0, 4), Point(9, 4)), 4) == 0
+        assert e_m(Segment(Point(4, 0), Point(4, 9)), 4) == 0
+
+    def test_exact_for_fractions(self):
+        seg = Segment(Point(0, Fraction(1, 3)), Point(1, Fraction(2, 3)))
+        assert e_l(seg, 0) == Fraction(1, 2)
+
+
+class TestPolygonAreaAboutLine:
+    SQUARE = Polygon.from_coordinates([(0, 0), (0, 2), (2, 2), (2, 0)])
+
+    def test_requires_exactly_one_line(self):
+        with pytest.raises(ValueError):
+            polygon_area_about_line(self.SQUARE.edges)
+        with pytest.raises(ValueError):
+            polygon_area_about_line(self.SQUARE.edges, l=0, m=0)
+
+    def test_matches_shoelace_horizontal(self):
+        assert polygon_area_about_line(self.SQUARE.edges, l=-3) == 4
+
+    def test_matches_shoelace_vertical(self):
+        assert polygon_area_about_line(self.SQUARE.edges, m=17) == 4
+
+    def test_line_through_polygon_still_works(self):
+        """Fig. 8 uses a line below the polygon, but the identity holds for
+        any line — positive and negative trapezoids cancel."""
+        assert polygon_area_about_line(self.SQUARE.edges, l=1) == 4
+
+    def test_orientation_independent(self):
+        ccw_edges = [edge.reversed() for edge in reversed(self.SQUARE.edges)]
+        assert polygon_area_about_line(ccw_edges, l=0) == 4
+
+
+@st.composite
+def star_polygons(draw):
+    from repro.workloads.generators import random_star_polygon
+
+    seed = draw(st.integers(0, 10**6))
+    n = draw(st.integers(3, 40))
+    return random_star_polygon(seed, n, min_radius=0.3, max_radius=2.0)
+
+
+@given(star_polygons(), st.floats(-10, 10, allow_nan=False))
+def test_area_about_any_horizontal_line_equals_shoelace(polygon, l):
+    assert abs(polygon_area_about_line(polygon.edges, l=l) - polygon.area()) < 1e-8
+
+
+@given(star_polygons(), st.floats(-10, 10, allow_nan=False))
+def test_area_about_any_vertical_line_equals_shoelace(polygon, m):
+    assert abs(polygon_area_about_line(polygon.edges, m=m) - polygon.area()) < 1e-8
+
+
+@given(
+    st.integers(-20, 20), st.integers(-20, 20),
+    st.integers(-20, 20), st.integers(-20, 20),
+    st.integers(-20, 20),
+)
+def test_e_l_shift_identity(ax, ay, bx, by, l):
+    """Shifting the reference line changes E_l by dx * shift (exactly)."""
+    if (ax, ay) == (bx, by):
+        return
+    seg = Segment(Point(ax, ay), Point(bx, by))
+    shift = 3
+    # E_{l-shift} - E_l = (bx - ax) * shift / 2 * 2... derive: difference is
+    # (bx - ax) * (2*shift) / 2 = (bx - ax) * shift.
+    assert e_l(seg, l - shift) - e_l(seg, l) == (bx - ax) * shift

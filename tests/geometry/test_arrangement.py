@@ -1,0 +1,122 @@
+"""Tests for the shared arrangement machinery."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.arrangement import (
+    arrangement_axes,
+    boundary_features,
+    cell_cover,
+    cells_to_region,
+    is_rectilinear,
+    require_rectilinear,
+)
+from repro.geometry.region import Region
+
+
+def rect_region(x0, y0, x1, y1) -> Region:
+    return Region.from_coordinates([[(x0, y0), (x0, y1), (x1, y1), (x1, y0)]])
+
+
+class TestAxes:
+    def test_collects_all_coordinates(self):
+        xs, ys = arrangement_axes([rect_region(0, 0, 2, 2), rect_region(1, -1, 3, 1)])
+        assert xs == [0, 1, 2, 3]
+        assert ys == [-1, 0, 1, 2]
+
+    def test_sorted_and_distinct(self):
+        xs, ys = arrangement_axes([rect_region(0, 0, 2, 2), rect_region(0, 0, 2, 2)])
+        assert xs == [0, 2] and ys == [0, 2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            arrangement_axes([])
+
+
+class TestRectilinearGuard:
+    def test_accepts_rectilinear(self):
+        require_rectilinear(rect_region(0, 0, 1, 1))
+
+    def test_rejects_diagonal(self):
+        triangle = Region.from_coordinates([[(0, 0), (0, 2), (2, 0)]])
+        assert not is_rectilinear(triangle)
+        with pytest.raises(GeometryError):
+            require_rectilinear(triangle, "probe")
+
+
+class TestCellCover:
+    def test_simple_rectangle(self):
+        region = rect_region(0, 0, 2, 2)
+        xs, ys = arrangement_axes([region, rect_region(1, 1, 3, 3)])
+        cover = cell_cover(region, xs, ys)
+        # xs = [0,1,2,3], ys likewise; the region covers the 2x2 cells
+        # with indices (0..1, 0..1).
+        assert cover == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_cover_area_matches_region(self):
+        region = Region.from_coordinates(
+            [
+                [(0, 0), (0, 3), (2, 3), (2, 0)],
+                [(4, 1), (4, 2), (6, 2), (6, 1)],
+            ]
+        )
+        xs, ys = arrangement_axes([region])
+        cover = cell_cover(region, xs, ys)
+        area = sum(
+            (xs[i + 1] - xs[i]) * (ys[j + 1] - ys[j]) for i, j in cover
+        )
+        assert area == region.area()
+
+
+class TestCellsToRegion:
+    def test_empty_returns_none(self):
+        assert cells_to_region(frozenset(), [0, 1], [0, 1]) is None
+
+    def test_roundtrip_cover(self):
+        region = rect_region(0, 0, 3, 2)
+        xs, ys = arrangement_axes([region, rect_region(1, 1, 2, 4)])
+        cover = cell_cover(region, xs, ys)
+        rebuilt = cells_to_region(cover, xs, ys)
+        assert rebuilt is not None
+        assert rebuilt.area() == region.area()
+        assert rebuilt.bounding_box() == region.bounding_box()
+
+    def test_l_shape_merging(self):
+        cells = frozenset({(0, 0), (1, 0), (0, 1)})
+        region = cells_to_region(cells, [0, 1, 2], [0, 1, 2])
+        assert region is not None
+        assert region.area() == 3
+        # Merging yields two rectangles (a 2x1 bottom run, a 1x1 top),
+        # not three unit squares.
+        assert len(region) == 2
+
+    def test_vertical_stacking(self):
+        cells = frozenset({(0, 0), (0, 1), (0, 2)})
+        region = cells_to_region(cells, [0, 5], [0, 1, 2, 3])
+        assert region is not None
+        assert len(region) == 1
+        assert region.bounding_box().height == 3
+
+    def test_diagonal_cells_stay_separate(self):
+        cells = frozenset({(0, 0), (1, 1)})
+        region = cells_to_region(cells, [0, 1, 2], [0, 1, 2])
+        assert region is not None
+        assert len(region) == 2
+
+
+class TestBoundaryFeatures:
+    def test_single_cell(self):
+        segments, vertices = boundary_features(frozenset({(0, 0)}), 2, 2)
+        # Four sides...
+        assert ("v", 0, 0) in segments and ("v", 1, 0) in segments
+        assert ("h", 0, 0) in segments and ("h", 0, 1) in segments
+        # ...and four corners.
+        assert {(0, 0), (1, 0), (0, 1), (1, 1)} <= vertices
+
+    def test_internal_edge_not_boundary(self):
+        segments, _ = boundary_features(frozenset({(0, 0), (1, 0)}), 2, 1)
+        assert ("v", 1, 0) not in segments
+
+    def test_diagonal_contact_vertex(self):
+        _, vertices = boundary_features(frozenset({(0, 0), (1, 1)}), 2, 2)
+        assert (1, 1) in vertices

@@ -1,0 +1,161 @@
+"""Tests for exact rectilinear boolean operations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.booleans import (
+    difference,
+    intersection,
+    intersection_area,
+    symmetric_difference,
+    union,
+)
+from repro.geometry.region import Region
+from repro.workloads.generators import (
+    random_rectilinear_region,
+    region_with_hole,
+)
+
+
+def rect_region(x0, y0, x1, y1) -> Region:
+    return Region.from_coordinates([[(x0, y0), (x0, y1), (x1, y1), (x1, y0)]])
+
+
+A = rect_region(0, 0, 4, 4)
+B = rect_region(2, 2, 6, 6)
+FAR = rect_region(10, 10, 12, 12)
+
+
+class TestBasics:
+    def test_union_area(self):
+        assert union(A, B).area() == 16 + 16 - 4
+
+    def test_intersection(self):
+        result = intersection(A, B)
+        assert result is not None
+        assert result.area() == 4
+        box = result.bounding_box()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (2, 2, 4, 4)
+
+    def test_disjoint_intersection_is_none(self):
+        assert intersection(A, FAR) is None
+        assert intersection_area(A, FAR) == 0
+
+    def test_touching_intersection_is_none(self):
+        """Shared boundaries carry no area: touching regions have empty
+        (full-dimensional) intersection."""
+        assert intersection(A, rect_region(4, 0, 8, 4)) is None
+
+    def test_difference(self):
+        result = difference(A, B)
+        assert result is not None
+        assert result.area() == 12
+
+    def test_difference_total_is_none(self):
+        assert difference(A, rect_region(-1, -1, 5, 5)) is None
+
+    def test_symmetric_difference(self):
+        result = symmetric_difference(A, B)
+        assert result is not None
+        assert result.area() == 24
+
+    def test_symmetric_difference_of_equal_is_none(self):
+        assert symmetric_difference(A, rect_region(0, 0, 4, 4)) is None
+
+    def test_non_rectilinear_rejected(self):
+        triangle = Region.from_coordinates([[(0, 0), (0, 2), (2, 0)]])
+        with pytest.raises(GeometryError):
+            union(triangle, A)
+
+    def test_fraction_coordinates_stay_exact(self):
+        from fractions import Fraction as F
+
+        thin = rect_region(F(1, 3), 0, F(2, 3), 4)
+        assert intersection_area(A, thin) == F(4, 3)
+
+
+class TestCompositeInputs:
+    def test_union_merges_adjacent_rectangles(self):
+        left = rect_region(0, 0, 2, 4)
+        right = rect_region(2, 0, 4, 4)
+        merged = union(left, right)
+        assert merged.area() == 16
+        assert len(merged) == 1  # maximal-rectangle output
+
+    def test_difference_can_create_hole(self):
+        outer = rect_region(0, 0, 10, 10)
+        inner = rect_region(4, 4, 6, 6)
+        ring = difference(outer, inner)
+        assert ring is not None
+        assert ring.area() == 96
+        from repro.geometry.point import Point
+        from repro.geometry.predicates import point_in_region
+
+        assert not point_in_region(Point(5, 5), ring)
+
+    def test_hole_region_operand(self):
+        ring = region_with_hole((0, 0, 10, 10), (3, 3, 7, 7))
+        plug = rect_region(3, 3, 7, 7)
+        whole = union(ring, plug)
+        assert whole.area() == 100
+
+    def test_result_feeds_compute_cdr(self):
+        """Boolean outputs are valid REG* inputs to the paper's algorithms."""
+        from repro.core.compute import compute_cdr
+
+        ring = difference(rect_region(-10, -10, 20, 20), rect_region(0, 0, 10, 10))
+        assert ring is not None
+        relation = compute_cdr(ring, rect_region(0, 0, 10, 10))
+        assert str(relation) == "S:SW:W:NW:N:NE:E:SE"
+
+
+def _random_pair(seed):
+    rng = random.Random(seed)
+    a = random_rectilinear_region(rng, rng.randint(1, 6))
+    b = random_rectilinear_region(rng, rng.randint(1, 6))
+    return a, b
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**9))
+def test_inclusion_exclusion(seed):
+    """area(a) + area(b) = area(a ∪ b) + area(a ∩ b), exactly."""
+    a, b = _random_pair(seed)
+    assert a.area() + b.area() == union(a, b).area() + intersection_area(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**9))
+def test_difference_partition(seed):
+    """area(a) = area(a \\ b) + area(a ∩ b), exactly."""
+    a, b = _random_pair(seed)
+    diff = difference(a, b)
+    diff_area = 0 if diff is None else diff.area()
+    assert a.area() == diff_area + intersection_area(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**9))
+def test_booleans_agree_with_rcc8_oracle(seed):
+    """Third-oracle cross-check: positive intersection area iff the RCC8
+    layer reports interior overlap (PO/TPP/NTPP/TPPI/NTPPI/EQ)."""
+    from repro.extensions.topology import RCC8, rcc8
+
+    a, b = _random_pair(seed)
+    overlap = intersection_area(a, b) > 0
+    relation = rcc8(a, b)
+    assert overlap == (relation not in (RCC8.DC, RCC8.EC))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10**9))
+def test_union_commutative_as_point_sets(seed):
+    a, b = _random_pair(seed)
+    first = union(a, b)
+    second = union(b, a)
+    assert first.area() == second.area()
+    assert first.bounding_box() == second.bounding_box()

@@ -1,0 +1,104 @@
+"""Tests for the Sutherland–Hodgman clipping baseline."""
+
+from fractions import Fraction
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.clipping import (
+    bbox_halfplanes,
+    clip_polygon_to_bbox,
+    clip_polygon_to_halfplane,
+    clip_polygon_to_halfplanes,
+)
+from repro.geometry.polygon import Polygon
+
+SQUARE = Polygon.from_coordinates([(0, 0), (0, 2), (2, 2), (2, 0)])
+
+
+class TestHalfplaneClip:
+    def test_fully_inside_unchanged(self):
+        clipped = clip_polygon_to_halfplane(SQUARE, ("x", 5, True))
+        assert clipped == SQUARE
+
+    def test_fully_outside_returns_none(self):
+        assert clip_polygon_to_halfplane(SQUARE, ("x", -1, True)) is None
+
+    def test_half_cut(self):
+        clipped = clip_polygon_to_halfplane(SQUARE, ("x", 1, True))
+        assert clipped is not None
+        assert clipped.area() == 2
+
+    def test_boundary_touch_is_degenerate(self):
+        """Clipping that leaves only an edge yields no polygon."""
+        assert clip_polygon_to_halfplane(SQUARE, ("x", 0, True)) is None
+
+    def test_exact_fraction_cut(self):
+        clipped = clip_polygon_to_halfplane(SQUARE, ("x", Fraction(1, 3), True))
+        assert clipped is not None
+        assert clipped.area() == Fraction(2, 3)
+
+    def test_keep_geq_side(self):
+        clipped = clip_polygon_to_halfplane(SQUARE, ("y", 1, False))
+        assert clipped is not None
+        assert clipped.area() == 2
+
+    def test_triangle_corner_cut(self):
+        triangle = Polygon.from_coordinates([(0, 0), (0, 2), (2, 0)])
+        clipped = clip_polygon_to_halfplane(triangle, ("y", 1, True))
+        assert clipped is not None
+        # Below y=1: trapezoid with parallel sides 2 and 1, height 1.
+        assert clipped.area() == Fraction(3, 2)
+
+
+class TestBoxClip:
+    def test_clip_to_inner_box(self):
+        box = BoundingBox(Fraction(1, 2), Fraction(1, 2), 1, 1)
+        clipped = clip_polygon_to_bbox(SQUARE, box)
+        assert clipped is not None
+        assert clipped.area() == Fraction(1, 4)
+
+    def test_clip_to_disjoint_box(self):
+        assert clip_polygon_to_bbox(SQUARE, BoundingBox(5, 5, 6, 6)) is None
+
+    def test_halfplanes_of_box(self):
+        planes = bbox_halfplanes(BoundingBox(0, 0, 1, 2))
+        assert len(planes) == 4
+        clipped = clip_polygon_to_halfplanes(SQUARE, planes)
+        assert clipped is not None
+        assert clipped.area() == 2
+
+    def test_clockwise_output(self):
+        box = BoundingBox(1, 1, 3, 3)
+        clipped = clip_polygon_to_bbox(SQUARE, box)
+        assert clipped is not None
+        assert clipped.signed_area() < 0
+
+
+@given(st.integers(-3, 3), st.integers(-3, 3))
+def test_clip_area_never_exceeds_original(dx, dy):
+    box = BoundingBox(dx, dy, dx + 2, dy + 2)
+    clipped = clip_polygon_to_bbox(SQUARE, box)
+    if clipped is not None:
+        assert 0 < clipped.area() <= SQUARE.area()
+
+
+@given(st.integers(0, 10**6), st.integers(3, 24))
+def test_clipping_partition_preserves_area(seed, n):
+    """Clipping a polygon to the four quadrants of a point partitions it."""
+    from repro.workloads.generators import random_star_polygon
+
+    polygon = random_star_polygon(seed, n, min_radius=0.5, max_radius=2.0)
+    quadrants = [
+        [("x", 0, True), ("y", 0, True)],
+        [("x", 0, True), ("y", 0, False)],
+        [("x", 0, False), ("y", 0, True)],
+        [("x", 0, False), ("y", 0, False)],
+    ]
+    total = 0.0
+    for planes in quadrants:
+        piece = clip_polygon_to_halfplanes(polygon, planes)
+        if piece is not None:
+            total += piece.area()
+    assert abs(total - polygon.area()) < 1e-8

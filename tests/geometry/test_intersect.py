@@ -1,0 +1,147 @@
+"""Tests for repro.geometry.intersect — the edge-division primitive."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.intersect import (
+    collect_segments,
+    segment_crosses_line,
+    segments_intersection_parameter,
+    split_segment_at_values,
+)
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+
+
+class TestSegmentCrossesLine:
+    def test_proper_vertical_crossing(self):
+        seg = Segment(Point(0, 0), Point(2, 2))
+        assert segment_crosses_line(seg, x=1) == Point(1, 1)
+
+    def test_proper_horizontal_crossing(self):
+        seg = Segment(Point(0, 0), Point(2, 4))
+        assert segment_crosses_line(seg, y=2) == Point(1, 2)
+
+    def test_exact_fraction_crossing(self):
+        seg = Segment(Point(0, 0), Point(3, 1))
+        assert segment_crosses_line(seg, x=1) == Point(1, Fraction(1, 3))
+
+    def test_endpoint_touch_is_not_a_crossing(self):
+        """Definition 3: intersecting only at an endpoint does not cross."""
+        seg = Segment(Point(1, 0), Point(2, 2))
+        assert segment_crosses_line(seg, x=1) is None
+
+    def test_collinear_is_not_a_crossing(self):
+        """Definition 3: lying entirely on the line does not cross."""
+        seg = Segment(Point(1, 0), Point(1, 5))
+        assert segment_crosses_line(seg, x=1) is None
+
+    def test_disjoint(self):
+        seg = Segment(Point(0, 0), Point(1, 1))
+        assert segment_crosses_line(seg, x=5) is None
+
+    def test_requires_exactly_one_line(self):
+        seg = Segment(Point(0, 0), Point(1, 1))
+        with pytest.raises(ValueError):
+            segment_crosses_line(seg)
+        with pytest.raises(ValueError):
+            segment_crosses_line(seg, x=0, y=0)
+
+    def test_direction_does_not_matter_for_the_point(self):
+        forward = Segment(Point(0, 0), Point(2, 2))
+        backward = forward.reversed()
+        assert segment_crosses_line(forward, x=1) == segment_crosses_line(
+            backward, x=1
+        )
+
+
+class TestSplitSegment:
+    GRID_X = (0, 1)
+    GRID_Y = (0, 1)
+
+    def test_no_crossing_returns_original(self):
+        seg = Segment(Point(2, 2), Point(3, 3))
+        assert split_segment_at_values(seg, self.GRID_X, self.GRID_Y) == [seg]
+
+    def test_single_crossing(self):
+        seg = Segment(Point(-1, Fraction(1, 2)), Point(1, Fraction(1, 2)))
+        pieces = split_segment_at_values(seg, self.GRID_X, self.GRID_Y)
+        assert [p.start for p in pieces] == [seg.start, Point(0, Fraction(1, 2))]
+        assert pieces[-1].end == seg.end
+
+    def test_pieces_chain_start_to_end(self):
+        seg = Segment(Point(-3, -1), Point(4, 3))
+        pieces = split_segment_at_values(seg, self.GRID_X, self.GRID_Y)
+        assert pieces[0].start == seg.start
+        assert pieces[-1].end == seg.end
+        for first, second in zip(pieces, pieces[1:]):
+            assert first.end == second.start
+
+    def test_crossing_through_grid_corner_yields_one_point(self):
+        """A diagonal through (0, 0) meets both lines at the same point —
+        the division must not create a degenerate piece."""
+        seg = Segment(Point(-1, -1), Point(1, 1))
+        pieces = split_segment_at_values(seg, self.GRID_X, self.GRID_Y)
+        # Crossings: corner (0,0) and (1,1)... (1,1) is the endpoint, so
+        # only the corner splits: 2 pieces.
+        assert len(pieces) == 2
+        assert pieces[0].end == Point(0, 0)
+
+    def test_steep_segment_sorted_by_y(self):
+        seg = Segment(Point(Fraction(1, 2), 2), Point(Fraction(6, 10), -2))
+        pieces = split_segment_at_values(seg, self.GRID_X, self.GRID_Y)
+        assert len(pieces) == 3
+        ys = [float(p.start.y) for p in pieces]
+        assert ys == sorted(ys, reverse=True)
+
+    def test_reversed_segment_splits_at_same_points(self):
+        seg = Segment(Point(-1, Fraction(1, 3)), Point(2, Fraction(2, 3)))
+        forward = split_segment_at_values(seg, self.GRID_X, self.GRID_Y)
+        backward = split_segment_at_values(
+            seg.reversed(), self.GRID_X, self.GRID_Y
+        )
+        forward_points = {p.start for p in forward} | {forward[-1].end}
+        backward_points = {p.start for p in backward} | {backward[-1].end}
+        assert forward_points == backward_points
+
+
+@given(
+    st.integers(-5, 5), st.integers(-5, 5),
+    st.integers(-5, 5), st.integers(-5, 5),
+)
+def test_split_preserves_length(ax, ay, bx, by):
+    if (ax, ay) == (bx, by):
+        return
+    seg = Segment(Point(ax, ay), Point(bx, by))
+    pieces = split_segment_at_values(seg, (0, 1), (0, 1))
+    assert pieces[0].start == seg.start and pieces[-1].end == seg.end
+    assert abs(sum(p.length() for p in pieces) - seg.length()) < 1e-9
+
+
+class TestSegmentsIntersectionParameter:
+    def test_crossing(self):
+        t, u = segments_intersection_parameter(
+            Point(0, 0), (2, 2), Point(0, 2), (2, -2)
+        )
+        assert (t, u) == (Fraction(1, 2), Fraction(1, 2))
+
+    def test_parallel_returns_none(self):
+        assert segments_intersection_parameter(
+            Point(0, 0), (1, 1), Point(0, 1), (2, 2)
+        ) is None
+
+
+class TestCollectSegments:
+    def test_closes_ring(self):
+        segs = collect_segments([Point(0, 0), Point(0, 1), Point(1, 0)])
+        assert len(segs) == 3
+        assert segs[-1] == Segment(Point(1, 0), Point(0, 0))
+
+    def test_skips_duplicates(self):
+        segs = collect_segments(
+            [Point(0, 0), Point(0, 0), Point(0, 1), Point(1, 0)]
+        )
+        assert len(segs) == 3

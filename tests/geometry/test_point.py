@@ -1,0 +1,97 @@
+"""Tests for repro.geometry.point."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point, _half
+
+
+class TestConstruction:
+    def test_basic_attributes(self):
+        p = Point(1, 2)
+        assert p.x == 1 and p.y == 2
+
+    def test_accepts_floats_and_fractions(self):
+        assert Point(0.5, Fraction(1, 3)).x == 0.5
+
+    def test_rejects_non_numbers(self):
+        with pytest.raises(TypeError):
+            Point("1", 2)
+
+    def test_rejects_complex(self):
+        with pytest.raises(TypeError):
+            Point(1j, 0)
+
+    def test_equality_and_hash(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert hash(Point(1, 2)) == hash(Point(1, 2))
+        assert Point(1, 2) != Point(2, 1)
+
+    def test_cross_type_equality(self):
+        # ints and equal-valued Fractions compare equal in Python.
+        assert Point(1, 2) == Point(Fraction(1), Fraction(2))
+
+    def test_immutable(self):
+        p = Point(0, 0)
+        with pytest.raises(AttributeError):
+            p.x = 1
+
+    def test_iteration_unpacks(self):
+        x, y = Point(3, 4)
+        assert (x, y) == (3, 4)
+
+
+class TestOperations:
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -3) == Point(3, -2)
+
+    def test_scaled_about_origin(self):
+        assert Point(2, 3).scaled(2) == Point(4, 6)
+
+    def test_scaled_about_custom_origin(self):
+        assert Point(2, 3).scaled(2, Point(1, 1)) == Point(3, 5)
+
+    def test_midpoint_simple(self):
+        assert Point(0, 0).midpoint_with(Point(2, 4)) == Point(1, 2)
+
+    def test_midpoint_of_odd_integers_is_exact(self):
+        mid = Point(0, 0).midpoint_with(Point(1, 3))
+        assert mid == Point(Fraction(1, 2), Fraction(3, 2))
+        assert isinstance(mid.x, Fraction)
+
+    def test_midpoint_of_fractions_is_exact(self):
+        mid = Point(Fraction(1, 3), 0).midpoint_with(Point(Fraction(2, 3), 0))
+        assert mid.x == Fraction(1, 2)
+
+    def test_as_float_tuple(self):
+        assert Point(Fraction(1, 2), 1).as_float_tuple() == (0.5, 1.0)
+
+
+class TestHalf:
+    def test_even_int_stays_int(self):
+        assert _half(4) == 2 and isinstance(_half(4), int)
+
+    def test_odd_int_becomes_fraction(self):
+        assert _half(3) == Fraction(3, 2)
+
+    def test_float_stays_float(self):
+        assert _half(3.0) == 1.5
+
+    def test_fraction_stays_exact(self):
+        assert _half(Fraction(1, 3)) == Fraction(1, 6)
+
+
+@given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6),
+       st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+def test_midpoint_is_symmetric(ax, ay, bx, by):
+    a, b = Point(ax, ay), Point(bx, by)
+    assert a.midpoint_with(b) == b.midpoint_with(a)
+
+
+@given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+def test_midpoint_with_self_is_self(x, y):
+    p = Point(x, y)
+    assert p.midpoint_with(p) == p

@@ -1,0 +1,148 @@
+"""Tests for repro.geometry.polygon."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+CW_SQUARE = [(0, 0), (0, 1), (1, 1), (1, 0)]
+CCW_SQUARE = list(reversed(CW_SQUARE))
+
+
+class TestConstruction:
+    def test_clockwise_square(self):
+        polygon = Polygon.from_coordinates(CW_SQUARE)
+        assert polygon.edge_count() == 4
+
+    def test_rejects_counter_clockwise(self):
+        with pytest.raises(GeometryError):
+            Polygon.from_coordinates(CCW_SQUARE)
+
+    def test_auto_reverses_when_asked(self):
+        polygon = Polygon.from_coordinates(CCW_SQUARE, ensure_clockwise=True)
+        assert polygon == Polygon.from_coordinates(CW_SQUARE)
+
+    def test_rejects_too_few_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon.from_coordinates([(0, 0), (1, 1)])
+
+    def test_rejects_collinear(self):
+        with pytest.raises(GeometryError):
+            Polygon.from_coordinates([(0, 0), (1, 1), (2, 2)])
+
+    def test_drops_duplicate_consecutive_vertices(self):
+        polygon = Polygon.from_coordinates(
+            [(0, 0), (0, 0), (0, 1), (1, 1), (1, 0), (0, 0)]
+        )
+        assert polygon.edge_count() == 4
+
+    def test_closing_vertex_is_optional(self):
+        explicit = Polygon.from_coordinates(CW_SQUARE + [(0, 0)])
+        assert explicit == Polygon.from_coordinates(CW_SQUARE)
+
+
+class TestEdgesAndGeometry:
+    def test_edges_form_closed_clockwise_ring(self):
+        edges = Polygon.from_coordinates(CW_SQUARE).edges
+        assert len(edges) == 4
+        assert edges[0].start == Point(0, 0)
+        assert edges[-1].end == Point(0, 0)
+        for first, second in zip(edges, edges[1:]):
+            assert first.end == second.start
+
+    def test_area_square(self):
+        assert Polygon.from_coordinates(CW_SQUARE).area() == 1
+
+    def test_area_triangle_exact(self):
+        triangle = Polygon.from_coordinates([(0, 0), (0, 1), (1, 0)])
+        assert triangle.area() == Fraction(1, 2)
+
+    def test_signed_area_negative_for_clockwise(self):
+        assert Polygon.from_coordinates(CW_SQUARE).signed_area() == -1
+
+    def test_bounding_box(self):
+        polygon = Polygon.from_coordinates([(0, 0), (-1, 3), (2, 5), (1, 1)])
+        box = polygon.bounding_box()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-1, 0, 2, 5)
+
+    def test_translated(self):
+        moved = Polygon.from_coordinates(CW_SQUARE).translated(10, 20)
+        assert moved.bounding_box().min_x == 10
+
+    def test_scaled_preserves_orientation(self):
+        scaled = Polygon.from_coordinates(CW_SQUARE).scaled(3)
+        assert scaled.area() == 9
+        assert scaled.signed_area() < 0
+
+    def test_negative_scale_repairs_orientation(self):
+        mirrored = Polygon.from_coordinates(CW_SQUARE).scaled(-1)
+        assert mirrored.signed_area() < 0  # still clockwise after repair
+        assert mirrored.area() == 1
+
+    def test_scale_by_zero_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon.from_coordinates(CW_SQUARE).scaled(0)
+
+
+class TestEquality:
+    def test_rotation_invariant(self):
+        rotated = CW_SQUARE[1:] + CW_SQUARE[:1]
+        assert Polygon.from_coordinates(CW_SQUARE) == Polygon.from_coordinates(rotated)
+
+    def test_hash_consistent_with_equality(self):
+        rotated = CW_SQUARE[2:] + CW_SQUARE[:2]
+        assert hash(Polygon.from_coordinates(CW_SQUARE)) == hash(
+            Polygon.from_coordinates(rotated)
+        )
+
+    def test_different_polygons_unequal(self):
+        other = Polygon.from_coordinates([(0, 0), (0, 2), (1, 2), (1, 0)])
+        assert Polygon.from_coordinates(CW_SQUARE) != other
+
+
+class TestIsSimple:
+    def test_square_is_simple(self):
+        assert Polygon.from_coordinates(CW_SQUARE).is_simple()
+
+    def test_bowtie_is_not_simple(self):
+        # An asymmetric bowtie (the symmetric one has zero signed area and
+        # is already rejected at construction).
+        bowtie = Polygon.from_coordinates(
+            [(0, 0), (2, 2), (2, 0), (0, 1)], ensure_clockwise=True
+        )
+        assert not bowtie.is_simple()
+
+    def test_symmetric_bowtie_rejected_at_construction(self):
+        with pytest.raises(GeometryError):
+            Polygon.from_coordinates(
+                [(0, 0), (1, 1), (1, 0), (0, 1)], ensure_clockwise=True
+            )
+
+    def test_vertex_touching_nonadjacent_edge_is_not_simple(self):
+        # Vertex (0, 1) lies in the middle of the left edge (0,0)-(0,2).
+        polygon = Polygon.from_coordinates(
+            [(0, 0), (0, 2), (2, 2), (0, 1), (2, 0)]
+        )
+        assert not polygon.is_simple()
+
+    def test_concave_is_simple(self):
+        l_shape = Polygon.from_coordinates(
+            [(0, 0), (0, 2), (2, 2), (2, 1), (1, 1), (1, 0)]
+        )
+        assert l_shape.is_simple()
+
+
+@given(st.integers(3, 12))
+def test_regular_polygon_area_approaches_circle(n):
+    from repro.workloads.generators import star_polygon
+
+    polygon = star_polygon(n, radius=1.0)
+    import math
+
+    expected = n * math.sin(2 * math.pi / n) / 2  # regular n-gon area
+    assert abs(polygon.area() - expected) < 1e-9

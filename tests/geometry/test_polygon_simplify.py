@@ -1,0 +1,67 @@
+"""Tests for Polygon.simplified (collinear-vertex removal)."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.polygon import Polygon
+
+
+def test_already_minimal_returns_self():
+    square = Polygon.from_coordinates([(0, 0), (0, 1), (1, 1), (1, 0)])
+    assert square.simplified() is square
+
+
+def test_removes_midpoints_on_edges():
+    padded = Polygon.from_coordinates(
+        [(0, 0), (0, 1), (0, 2), (1, 2), (2, 2), (2, 0), (1, 0)]
+    )
+    simplified = padded.simplified()
+    assert simplified == Polygon.from_coordinates([(0, 0), (0, 2), (2, 2), (2, 0)])
+
+
+def test_consecutive_collinear_runs():
+    padded = Polygon.from_coordinates(
+        [(0, 0), (0, 1), (0, 2), (0, 3), (0, 4), (4, 4), (4, 0)]
+    )
+    assert padded.simplified() == Polygon.from_coordinates(
+        [(0, 0), (0, 4), (4, 4), (4, 0)]
+    )
+
+
+def test_area_and_box_preserved():
+    padded = Polygon.from_coordinates(
+        [(0, 0), (0, 3), (1, 3), (3, 3), (3, 1), (3, 0), (2, 0)]
+    )
+    simplified = padded.simplified()
+    assert simplified.area() == padded.area()
+    assert simplified.bounding_box() == padded.bounding_box()
+
+
+def test_fraction_collinearity_is_exact():
+    padded = Polygon.from_coordinates(
+        [
+            (0, 0),
+            (Fraction(1, 3), Fraction(1, 3)),
+            (1, 1),
+            (1, 0),
+        ]
+    )
+    assert padded.simplified().edge_count() == 3
+
+
+def test_triangle_never_shrinks_below_three():
+    triangle = Polygon.from_coordinates([(0, 0), (0, 1), (1, 0)])
+    assert triangle.simplified() is triangle
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10**6), st.integers(4, 20))
+def test_star_polygons_are_already_minimal(seed, n):
+    """Random-radius star polygons almost surely have no collinear
+    triples; simplification must be the identity on them."""
+    from repro.workloads.generators import random_star_polygon
+
+    polygon = random_star_polygon(seed, n)
+    assert polygon.simplified().edge_count() == n

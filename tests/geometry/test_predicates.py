@@ -1,0 +1,116 @@
+"""Tests for repro.geometry.predicates."""
+
+from fractions import Fraction
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.predicates import (
+    orientation,
+    point_in_polygon,
+    point_in_region,
+    point_on_segment,
+)
+from repro.geometry.region import Region
+from repro.geometry.segment import Segment
+
+
+class TestOrientation:
+    def test_left_turn_positive(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, 1)) > 0
+
+    def test_right_turn_negative(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, -1)) < 0
+
+    def test_collinear_zero(self):
+        assert orientation(Point(0, 0), Point(1, 1), Point(2, 2)) == 0
+
+    def test_exact_for_fractions(self):
+        a = Point(Fraction(1, 3), Fraction(1, 7))
+        b = Point(Fraction(2, 3), Fraction(2, 7))
+        c = Point(Fraction(3, 3), Fraction(3, 7))
+        assert orientation(a, b, c) == 0
+
+
+class TestPointOnSegment:
+    SEG = Segment(Point(0, 0), Point(4, 2))
+
+    def test_midpoint_on(self):
+        assert point_on_segment(Point(2, 1), self.SEG)
+
+    def test_endpoints_on(self):
+        assert point_on_segment(Point(0, 0), self.SEG)
+        assert point_on_segment(Point(4, 2), self.SEG)
+
+    def test_collinear_but_outside(self):
+        assert not point_on_segment(Point(6, 3), self.SEG)
+
+    def test_off_line(self):
+        assert not point_on_segment(Point(2, 2), self.SEG)
+
+
+class TestPointInPolygon:
+    SQUARE = Polygon.from_coordinates([(0, 0), (0, 2), (2, 2), (2, 0)])
+
+    def test_interior(self):
+        assert point_in_polygon(Point(1, 1), self.SQUARE)
+
+    def test_boundary_counts_as_inside(self):
+        assert point_in_polygon(Point(0, 1), self.SQUARE)
+        assert point_in_polygon(Point(2, 2), self.SQUARE)
+
+    def test_outside(self):
+        assert not point_in_polygon(Point(3, 1), self.SQUARE)
+        assert not point_in_polygon(Point(-0.001, 1), self.SQUARE)
+
+    def test_ray_through_vertex(self):
+        """The classic hard case: the test ray passes through a vertex."""
+        diamond = Polygon.from_coordinates(
+            [(0, -1), (-1, 0), (0, 1), (1, 0)], ensure_clockwise=True
+        )
+        assert point_in_polygon(Point(-0.5, 0), diamond)
+        assert not point_in_polygon(Point(-2, 0), diamond)
+        assert not point_in_polygon(Point(2, 0), diamond)
+
+    def test_concave_notch(self):
+        l_shape = Polygon.from_coordinates(
+            [(0, 0), (0, 2), (2, 2), (2, 1), (1, 1), (1, 0)]
+        )
+        assert point_in_polygon(Point(0.5, 1.5), l_shape)
+        assert not point_in_polygon(Point(1.5, 0.5), l_shape)  # inside the notch
+
+    def test_exact_fraction_query(self):
+        assert point_in_polygon(
+            Point(Fraction(1, 3), Fraction(1, 3)), self.SQUARE
+        )
+
+
+class TestPointInRegion:
+    def test_any_member_counts(self):
+        region = Region.from_coordinates(
+            [
+                [(0, 0), (0, 1), (1, 1), (1, 0)],
+                [(5, 5), (5, 6), (6, 6), (6, 5)],
+            ]
+        )
+        assert point_in_region(Point(0.5, 0.5), region)
+        assert point_in_region(Point(5.5, 5.5), region)
+        assert not point_in_region(Point(3, 3), region)
+
+    def test_hole_is_outside(self):
+        from repro.workloads.generators import region_with_hole
+
+        ring = region_with_hole((0, 0, 10, 10), (4, 4, 6, 6))
+        assert point_in_region(Point(1, 1), ring)
+        assert not point_in_region(Point(5, 5), ring)
+        # The hole's boundary belongs to the (closed) region.
+        assert point_in_region(Point(4, 5), ring)
+
+
+@given(st.integers(-3, 3), st.integers(-3, 3))
+def test_point_in_polygon_matches_box_test_for_rectangles(x, y):
+    square = Polygon.from_coordinates([(-1, -1), (-1, 1), (1, 1), (1, -1)])
+    expected = -1 <= x <= 1 and -1 <= y <= 1
+    assert point_in_polygon(Point(x, y), square) == expected

@@ -1,0 +1,89 @@
+"""Tests for repro.geometry.region (the REG* class)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.polygon import Polygon
+from repro.geometry.region import Region
+
+SQUARE = [(0, 0), (0, 1), (1, 1), (1, 0)]
+FAR_SQUARE = [(5, 5), (5, 6), (6, 6), (6, 5)]
+
+
+class TestConstruction:
+    def test_single_polygon(self):
+        region = Region.from_polygon(Polygon.from_coordinates(SQUARE))
+        assert len(region) == 1
+        assert region.is_connected_candidate()
+
+    def test_from_coordinates(self):
+        region = Region.from_coordinates([SQUARE, FAR_SQUARE])
+        assert len(region) == 2
+        assert not region.is_connected_candidate()
+
+    def test_rejects_empty(self):
+        with pytest.raises(GeometryError):
+            Region([])
+
+    def test_rejects_non_polygons(self):
+        with pytest.raises(TypeError):
+            Region([SQUARE])  # raw coordinates, not a Polygon
+
+    def test_ensure_clockwise_passthrough(self):
+        region = Region.from_coordinates(
+            [list(reversed(SQUARE))], ensure_clockwise=True
+        )
+        assert region.area() == 1
+
+
+class TestGeometry:
+    def test_edge_count_sums_members(self):
+        region = Region.from_coordinates([SQUARE, FAR_SQUARE])
+        assert region.edge_count() == 8
+
+    def test_edges_concatenate(self):
+        region = Region.from_coordinates([SQUARE, FAR_SQUARE])
+        assert len(region.edges()) == 8
+
+    def test_bounding_box_spans_all(self):
+        region = Region.from_coordinates([SQUARE, FAR_SQUARE])
+        box = region.bounding_box()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 0, 6, 6)
+
+    def test_area_sums_disjoint_members(self):
+        region = Region.from_coordinates([SQUARE, FAR_SQUARE])
+        assert region.area() == 2
+
+    def test_hole_region_area(self):
+        from repro.workloads.generators import region_with_hole
+
+        ring = region_with_hole((0, 0, 10, 10), (4, 4, 6, 6))
+        assert ring.area() == 100 - 4
+
+    def test_translate(self):
+        region = Region.from_coordinates([SQUARE]).translated(3, Fraction(1, 2))
+        box = region.bounding_box()
+        assert (box.min_x, box.min_y) == (3, Fraction(1, 2))
+
+    def test_scale(self):
+        region = Region.from_coordinates([SQUARE, FAR_SQUARE]).scaled(2)
+        assert region.area() == 8
+
+
+class TestEquality:
+    def test_order_insensitive(self):
+        a = Region.from_coordinates([SQUARE, FAR_SQUARE])
+        b = Region.from_coordinates([FAR_SQUARE, SQUARE])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_geometry_unequal(self):
+        a = Region.from_coordinates([SQUARE])
+        b = Region.from_coordinates([FAR_SQUARE])
+        assert a != b
+
+    def test_iteration(self):
+        region = Region.from_coordinates([SQUARE, FAR_SQUARE])
+        assert len(list(region)) == 2

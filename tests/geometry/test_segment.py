@@ -1,0 +1,70 @@
+"""Tests for repro.geometry.segment."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+
+
+class TestConstruction:
+    def test_rejects_degenerate(self):
+        with pytest.raises(GeometryError):
+            Segment(Point(1, 1), Point(1, 1))
+
+    def test_midpoint(self):
+        seg = Segment(Point(0, 0), Point(2, 2))
+        assert seg.midpoint == Point(1, 1)
+
+    def test_midpoint_exact_for_fractions(self):
+        seg = Segment(Point(0, 0), Point(1, 1))
+        assert seg.midpoint == Point(Fraction(1, 2), Fraction(1, 2))
+
+
+class TestGeometryPredicates:
+    def test_vertical_detection(self):
+        assert Segment(Point(1, 0), Point(1, 5)).is_vertical
+        assert not Segment(Point(1, 0), Point(2, 5)).is_vertical
+
+    def test_horizontal_detection(self):
+        assert Segment(Point(0, 3), Point(9, 3)).is_horizontal
+        assert not Segment(Point(0, 3), Point(9, 4)).is_horizontal
+
+    def test_deltas(self):
+        seg = Segment(Point(1, 2), Point(4, -1))
+        assert (seg.dx, seg.dy) == (3, -3)
+
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(3, 4)).length() == 5.0
+
+    def test_reversed(self):
+        seg = Segment(Point(0, 0), Point(1, 2))
+        assert seg.reversed() == Segment(Point(1, 2), Point(0, 0))
+
+    def test_point_at(self):
+        seg = Segment(Point(0, 0), Point(4, 8))
+        assert seg.point_at(Fraction(1, 4)) == Point(1, 2)
+
+
+class TestInwardNormal:
+    """For a clockwise ring the interior lies right of the travel direction."""
+
+    def test_upward_edge_interior_east(self):
+        # Left edge of a clockwise square (0,0)->(0,1): interior is east.
+        nx, ny = Segment(Point(0, 0), Point(0, 1)).inward_normal_clockwise()
+        assert nx > 0 and ny == 0
+
+    def test_downward_edge_interior_west(self):
+        nx, ny = Segment(Point(1, 1), Point(1, 0)).inward_normal_clockwise()
+        assert nx < 0 and ny == 0
+
+    def test_rightward_edge_interior_south(self):
+        # Top edge of a clockwise square (0,1)->(1,1): interior is south.
+        nx, ny = Segment(Point(0, 1), Point(1, 1)).inward_normal_clockwise()
+        assert nx == 0 and ny < 0
+
+    def test_leftward_edge_interior_north(self):
+        nx, ny = Segment(Point(1, 0), Point(0, 0)).inward_normal_clockwise()
+        assert nx == 0 and ny > 0

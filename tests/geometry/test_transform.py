@@ -1,0 +1,49 @@
+"""Tests for repro.geometry.transform."""
+
+from fractions import Fraction
+
+from repro.geometry.point import Point
+from repro.geometry.region import Region
+from repro.geometry.transform import (
+    normalise_region_to_unit_square,
+    scale_region,
+    translate_region,
+)
+
+SQUARE = [(0, 0), (0, 2), (2, 2), (2, 0)]
+
+
+def region() -> Region:
+    return Region.from_coordinates([SQUARE])
+
+
+def test_translate_region():
+    moved = translate_region(region(), 5, -1)
+    box = moved.bounding_box()
+    assert (box.min_x, box.min_y, box.max_x, box.max_y) == (5, -1, 7, 1)
+
+
+def test_scale_region_about_origin():
+    scaled = scale_region(region(), 3)
+    assert scaled.area() == 36
+
+
+def test_scale_region_about_point():
+    scaled = scale_region(region(), 2, Point(1, 1))
+    box = scaled.bounding_box()
+    assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-1, -1, 3, 3)
+
+
+def test_normalise_integer_region_is_exact():
+    wide = Region.from_coordinates([[(0, 0), (0, 2), (8, 2), (8, 0)]])
+    unit = normalise_region_to_unit_square(wide)
+    box = unit.bounding_box()
+    assert box.min_x == 0 and box.max_x == 1
+    assert box.max_y == Fraction(1, 4)
+
+
+def test_normalise_float_region():
+    wide = Region.from_coordinates([[(0.0, 0.0), (0.0, 4.0), (2.0, 4.0), (2.0, 0.0)]])
+    unit = normalise_region_to_unit_square(wide)
+    box = unit.bounding_box()
+    assert box.max_y == 1.0 and box.max_x == 0.5

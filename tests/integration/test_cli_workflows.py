@@ -1,0 +1,83 @@
+"""CLI workflows exercised through real subprocesses.
+
+The other CLI tests call ``main`` in-process; these run
+``python -m repro.cardirect`` exactly the way a user would, chaining the
+commands of a full session: demo → validate → report → query → show →
+reason.  This catches anything the in-process tests can't (import-time
+errors, exit-code plumbing, stdout encoding).
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+CLI = [sys.executable, "-m", "repro.cardirect"]
+
+
+def run_cli(*arguments, expect: int = 0) -> str:
+    completed = subprocess.run(
+        [*CLI, *arguments], capture_output=True, text=True, timeout=120
+    )
+    assert completed.returncode == expect, completed.stderr or completed.stdout
+    return completed.stdout
+
+
+@pytest.fixture(scope="module")
+def greece_xml(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "greece.xml"
+    run_cli("demo", str(path))
+    return path
+
+
+class TestFullSession:
+    def test_validate(self, greece_xml):
+        out = run_cli("validate", str(greece_xml), "--strict")
+        assert "OK: 11 regions" in out
+
+    def test_relations(self, greece_xml):
+        out = run_cli(
+            "relations", str(greece_xml),
+            "--primary", "peloponnesos", "--reference", "attica",
+        )
+        assert out.strip() == "peloponnesos B:S:SW:W attica"
+
+    def test_report(self, greece_xml):
+        out = run_cli("report", str(greece_xml))
+        assert "Peloponnesos is B:S:SW:W of Attica" in out
+        assert "Regions:       11" in out
+
+    def test_query(self, greece_xml):
+        out = run_cli(
+            "query", str(greece_xml),
+            "color(a) = red and color(b) = blue and a S:SW:W:NW:N:NE:E:SE b",
+        )
+        assert "(Peloponnesos, Pylos)" in out
+
+    def test_show(self, greece_xml):
+        out = run_cli("show", str(greece_xml), "--width", "40")
+        assert "Macedonia" in out
+
+    def test_reason_roundtrip(self, tmp_path, greece_xml):
+        network = tmp_path / "network.txt"
+        network.write_text("castle N river\nriver W forest\n")
+        witness = tmp_path / "witness.xml"
+        out = run_cli("reason", str(network), "--witness-xml", str(witness))
+        assert "consistent; one solution:" in out
+        # The witness is itself a loadable configuration.
+        out = run_cli("validate", str(witness))
+        assert "OK: 3 regions" in out
+
+    def test_reason_inconsistent_exit_code(self, tmp_path):
+        network = tmp_path / "bad.txt"
+        network.write_text("a N b\nb N a\n")
+        out = run_cli("reason", str(network), expect=1)
+        assert "inconsistent" in out
+
+    def test_error_paths(self, tmp_path):
+        missing = tmp_path / "missing.xml"
+        completed = subprocess.run(
+            [*CLI, "validate", str(missing)], capture_output=True, text=True
+        )
+        assert completed.returncode == 1
+        assert "error:" in completed.stderr

@@ -1,0 +1,136 @@
+"""Cross-validation battery: independent implementations must agree.
+
+The repository contains several deliberately redundant computation paths
+(the paper's algorithms, the clipping baseline, the symbolic reasoning
+engine, the witness constructors).  These tests fuzz all of them against
+each other — historically the strongest bug-finder in this codebase.
+"""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baseline import (
+    compute_cdr_clipping,
+    compute_cdr_percentages_clipping,
+)
+from repro.core.compute import compute_cdr
+from repro.core.percentages import compute_cdr_percentages, tile_areas
+from repro.core.tiles import Tile
+from repro.geometry.polygon import Polygon
+from repro.geometry.region import Region
+from repro.workloads.generators import (
+    random_multi_polygon_region,
+    random_rectilinear_region,
+    region_with_hole,
+)
+
+
+def _scaled_fraction_region(region: Region, denominator: int) -> Region:
+    """Integer region -> Fraction region (div by a prime denominator)."""
+    return Region(
+        Polygon.from_coordinates(
+            [
+                (Fraction(v.x, denominator), Fraction(v.y, denominator))
+                for v in polygon.vertices
+            ]
+        )
+        for polygon in region.polygons
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10**9), st.sampled_from([3, 7, 13]))
+def test_fraction_scaling_invariance(seed, denominator):
+    """Scaling both regions by 1/q never changes the relation or the
+    percentage matrix (exactly)."""
+    rng = random.Random(seed)
+    primary = random_rectilinear_region(rng, rng.randint(1, 6))
+    reference = random_rectilinear_region(rng, rng.randint(1, 6))
+    scaled_primary = _scaled_fraction_region(primary, denominator)
+    scaled_reference = _scaled_fraction_region(reference, denominator)
+
+    assert compute_cdr(primary, reference) == compute_cdr(
+        scaled_primary, scaled_reference
+    )
+    original = compute_cdr_percentages(primary, reference)
+    scaled = compute_cdr_percentages(scaled_primary, scaled_reference)
+    for tile in Tile:
+        assert original.percentage(tile) == scaled.percentage(tile)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**9))
+def test_four_way_agreement(seed):
+    """Compute-CDR, Compute-CDR%, and both clipping baselines agree on
+    the same random input."""
+    rng = random.Random(seed)
+    primary = random_rectilinear_region(rng, rng.randint(1, 7))
+    reference = random_rectilinear_region(rng, rng.randint(1, 7))
+
+    fast_relation = compute_cdr(primary, reference)
+    clip_relation = compute_cdr_clipping(primary, reference)
+    fast_matrix = compute_cdr_percentages(primary, reference)
+    clip_matrix = compute_cdr_percentages_clipping(primary, reference)
+
+    assert fast_relation == clip_relation
+    for tile in Tile:
+        assert fast_matrix.percentage(tile) == clip_matrix.percentage(tile)
+    # Positive-share tiles are a subset of the qualitative tiles (equality
+    # unless the region meets a tile in a zero-area sliver).
+    assert fast_matrix.relation.tiles <= fast_relation.tiles
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**9))
+def test_hole_regions_agree(seed):
+    """Hole-carrying primaries through both pipelines."""
+    rng = random.Random(seed)
+    x0, y0 = rng.randint(-20, 0), rng.randint(-20, 0)
+    x1, y1 = rng.randint(10, 30), rng.randint(10, 30)
+    hx0, hy0 = x0 + rng.randint(1, 4), y0 + rng.randint(1, 4)
+    hx1, hy1 = x1 - rng.randint(1, 4), y1 - rng.randint(1, 4)
+    if not (hx0 < hx1 and hy0 < hy1):
+        return
+    primary = region_with_hole((x0, y0, x1, y1), (hx0, hy0, hx1, hy1))
+    reference = random_rectilinear_region(rng, 4)
+
+    assert compute_cdr(primary, reference) == compute_cdr_clipping(
+        primary, reference
+    )
+    fast = compute_cdr_percentages(primary, reference)
+    naive = compute_cdr_percentages_clipping(primary, reference)
+    for tile in Tile:
+        assert fast.percentage(tile) == naive.percentage(tile)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10**9), st.integers(3, 20))
+def test_float_star_workloads_agree(seed, edges):
+    """Float pipelines agree within rounding noise on irregular shapes."""
+    primary = random_multi_polygon_region(seed, 3, edges)
+    reference = Region.from_coordinates(
+        [[(0.5, 0.5), (0.5, 4.5), (4.5, 4.5), (4.5, 0.5)]]
+    )
+    assert compute_cdr(primary, reference) == compute_cdr_clipping(
+        primary, reference
+    )
+    fast = compute_cdr_percentages(primary, reference)
+    naive = compute_cdr_percentages_clipping(primary, reference)
+    assert fast.is_close_to(naive, tolerance=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**9))
+def test_tile_areas_respect_mbb_truncation(seed):
+    """The B-tile area never exceeds the reference box area, and every
+    outer-column area is consistent with the region's own extent."""
+    rng = random.Random(seed)
+    primary = random_rectilinear_region(rng, rng.randint(1, 6))
+    reference = random_rectilinear_region(rng, rng.randint(1, 6))
+    box = reference.bounding_box()
+    areas = tile_areas(primary, box)
+    assert areas[Tile.B] <= box.area()
+    assert sum(areas.values()) == primary.area()

@@ -1,0 +1,59 @@
+"""Documentation executes: doctests in the library, examples as scripts.
+
+Docstrings with ``>>>`` examples are part of the public contract; this
+module runs them, plus every script in ``examples/`` end to end, so the
+documentation can never silently rot.
+"""
+
+import doctest
+import importlib
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+DOCTEST_MODULES = [
+    "repro.core.compute",
+    "repro.core.percentages",
+    "repro.cardirect.parser",
+    "repro.extensions.distance",
+    "repro.extensions.topology",
+    "repro.reasoning.composition",
+    "repro.reasoning.consistency",
+    "repro.reasoning.inverse",
+]
+
+
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_doctests(module_name):
+    # importlib rather than attribute access: several modules are
+    # shadowed on their package by a same-named function (e.g.
+    # repro.reasoning.inverse).
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"
+
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(EXAMPLES_DIR.glob("*.py")),
+    ids=lambda path: path.name,
+)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must print their results"
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    assert len(list(EXAMPLES_DIR.glob("*.py"))) >= 3

@@ -1,0 +1,100 @@
+"""Tests for the randomised-linear-extension retry machinery."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compute import compute_cdr
+from repro.core.relation import ALL_BASIC_RELATIONS, CardinalDirection
+from repro.reasoning.consistency import (
+    ConsistencyStatus,
+    _AxisSystem,
+    _solve_axis,
+    check_consistency,
+)
+
+
+def cd(text: str) -> CardinalDirection:
+    return CardinalDirection.parse(text)
+
+
+class TestRandomisedExtensions:
+    def test_random_orders_respect_constraints(self):
+        system = _AxisSystem()
+        system.lt("a", "b")
+        system.leq("b", "c")
+        system.lt("a", "d")
+        variables = ["a", "b", "c", "d"]
+        for seed in range(10):
+            values, reason = _solve_axis(
+                system, variables, random.Random(seed)
+            )
+            assert values is not None, reason
+            assert values["a"] < values["b"] <= values["c"]
+            assert values["a"] < values["d"]
+
+    def test_random_orders_vary(self):
+        """Incomparable variables should land in different orders across
+        seeds — otherwise retries buy nothing."""
+        system = _AxisSystem()
+        system.lt("a", "b")
+        system.lt("a", "c")  # b and c incomparable
+        variables = ["a", "b", "c"]
+        orders = set()
+        for seed in range(20):
+            values, _ = _solve_axis(system, variables, random.Random(seed))
+            orders.add(values["b"] < values["c"])
+        assert orders == {True, False}
+
+    def test_inconsistent_never_needs_retries(self):
+        result = check_consistency(
+            {("a", "b"): cd("N"), ("b", "a"): cd("N")}, attempts=1
+        )
+        assert result.status is ConsistencyStatus.INCONSISTENT
+
+    def test_single_attempt_still_supported(self):
+        result = check_consistency({("a", "b"): cd("NE")}, attempts=1)
+        assert result.status is ConsistencyStatus.CONSISTENT
+
+    def test_attempts_floor_at_one(self):
+        result = check_consistency({("a", "b"): cd("NE")}, attempts=0)
+        assert result.status is ConsistencyStatus.CONSISTENT
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10**9))
+def test_retries_never_break_soundness(seed):
+    """Whatever extension wins, the witness must verify."""
+    rng = random.Random(seed)
+    names = ["a", "b", "c", "d"]
+    constraints = {}
+    for i in names:
+        for j in names:
+            if i < j and rng.random() < 0.7:
+                constraints[(i, j)] = rng.choice(ALL_BASIC_RELATIONS)
+    if not constraints:
+        return
+    result = check_consistency(constraints)
+    if result.status is ConsistencyStatus.CONSISTENT:
+        for (i, j), relation in constraints.items():
+            assert compute_cdr(result.witness[i], result.witness[j]) == relation
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10**9))
+def test_geometric_networks_still_pass_first_try(seed):
+    """Networks from real geometry should not regress into retries
+    (sanity: attempts=1 suffices for them)."""
+    from repro.workloads.generators import random_rectilinear_region
+
+    rng = random.Random(seed)
+    regions = {f"r{i}": random_rectilinear_region(rng, 2) for i in range(4)}
+    constraints = {
+        (i, j): compute_cdr(regions[i], regions[j])
+        for i in regions
+        for j in regions
+        if i != j
+    }
+    result = check_consistency(constraints, attempts=1)
+    assert result.status is ConsistencyStatus.CONSISTENT, result.explanation

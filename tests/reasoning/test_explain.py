@@ -1,0 +1,85 @@
+"""Tests for inconsistency explanation (minimal cores)."""
+
+import pytest
+
+from repro.errors import ReasoningError
+from repro.core.relation import CardinalDirection
+from repro.reasoning.consistency import ConsistencyStatus, check_consistency
+from repro.reasoning.explain import (
+    explain_inconsistency,
+    minimal_inconsistent_subset,
+)
+
+
+def cd(text: str) -> CardinalDirection:
+    return CardinalDirection.parse(text)
+
+
+class TestMinimalCore:
+    def test_cycle_with_noise(self):
+        core = minimal_inconsistent_subset(
+            {
+                ("a", "b"): cd("N"),
+                ("b", "c"): cd("N"),
+                ("c", "a"): cd("N"),
+                ("a", "d"): cd("W"),
+                ("d", "e"): cd("SE"),
+            }
+        )
+        assert set(core) == {("a", "b"), ("b", "c"), ("c", "a")}
+
+    def test_mutual_pair_core(self):
+        core = minimal_inconsistent_subset(
+            {
+                ("a", "b"): cd("S"),
+                ("b", "a"): cd("S"),
+                ("a", "c"): cd("NE"),
+            }
+        )
+        assert set(core) == {("a", "b"), ("b", "a")}
+
+    def test_core_is_minimal(self):
+        core = minimal_inconsistent_subset(
+            {
+                ("a", "b"): cd("N"),
+                ("b", "c"): cd("N"),
+                ("c", "a"): cd("N"),
+            }
+        )
+        for key in core:
+            remainder = {k: v for k, v in core.items() if k != key}
+            assert check_consistency(remainder).status is (
+                ConsistencyStatus.CONSISTENT
+            )
+
+    def test_consistent_network_rejected(self):
+        with pytest.raises(ReasoningError, match="consistent"):
+            minimal_inconsistent_subset({("a", "b"): cd("N")})
+
+    def test_chain_conflict(self):
+        """a S b, b S c force a S c; demanding NE must implicate all three."""
+        core = minimal_inconsistent_subset(
+            {
+                ("a", "b"): cd("S"),
+                ("b", "c"): cd("S"),
+                ("a", "c"): cd("NE"),
+                ("b", "d"): cd("W"),
+            }
+        )
+        assert set(core) == {("a", "b"), ("b", "c"), ("a", "c")}
+
+
+class TestExplain:
+    def test_explanation_text(self):
+        text = explain_inconsistency(
+            {
+                ("a", "b"): cd("N"),
+                ("b", "c"): cd("N"),
+                ("c", "a"): cd("N"),
+                ("a", "d"): cd("W"),
+            }
+        )
+        assert "3 constraints are jointly unsatisfiable" in text
+        assert "a N b" in text
+        assert "a W d" not in text
+        assert "projection conflict:" in text

@@ -1,0 +1,112 @@
+"""Tests for inverse relations (E14) — symbolic results cross-validated
+against Compute-CDR on concrete geometry."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compute import compute_cdr
+from repro.core.relation import ALL_BASIC_RELATIONS, CardinalDirection
+from repro.reasoning.inverse import inverse, pair_realizable
+from repro.workloads.generators import random_rectilinear_region
+
+
+class TestKnownInverses:
+    def test_inverse_of_south(self):
+        """The paper's Section 2 example: a S b constrains b to the
+        northern row of a's grid — with the NW:NE disjunct available to
+        disconnected regions."""
+        assert {str(r) for r in inverse(CardinalDirection.parse("S"))} == {
+            "N", "NW:N", "N:NE", "NW:N:NE", "NW:NE",
+        }
+
+    def test_inverse_of_north_mirrors_south(self):
+        assert {str(r) for r in inverse(CardinalDirection.parse("N"))} == {
+            "S", "S:SW", "S:SE", "S:SW:SE", "SW:SE",
+        }
+
+    def test_inverse_of_sw_is_ne(self):
+        """Quadrant relations have basic inverses."""
+        assert {str(r) for r in inverse(CardinalDirection.parse("SW"))} == {"NE"}
+        assert {str(r) for r in inverse(CardinalDirection.parse("NE"))} == {"SW"}
+
+    def test_inverse_of_b_contains_everything_with_b(self):
+        """a B b leaves b free to spread anywhere around a — but every
+        disjunct must include B (b's box contains a's box, so b's
+        occupancy of a's grid always includes the central cell...
+        actually b must cover a's box's extremes)."""
+        inv_b = inverse(CardinalDirection.parse("B"))
+        assert CardinalDirection.parse("B") in inv_b
+        assert CardinalDirection.parse("B:S:SW:W:NW:N:NE:E:SE") in inv_b
+
+    def test_every_relation_has_nonempty_inverse(self):
+        for relation in ALL_BASIC_RELATIONS[::23]:
+            assert len(inverse(relation)) >= 1
+
+    def test_inverse_is_an_involution_membership(self):
+        """R ∈ inv(S) for every S ∈ inv(R) — the paper's condition (c)/(d)
+        on mutually characterising pairs."""
+        for relation in ALL_BASIC_RELATIONS[::47]:
+            for other in inverse(relation):
+                assert relation in inverse(other), (relation, other)
+
+
+class TestPairRealizable:
+    def test_south_north_pair(self):
+        assert pair_realizable(
+            CardinalDirection.parse("S"), CardinalDirection.parse("N")
+        )
+
+    def test_south_south_impossible(self):
+        assert not pair_realizable(
+            CardinalDirection.parse("S"), CardinalDirection.parse("S")
+        )
+
+    def test_b_b_possible(self):
+        """Equal regions: a B b and b B a both hold."""
+        assert pair_realizable(
+            CardinalDirection.parse("B"), CardinalDirection.parse("B")
+        )
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(0, 10**9))
+def test_simulation_soundness(seed):
+    """For random concrete regions, the observed pair (R, S) must satisfy
+    S ∈ inv(R) — no symbolic inverse may be missing an observed case."""
+    rng = random.Random(seed)
+    a = random_rectilinear_region(rng, rng.randint(1, 6))
+    b = random_rectilinear_region(rng, rng.randint(1, 6))
+    r = compute_cdr(a, b)
+    s = compute_cdr(b, a)
+    assert s in inverse(r), f"observed {s} for {r} but inverse lacks it"
+
+
+@pytest.mark.parametrize("relation_text", ["S", "B", "NE", "B:S", "NW:NE", "S:SW:W"])
+def test_completeness_every_disjunct_is_witnessed(relation_text):
+    """Each member of inv(R) really occurs: construct a concrete pair
+    realising (R, S) and verify *both* directions with Compute-CDR."""
+    from repro.reasoning.witness import witness_pair
+
+    relation = CardinalDirection.parse(relation_text)
+    for disjunct in inverse(relation):
+        pair = witness_pair(relation, disjunct)
+        assert pair is not None, f"no witness for ({relation}, {disjunct})"
+        a, b = pair
+        assert compute_cdr(a, b) == relation
+        assert compute_cdr(b, a) == disjunct
+
+
+@pytest.mark.parametrize(
+    "r_text,s_text",
+    [("S", "S"), ("S", "B"), ("NE", "NE"), ("B", "SW")],
+)
+def test_witness_pair_refuses_impossible_pairs(r_text, s_text):
+    from repro.reasoning.witness import witness_pair
+
+    r = CardinalDirection.parse(r_text)
+    s = CardinalDirection.parse(s_text)
+    assert s not in inverse(r)
+    assert witness_pair(r, s) is None

@@ -1,0 +1,120 @@
+"""Tests for the constraint-network file format and the reason CLI."""
+
+import pytest
+
+from repro.errors import ReasoningError
+from repro.core.compute import compute_cdr
+from repro.core.relation import CardinalDirection
+from repro.reasoning.netio import (
+    load_network,
+    parse_network,
+    witness_to_configuration,
+)
+
+
+class TestParseNetwork:
+    def test_basic(self):
+        network = parse_network("a N b\nb W c\n")
+        assert set(network.variables) == {"a", "b", "c"}
+        assert str(next(iter(network.relation_between("a", "b")))) == "N"
+
+    def test_disjunctive(self):
+        network = parse_network("a {N, NW:N} b")
+        assert len(network.relation_between("a", "b")) == 2
+
+    def test_comments_and_blank_lines(self):
+        network = parse_network(
+            "# the castle scenario\n\na N b  # castle north of river\n"
+        )
+        assert set(network.variables) == {"a", "b"}
+
+    def test_malformed_line_reports_number(self):
+        with pytest.raises(ReasoningError, match="line 2"):
+            parse_network("a N b\nnot a constraint line\n")
+
+    def test_bad_relation_reports_number(self):
+        with pytest.raises(ReasoningError, match="line 1"):
+            parse_network("a NORTHWARD b")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ReasoningError, match="no constraints"):
+            parse_network("# only comments\n")
+
+    def test_self_constraint_reports_number(self):
+        with pytest.raises(ReasoningError, match="line 1"):
+            parse_network("a N a")
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "net.txt"
+        path.write_text("x NE y\n")
+        network = load_network(path)
+        assert set(network.variables) == {"x", "y"}
+
+
+class TestWitnessToConfiguration:
+    def test_wraps_regions(self):
+        network = parse_network("a NE b\nb NE c\n")
+        report = network.solve()
+        assert report
+        configuration = witness_to_configuration(report.solution.witness)
+        assert sorted(r.id for r in configuration) == ["a", "b", "c"]
+        assert compute_cdr(
+            configuration.get("a").region, configuration.get("b").region
+        ) == CardinalDirection.parse("NE")
+
+
+class TestReasonCli:
+    def run(self, tmp_path, content, *extra):
+        from repro.cardirect.cli import main
+
+        path = tmp_path / "network.txt"
+        path.write_text(content)
+        return main(["reason", str(path), *extra])
+
+    def test_consistent_network(self, tmp_path, capsys):
+        assert self.run(tmp_path, "a N b\nb W c\n") == 0
+        out = capsys.readouterr().out
+        assert "consistent; one solution:" in out
+        assert "a N b" in out
+
+    def test_inconsistent_network(self, tmp_path, capsys):
+        code = self.run(tmp_path, "a N b\nb N c\nc N a\n")
+        assert code == 1
+        assert "inconsistent" in capsys.readouterr().out
+
+    def test_inconsistent_basic_network_prints_minimal_core(self, tmp_path, capsys):
+        code = self.run(tmp_path, "a N b\nb N c\nc N a\na W d\n")
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "jointly unsatisfiable" in out
+        assert "a N b" in out and "c N a" in out
+        assert "a W d" not in out  # the irrelevant constraint is excluded
+
+    def test_inconsistent_disjunctive_network_skips_core(self, tmp_path, capsys):
+        code = self.run(tmp_path, "a {N, NW} b\nb N c\nc N a\n")
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "inconsistent" in out
+        assert "jointly unsatisfiable" not in out
+
+    def test_witness_export_roundtrip(self, tmp_path, capsys):
+        witness_path = tmp_path / "witness.xml"
+        code = self.run(
+            tmp_path, "a {NE, N:NE} b\n", "--witness-xml", str(witness_path)
+        )
+        assert code == 0
+        assert witness_path.exists()
+
+        from repro.cardirect.xmlio import load_configuration
+
+        configuration, _ = load_configuration(witness_path)
+        relation = compute_cdr(
+            configuration.get("a").region, configuration.get("b").region
+        )
+        assert relation in (
+            CardinalDirection.parse("NE"), CardinalDirection.parse("N:NE"),
+        )
+
+    def test_malformed_file_reports_error(self, tmp_path, capsys):
+        assert self.run(tmp_path, "this is nonsense") == 1
+        assert "error:" in capsys.readouterr().err

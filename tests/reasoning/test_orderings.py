@@ -1,0 +1,139 @@
+"""Tests for the qualitative-placement engine."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.relation import CardinalDirection
+from repro.core.tiles import Tile
+from repro.reasoning.orderings import (
+    GRID_HI,
+    GRID_LO,
+    AxisPlacement,
+    BoxPlacement,
+    Interval,
+    axis_placements,
+    band,
+    box_placements,
+    occupancy_options,
+    relation_realizable_for_box,
+)
+
+
+class TestBands:
+    def test_low_band_unbounded(self):
+        interval = band(0, 10, -1)
+        assert interval.lo == float("-inf") and interval.hi == 0
+
+    def test_mid_band(self):
+        assert band(0, 10, 0) == Interval(0, 10)
+
+    def test_high_band_unbounded(self):
+        interval = band(0, 10, 1)
+        assert interval.lo == 10 and interval.hi == float("inf")
+
+    def test_bad_index(self):
+        with pytest.raises(ValueError):
+            band(0, 10, 2)
+
+    def test_overlap_open(self):
+        assert Interval(0, 10).overlaps_open(Interval(5, 15))
+        assert not Interval(0, 10).overlaps_open(Interval(10, 15))  # touch only
+        assert Interval(float("-inf"), 0).overlaps_open(Interval(-5, 5))
+
+
+class TestAxisPlacements:
+    def test_thirteen_placements(self):
+        assert len(axis_placements()) == 13
+
+    def test_all_strictly_ordered(self):
+        for placement in axis_placements():
+            assert placement.p1 < placement.p2
+
+    def test_distinct_weak_orders(self):
+        """Each placement induces a distinct weak order of p1, p2 vs 0, 10."""
+        def signature(placement):
+            def zone(v):
+                if v < GRID_LO:
+                    return 0
+                if v == GRID_LO:
+                    return 1
+                if v < GRID_HI:
+                    return 2
+                if v == GRID_HI:
+                    return 3
+                return 4
+            return (zone(placement.p1), zone(placement.p2))
+
+        signatures = {signature(p) for p in axis_placements()}
+        assert len(signatures) == 13
+
+    def test_box_placements_cartesian(self):
+        assert len(list(box_placements())) == 169
+
+
+class TestRealizability:
+    def place(self, x1, x2, y1, y2) -> BoxPlacement:
+        return BoxPlacement(AxisPlacement(Fraction(x1), Fraction(x2)),
+                            AxisPlacement(Fraction(y1), Fraction(y2)))
+
+    def test_b_inside_box(self):
+        assert relation_realizable_for_box(
+            CardinalDirection.parse("B"), self.place(2, 8, 2, 8)
+        )
+
+    def test_b_needs_box_containment(self):
+        assert not relation_realizable_for_box(
+            CardinalDirection.parse("B"), self.place(-5, 8, 2, 8)
+        )
+
+    def test_s_requires_south_span(self):
+        assert relation_realizable_for_box(
+            CardinalDirection.parse("S"), self.place(2, 8, -8, -2)
+        )
+        assert not relation_realizable_for_box(
+            CardinalDirection.parse("S"), self.place(2, 8, 2, 8)
+        )
+
+    def test_multi_tile_needs_straddling_box(self):
+        relation = CardinalDirection.parse("B:W")
+        assert relation_realizable_for_box(relation, self.place(-5, 8, 2, 8))
+        assert not relation_realizable_for_box(relation, self.place(2, 8, 2, 8))
+
+    def test_attainment_blocks_unreachable_extremes(self):
+        """Box sticking north while the relation has no north-row tile."""
+        relation = CardinalDirection.parse("B")
+        assert not relation_realizable_for_box(relation, self.place(2, 8, 2, 15))
+
+
+class TestOccupancyOptions:
+    def test_box_inside_grid_gives_b_only(self):
+        options = occupancy_options(
+            Interval(2, 8), Interval(2, 8), (0, 10), (0, 10)
+        )
+        assert options == {frozenset({Tile.B})}
+
+    def test_box_equal_to_grid(self):
+        options = occupancy_options(
+            Interval(0, 10), Interval(0, 10), (0, 10), (0, 10)
+        )
+        assert options == {frozenset({Tile.B})}
+
+    def test_box_straddling_west_line(self):
+        options = occupancy_options(
+            Interval(-5, 8), Interval(2, 8), (0, 10), (0, 10)
+        )
+        # Material must reach the west extreme (W tile) and the east
+        # extreme (B tile, since the box ends inside the grid).
+        assert options == {frozenset({Tile.W, Tile.B})}
+
+    def test_disconnection_allows_gaps(self):
+        """A box spanning all three columns can skip the middle one —
+        the REG* effect behind inv(S) containing NW:NE."""
+        options = occupancy_options(
+            Interval(-5, 15), Interval(12, 18), (0, 10), (0, 10)
+        )
+        assert frozenset({Tile.NW, Tile.NE}) in options
+        assert frozenset({Tile.NW, Tile.N, Tile.NE}) in options
+        assert frozenset({Tile.N}) not in options  # cannot attain extremes
+        assert len(options) == 2

@@ -1,0 +1,56 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    GeometryError,
+    QueryError,
+    ReasoningError,
+    RelationError,
+    ReproError,
+    XMLFormatError,
+)
+
+ALL_ERRORS = [
+    GeometryError,
+    RelationError,
+    ConfigurationError,
+    XMLFormatError,
+    QueryError,
+    ReasoningError,
+]
+
+
+@pytest.mark.parametrize("error", ALL_ERRORS)
+def test_all_derive_from_repro_error(error):
+    assert issubclass(error, ReproError)
+    assert issubclass(error, Exception)
+
+
+def test_xml_format_error_is_configuration_error():
+    """CLI code catches ConfigurationError for all file-format problems."""
+    assert issubclass(XMLFormatError, ConfigurationError)
+
+
+def test_single_catch_point():
+    """A caller catching ReproError sees every library failure mode."""
+    from repro.geometry.polygon import Polygon
+
+    with pytest.raises(ReproError):
+        Polygon.from_coordinates([(0, 0), (1, 1)])
+    from repro.core.relation import CardinalDirection
+
+    with pytest.raises(ReproError):
+        CardinalDirection.parse("NOPE")
+    from repro.cardirect.xmlio import configuration_from_xml
+
+    with pytest.raises(ReproError):
+        configuration_from_xml("<wat/>")
+
+
+def test_errors_carry_messages():
+    from repro.geometry.bbox import BoundingBox
+
+    with pytest.raises(GeometryError, match="positive width"):
+        BoundingBox(1, 1, 1, 2)

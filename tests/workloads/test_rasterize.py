@@ -1,0 +1,137 @@
+"""Tests for rasterisation and the raster <-> vector round trip."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.core.compute import compute_cdr
+from repro.geometry.region import Region
+from repro.workloads.rasterize import raster_to_world, rasterize_configuration
+from repro.workloads.segmentation import extract_regions
+
+
+def rect_region(x0, y0, x1, y1) -> Region:
+    return Region.from_coordinates([[(x0, y0), (x0, y1), (x1, y1), (x1, y0)]])
+
+
+def simple_configuration() -> Configuration:
+    return Configuration.from_regions(
+        [
+            AnnotatedRegion("west", rect_region(0, 0, 3, 4)),
+            AnnotatedRegion("east", rect_region(5, 1, 8, 3)),
+        ]
+    )
+
+
+class TestBasics:
+    def test_dimensions_cover_scene(self):
+        raster = rasterize_configuration(simple_configuration())
+        assert raster.image.width == 8
+        assert raster.image.height == 4
+        assert raster.origin == (0, 0)
+
+    def test_labels_in_insertion_order(self):
+        raster = rasterize_configuration(simple_configuration())
+        assert raster.labels == {1: "west", 2: "east"}
+
+    def test_pixel_counts_match_areas(self):
+        raster = rasterize_configuration(simple_configuration())
+        assert raster.image.pixel_count(1) == 12
+        assert raster.image.pixel_count(2) == 6
+
+    def test_negative_coordinates(self):
+        configuration = Configuration.from_regions(
+            [AnnotatedRegion("a", rect_region(-3, -2, -1, 1))]
+        )
+        raster = rasterize_configuration(configuration)
+        assert raster.origin == (-3, -2)
+        assert raster.image.pixel_count(1) == 6
+
+    def test_cell_size_validation(self):
+        with pytest.raises(GeometryError):
+            rasterize_configuration(simple_configuration(), cell_size=0)
+
+    def test_empty_configuration_rejected(self):
+        with pytest.raises(GeometryError):
+            rasterize_configuration(Configuration())
+
+    def test_coarse_cells(self):
+        raster = rasterize_configuration(simple_configuration(), cell_size=2)
+        assert raster.cell_size == 2
+        assert raster.image.width == 4
+        assert raster.image.height == 2
+
+
+class TestRoundTrip:
+    def test_exact_geometry_roundtrip(self):
+        """Lattice-aligned regions survive rasterise -> vectorise exactly."""
+        configuration = simple_configuration()
+        raster = rasterize_configuration(configuration)
+        extracted = extract_regions(raster.image)
+        for label, region_id in raster.labels.items():
+            world = raster_to_world(raster, extracted[label])
+            original = configuration.get(region_id).region
+            assert world.area() == original.area()
+            assert world.bounding_box() == original.bounding_box()
+
+    def test_hole_roundtrip(self):
+        from repro.workloads.generators import region_with_hole
+
+        ring = region_with_hole((0, 0, 8, 8), (3, 3, 5, 5))
+        configuration = Configuration.from_regions(
+            [AnnotatedRegion("ring", ring)]
+        )
+        raster = rasterize_configuration(configuration)
+        world = raster_to_world(raster, extract_regions(raster.image)[1])
+        assert world.area() == ring.area()
+        from fractions import Fraction
+        from repro.geometry.point import Point
+        from repro.geometry.predicates import point_in_region
+
+        assert not point_in_region(Point(4, Fraction(9, 2)), world)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**9))
+def test_relations_survive_the_roundtrip(seed):
+    """For random *non-overlapping* lattice regions, rasterise ->
+    vectorise preserves every pairwise cardinal direction relation.
+    (Overlapping regions cannot round-trip: the raster's first-match
+    tie-break shadows later regions — that is part of the contract.)"""
+    rng = random.Random(seed)
+    from repro.workloads.generators import random_rectilinear_region
+
+    configuration = Configuration.from_regions(
+        [
+            AnnotatedRegion(
+                f"r{i}",
+                random_rectilinear_region(
+                    rng,
+                    rng.randint(1, 3),
+                    bounds=(0, i * 30, 24, i * 30 + 24),  # disjoint strips
+                    cell=6,
+                ),
+            )
+            for i in range(3)
+        ]
+    )
+    raster = rasterize_configuration(configuration)
+    extracted = extract_regions(raster.image)
+    world = {
+        raster.labels[label]: raster_to_world(raster, region)
+        for label, region in extracted.items()
+    }
+    ids = configuration.region_ids
+    for i in ids:
+        for j in ids:
+            if i == j:
+                continue
+            original = compute_cdr(
+                configuration.get(i).region, configuration.get(j).region
+            )
+            roundtripped = compute_cdr(world[i], world[j])
+            assert original == roundtripped, (i, j)

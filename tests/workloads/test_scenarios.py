@@ -1,0 +1,120 @@
+"""Tests pinning the scenario geometry to what the paper's figures need.
+
+The reproduction tests in tests/core assert the *algorithm outputs*;
+these assert the *inputs* — if someone edits a coordinate, the failure
+points here first.
+"""
+
+from fractions import Fraction
+
+from repro.core.tiles import Tile, tiles_of_point
+from repro.workloads.scenarios import (
+    figure1_regions,
+    figure3_square,
+    figure3_triangle,
+    figure4_quadrangle,
+    figure9_region,
+    peloponnesian_war,
+    ring_with_hole,
+    unit_square_region,
+)
+
+
+class TestUnitSquare:
+    def test_box(self):
+        box = unit_square_region().bounding_box()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 0, 1, 1)
+
+
+class TestFigure1Geometry:
+    def test_c_halves_split_on_grid_line(self):
+        c = figure1_regions()["c"]
+        box = c.bounding_box()
+        assert box.min_y < 1 < box.max_y  # straddles y = 1
+        assert box.min_x >= 1             # east of the unit square
+
+    def test_d_has_hole(self):
+        d = figure1_regions()["d"]
+        from repro.geometry.point import Point
+        from repro.geometry.predicates import point_in_region
+
+        # The hole centre of the NW ring piece.
+        assert not point_in_region(Point(Fraction(-1, 2), Fraction(3, 2)), d)
+        # The ring material around it.
+        assert point_in_region(Point(Fraction(-7, 10), Fraction(3, 2)), d)
+
+
+class TestRingWithHole:
+    def test_polygons_share_edges(self):
+        pieces = ring_with_hole(0, 0, 10, 10, 4, 4, 6, 6)
+        assert len(pieces) == 2
+        total = sum(p.area() for p in pieces)
+        assert total == 100 - 4
+
+    def test_pieces_are_simple(self):
+        for piece in ring_with_hole(0, 0, 10, 10, 4, 4, 6, 6):
+            assert piece.is_simple()
+
+
+class TestFigure3Geometry:
+    def test_square_straddles_sw_corner(self):
+        box = figure3_square().bounding_box()
+        assert box.min_x < 0 < box.max_x
+        assert box.min_y < 0 < box.max_y
+
+    def test_triangle_has_3_edges(self):
+        assert figure3_triangle().edge_count() == 3
+
+
+class TestFigure4Geometry:
+    def test_vertex_tiles_match_example2(self):
+        """Example 2: N1..N4 lie in W, NW, NW, NE respectively."""
+        quadrangle = figure4_quadrangle()
+        box = unit_square_region().bounding_box()
+        (polygon,) = quadrangle.polygons
+        vertex_tiles = [tiles_of_point(v, box) for v in polygon.vertices]
+        assert Tile.W in vertex_tiles[0]
+        assert vertex_tiles[1] == {Tile.NW}
+        assert vertex_tiles[2] == {Tile.NW}
+        assert vertex_tiles[3] == {Tile.NE}
+
+
+class TestFigure9Geometry:
+    def test_reference_box(self):
+        scenario = figure9_region()
+        box = scenario.reference.bounding_box()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 0, 4, 3)
+
+    def test_primary_polygon_counts(self):
+        scenario = figure9_region()
+        counts = sorted(p.edge_count() for p in scenario.primary.polygons)
+        assert counts == [3, 4]
+
+
+class TestPeloponnesianWar:
+    def test_unique_ids(self):
+        entries = peloponnesian_war()
+        assert len({entry.id for entry in entries}) == len(entries)
+
+    def test_no_two_regions_overlap(self):
+        """Countries must not share territory (only mbbs may interleave)."""
+        from repro.extensions.distance import minimum_distance
+
+        entries = peloponnesian_war()
+        for i, first in enumerate(entries):
+            for second in entries[i + 1:]:
+                assert minimum_distance(first.region, second.region) > 0, (
+                    first.id, second.id,
+                )
+
+    def test_pylos_in_peloponnesos_hole(self):
+        regions = {entry.id: entry.region for entry in peloponnesian_war()}
+        pylos_box = regions["pylos"].bounding_box()
+        peloponnesos_box = regions["peloponnesos"].bounding_box()
+        assert peloponnesos_box.contains_box(pylos_box)
+
+    def test_all_regions_rectilinear(self):
+        from repro.extensions.topology import is_rectilinear
+
+        for entry in peloponnesian_war():
+            assert is_rectilinear(entry.region), entry.id
