@@ -41,6 +41,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also run the O(n²) geometric checks (polygon simplicity, "
         "disjoint interiors, cross-region overlaps)",
     )
+    validate.add_argument(
+        "--repair",
+        action="store_true",
+        help="ingest degenerate geometry through the repair pipeline "
+        "and print what was fixed instead of rejecting it",
+    )
+    validate.add_argument(
+        "--output",
+        help="with --repair: write the repaired configuration to this "
+        "CARDIRECT XML file",
+    )
 
     relations = commands.add_parser(
         "relations", help="print pairwise cardinal direction relations"
@@ -52,6 +63,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     relations.add_argument("--primary", help="restrict to this primary region id")
     relations.add_argument("--reference", help="restrict to this reference region id")
+    relations.add_argument(
+        "--isolate-errors",
+        action="store_true",
+        help="compute each pair independently (repairing degenerate "
+        "regions where possible) and report per-pair failures instead "
+        "of aborting; exits 4 when any pair failed",
+    )
 
     query = commands.add_parser("query", help="run a conjunctive query")
     query.add_argument("path", help="CARDIRECT XML file")
@@ -101,9 +119,19 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_validate(path: str, strict: bool) -> int:
-    configuration, stored = load_configuration(path)
-    if strict:
+def _cmd_validate(
+    path: str, strict: bool, repair: bool = False, output: Optional[str] = None
+) -> int:
+    if output and not repair:
+        print("error: --output requires --repair", file=sys.stderr)
+        return 2
+    repairs = {}
+    configuration, stored = load_configuration(
+        path, mode="repair" if repair else "strict", repairs=repairs
+    )
+    for report in repairs.values():
+        print(report.summary())
+    if strict or repair:
         from repro.core.validate import ERROR, validate_configuration
 
         issues = validate_configuration(configuration)
@@ -111,10 +139,14 @@ def _cmd_validate(path: str, strict: bool) -> int:
             print(issue)
         if any(issue.severity == ERROR for issue in issues):
             return 1
+    if repair and output:
+        save_configuration(configuration, output, include_relations=False)
+        print(f"repaired configuration written to {output}")
     print(
         f"OK: {len(configuration)} regions, "
         f"{sum(len(r.region) for r in configuration)} polygons, "
         f"{len(stored)} stored relations"
+        + (f", {len(repairs)} region(s) repaired" if repairs else "")
     )
     return 0
 
@@ -128,8 +160,14 @@ def _selected_pairs(store: RelationStore, primary: Optional[str], reference: Opt
 
 
 def _cmd_relations(
-    path: str, percentages: bool, primary: Optional[str], reference: Optional[str]
+    path: str,
+    percentages: bool,
+    primary: Optional[str],
+    reference: Optional[str],
+    isolate_errors: bool = False,
 ) -> int:
+    if isolate_errors:
+        return _cmd_relations_isolated(path, percentages)
     configuration, _ = load_configuration(path)
     store = RelationStore(configuration)
     for primary_id, reference_id in _selected_pairs(store, primary, reference):
@@ -141,6 +179,31 @@ def _cmd_relations(
             relation = store.relation(primary_id, reference_id)
             print(f"{primary_id} {relation} {reference_id}")
     return 0
+
+
+def _cmd_relations_isolated(path: str, percentages: bool) -> int:
+    """Fault-isolated sweep: every answerable pair answered, per-pair
+    error lines for the rest, exit code 4 when any pair failed."""
+    ingestion_repairs = {}
+    configuration, _ = load_configuration(
+        path, mode="lenient", repairs=ingestion_repairs
+    )
+    store = RelationStore(configuration)
+    report = store.batch_relations(percentages=percentages)
+    for repair_report in ingestion_repairs.values():
+        print(repair_report.summary())
+    for repair_report in report.repairs.values():
+        print(repair_report.summary())
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            print(str(outcome), file=sys.stderr)
+        elif percentages:
+            print(f"{outcome.primary_id} vs {outcome.reference_id}:")
+            print(outcome.percentages.render())
+        else:
+            print(str(outcome))
+    print(report.summary())
+    return 4 if report.error_outcomes() else 0
 
 
 def _cmd_query(path: str, text: str, allow_repeats: bool) -> int:
@@ -253,13 +316,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     arguments = _build_parser().parse_args(argv)
     try:
         if arguments.command == "validate":
-            return _cmd_validate(arguments.path, arguments.strict)
+            return _cmd_validate(
+                arguments.path,
+                arguments.strict,
+                arguments.repair,
+                arguments.output,
+            )
         if arguments.command == "relations":
             return _cmd_relations(
                 arguments.path,
                 arguments.percentages,
                 arguments.primary,
                 arguments.reference,
+                arguments.isolate_errors,
             )
         if arguments.command == "query":
             return _cmd_query(arguments.path, arguments.text, arguments.allow_repeats)

@@ -10,16 +10,23 @@ times rather than recomputing boxes from scratch.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.batch import BatchReport
 
 from repro.cardirect.model import AnnotatedRegion, Configuration
 from repro.core.compute import compute_cdr_against_box
 from repro.core.matrix import PercentageMatrix
 from repro.core.percentages import compute_cdr_percentages_against_box
 from repro.core.relation import CardinalDirection
+from repro.errors import GeometryError, ReproError
 from repro.extensions.distance import DistanceFrame, minimum_distance
 from repro.extensions.topology import RCC8, rcc8
 from repro.geometry.bbox import BoundingBox
+
+#: ``all_relations`` error policies.
+ON_ERROR_MODES = ("raise", "skip", "report")
 
 
 class RelationStore:
@@ -38,11 +45,15 @@ class RelationStore:
         *,
         distance_frame: Optional[DistanceFrame] = None,
         fast: bool = False,
+        guarded: bool = False,
     ) -> None:
         """``fast=True`` routes cardinal-direction computation through the
         vectorised float64 implementations (:mod:`repro.core.fast`) —
         appropriate for large float configurations where exact rational
-        percentages are not required."""
+        percentages are not required.  ``guarded=True`` routes it through
+        the exactness-fallback ladder (:mod:`repro.core.guarded`): fast
+        where safe, exact where not, with per-path counts accumulated in
+        :attr:`guard_stats`.  ``guarded`` takes precedence over ``fast``."""
         self._configuration = configuration
         self._relations: Dict[Tuple[str, str], CardinalDirection] = {}
         self._percentages: Dict[Tuple[str, str], PercentageMatrix] = {}
@@ -51,6 +62,9 @@ class RelationStore:
         self._distances: Dict[Tuple[str, str], float] = {}
         self._distance_frame = distance_frame
         self._fast = fast
+        self._guarded = guarded
+        #: Ladder path counts under ``guarded=True``: {"fast": n, "exact": n}.
+        self.guard_stats: Dict[str, int] = {"fast": 0, "exact": 0}
 
     @property
     def configuration(self) -> Configuration:
@@ -69,7 +83,14 @@ class RelationStore:
         cached = self._relations.get(key)
         if cached is None:
             primary = self._configuration.get(primary_id).region
-            if self._fast:
+            if self._guarded:
+                from repro.core.guarded import guarded_cdr_against_box
+
+                cached, diagnostics = guarded_cdr_against_box(
+                    primary, self._box(reference_id)
+                )
+                self.guard_stats[diagnostics.path] += 1
+            elif self._fast:
                 from repro.core.fast import compute_cdr_fast
 
                 cached = compute_cdr_fast(
@@ -88,7 +109,14 @@ class RelationStore:
         cached = self._percentages.get(key)
         if cached is None:
             primary = self._configuration.get(primary_id).region
-            if self._fast:
+            if self._guarded:
+                from repro.core.guarded import guarded_percentages_against_box
+
+                cached, diagnostics = guarded_percentages_against_box(
+                    primary, self._box(reference_id)
+                )
+                self.guard_stats[diagnostics.path] += 1
+            elif self._fast:
                 from repro.core.fast import compute_cdr_percentages_fast
 
                 cached = compute_cdr_percentages_fast(
@@ -102,18 +130,74 @@ class RelationStore:
         return cached
 
     def all_relations(
-        self, *, include_self: bool = False
+        self, *, include_self: bool = False, on_error: str = "raise"
     ) -> Iterator[Tuple[str, str, CardinalDirection]]:
         """Every ordered pair's relation — what CARDIRECT persists as
-        ``Relation`` elements."""
+        ``Relation`` elements.
+
+        ``on_error`` selects the fault-isolation policy:
+
+        * ``"raise"`` (default, historical behaviour) — the first failing
+          pair aborts the sweep, with region-id context attached to
+          :class:`~repro.errors.GeometryError`;
+        * ``"skip"`` — failing pairs are silently omitted; every pair of
+          healthy regions is still yielded;
+        * ``"report"`` — yields :class:`~repro.core.batch.PairOutcome`
+          objects instead of triples, one per pair, ``ok`` or ``error``.
+          For the full validate→repair→retry pipeline use
+          :meth:`batch_relations`.
+        """
+        if on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+            )
+        if on_error == "report":
+            from repro.core.batch import FAILED, OK, PairOutcome
+
         ids = self._configuration.region_ids
         for primary_id in ids:
             for reference_id in ids:
                 if primary_id == reference_id and not include_self:
                     continue
-                yield primary_id, reference_id, self.relation(
-                    primary_id, reference_id
-                )
+                try:
+                    relation = self.relation(primary_id, reference_id)
+                except ReproError as error:
+                    if isinstance(error, GeometryError):
+                        error.with_context(region_id=primary_id)
+                    if on_error == "raise":
+                        raise
+                    if on_error == "report":
+                        yield PairOutcome(
+                            primary_id,
+                            reference_id,
+                            FAILED,
+                            error=f"{type(error).__name__}: {error}",
+                        )
+                    continue
+                if on_error == "report":
+                    yield PairOutcome(
+                        primary_id, reference_id, OK, relation=relation
+                    )
+                else:
+                    yield primary_id, reference_id, relation
+
+    def batch_relations(self, **kwargs) -> "BatchReport":
+        """Fault-isolated pairwise sweep with repair and retry.
+
+        Delegates to :func:`repro.core.batch.batch_relations` over this
+        store's configuration, defaulting the computation mode to match
+        the store's own (``guarded`` > ``fast`` > exact).  Accepts the
+        same keyword arguments; returns a
+        :class:`~repro.core.batch.BatchReport`.
+        """
+        from repro.core.batch import batch_relations
+
+        if "compute" not in kwargs:
+            if self._guarded:
+                kwargs["compute"] = "guarded"
+            elif self._fast:
+                kwargs["compute"] = "fast"
+        return batch_relations(self._configuration, **kwargs)
 
     @property
     def distance_frame(self) -> DistanceFrame:

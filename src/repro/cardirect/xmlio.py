@@ -27,10 +27,14 @@ Coordinates round-trip exactly: integers as integers, rationals as
 
 from __future__ import annotations
 
+import math
 import xml.etree.ElementTree as ET
 from fractions import Fraction
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.geometry.repair import RepairReport
 
 from repro.errors import GeometryError, XMLFormatError
 from repro.cardirect.model import AnnotatedRegion, Configuration
@@ -75,17 +79,32 @@ def format_coordinate(value: Coordinate) -> str:
     raise XMLFormatError(f"cannot serialise coordinate {value!r}")
 
 
-def parse_coordinate(text: str) -> Coordinate:
-    """Inverse of :func:`format_coordinate`."""
+def parse_coordinate(text: str, *, context: Optional[str] = None) -> Coordinate:
+    """Inverse of :func:`format_coordinate`.
+
+    Raises :class:`XMLFormatError` — never a raw ``ValueError`` — on any
+    malformed value, including non-finite floats (``1e999`` overflows to
+    infinity, ``nan`` parses); ``context`` (e.g. the element/attribute
+    the value came from) is appended to the message so a failing
+    document pinpoints its own defect.
+    """
+    where = f" (in {context})" if context else ""
     text = text.strip()
     try:
         if "/" in text:
             return Fraction(text)
         if any(ch in text for ch in ".eE") and not text.lstrip("+-").isdigit():
-            return float(text)
+            value = float(text)
+            if not math.isfinite(value):
+                raise XMLFormatError(
+                    f"non-finite coordinate {text!r}{where}"
+                )
+            return value
         return int(text)
     except (ValueError, ZeroDivisionError) as error:
-        raise XMLFormatError(f"bad coordinate {text!r}: {error}") from error
+        raise XMLFormatError(
+            f"bad coordinate {text!r}{where}: {error}"
+        ) from error
 
 
 def format_percentages(matrix) -> str:
@@ -184,8 +203,17 @@ def configuration_to_xml(
     return f'<?xml version="1.0" encoding="UTF-8"?>\n{CARDIRECT_DTD}\n{body}\n'
 
 
+#: Ingestion modes of :func:`configuration_from_xml` — ``strict`` is the
+#: historical reject-on-defect behaviour; ``repair`` and ``lenient``
+#: route rings through :func:`repro.geometry.repair.repair_region`.
+INGESTION_MODES = ("strict", "repair", "lenient")
+
+
 def configuration_from_xml(
     text: str,
+    *,
+    mode: str = "strict",
+    repairs: Optional[Dict[str, "RepairReport"]] = None,
 ) -> Tuple[Configuration, Dict[Tuple[str, str], CardinalDirection]]:
     """Parse a CARDIRECT document.
 
@@ -194,7 +222,18 @@ def configuration_from_xml(
     demand).  Raises :class:`XMLFormatError` on any DTD violation:
     missing required attributes, fewer than three edges in a polygon,
     duplicate region ids, or relations referencing unknown regions.
+
+    ``mode`` selects how degenerate geometry is handled: ``"strict"``
+    (default) rejects it; ``"repair"`` / ``"lenient"`` run the repair
+    pipeline per region, recording each region's
+    :class:`~repro.geometry.repair.RepairReport` into the ``repairs``
+    dict (keyed by region id) when one is supplied.  Geometry that
+    cannot be repaired still raises :class:`XMLFormatError`.
     """
+    if mode not in INGESTION_MODES:
+        raise ValueError(
+            f"mode must be one of {INGESTION_MODES}, got {mode!r}"
+        )
     try:
         root = ET.fromstring(text)
     except ET.ParseError as error:
@@ -207,7 +246,7 @@ def configuration_from_xml(
     )
     for element in root:
         if element.tag == "Region":
-            region = _parse_region(element)
+            region = _parse_region(element, mode=mode, repairs=repairs)
             if region.id in configuration:
                 raise XMLFormatError(f"duplicate Region id {region.id!r}")
             configuration.add(region)
@@ -252,43 +291,81 @@ def _require(element: ET.Element, attribute: str) -> str:
     return value
 
 
-def _parse_region(element: ET.Element) -> AnnotatedRegion:
+def _parse_region(
+    element: ET.Element,
+    *,
+    mode: str = "strict",
+    repairs: Optional[Dict[str, "RepairReport"]] = None,
+) -> AnnotatedRegion:
     region_id = _require(element, "id")
-    polygons: List[Polygon] = []
+    rings: List[List[Tuple[object, object]]] = []
     for child in element:
         if child.tag != "Polygon":
             raise XMLFormatError(
                 f"unexpected element {child.tag!r} under Region {region_id!r}"
             )
-        _require(child, "id")
+        polygon_id = _require(child, "id")
         vertices = []
-        for edge in child:
+        for edge_index, edge in enumerate(child):
             if edge.tag != "Edge":
                 raise XMLFormatError(
-                    f"unexpected element {edge.tag!r} under Polygon"
+                    f"unexpected element {edge.tag!r} under "
+                    f"Polygon {polygon_id!r}"
                 )
+            context = (
+                f"<Edge> #{edge_index} of Polygon {polygon_id!r} "
+                f"in Region {region_id!r}"
+            )
             vertices.append(
-                (parse_coordinate(_require(edge, "x")),
-                 parse_coordinate(_require(edge, "y")))
+                (
+                    parse_coordinate(
+                        _require(edge, "x"),
+                        context=f"attribute 'x' of {context}",
+                    ),
+                    parse_coordinate(
+                        _require(edge, "y"),
+                        context=f"attribute 'y' of {context}",
+                    ),
+                )
             )
-        if len(vertices) < 3:
+        if len(vertices) < 3 and mode == "strict":
             raise XMLFormatError(
-                f"Polygon in Region {region_id!r} has {len(vertices)} edges; "
-                "the DTD requires at least three"
+                f"Polygon {polygon_id!r} in Region {region_id!r} has "
+                f"{len(vertices)} edges; the DTD requires at least three"
             )
-        try:
-            polygons.append(Polygon.from_coordinates(vertices))
-        except GeometryError as error:
-            raise XMLFormatError(
-                f"invalid polygon in Region {region_id!r}: {error}"
-            ) from error
-    if not polygons:
+        rings.append(vertices)
+    if not rings:
         raise XMLFormatError(
             f"Region {region_id!r} has no polygons; regions must be non-empty"
         )
+
+    if mode == "strict":
+        polygons: List[Polygon] = []
+        for vertices in rings:
+            try:
+                polygons.append(Polygon.from_coordinates(vertices))
+            except GeometryError as error:
+                raise XMLFormatError(
+                    f"invalid polygon in Region {region_id!r}: {error}"
+                ) from error
+        region = Region(polygons)
+    else:
+        from repro.geometry.repair import repair_region
+
+        try:
+            region, report = repair_region(
+                rings, mode=mode, region_id=region_id
+            )
+        except GeometryError as error:
+            raise XMLFormatError(
+                f"unrepairable geometry in Region {region_id!r}: "
+                f"{error.with_context(region_id=region_id)}"
+            ) from error
+        if repairs is not None and report.changed:
+            repairs[region_id] = report
     return AnnotatedRegion(
         id=region_id,
-        region=Region(polygons),
+        region=region,
         name=element.get("name", ""),
         color=element.get("color", ""),
     )
@@ -336,6 +413,14 @@ def save_configuration(
 
 def load_configuration(
     path: Union[str, Path],
+    *,
+    mode: str = "strict",
+    repairs: Optional[Dict[str, "RepairReport"]] = None,
 ) -> Tuple[Configuration, Dict[Tuple[str, str], CardinalDirection]]:
-    """Read a configuration from a CARDIRECT XML file."""
-    return configuration_from_xml(Path(path).read_text(encoding="utf-8"))
+    """Read a configuration from a CARDIRECT XML file.
+
+    ``mode`` / ``repairs`` as in :func:`configuration_from_xml`.
+    """
+    return configuration_from_xml(
+        Path(path).read_text(encoding="utf-8"), mode=mode, repairs=repairs
+    )

@@ -20,8 +20,15 @@ from repro.core.baseline import (
     count_introduced_edges_clipping,
     count_introduced_edges_compute_cdr,
 )
+from repro.core.batch import BatchReport, PairOutcome, batch_relations
 from repro.core.compute import compute_cdr
 from repro.core.fast import compute_cdr_fast, compute_cdr_percentages_fast
+from repro.core.guarded import (
+    GuardDiagnostics,
+    GuardedValue,
+    guarded_cdr,
+    guarded_percentages,
+)
 from repro.core.matrix import DirectionRelationMatrix, PercentageMatrix
 from repro.core.percentages import compute_cdr_percentages
 from repro.core.relation import (
@@ -48,4 +55,11 @@ __all__ = [
     "compute_cdr_percentages_clipping",
     "count_introduced_edges_clipping",
     "count_introduced_edges_compute_cdr",
+    "guarded_cdr",
+    "guarded_percentages",
+    "GuardDiagnostics",
+    "GuardedValue",
+    "batch_relations",
+    "BatchReport",
+    "PairOutcome",
 ]

@@ -1,0 +1,357 @@
+"""Fault-isolated batch relation computation.
+
+``RelationStore.all_relations`` historically computed every ordered pair
+and let the first exception kill the whole sweep — a single malformed
+polygon silenced an entire configuration.  This module computes the full
+pairwise matrix with **per-pair fault isolation**:
+
+* regions are (optionally) validated up front; invalid ones are routed
+  through the repair pipeline (:mod:`repro.geometry.repair`) and used in
+  repaired form, with the :class:`~repro.geometry.repair.RepairReport`
+  recorded;
+* regions that cannot be repaired (e.g. polygons with overlapping
+  interiors, which have no canonical fix) poison only their own pairs —
+  every pair of healthy regions is still answered;
+* a pair whose computation raises at runtime despite validation is
+  retried once after repairing both operands, then reported as an error
+  outcome carrying the exception context (region ids, polygon/vertex
+  indices via :class:`~repro.errors.GeometryError`).
+
+The result is a :class:`BatchReport` of :class:`PairOutcome` entries —
+``ok`` / ``repaired`` / ``error`` — never an exception for bad geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cardirect.model import Configuration
+from repro.core.compute import compute_cdr_against_box
+from repro.core.fast import compute_cdr_fast, compute_cdr_percentages_fast
+from repro.core.guarded import (
+    DEFAULT_EPSILON,
+    box_region,
+    guarded_cdr_against_box,
+    guarded_percentages_against_box,
+)
+from repro.core.matrix import PercentageMatrix
+from repro.core.percentages import compute_cdr_percentages_against_box
+from repro.core.relation import CardinalDirection
+from repro.core.validate import ERROR, validate_region
+from repro.errors import GeometryError, ReproError
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.region import Region
+from repro.geometry.repair import REPAIR, RepairReport, repair_region
+
+#: Outcome statuses.
+OK = "ok"
+REPAIRED = "repaired"
+FAILED = "error"
+
+#: Computation modes of :func:`batch_relations`.
+COMPUTE_MODES = ("exact", "fast", "guarded")
+
+
+@dataclass(frozen=True)
+class PairOutcome:
+    """The result (or failure) of one ordered pair."""
+
+    primary_id: str
+    reference_id: str
+    status: str  # OK, REPAIRED or FAILED
+    relation: Optional[CardinalDirection] = None
+    percentages: Optional[PercentageMatrix] = None
+    error: Optional[str] = None
+    path: Optional[str] = None  # "fast" / "exact" under compute="guarded"
+
+    @property
+    def ok(self) -> bool:
+        return self.status != FAILED
+
+    def __str__(self) -> str:
+        if self.ok:
+            note = " (repaired)" if self.status == REPAIRED else ""
+            return (
+                f"{self.primary_id} {self.relation} {self.reference_id}{note}"
+            )
+        return f"{self.primary_id} ?? {self.reference_id}: {self.error}"
+
+
+@dataclass
+class BatchReport:
+    """Every pair's outcome, plus the region-level repair bookkeeping."""
+
+    outcomes: List[PairOutcome]
+    repairs: Dict[str, RepairReport]
+    broken: Dict[str, str]
+
+    def ok_outcomes(self) -> List[PairOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.ok]
+
+    def error_outcomes(self) -> List[PairOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def relations(self) -> Dict[Tuple[str, str], CardinalDirection]:
+        """The answered pairs as a ``{(primary, reference): R}`` mapping."""
+        return {
+            (outcome.primary_id, outcome.reference_id): outcome.relation
+            for outcome in self.outcomes
+            if outcome.ok
+        }
+
+    def summary(self) -> str:
+        ok = len(self.ok_outcomes())
+        failed = len(self.error_outcomes())
+        parts = [f"{ok} pair(s) answered, {failed} failed"]
+        if self.repairs:
+            parts.append(f"{len(self.repairs)} region(s) repaired")
+        if self.broken:
+            parts.append(
+                f"{len(self.broken)} region(s) unusable: "
+                + ", ".join(sorted(self.broken))
+            )
+        return "; ".join(parts)
+
+
+def _error_issues(region: Region, region_id: str) -> List[str]:
+    return [
+        str(issue)
+        for issue in validate_region(region, region_id=region_id)
+        if issue.severity == ERROR
+    ]
+
+
+def _compute_pair(
+    primary: Region,
+    box: BoundingBox,
+    *,
+    compute: str,
+    percentages: bool,
+    epsilon: float,
+) -> Tuple[CardinalDirection, Optional[PercentageMatrix], Optional[str]]:
+    """One pair through the selected computation mode."""
+    path: Optional[str] = None
+    if compute == "guarded":
+        relation, diagnostics = guarded_cdr_against_box(
+            primary, box, epsilon=epsilon
+        )
+        path = diagnostics.path
+        matrix = None
+        if percentages:
+            matrix, matrix_diagnostics = guarded_percentages_against_box(
+                primary, box, epsilon=epsilon
+            )
+            if matrix_diagnostics.path != path:
+                path = f"{path}/{matrix_diagnostics.path}"
+        return relation, matrix, path
+    if compute == "fast":
+        reference = box_region(box)
+        relation = compute_cdr_fast(primary, reference)
+        matrix = (
+            compute_cdr_percentages_fast(primary, reference)
+            if percentages
+            else None
+        )
+        return relation, matrix, path
+    relation = compute_cdr_against_box(primary, box)
+    matrix = (
+        compute_cdr_percentages_against_box(primary, box)
+        if percentages
+        else None
+    )
+    return relation, matrix, path
+
+
+def batch_relations(
+    configuration: Configuration,
+    *,
+    include_self: bool = False,
+    percentages: bool = False,
+    compute: str = "exact",
+    repair: bool = True,
+    validate: bool = True,
+    epsilon: float = DEFAULT_EPSILON,
+) -> BatchReport:
+    """Compute every ordered pair with per-pair fault isolation.
+
+    ``compute`` selects the engine: ``"exact"`` (reference), ``"fast"``
+    (float64 numpy) or ``"guarded"`` (the exactness-fallback ladder).
+    With ``repair`` (default) invalid regions are repaired before use
+    and failing pairs are retried on repaired geometry; with
+    ``validate`` (default) the O(n²) geometric invariants are checked up
+    front so silently-wrong answers from degenerate input (e.g. bowties,
+    which raise nothing) are caught, not just crashes.
+    """
+    if compute not in COMPUTE_MODES:
+        raise ValueError(
+            f"compute must be one of {COMPUTE_MODES}, got {compute!r}"
+        )
+    healthy: Dict[str, Region] = {}
+    repairs: Dict[str, RepairReport] = {}
+    broken: Dict[str, str] = {}
+
+    def _try_repair(region_id: str, region: Region) -> Optional[Region]:
+        """Repair a region; record the report or why it stayed broken."""
+        try:
+            repaired, report = repair_region(
+                region, mode=REPAIR, region_id=region_id
+            )
+        except GeometryError as error:
+            broken[region_id] = str(
+                error.with_context(region_id=region_id)
+            )
+            return None
+        residual = _error_issues(repaired, region_id)
+        if residual:
+            broken[region_id] = (
+                "unrepairable: " + "; ".join(residual)
+            )
+            return None
+        repairs[region_id] = report
+        return repaired
+
+    for annotated in configuration:
+        region = annotated.region
+        if validate:
+            issues = _error_issues(region, annotated.id)
+            if issues:
+                if repair:
+                    repaired = _try_repair(annotated.id, region)
+                    if repaired is not None:
+                        healthy[annotated.id] = repaired
+                else:
+                    broken[annotated.id] = "; ".join(issues)
+                continue
+        healthy[annotated.id] = region
+
+    boxes: Dict[str, BoundingBox] = {
+        region_id: region.bounding_box()
+        for region_id, region in healthy.items()
+    }
+
+    outcomes: List[PairOutcome] = []
+    for primary_id in configuration.region_ids:
+        for reference_id in configuration.region_ids:
+            if primary_id == reference_id and not include_self:
+                continue
+            unusable = [
+                region_id
+                for region_id in (primary_id, reference_id)
+                if region_id in broken
+            ]
+            if unusable:
+                outcomes.append(
+                    PairOutcome(
+                        primary_id,
+                        reference_id,
+                        FAILED,
+                        error="; ".join(
+                            f"region {region_id!r} unusable: "
+                            f"{broken[region_id]}"
+                            for region_id in unusable
+                        ),
+                    )
+                )
+                continue
+            primary = healthy[primary_id]
+            box = boxes[reference_id]
+            repaired_pair = (
+                primary_id in repairs or reference_id in repairs
+            )
+            try:
+                relation, matrix, path = _compute_pair(
+                    primary,
+                    box,
+                    compute=compute,
+                    percentages=percentages,
+                    epsilon=epsilon,
+                )
+            except ReproError as error:
+                if isinstance(error, GeometryError):
+                    error.with_context(region_id=primary_id)
+                if repair and not repaired_pair:
+                    retried = _retry_after_repair(
+                        primary_id,
+                        reference_id,
+                        healthy,
+                        boxes,
+                        repairs,
+                        broken,
+                        _try_repair,
+                        compute=compute,
+                        percentages=percentages,
+                        epsilon=epsilon,
+                    )
+                    if retried is not None:
+                        outcomes.append(retried)
+                        continue
+                outcomes.append(
+                    PairOutcome(
+                        primary_id,
+                        reference_id,
+                        FAILED,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                )
+                continue
+            outcomes.append(
+                PairOutcome(
+                    primary_id,
+                    reference_id,
+                    REPAIRED if repaired_pair else OK,
+                    relation=relation,
+                    percentages=matrix,
+                    path=path,
+                )
+            )
+    return BatchReport(outcomes, repairs, broken)
+
+
+def _retry_after_repair(
+    primary_id: str,
+    reference_id: str,
+    healthy: Dict[str, Region],
+    boxes: Dict[str, BoundingBox],
+    repairs: Dict[str, RepairReport],
+    broken: Dict[str, str],
+    try_repair,
+    *,
+    compute: str,
+    percentages: bool,
+    epsilon: float,
+) -> Optional[PairOutcome]:
+    """Repair both operands and recompute a failed pair once.
+
+    Mutates the shared ``healthy`` / ``boxes`` / ``repairs`` maps so
+    later pairs reuse the repaired geometry.  Returns ``None`` when the
+    repair fails or the recomputation still raises — the caller then
+    records the *original* error.
+    """
+    for region_id in (primary_id, reference_id):
+        if region_id in repairs:
+            continue
+        repaired = try_repair(region_id, healthy[region_id])
+        if repaired is None:
+            broken.pop(region_id, None)  # keep the pair error authoritative
+            return None
+        healthy[region_id] = repaired
+        boxes[region_id] = repaired.bounding_box()
+    try:
+        relation, matrix, path = _compute_pair(
+            healthy[primary_id],
+            boxes[reference_id],
+            compute=compute,
+            percentages=percentages,
+            epsilon=epsilon,
+        )
+    except ReproError:
+        return None
+    return PairOutcome(
+        primary_id,
+        reference_id,
+        REPAIRED,
+        relation=relation,
+        percentages=matrix,
+        path=path,
+    )

@@ -32,7 +32,7 @@ order of magnitude on 10k-edge regions).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -130,9 +130,11 @@ _TILE_GRID = [
 
 
 def _band_intervals(
-    region: Region, box: BoundingBox
+    region: Region,
+    box: BoundingBox,
+    arrays: Optional[Tuple[np.ndarray, ...]] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, Tuple[np.ndarray, ...]]:
-    x1, y1, dx, dy = _edge_arrays(region)
+    x1, y1, dx, dy = arrays if arrays is not None else _edge_arrays(region)
     col_lo, col_hi = _axis_band_intervals(
         x1, dx, float(box.min_x), float(box.max_x), tie_sign=dy
     )
@@ -142,15 +144,26 @@ def _band_intervals(
     return col_lo, col_hi, row_lo, row_hi, (x1, y1, dx, dy)
 
 
-def compute_cdr_fast(primary: RegionLike, reference: RegionLike) -> CardinalDirection:
+def compute_cdr_fast(
+    primary: RegionLike,
+    reference: RegionLike,
+    *,
+    arrays: Optional[Tuple[np.ndarray, ...]] = None,
+) -> CardinalDirection:
     """Vectorised Compute-CDR (float64).
 
     Same contract as :func:`repro.core.compute.compute_cdr`; intended for
-    large float workloads.
+    large float workloads.  ``arrays`` lets callers that already hold the
+    primary's edge arrays (:func:`_edge_arrays`) skip rebuilding them —
+    the Python-loop array construction dominates the cost on large
+    regions, and the guarded wrapper shares it with its precondition
+    check.
     """
     primary_region = _as_region(primary)
     box = _as_region(reference).bounding_box()
-    col_lo, col_hi, row_lo, row_hi, _ = _band_intervals(primary_region, box)
+    col_lo, col_hi, row_lo, row_hi, _ = _band_intervals(
+        primary_region, box, arrays
+    )
 
     tiles = set()
     for c in range(3):
@@ -167,7 +180,10 @@ def compute_cdr_fast(primary: RegionLike, reference: RegionLike) -> CardinalDire
 
 
 def compute_cdr_percentages_fast(
-    primary: RegionLike, reference: RegionLike
+    primary: RegionLike,
+    reference: RegionLike,
+    *,
+    arrays: Optional[Tuple[np.ndarray, ...]] = None,
 ) -> PercentageMatrix:
     """Vectorised Compute-CDR% (float64).
 
@@ -177,8 +193,26 @@ def compute_cdr_percentages_fast(
     """
     primary_region = _as_region(primary)
     box = _as_region(reference).bounding_box()
+    return PercentageMatrix.from_areas(
+        tile_areas_fast(primary_region, box, arrays=arrays)
+    )
+
+
+def tile_areas_fast(
+    primary_region: Region,
+    box: BoundingBox,
+    *,
+    arrays: Optional[Tuple[np.ndarray, ...]] = None,
+) -> Dict[Tile, float]:
+    """Raw per-tile float areas — the fast counterpart of
+    :func:`repro.core.percentages.tile_areas`.
+
+    Exposed separately so diagnostics layers can compare the tile sum
+    against the region's own area *before* normalisation hides any
+    drift.
+    """
     col_lo, col_hi, row_lo, row_hi, (x1, y1, dx, dy) = _band_intervals(
-        primary_region, box
+        primary_region, box, arrays
     )
     m1, m2 = float(box.min_x), float(box.max_x)
     l1, l2 = float(box.min_y), float(box.max_y)
@@ -236,4 +270,4 @@ def compute_cdr_percentages_fast(
     area_bn = abs(e_l_sum(lo, hi, l1))
     areas[Tile.B] = max(area_bn - area_n, 0.0)
 
-    return PercentageMatrix.from_areas(areas)
+    return areas

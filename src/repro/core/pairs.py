@@ -18,6 +18,7 @@ from typing import NamedTuple
 
 from repro.core.compute import RegionLike, _as_region, compute_cdr
 from repro.core.relation import CardinalDirection
+from repro.errors import InternalConsistencyError
 
 
 class RelativePosition(NamedTuple):
@@ -47,8 +48,8 @@ def relative_position(
     if verify:
         from repro.reasoning.inverse import inverse
 
-        if r2 not in inverse(r1) or r1 not in inverse(r2):  # pragma: no cover
-            raise AssertionError(
+        if r2 not in inverse(r1) or r1 not in inverse(r2):
+            raise InternalConsistencyError(
                 f"internal inconsistency: observed pair ({r1}, {r2}) violates "
                 "the mutual-inverse conditions — please report this as a bug"
             )

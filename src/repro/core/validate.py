@@ -14,12 +14,19 @@ them over every annotated region and additionally flags *inter*-region
 interior overlaps (legal for the algorithms, which treat regions
 independently, but usually an annotation mistake — reported as a
 warning).  The CLI's ``validate --strict`` surfaces all of it.
+
+:func:`repair_validated_region` / :func:`repair_validated_configuration`
+close the loop with the repair pipeline (:mod:`repro.geometry.repair`):
+they route geometry through ``repair_region``, translate every applied
+fix into a warning-severity :class:`ValidationIssue`, and re-validate the
+result so residual (unrepairable) defects surface as errors.  The CLI's
+``validate --repair`` is a thin wrapper over them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
 
 from repro.cardirect.model import Configuration
 from repro.geometry.intersect import segments_intersection_parameter
@@ -144,6 +151,68 @@ def validate_configuration(
                         )
                     )
     return issues
+
+
+def repair_validated_region(
+    region: Region,
+    *,
+    region_id: Optional[str] = None,
+    mode: str = "repair",
+    snap_tolerance=None,
+) -> Tuple[Region, List[ValidationIssue]]:
+    """Repair a region and report what changed as validation issues.
+
+    Every :class:`~repro.geometry.repair.RepairAction` becomes a
+    warning-severity issue (same ``code``), and the repaired region is
+    re-validated so defects the pipeline cannot fix (e.g. overlapping
+    parts) come back as errors.  Raises
+    :class:`~repro.errors.GeometryError` when no faithful repair exists —
+    ``strict`` mode on any defect, every mode on a region left empty.
+    """
+    from repro.geometry.repair import repair_region
+
+    repaired, report = repair_region(
+        region, mode=mode, snap_tolerance=snap_tolerance, region_id=region_id
+    )
+    issues = [
+        ValidationIssue(WARNING, action.code, str(action), region_id)
+        for action in report.actions
+    ]
+    issues.extend(validate_region(repaired, region_id=region_id))
+    return repaired, issues
+
+
+def repair_validated_configuration(
+    configuration: Configuration,
+    *,
+    mode: str = "repair",
+    snap_tolerance=None,
+) -> Tuple[Configuration, List[ValidationIssue]]:
+    """Repair every region of a configuration, preserving annotations.
+
+    Returns a new :class:`Configuration` (ids, names and colours kept)
+    plus the combined issue list.  Propagates
+    :class:`~repro.errors.GeometryError` from regions with no faithful
+    repair — callers wanting per-region fault isolation instead should
+    use :func:`repro.core.batch.batch_relations`.
+    """
+    issues: List[ValidationIssue] = []
+    repaired_regions = []
+    for annotated in configuration:
+        repaired, region_issues = repair_validated_region(
+            annotated.region,
+            region_id=annotated.id,
+            mode=mode,
+            snap_tolerance=snap_tolerance,
+        )
+        repaired_regions.append(replace(annotated, region=repaired))
+        issues.extend(region_issues)
+    repaired_configuration = Configuration.from_regions(
+        repaired_regions,
+        image_name=configuration.image_name,
+        image_file=configuration.image_file,
+    )
+    return repaired_configuration, issues
 
 
 def _regions_interiors_overlap(first: Region, second: Region) -> bool:

@@ -14,7 +14,61 @@ class ReproError(Exception):
 
 
 class GeometryError(ReproError):
-    """Invalid geometric input (degenerate polygon, empty region, ...)."""
+    """Invalid geometric input (degenerate polygon, empty region, ...).
+
+    Carries optional *context* — which region / polygon / vertex the bad
+    geometry belongs to — so that batch pipelines processing many regions
+    can report exactly where a failure came from.  Context is attached
+    lazily via :meth:`with_context`: the geometry layer raises bare
+    errors, and each enclosing layer fills in the identifiers it knows.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        region_id: "str | None" = None,
+        polygon_index: "int | None" = None,
+        vertex_index: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.region_id = region_id
+        self.polygon_index = polygon_index
+        self.vertex_index = vertex_index
+
+    def with_context(
+        self,
+        *,
+        region_id: "str | None" = None,
+        polygon_index: "int | None" = None,
+        vertex_index: "int | None" = None,
+    ) -> "GeometryError":
+        """Fill in any context fields not already set (in place).
+
+        Returns ``self`` so the idiom ``raise error.with_context(...)``
+        re-raises with the caller's identifiers attached, without losing
+        the original traceback or more specific inner context.
+        """
+        if self.region_id is None:
+            self.region_id = region_id
+        if self.polygon_index is None:
+            self.polygon_index = polygon_index
+        if self.vertex_index is None:
+            self.vertex_index = vertex_index
+        return self
+
+    def __str__(self) -> str:
+        parts = []
+        if self.region_id is not None:
+            parts.append(f"region {self.region_id!r}")
+        if self.polygon_index is not None:
+            parts.append(f"polygon #{self.polygon_index}")
+        if self.vertex_index is not None:
+            parts.append(f"vertex #{self.vertex_index}")
+        base = super().__str__()
+        if parts:
+            return f"{base} [{', '.join(parts)}]"
+        return base
 
 
 class RelationError(ReproError):
@@ -35,3 +89,14 @@ class QueryError(ReproError):
 
 class ReasoningError(ReproError):
     """Errors from the reasoning layer (inverse / composition / consistency)."""
+
+
+class InternalConsistencyError(ReasoningError):
+    """Two layers of the library disagree about a result that must match.
+
+    Raised by runtime cross-validation hooks (e.g. the mutual-inverse
+    check of :func:`repro.core.pairs.relative_position`).  Seeing this
+    exception always indicates a bug in the library, never bad user
+    input — but it derives from :class:`ReproError` so batch callers
+    catching the base class survive it like any other failure.
+    """

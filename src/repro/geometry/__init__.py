@@ -46,6 +46,12 @@ from repro.geometry.predicates import (
     point_on_segment,
 )
 from repro.geometry.region import Region
+from repro.geometry.repair import (
+    RepairAction,
+    RepairReport,
+    repair_polygon,
+    repair_region,
+)
 from repro.geometry.segment import Segment
 from repro.geometry.transform import scale_region, translate_region
 
@@ -73,4 +79,8 @@ __all__ = [
     "intersection_area",
     "difference",
     "symmetric_difference",
+    "RepairAction",
+    "RepairReport",
+    "repair_polygon",
+    "repair_region",
 ]

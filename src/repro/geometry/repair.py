@@ -1,0 +1,481 @@
+"""Repairing degenerate polygon input — the ingestion hardening layer.
+
+The algorithms of the paper assume regions in ``REG*`` made of simple,
+clockwise polygons, but CARDIRECT's input is user-annotated geometry
+that in practice arrives reversed, with duplicated or collinear
+vertices, with zero-area rings, or self-intersecting (bowties).  This
+module turns such raw rings into valid :class:`~repro.geometry.polygon.Polygon`
+/ :class:`~repro.geometry.region.Region` objects under one of three modes:
+
+* ``strict`` — raise :class:`~repro.errors.GeometryError` at the first
+  defect (the behaviour of the plain constructors, plus a simplicity
+  check);
+* ``repair`` — fix every defect that has a canonical fix and report each
+  fix through a structured :class:`RepairReport`; raise only when no
+  faithful repair exists (e.g. a region left empty, or a tangle the
+  splitter cannot untie);
+* ``lenient`` — best effort: like ``repair``, but drop what cannot be
+  fixed instead of raising (a region must still end up non-empty).
+
+The individual repairs, in application order:
+
+1. optional **snap rounding** of every coordinate to a tolerance grid;
+2. **duplicate-vertex elimination** (consecutive duplicates and an
+   explicit closing vertex);
+3. **collinear-vertex elimination** (including spikes ``v w v``, whose
+   tips are collinear with their equal neighbours) — iterated with step
+   2 to a fixpoint, since removing a spike tip creates a duplicate;
+4. **zero-area ring dropping** (fewer than three effective vertices or
+   a fully collinear ring);
+5. **orientation fixing** (counter-clockwise rings are reversed);
+6. **self-intersection splitting**: proper edge crossings are inserted
+   as vertices and the ring is walked, extracting a closed loop each
+   time a point repeats — a bowtie becomes its two triangles.  Loops are
+   cleaned and oriented individually; zero-area loops are dropped.
+
+Exactness: with :class:`fractions.Fraction` coordinates every inserted
+crossing point is exact, so repaired geometry feeds the exact reference
+algorithms without precision loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import GeometryError
+from repro.geometry.intersect import segments_intersection_parameter
+from repro.geometry.point import Coordinate, Point
+from repro.geometry.polygon import Polygon, _twice_signed_area
+from repro.geometry.predicates import orientation
+from repro.geometry.region import Region
+
+#: The three repair modes.
+STRICT = "strict"
+REPAIR = "repair"
+LENIENT = "lenient"
+REPAIR_MODES = (STRICT, REPAIR, LENIENT)
+
+#: Maximum recursion depth of the self-intersection splitter; real
+#: annotation mistakes untangle in one pass, nested tangles in two.
+_MAX_SPLIT_DEPTH = 4
+
+RawRing = Sequence[Union[Point, Tuple[Coordinate, Coordinate]]]
+
+
+def _check_mode(mode: str) -> None:
+    if mode not in REPAIR_MODES:
+        raise ValueError(
+            f"repair mode must be one of {REPAIR_MODES}, got {mode!r}"
+        )
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    """One fix (or drop) applied by the repair pipeline."""
+
+    code: str
+    message: str
+    polygon_index: Optional[int] = None
+
+    def __str__(self) -> str:
+        scope = (
+            f"polygon #{self.polygon_index}: "
+            if self.polygon_index is not None
+            else ""
+        )
+        return f"{scope}{self.message} [{self.code}]"
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Everything the pipeline changed while repairing one region."""
+
+    actions: Tuple[RepairAction, ...] = ()
+    region_id: Optional[str] = None
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.actions)
+
+    def codes(self) -> Tuple[str, ...]:
+        """The distinct action codes, in first-occurrence order."""
+        seen: List[str] = []
+        for action in self.actions:
+            if action.code not in seen:
+                seen.append(action.code)
+        return tuple(seen)
+
+    def summary(self) -> str:
+        scope = f"region {self.region_id!r}: " if self.region_id else ""
+        if not self.actions:
+            return f"{scope}no repairs needed"
+        return (
+            f"{scope}{len(self.actions)} repair(s): "
+            + "; ".join(str(action) for action in self.actions)
+        )
+
+
+def _as_points(ring: RawRing) -> List[Point]:
+    points: List[Point] = []
+    for vertex in ring:
+        if isinstance(vertex, Point):
+            points.append(vertex)
+        else:
+            x, y = vertex
+            points.append(Point(x, y))
+    return points
+
+
+def _snap_value(value: Coordinate, tolerance: Coordinate) -> Coordinate:
+    if isinstance(value, float) or isinstance(tolerance, float):
+        return round(value / tolerance) * tolerance
+    grid = Fraction(tolerance)
+    return Fraction(round(Fraction(value) / grid)) * grid
+
+
+def _snap_point(point: Point, tolerance: Coordinate) -> Point:
+    return Point(
+        _snap_value(point.x, tolerance), _snap_value(point.y, tolerance)
+    )
+
+
+def _without_closing_vertex(ring: List[Point]) -> List[Point]:
+    if len(ring) > 1 and ring[0] == ring[-1]:
+        return ring[:-1]
+    return ring
+
+
+def _without_consecutive_duplicates(ring: List[Point]) -> List[Point]:
+    cleaned: List[Point] = []
+    for vertex in ring:
+        if not cleaned or cleaned[-1] != vertex:
+            cleaned.append(vertex)
+    while len(cleaned) > 1 and cleaned[0] == cleaned[-1]:
+        cleaned.pop()
+    return cleaned
+
+
+def _without_collinear(ring: List[Point]) -> List[Point]:
+    ring = list(ring)
+    changed = True
+    while changed and len(ring) > 3:
+        changed = False
+        for i in range(len(ring)):
+            before = ring[i - 1]
+            vertex = ring[i]
+            after = ring[(i + 1) % len(ring)]
+            if orientation(before, vertex, after) == 0:
+                del ring[i]
+                changed = True
+                break
+    return ring
+
+
+def _clean_ring(ring: List[Point]) -> Tuple[List[Point], int, int]:
+    """Duplicate + collinear elimination to a fixpoint.
+
+    Returns ``(cleaned, duplicates_removed, collinear_removed)``.  The
+    two passes alternate because removing a spike tip ``v w v`` leaves
+    the two ``v`` occurrences adjacent.
+    """
+    duplicates = 0
+    collinear = 0
+    while True:
+        deduped = _without_consecutive_duplicates(ring)
+        duplicates += len(ring) - len(deduped)
+        thinned = _without_collinear(deduped)
+        collinear += len(deduped) - len(thinned)
+        if len(thinned) == len(ring):
+            return thinned, duplicates, collinear
+        ring = thinned
+
+
+def _is_flat(ring: List[Point]) -> bool:
+    """True for rings that enclose no area anywhere.
+
+    After cleaning, a fully collinear ring has been thinned to exactly
+    three (collinear) vertices, so "flat" is decidable locally.  A ring
+    with more vertices and zero *signed* area is not flat — it is a
+    self-intersecting ring whose loops cancel (a symmetric bowtie) and
+    must be split, not dropped.
+    """
+    if len(ring) < 3:
+        return True
+    return len(ring) == 3 and _twice_signed_area(ring) == 0
+
+
+def _split_into_loops(ring: List[Point]) -> List[List[Point]]:
+    """Split a self-intersecting ring at its proper edge crossings.
+
+    Every proper crossing point is inserted into both edges it lies on
+    (the *same* point value, so the loop walk below recognises it), then
+    the augmented ring is walked with a stack: each time a point repeats,
+    the vertices since its first occurrence close one loop.  Crossings
+    through coincident vertices (figure-eights) need no insertion — the
+    repeated vertex itself triggers the extraction.
+    """
+    n = len(ring)
+    crossings: List[List[Tuple[Coordinate, Point]]] = [[] for _ in range(n)]
+    for i in range(n):
+        a1, a2 = ring[i], ring[(i + 1) % n]
+        direction_a = (a2.x - a1.x, a2.y - a1.y)
+        for j in range(i + 1, n):
+            if j == i + 1 or (i == 0 and j == n - 1):
+                continue  # adjacent edges share a vertex legitimately
+            b1 = ring[j]
+            b2 = ring[(j + 1) % n]
+            direction_b = (b2.x - b1.x, b2.y - b1.y)
+            params = segments_intersection_parameter(
+                a1, direction_a, b1, direction_b
+            )
+            if params is None:
+                continue
+            t, u = params
+            if 0 < t < 1 and 0 < u < 1:
+                point = Point(
+                    a1.x + t * direction_a[0], a1.y + t * direction_a[1]
+                )
+                crossings[i].append((t, point))
+                crossings[j].append((u, point))
+
+    augmented: List[Point] = []
+    for i in range(n):
+        augmented.append(ring[i])
+        for _, point in sorted(crossings[i], key=lambda item: item[0]):
+            augmented.append(point)
+
+    loops: List[List[Point]] = []
+    stack: List[Point] = []
+    for point in augmented:
+        if point in stack:
+            k = stack.index(point)
+            loop = stack[k:]
+            if len(loop) >= 3:
+                loops.append(loop)
+            del stack[k + 1:]
+        else:
+            stack.append(point)
+    if len(stack) >= 3:
+        loops.append(stack)
+    return loops
+
+
+def _simple_polygons_from_ring(
+    ring: List[Point],
+    mode: str,
+    actions: List[RepairAction],
+    polygon_index: Optional[int],
+    depth: int,
+) -> List[Polygon]:
+    """Turn one cleaned, non-degenerate ring into simple polygons.
+
+    A ring reaching this stage with *zero* signed area is not flat (flat
+    rings were dropped earlier) — it is a self-intersecting ring whose
+    loops cancel, e.g. a symmetric bowtie, and goes straight to the
+    splitter.
+    """
+    if _twice_signed_area(ring) != 0:
+        polygon = Polygon(ring, ensure_clockwise=True)
+        if polygon.is_simple():
+            return [polygon]
+        ring = list(polygon.vertices)
+    if mode == STRICT:
+        raise GeometryError(
+            "polygon self-intersects", polygon_index=polygon_index
+        )
+    loops = _split_into_loops(ring)
+    made_progress = not (len(loops) == 1 and len(loops[0]) == len(ring))
+    if depth == 0 or not made_progress:
+        # Collinear edge overlaps and float-degenerate tangles have no
+        # proper crossing to split at; there is no faithful repair.
+        if mode == REPAIR:
+            raise GeometryError(
+                "self-intersection cannot be split into simple loops",
+                polygon_index=polygon_index,
+            )
+        actions.append(
+            RepairAction(
+                "dropped-unrepairable-ring",
+                "dropped a self-intersecting ring with no proper crossings",
+                polygon_index,
+            )
+        )
+        return []
+    actions.append(
+        RepairAction(
+            "split-self-intersection",
+            f"split a self-intersecting ring into {len(loops)} loop(s)",
+            polygon_index,
+        )
+    )
+    polygons: List[Polygon] = []
+    for loop in loops:
+        cleaned, _, _ = _clean_ring(loop)
+        if _is_flat(cleaned):
+            actions.append(
+                RepairAction(
+                    "dropped-zero-area-ring",
+                    "dropped a zero-area loop produced by splitting",
+                    polygon_index,
+                )
+            )
+            continue
+        polygons.extend(
+            _simple_polygons_from_ring(
+                cleaned, mode, actions, polygon_index, depth - 1
+            )
+        )
+    return polygons
+
+
+def repair_polygon(
+    ring: RawRing,
+    *,
+    mode: str = REPAIR,
+    snap_tolerance: Optional[Coordinate] = None,
+    polygon_index: Optional[int] = None,
+) -> Tuple[List[Polygon], List[RepairAction]]:
+    """Repair one raw vertex ring into zero or more simple polygons.
+
+    Returns ``(polygons, actions)``.  The list is empty when the ring is
+    degenerate (zero area) and the mode permits dropping it; it has more
+    than one element when a self-intersecting ring was split.  In
+    ``strict`` mode any defect raises :class:`~repro.errors.GeometryError`
+    (with ``polygon_index`` attached as context).
+    """
+    _check_mode(mode)
+    actions: List[RepairAction] = []
+    points = _without_closing_vertex(_as_points(ring))
+
+    if snap_tolerance is not None:
+        if snap_tolerance <= 0:
+            raise ValueError("snap_tolerance must be positive")
+        snapped = [_snap_point(p, snap_tolerance) for p in points]
+        moved = sum(1 for a, b in zip(points, snapped) if a != b)
+        if moved:
+            actions.append(
+                RepairAction(
+                    "snapped-vertices",
+                    f"snapped {moved} vertices to a {snap_tolerance} grid",
+                    polygon_index,
+                )
+            )
+            points = snapped
+
+    cleaned, duplicates, collinear = _clean_ring(points)
+    if duplicates:
+        if mode == STRICT:
+            raise GeometryError(
+                f"{duplicates} duplicate vertices",
+                polygon_index=polygon_index,
+            )
+        actions.append(
+            RepairAction(
+                "removed-duplicate-vertices",
+                f"removed {duplicates} duplicate vertices",
+                polygon_index,
+            )
+        )
+    if collinear:
+        if mode == STRICT:
+            raise GeometryError(
+                f"{collinear} collinear vertices",
+                polygon_index=polygon_index,
+            )
+        actions.append(
+            RepairAction(
+                "removed-collinear-vertices",
+                f"removed {collinear} collinear vertices",
+                polygon_index,
+            )
+        )
+
+    if _is_flat(cleaned):
+        if mode == STRICT:
+            raise GeometryError(
+                "degenerate ring: fewer than 3 effective vertices "
+                "or zero area",
+                polygon_index=polygon_index,
+            )
+        actions.append(
+            RepairAction(
+                "dropped-zero-area-ring",
+                "dropped a degenerate (zero-area) ring",
+                polygon_index,
+            )
+        )
+        return [], actions
+
+    if _twice_signed_area(cleaned) > 0:  # counter-clockwise
+        if mode == STRICT:
+            raise GeometryError(
+                "polygon vertices are in counter-clockwise order",
+                polygon_index=polygon_index,
+            )
+        cleaned = list(reversed(cleaned))
+        actions.append(
+            RepairAction(
+                "reversed-orientation",
+                "reversed a counter-clockwise ring to clockwise",
+                polygon_index,
+            )
+        )
+
+    polygons = _simple_polygons_from_ring(
+        cleaned, mode, actions, polygon_index, _MAX_SPLIT_DEPTH
+    )
+    return polygons, actions
+
+
+RegionSource = Union[Region, Polygon, Iterable[RawRing]]
+
+
+def repair_region(
+    source: RegionSource,
+    *,
+    mode: str = REPAIR,
+    snap_tolerance: Optional[Coordinate] = None,
+    region_id: Optional[str] = None,
+) -> Tuple[Region, RepairReport]:
+    """Repair a whole region (or raw rings) into a valid ``REG*`` member.
+
+    ``source`` may be an existing :class:`Region` / :class:`Polygon`
+    (useful for re-validating geometry that slipped past the cheap
+    constructor checks, e.g. a bowtie) or an iterable of raw vertex
+    rings straight from an annotation tool.
+
+    Raises :class:`~repro.errors.GeometryError` — with ``region_id`` /
+    ``polygon_index`` context attached — in ``strict`` mode on any
+    defect, and in every mode when no polygon survives repair (a region
+    must be non-empty).
+    """
+    _check_mode(mode)
+    if isinstance(source, Region):
+        rings: List[List[Point]] = [list(p.vertices) for p in source.polygons]
+    elif isinstance(source, Polygon):
+        rings = [list(source.vertices)]
+    else:
+        rings = [_as_points(ring) for ring in source]
+
+    actions: List[RepairAction] = []
+    polygons: List[Polygon] = []
+    for index, ring in enumerate(rings):
+        try:
+            repaired, ring_actions = repair_polygon(
+                ring,
+                mode=mode,
+                snap_tolerance=snap_tolerance,
+                polygon_index=index,
+            )
+        except GeometryError as error:
+            raise error.with_context(region_id=region_id, polygon_index=index)
+        polygons.extend(repaired)
+        actions.extend(ring_actions)
+    if not polygons:
+        raise GeometryError(
+            "region is empty after repair: every ring was degenerate",
+            region_id=region_id,
+        )
+    return Region(polygons), RepairReport(tuple(actions), region_id)

@@ -190,6 +190,85 @@ def region_with_hole(
     return Region(ring_with_hole(x0, y0, x1, y1, hx0, hy0, hx1, hy1))
 
 
+def degenerate_ring(
+    rng: RandomLike,
+    kind: str,
+    *,
+    edge_count: int = 8,
+    center: Tuple[float, float] = (0.0, 0.0),
+) -> List[Tuple[float, float]]:
+    """A raw vertex ring exhibiting one named ingestion defect.
+
+    Returns plain coordinate tuples (not a :class:`Polygon` — most kinds
+    would fail its constructor) for feeding the repair pipeline and the
+    robustness property tests.  Kinds:
+
+    * ``"reversed"`` — a simple ring in counter-clockwise order;
+    * ``"duplicated"`` — a valid ring with consecutive duplicate vertices
+      and an explicit closing vertex;
+    * ``"collinear"`` — a valid ring with extra vertices inserted on edge
+      midpoints (collinear with their neighbours);
+    * ``"bowtie"`` — a self-intersecting four-vertex ring (two crossing
+      triangles);
+    * ``"near-grid"`` — a simple ring whose vertices are jittered to land
+      within ~1e-12 of the integer grid lines through ``center`` (the
+      adversarial input for the exactness-fallback ladder).
+    """
+    rng = _rng(rng)
+    cx, cy = center
+    base = [
+        (float(v.x), float(v.y))
+        for v in random_star_polygon(rng, edge_count, center=center).vertices
+    ]
+    if kind == "reversed":
+        return list(reversed(base))
+    if kind == "duplicated":
+        ring: List[Tuple[float, float]] = []
+        for vertex in base:
+            ring.append(vertex)
+            if rng.random() < 0.5:
+                ring.append(vertex)
+        ring.append(ring[0])  # explicit closing vertex
+        return ring
+    if kind == "collinear":
+        ring = []
+        count = len(base)
+        for i in range(count):
+            x0, y0 = base[i]
+            x1, y1 = base[(i + 1) % count]
+            ring.append((x0, y0))
+            ring.append(((x0 + x1) / 2.0, (y0 + y1) / 2.0))
+        return ring
+    if kind == "bowtie":
+        # Asymmetric bowtie: nonzero signed area, one proper crossing.
+        w = rng.uniform(1.0, 3.0)
+        return [
+            (cx, cy),
+            (cx + w, cy + w),
+            (cx + w, cy),
+            (cx, cy + 2.0 * w),
+        ]
+    if kind == "near-grid":
+        # A large star keeps rounded vertices distinct; the jitter puts
+        # every coordinate within 1e-12 of an integer grid line.
+        wide = random_star_polygon(
+            rng, edge_count, center=center, min_radius=4.0, max_radius=9.0
+        )
+        return [
+            (
+                float(round(v.x)) + rng.uniform(-1e-12, 1e-12),
+                float(round(v.y)) + rng.uniform(-1e-12, 1e-12),
+            )
+            for v in wide.vertices
+        ]
+    raise ValueError(f"unknown degenerate ring kind {kind!r}")
+
+
+DEGENERATE_KINDS = (
+    "reversed", "duplicated", "collinear", "bowtie", "near-grid",
+)
+
+
 def random_region_pair(
     rng: RandomLike,
     *,

@@ -1,0 +1,195 @@
+"""Robust-ingestion tests: hardened XML parsing and the repair mode.
+
+Malformed documents must fail with :class:`XMLFormatError` messages that
+name the offending element/attribute — never a raw ``ValueError`` — and
+the ``repair`` / ``lenient`` ingestion modes must accept degenerate
+geometry, reporting exactly what was fixed.
+"""
+
+import pytest
+
+from repro.cardirect.cli import main
+from repro.cardirect.xmlio import (
+    configuration_from_xml,
+    load_configuration,
+    parse_coordinate,
+)
+from repro.errors import ReproError, XMLFormatError
+
+
+def document(region_body: str) -> str:
+    return f'<Image name="t"><Region id="a">{region_body}</Region></Image>'
+
+
+def polygon(*vertices) -> str:
+    edges = "".join(f'<Edge x="{x}" y="{y}"/>' for x, y in vertices)
+    return f'<Polygon id="a-0">{edges}</Polygon>'
+
+
+CLEAN = polygon((0, 0), (0, 2), (2, 2), (2, 0))
+REVERSED = polygon((0, 0), (2, 0), (2, 2), (0, 2))
+BOWTIE = polygon((0, 4), (2, 0), (2, 2), (0, 0))
+
+
+class TestHardenedParsing:
+    @pytest.mark.parametrize(
+        "value", ["", "abc", "1..2", "1/0", "--3", "1e999", "-1e999", "nan"]
+    )
+    def test_malformed_coordinate_is_xml_format_error(self, value):
+        bad = document(polygon((value, 0), (0, 2), (2, 2), (2, 0)))
+        with pytest.raises(XMLFormatError) as excinfo:
+            configuration_from_xml(bad)
+        message = str(excinfo.value)
+        assert "'x'" in message and "'a'" in message, message
+
+    def test_error_names_the_edge_and_polygon(self):
+        bad = document(polygon((0, 0), (0, 2), ("wat", 2), (2, 0)))
+        with pytest.raises(XMLFormatError, match="#2.*'a-0'"):
+            configuration_from_xml(bad)
+
+    @pytest.mark.parametrize("value", ["", "junk", "1/0"])
+    def test_parse_coordinate_never_raises_valueerror(self, value):
+        with pytest.raises(XMLFormatError):
+            parse_coordinate(value)
+
+    def test_parse_coordinate_context_in_message(self):
+        with pytest.raises(XMLFormatError, match="somewhere"):
+            parse_coordinate("bad", context="somewhere")
+
+    def test_bad_relation_type_is_xml_format_error(self):
+        bad = (
+            '<Image><Region id="a">' + CLEAN + "</Region>"
+            '<Relation type="NOPE" primary="a" reference="a"/></Image>'
+        )
+        with pytest.raises(XMLFormatError, match="Relation type"):
+            configuration_from_xml(bad)
+
+    def test_unknown_relation_reference_is_xml_format_error(self):
+        bad = (
+            '<Image><Region id="a">' + CLEAN + "</Region>"
+            '<Relation type="N" primary="a" reference="ghost"/></Image>'
+        )
+        with pytest.raises(XMLFormatError, match="ghost"):
+            configuration_from_xml(bad)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            configuration_from_xml(document(CLEAN), mode="fixit")
+
+
+class TestRepairIngestion:
+    def test_strict_rejects_reversed_ring(self):
+        with pytest.raises(XMLFormatError, match="clockwise"):
+            configuration_from_xml(document(REVERSED))
+
+    def test_repair_mode_accepts_and_reports(self):
+        repairs = {}
+        configuration, _ = configuration_from_xml(
+            document(REVERSED), mode="repair", repairs=repairs
+        )
+        assert set(repairs) == {"a"}
+        assert repairs["a"].codes() == ("reversed-orientation",)
+        region = configuration.get("a").region
+        assert all(p.is_simple() for p in region.polygons)
+
+    def test_repair_mode_splits_bowtie(self):
+        repairs = {}
+        configuration, _ = configuration_from_xml(
+            document(BOWTIE), mode="repair", repairs=repairs
+        )
+        assert "split-self-intersection" in repairs["a"].codes()
+        assert len(configuration.get("a").region) == 2
+
+    def test_repair_mode_clean_document_records_nothing(self):
+        repairs = {}
+        configuration_from_xml(
+            document(CLEAN), mode="repair", repairs=repairs
+        )
+        assert repairs == {}
+
+    def test_unrepairable_region_still_raises(self):
+        flat = polygon((0, 0), (1, 1), (2, 2))
+        with pytest.raises(XMLFormatError, match="unrepairable.*'a'"):
+            configuration_from_xml(document(flat), mode="repair")
+
+    def test_load_configuration_passes_mode_through(self, tmp_path):
+        path = tmp_path / "degenerate.xml"
+        path.write_text(document(REVERSED), encoding="utf-8")
+        with pytest.raises(ReproError):
+            load_configuration(path)
+        repairs = {}
+        configuration, _ = load_configuration(
+            path, mode="repair", repairs=repairs
+        )
+        assert set(repairs) == {"a"} and len(configuration) == 1
+
+
+TWO_REGION_DEGENERATE = (
+    '<Image name="t">'
+    '<Region id="ok">' + polygon((10, 10), (10, 12), (12, 12), (12, 10))
+    + "</Region>"
+    '<Region id="bow">' + BOWTIE + "</Region>"
+    "</Image>"
+)
+
+UNREPAIRABLE_PAIR = (
+    '<Image name="t">'
+    '<Region id="ok">' + polygon((10, 10), (10, 12), (12, 12), (12, 10))
+    + "</Region>"
+    '<Region id="bad">'
+    + polygon((0, 0), (0, 2), (2, 2), (2, 0))
+    + '<Polygon id="bad-1"><Edge x="1" y="0"/><Edge x="1" y="2"/>'
+    '<Edge x="3" y="2"/><Edge x="3" y="0"/></Polygon>'
+    "</Region></Image>"
+)
+
+
+class TestCliRobustness:
+    def test_validate_repair_flag(self, tmp_path, capsys):
+        path = tmp_path / "config.xml"
+        path.write_text(TWO_REGION_DEGENERATE, encoding="utf-8")
+        assert main(["validate", str(path), "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "split-self-intersection" in out
+        assert "1 region(s) repaired" in out
+
+    def test_validate_repair_writes_output(self, tmp_path, capsys):
+        path = tmp_path / "config.xml"
+        out_path = tmp_path / "fixed.xml"
+        path.write_text(TWO_REGION_DEGENERATE, encoding="utf-8")
+        assert (
+            main(["validate", str(path), "--repair", "--output", str(out_path)])
+            == 0
+        )
+        # The repaired document is valid under strict ingestion.
+        configuration, _ = load_configuration(out_path)
+        assert len(configuration.get("bow").region) == 2
+
+    def test_validate_without_repair_fails_on_degenerate(self, tmp_path):
+        path = tmp_path / "config.xml"
+        path.write_text(document(REVERSED), encoding="utf-8")
+        assert main(["validate", str(path)]) == 1
+
+    def test_relations_isolate_errors_answers_clean_pairs(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "config.xml"
+        path.write_text(UNREPAIRABLE_PAIR, encoding="utf-8")
+        # Without isolation the overlapping region silently poisons
+        # nothing (relations still compute) — but with isolation it is
+        # rejected up front, producing per-pair errors: exit code 4.
+        assert main(["relations", str(path), "--isolate-errors"]) == 4
+        captured = capsys.readouterr()
+        assert "ok ?? bad" in captured.err
+        assert "overlapping interiors" in captured.err
+        assert "answered" in captured.out
+
+    def test_relations_isolate_errors_clean_config_exits_zero(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "config.xml"
+        path.write_text(TWO_REGION_DEGENERATE, encoding="utf-8")
+        assert main(["relations", str(path), "--isolate-errors"]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "bow" in out
+        assert "0 failed" in out

@@ -1,0 +1,169 @@
+"""Tests for the exactness-fallback ladder (repro.core.guarded).
+
+The acceptance bar: on adversarial near-grid-line fixtures the guarded
+result must match the exact reference on 100% of cases (because the
+ladder detects the risk and *uses* the exact reference), while clean
+random float workloads must take the fast path at least 90% of the time.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.compute import compute_cdr
+from repro.core.guarded import (
+    DEFAULT_EPSILON,
+    EXACT_PATH,
+    FAST_PATH,
+    GuardDiagnostics,
+    box_region,
+    guarded_cdr,
+    guarded_percentages,
+)
+from repro.core.percentages import compute_cdr_percentages
+from repro.core.tiles import Tile
+from repro.geometry.region import Region
+from repro.geometry.repair import repair_region
+from repro.errors import GeometryError
+from repro.workloads.generators import (
+    degenerate_ring,
+    random_multi_polygon_region,
+    random_rectilinear_region,
+)
+
+SEED = 20040314
+
+
+def rect_region(x0, y0, x1, y1) -> Region:
+    return Region.from_coordinates([[(x0, y0), (x0, y1), (x1, y1), (x1, y0)]])
+
+
+REF = rect_region(0, 0, 10, 10)
+
+
+class TestAdversarialFixtures:
+    """Near-grid-line inputs: exact fallback, 100% agreement."""
+
+    @pytest.mark.parametrize(
+        "primary",
+        [
+            # Vertex a hair west of the reference's min_x grid line.
+            rect_region(-4.0, 2.0, -1e-13, 8.0),
+            # Vertex a hair above max_y.
+            rect_region(2.0, 10.0 + 1e-13, 8.0, 14.0),
+            # Edge grazing the min_y line from below.
+            rect_region(2.0, -4.0, 8.0, -1e-13),
+            # Grid-flush integer rectangle (ties exactly on the lines).
+            rect_region(0, 0, 10, 5),
+        ],
+    )
+    def test_flags_risk_and_matches_exact(self, primary):
+        relation, diagnostics = guarded_cdr(primary, REF)
+        assert diagnostics.path == EXACT_PATH
+        assert diagnostics.reasons
+        assert relation == compute_cdr(primary, REF)
+
+    def test_near_grid_workload_matches_exact_everywhere(self):
+        rng = random.Random(SEED)
+        reference = rect_region(-3, -3, 3, 3)
+        checked = 0
+        for _ in range(40):
+            ring = degenerate_ring(rng, "near-grid")
+            try:
+                primary, _ = repair_region([ring])
+            except GeometryError:
+                continue  # ring collapsed entirely; nothing to compare
+            relation, diagnostics = guarded_cdr(primary, reference)
+            assert relation == compute_cdr(primary, reference)
+            matrix, _ = guarded_percentages(primary, reference)
+            exact = compute_cdr_percentages(primary, reference)
+            for tile in Tile:
+                assert float(matrix.percentage(tile)) == pytest.approx(
+                    float(exact.percentage(tile)), abs=1e-6
+                )
+            checked += 1
+        assert checked >= 30  # the family must actually exercise the ladder
+
+    def test_exact_fraction_tie_is_decided_exactly(self):
+        # A vertex exactly on min_x as a Fraction: floatification alone
+        # could flip which side it lands on; the ladder must not let it.
+        primary = Region.from_coordinates(
+            [[(Fraction(0), 2), (Fraction(0), 8), (4, 8), (4, 2)]]
+        )
+        relation, diagnostics = guarded_cdr(primary, REF)
+        assert diagnostics.path == EXACT_PATH
+        assert relation == compute_cdr(primary, REF)
+
+
+class TestCleanWorkloads:
+    """Well-conditioned float input: fast path, still correct."""
+
+    def test_fast_path_share_at_least_90_percent(self):
+        rng = random.Random(SEED)
+        fast = 0
+        total = 60
+        for _ in range(total):
+            primary = random_multi_polygon_region(rng, 3, 8)
+            reference = random_multi_polygon_region(rng, 2, 6).translated(
+                rng.uniform(2.5, 7.5), rng.uniform(2.5, 7.5)
+            )
+            relation, diagnostics = guarded_cdr(primary, reference)
+            assert relation == compute_cdr(primary, reference)
+            if diagnostics.took_fast_path:
+                fast += 1
+        assert fast >= 0.9 * total
+
+    def test_percentages_fast_path_agrees(self):
+        rng = random.Random(SEED + 1)
+        fast = 0
+        total = 25
+        for _ in range(total):
+            primary = random_multi_polygon_region(rng, 2, 8)
+            reference = random_multi_polygon_region(rng, 2, 6).translated(
+                rng.uniform(2.5, 7.5), rng.uniform(2.5, 7.5)
+            )
+            matrix, diagnostics = guarded_percentages(primary, reference)
+            exact = compute_cdr_percentages(primary, reference)
+            for tile in Tile:
+                assert float(matrix.percentage(tile)) == pytest.approx(
+                    float(exact.percentage(tile)), abs=1e-6
+                )
+            if diagnostics.took_fast_path:
+                fast += 1
+        assert fast >= 0.9 * total
+
+
+class TestLadderMechanics:
+    def test_integer_grid_flush_falls_back(self):
+        rng = random.Random(SEED)
+        primary = random_rectilinear_region(rng, 4)
+        reference = random_rectilinear_region(rng, 4)
+        relation, diagnostics = guarded_cdr(primary, reference)
+        # Integer workloads share grid coordinates: the guard must not
+        # trust float64 with those ties.
+        assert relation == compute_cdr(primary, reference)
+
+    def test_epsilon_is_configurable(self):
+        primary = rect_region(1e-7, 2.0, 8.0, 8.0)
+        _, tight = guarded_cdr(primary, REF, epsilon=1e-9)
+        _, loose = guarded_cdr(primary, REF, epsilon=1e-3)
+        assert tight.path == FAST_PATH
+        assert loose.path == EXACT_PATH
+
+    def test_diagnostics_render(self):
+        diagnostics = GuardDiagnostics(
+            EXACT_PATH, ("endpoint-near-vertical-grid-line",), DEFAULT_EPSILON
+        )
+        assert "exact" in str(diagnostics)
+        assert "endpoint-near-vertical-grid-line" in str(diagnostics)
+        assert str(GuardDiagnostics(FAST_PATH)) == "fast"
+
+    def test_box_region_round_trips_the_box(self):
+        box = REF.bounding_box()
+        assert box_region(box).bounding_box() == box
+
+    def test_guarded_value_unpacks(self):
+        relation, diagnostics = guarded_cdr(rect_region(2, 2, 8, 8), REF)
+        assert str(relation) == "B"
+        assert diagnostics.path in (FAST_PATH, EXACT_PATH)

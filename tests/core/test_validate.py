@@ -145,3 +145,69 @@ class TestCliStrict:
         assert main(["validate", str(path), "--strict"]) == 1
         out = capsys.readouterr().out
         assert "overlapping-parts" in out or "overlapping interiors" in out
+
+
+class TestRepairValidatedRegion:
+    """The validate↔repair bridge: fixes become warnings, residual
+    defects become errors."""
+
+    def bowtie(self) -> Region:
+        return Region.from_coordinates([[(3, 4), (5, 0), (5, 2), (3, 0)]])
+
+    def test_clean_region_untouched(self):
+        from repro.core.validate import repair_validated_region
+
+        region = Region([rect(0, 0, 1, 1)])
+        repaired, issues = repair_validated_region(region, region_id="a")
+        assert issues == []
+        assert repaired.bounding_box() == region.bounding_box()
+
+    def test_repair_actions_become_warnings(self):
+        from repro.core.validate import repair_validated_region
+
+        repaired, issues = repair_validated_region(
+            self.bowtie(), region_id="b"
+        )
+        assert all(issue.severity == WARNING for issue in issues)
+        assert {issue.code for issue in issues} == {"split-self-intersection"}
+        assert all(issue.region_id == "b" for issue in issues)
+        assert validate_region(repaired) == []
+
+    def test_residual_defects_are_errors(self):
+        from repro.core.validate import repair_validated_region
+
+        overlapping = Region([rect(0, 0, 4, 4), rect(2, 2, 6, 6)])
+        repaired, issues = repair_validated_region(overlapping)
+        errors = [issue for issue in issues if issue.severity == ERROR]
+        assert [issue.code for issue in errors] == ["overlapping-parts"]
+
+    def test_strict_mode_propagates_geometry_error(self):
+        from repro.core.validate import repair_validated_region
+        from repro.errors import GeometryError
+
+        with pytest.raises(GeometryError, match="self-intersects"):
+            repair_validated_region(self.bowtie(), mode="strict")
+
+
+class TestRepairValidatedConfiguration:
+    def test_annotations_survive_the_repair(self):
+        from repro.core.validate import repair_validated_configuration
+
+        configuration = Configuration.from_regions(
+            [
+                AnnotatedRegion(
+                    "b",
+                    Region.from_coordinates([[(3, 4), (5, 0), (5, 2), (3, 0)]]),
+                    name="Bowtie",
+                    color="red",
+                ),
+                AnnotatedRegion("a", Region([rect(0, 0, 1, 1)]), name="Box"),
+            ]
+        )
+        repaired, issues = repair_validated_configuration(configuration)
+        assert repaired.get("b").name == "Bowtie"
+        assert repaired.get("b").color == "red"
+        assert repaired.get("a").name == "Box"
+        assert len(repaired.get("b").region) == 2
+        assert {issue.region_id for issue in issues} == {"b"}
+        assert validate_configuration(repaired) == []

@@ -1,0 +1,53 @@
+"""End-to-end robustness: repair → guarded ladder → Monte-Carlo oracle.
+
+Degenerate rings are repaired, the guarded ladder computes the
+percentage matrix for the repaired geometry, and a Monte-Carlo sampler —
+sharing no code path with either ladder rung — confirms the answer.  A
+bug anywhere in the repair/guard pipeline that distorts geometry or
+breaks a tie the wrong way shows up as a statistical outlier here.
+"""
+
+import random
+
+import pytest
+
+from repro.core.guarded import guarded_percentages
+from repro.core.tiles import Tile
+from repro.core.validate import validate_region
+from repro.errors import GeometryError
+from repro.geometry.region import Region
+from repro.geometry.repair import repair_region
+from repro.workloads.generators import DEGENERATE_KINDS, degenerate_ring
+
+from tests.integration.test_monte_carlo_oracle import monte_carlo_percentages
+
+SEED = 20040314
+
+
+def reference_region() -> Region:
+    return Region.from_coordinates([[(-3, -3), (-3, 3), (3, 3), (3, -3)]])
+
+
+@pytest.mark.parametrize("kind", DEGENERATE_KINDS)
+def test_repaired_guarded_percentages_match_sampling_oracle(kind):
+    rng = random.Random(SEED)
+    reference = reference_region()
+    checked = 0
+    for _ in range(6):
+        ring = degenerate_ring(rng, kind)
+        try:
+            primary, report = repair_region([ring])
+        except GeometryError:
+            continue  # ring collapsed; the repair tests cover rejection
+        assert validate_region(primary) == []
+        matrix, diagnostics = guarded_percentages(primary, reference)
+        assert diagnostics.path in ("fast", "exact")
+        estimate, kept = monte_carlo_percentages(primary, reference, rng)
+        tolerance = 5 * 50.0 / (kept ** 0.5)
+        for tile in Tile:
+            assert (
+                abs(float(matrix.percentage(tile)) - estimate[tile])
+                <= tolerance
+            ), (kind, tile, diagnostics)
+        checked += 1
+    assert checked >= 3, f"kind {kind!r} produced too few usable regions"

@@ -54,3 +54,58 @@ def test_errors_carry_messages():
 
     with pytest.raises(GeometryError, match="positive width"):
         BoundingBox(1, 1, 1, 2)
+
+
+class TestGeometryErrorContext:
+    def test_context_renders_in_message(self):
+        error = GeometryError(
+            "bad ring", region_id="attica", polygon_index=1, vertex_index=3
+        )
+        rendered = str(error)
+        assert "bad ring" in rendered
+        assert "region 'attica'" in rendered
+        assert "polygon #1" in rendered
+        assert "vertex #3" in rendered
+
+    def test_with_context_fills_only_unset_fields(self):
+        error = GeometryError("bad ring", polygon_index=2)
+        returned = error.with_context(region_id="a", polygon_index=9)
+        assert returned is error  # supports `raise error.with_context(...)`
+        assert error.region_id == "a"
+        assert error.polygon_index == 2  # not overwritten
+
+    def test_plain_message_without_context(self):
+        assert str(GeometryError("just a message")) == "just a message"
+
+
+class TestInternalConsistencyError:
+    def test_is_a_reasoning_error(self):
+        from repro.errors import InternalConsistencyError
+
+        assert issubclass(InternalConsistencyError, ReasoningError)
+        assert issubclass(InternalConsistencyError, ReproError)
+
+    def test_raised_when_layers_disagree(self, monkeypatch):
+        """Force the geometric and symbolic layers to disagree: the
+        cross-validation in relative_position must raise the typed
+        error, not a bare AssertionError."""
+        from repro.core.pairs import relative_position
+        from repro.core.relation import CardinalDirection, DisjunctiveCD
+        from repro.errors import InternalConsistencyError
+        from repro.geometry.region import Region
+        import importlib
+
+        # `import repro.reasoning.inverse as m` would resolve to the
+        # function re-exported by the package, not the submodule.
+        inverse_module = importlib.import_module("repro.reasoning.inverse")
+
+        def broken_inverse(relation):
+            return DisjunctiveCD({CardinalDirection.parse("NE")})
+
+        monkeypatch.setattr(inverse_module, "inverse", broken_inverse)
+        square = Region.from_coordinates(
+            [[(0, 0), (0, 2), (2, 2), (2, 0)]]
+        )
+        other = square.translated(10, 0)
+        with pytest.raises(InternalConsistencyError, match="mutual-inverse"):
+            relative_position(square, other)
