@@ -1,0 +1,174 @@
+"""Engine shoot-out: every registered backend on the same workloads.
+
+The engine registry (:mod:`repro.core.engine`) makes each compute path a
+named, uniformly-instrumented backend; this harness compares all of them
+on identical scenario workloads so a new registration immediately shows
+up in the same tables as the built-ins:
+
+* ``engine-relation`` / ``engine-percentages`` groups — wall-clock per
+  backend on a float star workload (pytest-benchmark);
+* a registry-wide correctness gate: every engine must agree with the
+  exact reference qualitatively, and quantitatively within float
+  tolerance.
+
+Quick mode (no pytest, used as the CI smoke step)::
+
+    PYTHONPATH=src python -m benchmarks.bench_engine --quick
+
+runs every registered engine over the reference workloads, asserts each
+completes and agrees with ``exact``, and prints the per-engine
+telemetry.  A broken backend registration therefore fails CI instead of
+surfacing in production.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import pytest
+
+from repro.core.engine import available_engines, create_engine
+from repro.core.tiles import Tile
+
+from benchmarks.conftest import (
+    rectilinear_workload,
+    reference_box_region,
+    star_workload,
+)
+
+#: Edge budget for the timed comparison (kept below the fast-path sweeps:
+#: the nine-pass clipping baseline is part of every run here).
+EDGES = 1024
+
+#: Relative tolerance for cross-engine percentage agreement on float
+#: workloads (the fast paths are float64; clipping accumulates its own
+#: rounding over the nine passes).
+PERCENTAGE_TOLERANCE = 1e-6
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return star_workload(EDGES)
+
+
+@pytest.fixture(scope="module")
+def exact_baseline(workload, reference):
+    engine = create_engine("exact")
+    box = reference.bounding_box()
+    return engine.relation(workload, box), engine.percentages(workload, box)
+
+
+@pytest.mark.benchmark(group="engine-relation")
+@pytest.mark.parametrize("name", available_engines())
+def test_engine_relation(benchmark, name, workload, reference, exact_baseline):
+    engine = create_engine(name)
+    box = reference.bounding_box()
+    relation = benchmark(engine.relation, workload, box)
+    assert relation == exact_baseline[0]
+    assert engine.stats.calls["relation"] >= 1
+    assert engine.stats.seconds["relation"] > 0.0
+
+
+@pytest.mark.benchmark(group="engine-percentages")
+@pytest.mark.parametrize("name", available_engines())
+def test_engine_percentages(
+    benchmark, name, workload, reference, exact_baseline
+):
+    engine = create_engine(name)
+    box = reference.bounding_box()
+    matrix = benchmark(engine.percentages, workload, box)
+    for tile in Tile:
+        assert abs(
+            float(matrix.percentage(tile))
+            - float(exact_baseline[1].percentage(tile))
+        ) <= 100.0 * PERCENTAGE_TOLERANCE
+
+
+# ---------------------------------------------------------------------------
+# Quick mode — the CI smoke gate
+# ---------------------------------------------------------------------------
+
+
+def run_quick(edges: int = 256, verbose: bool = True) -> int:
+    """Drive every registered engine over the reference workloads.
+
+    Returns a process exit code: 0 when every engine completed both
+    operations on every workload and agreed with the exact reference,
+    1 otherwise (with one diagnostic line per failure).
+    """
+    reference = reference_box_region()
+    box = reference.bounding_box()
+    workloads = {
+        f"star[{edges}]": star_workload(edges),
+        "rectilinear[40]": rectilinear_workload(40),
+    }
+    exact = create_engine("exact")
+    expected = {
+        label: (exact.relation(region, box), exact.percentages(region, box))
+        for label, region in workloads.items()
+    }
+    failures: List[str] = []
+    for name in available_engines():
+        engine = create_engine(name)
+        for label, region in workloads.items():
+            try:
+                relation = engine.relation(region, box)
+                matrix = engine.percentages(region, box)
+            except Exception as error:  # a broken registration must fail CI
+                failures.append(f"{name} on {label}: {type(error).__name__}: {error}")
+                continue
+            want_relation, want_matrix = expected[label]
+            if relation != want_relation:
+                failures.append(
+                    f"{name} on {label}: relation {relation} != {want_relation}"
+                )
+            drift = max(
+                abs(
+                    float(matrix.percentage(tile))
+                    - float(want_matrix.percentage(tile))
+                )
+                for tile in Tile
+            )
+            if drift > 100.0 * PERCENTAGE_TOLERANCE:
+                failures.append(
+                    f"{name} on {label}: percentage drift {drift:.3e}"
+                )
+        if verbose:
+            print(f"engine {name!r}: {engine.stats.summary()}")
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    if verbose:
+        print(
+            f"OK: {len(available_engines())} engine(s) x "
+            f"{len(workloads)} workload(s) agree with the exact reference"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare every registered compute engine on the "
+        "reference workloads"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workloads, correctness + completion only (CI smoke)",
+    )
+    parser.add_argument(
+        "--edges",
+        type=int,
+        default=None,
+        help="edge budget for the star workload",
+    )
+    arguments = parser.parse_args(argv)
+    edges = arguments.edges or (256 if arguments.quick else EDGES)
+    return run_quick(edges=edges)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

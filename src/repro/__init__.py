@@ -39,12 +39,18 @@ from repro.core import (
     CardinalDirection,
     DirectionRelationMatrix,
     DisjunctiveCD,
+    Engine,
+    EngineEvent,
+    EngineStats,
     PercentageMatrix,
     Tile,
+    available_engines,
     compute_cdr,
     compute_cdr_clipping,
     compute_cdr_percentages,
     compute_cdr_percentages_clipping,
+    create_engine,
+    register_engine,
 )
 from repro.core.pairs import RelativePosition, relative_position
 
@@ -80,4 +86,11 @@ __all__ = [
     "compute_cdr_percentages_clipping",
     "relative_position",
     "RelativePosition",
+    # compute engines
+    "Engine",
+    "EngineEvent",
+    "EngineStats",
+    "available_engines",
+    "create_engine",
+    "register_engine",
 ]

@@ -7,6 +7,11 @@ Usage (also available as ``python -m repro.cardirect``)::
     cardirect query     config.xml "color(a) = red and a {N, NW:N} b"
     cardirect demo      out.xml      # write the Fig. 11 scenario
 
+``relations``, ``query`` and ``report`` accept a shared ``--engine NAME``
+option selecting the compute backend from the engine registry
+(:mod:`repro.core.engine`) and ``--stats`` to print the engine's
+telemetry (call counts, wall-clock, ladder paths) to stderr.
+
 The GUI of the original tool (drawing polygons over a map with a mouse)
 is out of scope for a library; everything computational — relation
 computation, XML persistence, querying — is available here.
@@ -23,6 +28,25 @@ from repro.cardirect.model import AnnotatedRegion, Configuration
 from repro.cardirect.parser import parse_query
 from repro.cardirect.store import RelationStore
 from repro.cardirect.xmlio import load_configuration, save_configuration
+from repro.core.engine import available_engines
+
+
+def _add_engine_options(command: argparse.ArgumentParser) -> None:
+    """The shared compute-backend options (engine registry + telemetry)."""
+    command.add_argument(
+        "--engine",
+        default="exact",
+        metavar="NAME",
+        help="compute engine: one of "
+        f"{', '.join(available_engines())} (default: exact); "
+        "third-party registrations are accepted by name",
+    )
+    command.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the engine's telemetry (call counts, timings, "
+        "ladder paths) to stderr when done",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -70,6 +94,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "regions where possible) and report per-pair failures instead "
         "of aborting; exits 4 when any pair failed",
     )
+    _add_engine_options(relations)
 
     query = commands.add_parser("query", help="run a conjunctive query")
     query.add_argument("path", help="CARDIRECT XML file")
@@ -78,6 +103,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--allow-repeats", action="store_true",
         help="let different variables bind the same region",
     )
+    _add_engine_options(query)
 
     demo = commands.add_parser(
         "demo", help="write the paper's Fig. 11 Peloponnesian-war scenario"
@@ -104,6 +130,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar=("PRIMARY", "REFERENCE"),
         help="detailed report for one ordered pair of region ids",
     )
+    _add_engine_options(report)
 
     reason = commands.add_parser(
         "reason",
@@ -159,17 +186,27 @@ def _selected_pairs(store: RelationStore, primary: Optional[str], reference: Opt
                 yield primary_id, reference_id
 
 
+def _print_engine_stats(store: RelationStore) -> None:
+    """The --stats output: one telemetry line on stderr."""
+    print(
+        f"engine {store.engine.name!r}: {store.engine_stats.summary()}",
+        file=sys.stderr,
+    )
+
+
 def _cmd_relations(
     path: str,
     percentages: bool,
     primary: Optional[str],
     reference: Optional[str],
     isolate_errors: bool = False,
+    engine: str = "exact",
+    stats: bool = False,
 ) -> int:
     if isolate_errors:
-        return _cmd_relations_isolated(path, percentages)
+        return _cmd_relations_isolated(path, percentages, engine, stats)
     configuration, _ = load_configuration(path)
-    store = RelationStore(configuration)
+    store = RelationStore(configuration, engine=engine)
     for primary_id, reference_id in _selected_pairs(store, primary, reference):
         if percentages:
             matrix = store.percentages(primary_id, reference_id)
@@ -178,17 +215,21 @@ def _cmd_relations(
         else:
             relation = store.relation(primary_id, reference_id)
             print(f"{primary_id} {relation} {reference_id}")
+    if stats:
+        _print_engine_stats(store)
     return 0
 
 
-def _cmd_relations_isolated(path: str, percentages: bool) -> int:
+def _cmd_relations_isolated(
+    path: str, percentages: bool, engine: str = "exact", stats: bool = False
+) -> int:
     """Fault-isolated sweep: every answerable pair answered, per-pair
     error lines for the rest, exit code 4 when any pair failed."""
     ingestion_repairs = {}
     configuration, _ = load_configuration(
         path, mode="lenient", repairs=ingestion_repairs
     )
-    store = RelationStore(configuration)
+    store = RelationStore(configuration, engine=engine)
     report = store.batch_relations(percentages=percentages)
     for repair_report in ingestion_repairs.values():
         print(repair_report.summary())
@@ -203,15 +244,28 @@ def _cmd_relations_isolated(path: str, percentages: bool) -> int:
         else:
             print(str(outcome))
     print(report.summary())
+    if stats and report.engine_stats is not None:
+        print(
+            f"engine {report.engine!r}: {report.engine_stats.summary()}",
+            file=sys.stderr,
+        )
     return 4 if report.error_outcomes() else 0
 
 
-def _cmd_query(path: str, text: str, allow_repeats: bool) -> int:
+def _cmd_query(
+    path: str,
+    text: str,
+    allow_repeats: bool,
+    engine: str = "exact",
+    stats: bool = False,
+) -> int:
     configuration, _ = load_configuration(path)
-    store = RelationStore(configuration)
+    store = RelationStore(configuration, engine=engine)
     query = parse_query(text, allow_repeats=allow_repeats)
     results = query.evaluate(store)
     print(f"variables: ({', '.join(query.variables)})")
+    if stats:
+        _print_engine_stats(store)
     if not results:
         print("no results")
         return 0
@@ -256,15 +310,22 @@ def _cmd_diff(old_path: str, new_path: str) -> int:
     return 0 if result.is_empty else 3
 
 
-def _cmd_report(path: str, pair: Optional[List[str]]) -> int:
+def _cmd_report(
+    path: str,
+    pair: Optional[List[str]],
+    engine: str = "exact",
+    stats: bool = False,
+) -> int:
     from repro.cardirect.report import full_report, pair_report
 
     configuration, _ = load_configuration(path)
-    store = RelationStore(configuration)
+    store = RelationStore(configuration, engine=engine)
     if pair:
         print(pair_report(store, pair[0], pair[1]))
     else:
         print(full_report(store))
+    if stats:
+        _print_engine_stats(store)
     return 0
 
 
@@ -329,9 +390,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 arguments.primary,
                 arguments.reference,
                 arguments.isolate_errors,
+                arguments.engine,
+                arguments.stats,
             )
         if arguments.command == "query":
-            return _cmd_query(arguments.path, arguments.text, arguments.allow_repeats)
+            return _cmd_query(
+                arguments.path,
+                arguments.text,
+                arguments.allow_repeats,
+                arguments.engine,
+                arguments.stats,
+            )
         if arguments.command == "demo":
             return _cmd_demo(arguments.path)
         if arguments.command == "show":
@@ -339,12 +408,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         if arguments.command == "diff":
             return _cmd_diff(arguments.old, arguments.new)
         if arguments.command == "report":
-            return _cmd_report(arguments.path, arguments.pair)
+            return _cmd_report(
+                arguments.path,
+                arguments.pair,
+                arguments.engine,
+                arguments.stats,
+            )
         if arguments.command == "reason":
             return _cmd_reason(arguments.path, arguments.witness_xml)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except ValueError as error:
+        # e.g. an unregistered --engine name
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -10,15 +10,21 @@ times rather than recomputing boxes from scratch.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple
+import warnings
+from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.batch import BatchReport
 
 from repro.cardirect.model import AnnotatedRegion, Configuration
-from repro.core.compute import compute_cdr_against_box
+from repro.core.engine import (
+    Engine,
+    EngineLike,
+    EngineStats,
+    readonly_view,
+    resolve_engine,
+)
 from repro.core.matrix import PercentageMatrix
-from repro.core.percentages import compute_cdr_percentages_against_box
 from repro.core.relation import CardinalDirection
 from repro.errors import GeometryError, ReproError
 from repro.extensions.distance import DistanceFrame, minimum_distance
@@ -44,16 +50,37 @@ class RelationStore:
         configuration: Configuration,
         *,
         distance_frame: Optional[DistanceFrame] = None,
+        engine: Optional[EngineLike] = None,
         fast: bool = False,
         guarded: bool = False,
     ) -> None:
-        """``fast=True`` routes cardinal-direction computation through the
-        vectorised float64 implementations (:mod:`repro.core.fast`) —
-        appropriate for large float configurations where exact rational
-        percentages are not required.  ``guarded=True`` routes it through
-        the exactness-fallback ladder (:mod:`repro.core.guarded`): fast
-        where safe, exact where not, with per-path counts accumulated in
-        :attr:`guard_stats`.  ``guarded`` takes precedence over ``fast``."""
+        """``engine`` selects the cardinal-direction compute backend —
+        a registered engine name (``"exact"`` default, ``"fast"``,
+        ``"guarded"``, ``"clipping"``, or any third-party registration)
+        or an :class:`~repro.core.engine.Engine` instance (e.g. one
+        carrying a custom ``epsilon`` or an observer hook).  The store
+        routes every :meth:`relation` / :meth:`percentages` miss through
+        it against the cached reference mbb, and its telemetry is
+        readable as :attr:`engine_stats`.
+
+        ``fast=True`` / ``guarded=True`` are deprecated aliases for
+        ``engine="fast"`` / ``engine="guarded"`` (``guarded`` takes
+        precedence, as before)."""
+        if engine is not None and (fast or guarded):
+            raise ValueError(
+                "pass either engine= or the deprecated fast=/guarded= "
+                "flags, not both"
+            )
+        if engine is None:
+            if fast or guarded:
+                warnings.warn(
+                    "RelationStore(fast=..., guarded=...) is deprecated; "
+                    "use RelationStore(engine='fast') / "
+                    "RelationStore(engine='guarded')",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            engine = "guarded" if guarded else ("fast" if fast else "exact")
         self._configuration = configuration
         self._relations: Dict[Tuple[str, str], CardinalDirection] = {}
         self._percentages: Dict[Tuple[str, str], PercentageMatrix] = {}
@@ -61,14 +88,34 @@ class RelationStore:
         self._topology: Dict[Tuple[str, str], RCC8] = {}
         self._distances: Dict[Tuple[str, str], float] = {}
         self._distance_frame = distance_frame
-        self._fast = fast
-        self._guarded = guarded
-        #: Ladder path counts under ``guarded=True``: {"fast": n, "exact": n}.
-        self.guard_stats: Dict[str, int] = {"fast": 0, "exact": 0}
+        self._engine = resolve_engine(engine)
 
     @property
     def configuration(self) -> Configuration:
         return self._configuration
+
+    @property
+    def engine(self) -> Engine:
+        """The compute backend serving this store's direction queries."""
+        return self._engine
+
+    @property
+    def engine_stats(self) -> EngineStats:
+        """The engine's telemetry: call counts, timings, ladder paths."""
+        return self._engine.stats
+
+    @property
+    def guard_stats(self) -> Mapping[str, int]:
+        """Ladder path counts, e.g. ``{"fast": n, "exact": n}``.
+
+        .. deprecated::
+            ``guard_stats`` is kept as a read-only view over
+            ``engine_stats.path_counts`` for code written against the
+            pre-engine API.  New code should read
+            :attr:`engine_stats` directly.  Engines without an internal
+            ladder (exact, fast, clipping) present an empty mapping.
+        """
+        return readonly_view(self._engine.stats.path_counts)
 
     def _box(self, region_id: str) -> BoundingBox:
         box = self._boxes.get(region_id)
@@ -83,24 +130,10 @@ class RelationStore:
         cached = self._relations.get(key)
         if cached is None:
             primary = self._configuration.get(primary_id).region
-            if self._guarded:
-                from repro.core.guarded import guarded_cdr_against_box
-
-                cached, diagnostics = guarded_cdr_against_box(
-                    primary, self._box(reference_id)
-                )
-                self.guard_stats[diagnostics.path] += 1
-            elif self._fast:
-                from repro.core.fast import compute_cdr_fast
-
-                cached = compute_cdr_fast(
-                    primary, self._configuration.get(reference_id).region
-                )
-            else:
-                cached = compute_cdr_against_box(
-                    primary, self._box(reference_id)
-                )
+            cached = self._engine.relation(primary, self._box(reference_id))
             self._relations[key] = cached
+        else:
+            self._engine.stats.record_cache_assist()
         return cached
 
     def percentages(self, primary_id: str, reference_id: str) -> PercentageMatrix:
@@ -109,24 +142,10 @@ class RelationStore:
         cached = self._percentages.get(key)
         if cached is None:
             primary = self._configuration.get(primary_id).region
-            if self._guarded:
-                from repro.core.guarded import guarded_percentages_against_box
-
-                cached, diagnostics = guarded_percentages_against_box(
-                    primary, self._box(reference_id)
-                )
-                self.guard_stats[diagnostics.path] += 1
-            elif self._fast:
-                from repro.core.fast import compute_cdr_percentages_fast
-
-                cached = compute_cdr_percentages_fast(
-                    primary, self._configuration.get(reference_id).region
-                )
-            else:
-                cached = compute_cdr_percentages_against_box(
-                    primary, self._box(reference_id)
-                )
+            cached = self._engine.percentages(primary, self._box(reference_id))
             self._percentages[key] = cached
+        else:
+            self._engine.stats.record_cache_assist()
         return cached
 
     def all_relations(
@@ -185,18 +204,15 @@ class RelationStore:
         """Fault-isolated pairwise sweep with repair and retry.
 
         Delegates to :func:`repro.core.batch.batch_relations` over this
-        store's configuration, defaulting the computation mode to match
-        the store's own (``guarded`` > ``fast`` > exact).  Accepts the
-        same keyword arguments; returns a
-        :class:`~repro.core.batch.BatchReport`.
+        store's configuration, defaulting the compute engine to a fresh
+        instance of the store's own (so the report's ``engine_stats``
+        cover exactly the sweep).  Accepts the same keyword arguments;
+        returns a :class:`~repro.core.batch.BatchReport`.
         """
         from repro.core.batch import batch_relations
 
-        if "compute" not in kwargs:
-            if self._guarded:
-                kwargs["compute"] = "guarded"
-            elif self._fast:
-                kwargs["compute"] = "fast"
+        if "engine" not in kwargs and "compute" not in kwargs:
+            kwargs["engine"] = self._engine.name
         return batch_relations(self._configuration, **kwargs)
 
     @property

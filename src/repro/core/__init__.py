@@ -11,7 +11,11 @@ Public surface:
   (Fig. 5): the linear-time qualitative computation;
 * :func:`~repro.core.percentages.compute_cdr_percentages` — **Algorithm
   Compute-CDR%** (Fig. 10): the linear-time quantitative computation;
-* :mod:`~repro.core.baseline` — the polygon-clipping comparator.
+* :mod:`~repro.core.baseline` — the polygon-clipping comparator;
+* :mod:`~repro.core.engine` — the pluggable compute-engine layer: one
+  string-keyed registry (``"exact"``, ``"fast"``, ``"guarded"``,
+  ``"clipping"``, third-party backends) dispatching every consumer,
+  with uniform :class:`~repro.core.engine.EngineStats` telemetry.
 """
 
 from repro.core.baseline import (
@@ -22,6 +26,16 @@ from repro.core.baseline import (
 )
 from repro.core.batch import BatchReport, PairOutcome, batch_relations
 from repro.core.compute import compute_cdr
+from repro.core.engine import (
+    Engine,
+    EngineEvent,
+    EngineStats,
+    available_engines,
+    create_engine,
+    register_engine,
+    resolve_engine,
+    unregister_engine,
+)
 from repro.core.fast import compute_cdr_fast, compute_cdr_percentages_fast
 from repro.core.guarded import (
     GuardDiagnostics,
@@ -62,4 +76,12 @@ __all__ = [
     "batch_relations",
     "BatchReport",
     "PairOutcome",
+    "Engine",
+    "EngineEvent",
+    "EngineStats",
+    "available_engines",
+    "create_engine",
+    "register_engine",
+    "resolve_engine",
+    "unregister_engine",
 ]

@@ -23,20 +23,20 @@ The result is a :class:`BatchReport` of :class:`PairOutcome` entries —
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cardirect.model import Configuration
-from repro.core.compute import compute_cdr_against_box
-from repro.core.fast import compute_cdr_fast, compute_cdr_percentages_fast
-from repro.core.guarded import (
-    DEFAULT_EPSILON,
-    box_region,
-    guarded_cdr_against_box,
-    guarded_percentages_against_box,
+from repro.core.engine import (
+    Engine,
+    EngineLike,
+    EngineStats,
+    create_engine,
+    resolve_engine,
 )
+from repro.core.guarded import DEFAULT_EPSILON
 from repro.core.matrix import PercentageMatrix
-from repro.core.percentages import compute_cdr_percentages_against_box
 from repro.core.relation import CardinalDirection
 from repro.core.validate import ERROR, validate_region
 from repro.errors import GeometryError, ReproError
@@ -49,9 +49,6 @@ OK = "ok"
 REPAIRED = "repaired"
 FAILED = "error"
 
-#: Computation modes of :func:`batch_relations`.
-COMPUTE_MODES = ("exact", "fast", "guarded")
-
 
 @dataclass(frozen=True)
 class PairOutcome:
@@ -63,7 +60,7 @@ class PairOutcome:
     relation: Optional[CardinalDirection] = None
     percentages: Optional[PercentageMatrix] = None
     error: Optional[str] = None
-    path: Optional[str] = None  # "fast" / "exact" under compute="guarded"
+    path: Optional[str] = None  # "fast" / "exact" under engine="guarded"
 
     @property
     def ok(self) -> bool:
@@ -80,11 +77,18 @@ class PairOutcome:
 
 @dataclass
 class BatchReport:
-    """Every pair's outcome, plus the region-level repair bookkeeping."""
+    """Every pair's outcome, plus the region-level repair bookkeeping.
+
+    ``engine`` names the compute backend that served the sweep and
+    ``engine_stats`` carries its uniform telemetry (call counts,
+    wall-clock totals, ladder path counts) for exactly this batch.
+    """
 
     outcomes: List[PairOutcome]
     repairs: Dict[str, RepairReport]
     broken: Dict[str, str]
+    engine: Optional[str] = None
+    engine_stats: Optional[EngineStats] = field(default=None, repr=False)
 
     def ok_outcomes(self) -> List[PairOutcome]:
         return [outcome for outcome in self.outcomes if outcome.ok]
@@ -126,41 +130,34 @@ def _compute_pair(
     primary: Region,
     box: BoundingBox,
     *,
-    compute: str,
+    engine: Engine,
     percentages: bool,
-    epsilon: float,
 ) -> Tuple[CardinalDirection, Optional[PercentageMatrix], Optional[str]]:
-    """One pair through the selected computation mode."""
-    path: Optional[str] = None
-    if compute == "guarded":
-        relation, diagnostics = guarded_cdr_against_box(
-            primary, box, epsilon=epsilon
-        )
-        path = diagnostics.path
-        matrix = None
-        if percentages:
-            matrix, matrix_diagnostics = guarded_percentages_against_box(
-                primary, box, epsilon=epsilon
-            )
-            if matrix_diagnostics.path != path:
-                path = f"{path}/{matrix_diagnostics.path}"
-        return relation, matrix, path
-    if compute == "fast":
-        reference = box_region(box)
-        relation = compute_cdr_fast(primary, reference)
-        matrix = (
-            compute_cdr_percentages_fast(primary, reference)
-            if percentages
-            else None
-        )
-        return relation, matrix, path
-    relation = compute_cdr_against_box(primary, box)
-    matrix = (
-        compute_cdr_percentages_against_box(primary, box)
-        if percentages
-        else None
-    )
+    """One pair through the selected compute engine."""
+    relation, path = engine.relation_with_path(primary, box)
+    matrix: Optional[PercentageMatrix] = None
+    if percentages:
+        matrix, matrix_path = engine.percentages_with_path(primary, box)
+        if matrix_path is not None and matrix_path != path:
+            path = f"{path}/{matrix_path}"
     return relation, matrix, path
+
+
+def _resolve_batch_engine(engine: EngineLike, epsilon: float) -> Engine:
+    """An :class:`Engine` for one sweep.
+
+    Accepts an instance as-is; a name creates a fresh instance so the
+    report's stats cover exactly this batch.  ``epsilon`` is forwarded
+    to the guarded ladder (the only built-in engine that takes one).
+    """
+    if isinstance(engine, Engine):
+        return engine
+    if engine == "guarded":
+        return create_engine("guarded", epsilon=epsilon)
+    try:
+        return resolve_engine(engine)
+    except ValueError as error:
+        raise ValueError(f"compute engine selection failed: {error}") from None
 
 
 def batch_relations(
@@ -168,25 +165,43 @@ def batch_relations(
     *,
     include_self: bool = False,
     percentages: bool = False,
-    compute: str = "exact",
+    engine: Optional[EngineLike] = None,
+    compute: Optional[str] = None,
     repair: bool = True,
     validate: bool = True,
     epsilon: float = DEFAULT_EPSILON,
 ) -> BatchReport:
     """Compute every ordered pair with per-pair fault isolation.
 
-    ``compute`` selects the engine: ``"exact"`` (reference), ``"fast"``
-    (float64 numpy) or ``"guarded"`` (the exactness-fallback ladder).
+    ``engine`` selects the compute backend by registered name —
+    ``"exact"`` (reference, the default), ``"fast"`` (float64 numpy),
+    ``"guarded"`` (the exactness-fallback ladder), ``"clipping"``, or
+    any third-party :func:`~repro.core.engine.register_engine`
+    registration — or as an :class:`~repro.core.engine.Engine`
+    instance.  The engine's :class:`~repro.core.engine.EngineStats` for
+    the sweep are threaded into the returned report.  ``compute`` is
+    the deprecated pre-engine spelling of the same selector.
+
     With ``repair`` (default) invalid regions are repaired before use
     and failing pairs are retried on repaired geometry; with
     ``validate`` (default) the O(n²) geometric invariants are checked up
     front so silently-wrong answers from degenerate input (e.g. bowties,
     which raise nothing) are caught, not just crashes.
     """
-    if compute not in COMPUTE_MODES:
-        raise ValueError(
-            f"compute must be one of {COMPUTE_MODES}, got {compute!r}"
+    if compute is not None:
+        if engine is not None:
+            raise ValueError(
+                "pass either engine= or the deprecated compute=, not both"
+            )
+        warnings.warn(
+            "batch_relations(compute=...) is deprecated; use engine=...",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        engine = compute
+    backend = _resolve_batch_engine(
+        "exact" if engine is None else engine, epsilon
+    )
     healthy: Dict[str, Region] = {}
     repairs: Dict[str, RepairReport] = {}
     broken: Dict[str, str] = {}
@@ -263,9 +278,8 @@ def batch_relations(
                 relation, matrix, path = _compute_pair(
                     primary,
                     box,
-                    compute=compute,
+                    engine=backend,
                     percentages=percentages,
-                    epsilon=epsilon,
                 )
             except ReproError as error:
                 if isinstance(error, GeometryError):
@@ -279,9 +293,8 @@ def batch_relations(
                         repairs,
                         broken,
                         _try_repair,
-                        compute=compute,
+                        engine=backend,
                         percentages=percentages,
-                        epsilon=epsilon,
                     )
                     if retried is not None:
                         outcomes.append(retried)
@@ -305,7 +318,13 @@ def batch_relations(
                     path=path,
                 )
             )
-    return BatchReport(outcomes, repairs, broken)
+    return BatchReport(
+        outcomes,
+        repairs,
+        broken,
+        engine=backend.name,
+        engine_stats=backend.stats,
+    )
 
 
 def _retry_after_repair(
@@ -317,9 +336,8 @@ def _retry_after_repair(
     broken: Dict[str, str],
     try_repair,
     *,
-    compute: str,
+    engine: Engine,
     percentages: bool,
-    epsilon: float,
 ) -> Optional[PairOutcome]:
     """Repair both operands and recompute a failed pair once.
 
@@ -341,9 +359,8 @@ def _retry_after_repair(
         relation, matrix, path = _compute_pair(
             healthy[primary_id],
             boxes[reference_id],
-            compute=compute,
+            engine=engine,
             percentages=percentages,
-            epsilon=epsilon,
         )
     except ReproError:
         return None

@@ -1,0 +1,420 @@
+"""Pluggable compute engines: one dispatch point for every compute path.
+
+The repository grew four ways to compute a cardinal direction relation —
+the exact reference (Compute-CDR / Compute-CDR%), the vectorised numpy
+fast path, the guarded exactness-fallback ladder, and the polygon
+clipping baseline of Section 3 — and, historically, every consumer
+(:class:`~repro.cardirect.store.RelationStore`, :mod:`repro.core.batch`,
+the CLI, the benchmarks) re-implemented the ``fast=`` / ``guarded=`` /
+``compute=`` dispatch between them, each with its own ad-hoc telemetry.
+
+This module is the single dispatch point.  An :class:`Engine` answers
+
+* :meth:`Engine.relation`    — ``R`` with ``primary R mbb(reference)``;
+* :meth:`Engine.percentages` — the percentage matrix of the same pair;
+
+both *against a precomputed reference mbb* (callers such as the relation
+store cache mbbs; an engine never rescans a reference region's edges).
+Every engine instance carries a uniform :class:`EngineStats` record —
+call counts, wall-clock totals (:func:`time.perf_counter`), ladder path
+counts, cache-assist counts — and an optional observer hook that streams
+one :class:`EngineEvent` per completed operation to an external metrics
+sink.
+
+Engines are looked up by name in a string-keyed registry:
+
+>>> engine = create_engine("guarded")
+>>> sorted(available_engines())
+['clipping', 'exact', 'fast', 'guarded']
+
+Third-party backends plug in with one call — :func:`register_engine` —
+after which every consumer (``RelationStore(engine=...)``,
+``batch_relations(engine=...)``, ``cardirect ... --engine``) can select
+them by name with no further surgery.  See ``docs/ENGINES.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Callable, Dict, Mapping, Optional, Tuple, Union
+
+from repro.core.compute import compute_cdr_against_box
+from repro.core.matrix import PercentageMatrix
+from repro.core.percentages import compute_cdr_percentages_against_box
+from repro.core.relation import CardinalDirection
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.region import Region
+
+#: The two operations every engine implements.
+OPERATIONS = ("relation", "percentages")
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """One completed engine operation, as delivered to observers."""
+
+    engine: str
+    operation: str  # "relation" or "percentages"
+    seconds: float
+    path: Optional[str] = None  # ladder rung, for engines that have one
+
+    def __str__(self) -> str:
+        suffix = f" via {self.path}" if self.path else ""
+        return (
+            f"{self.engine}.{self.operation}: "
+            f"{self.seconds * 1e3:.3f} ms{suffix}"
+        )
+
+
+#: External metrics sink: called once per completed operation.
+Observer = Callable[[EngineEvent], None]
+
+
+class EngineStats:
+    """Uniform per-engine-instance telemetry.
+
+    Maintained by the :class:`Engine` base class for every backend, so
+    consumers read one shape regardless of the compute path:
+
+    * :attr:`calls` / :attr:`seconds` — per-operation call counts and
+      wall-clock totals (``perf_counter``);
+    * :attr:`path_counts` — how often each internal path answered
+      (the guarded ladder's ``"fast"`` / ``"exact"`` rungs; empty for
+      single-path engines);
+    * :attr:`cache_assists` — operations a *caller* answered from its
+      own cache without invoking the engine (recorded by the caller via
+      :meth:`record_cache_assist`, e.g. the relation store's pair cache).
+    """
+
+    __slots__ = ("calls", "seconds", "path_counts", "cache_assists")
+
+    def __init__(self) -> None:
+        self.calls: Dict[str, int] = {op: 0 for op in OPERATIONS}
+        self.seconds: Dict[str, float] = {op: 0.0 for op in OPERATIONS}
+        self.path_counts: Dict[str, int] = {}
+        self.cache_assists: int = 0
+
+    @property
+    def total_calls(self) -> int:
+        return sum(self.calls.values())
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def record(
+        self, operation: str, seconds: float, path: Optional[str] = None
+    ) -> None:
+        """Account one completed operation (engine-internal API)."""
+        self.calls[operation] = self.calls.get(operation, 0) + 1
+        self.seconds[operation] = self.seconds.get(operation, 0.0) + seconds
+        if path is not None:
+            self.path_counts[path] = self.path_counts.get(path, 0) + 1
+
+    def record_cache_assist(self) -> None:
+        """Account one call a caller's cache answered for the engine."""
+        self.cache_assists += 1
+
+    def as_dict(self) -> Dict[str, object]:
+        """A plain-dict snapshot (JSON-friendly, detached from the engine)."""
+        return {
+            "calls": dict(self.calls),
+            "seconds": dict(self.seconds),
+            "path_counts": dict(self.path_counts),
+            "cache_assists": self.cache_assists,
+        }
+
+    def summary(self) -> str:
+        """One line of human-readable telemetry."""
+        per_op = ", ".join(
+            f"{self.calls.get(op, 0)} {op}" for op in OPERATIONS
+        )
+        parts = [
+            f"{self.total_calls} call(s) ({per_op}) "
+            f"in {self.total_seconds * 1e3:.3f} ms"
+        ]
+        if self.path_counts:
+            parts.append(
+                "paths: "
+                + ", ".join(
+                    f"{path}={count}"
+                    for path, count in sorted(self.path_counts.items())
+                )
+            )
+        if self.cache_assists:
+            parts.append(f"cache assists: {self.cache_assists}")
+        return "; ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EngineStats({self.as_dict()!r})"
+
+
+class Engine:
+    """Base class for compute engines.
+
+    Subclasses set :attr:`name` and implement the two hooks
+
+    * ``_relation(primary, box) -> (CardinalDirection, path | None)``
+    * ``_percentages(primary, box) -> (PercentageMatrix, path | None)``
+
+    where ``path`` optionally labels the internal path that answered
+    (the guarded ladder reports ``"fast"`` / ``"exact"``).  The base
+    class wraps both with timing, :class:`EngineStats` accounting and
+    observer notification, so a backend is only ever the two hooks.
+    """
+
+    #: Registry key and display name; subclasses override.
+    name: str = "engine"
+
+    def __init__(self, *, observer: Optional[Observer] = None) -> None:
+        self.stats = EngineStats()
+        self._observer = observer
+
+    # -- public API --------------------------------------------------
+
+    def relation(self, primary: Region, box: BoundingBox) -> CardinalDirection:
+        """``R`` with ``primary R b`` where ``mbb(b) == box``."""
+        return self.relation_with_path(primary, box)[0]
+
+    def percentages(self, primary: Region, box: BoundingBox) -> PercentageMatrix:
+        """The percentage matrix of ``primary`` against ``box``."""
+        return self.percentages_with_path(primary, box)[0]
+
+    def relation_with_path(
+        self, primary: Region, box: BoundingBox
+    ) -> Tuple[CardinalDirection, Optional[str]]:
+        """Like :meth:`relation`, also naming the internal path taken."""
+        return self._timed("relation", self._relation, primary, box)
+
+    def percentages_with_path(
+        self, primary: Region, box: BoundingBox
+    ) -> Tuple[PercentageMatrix, Optional[str]]:
+        """Like :meth:`percentages`, also naming the internal path taken."""
+        return self._timed("percentages", self._percentages, primary, box)
+
+    # -- subclass hooks ----------------------------------------------
+
+    def _relation(
+        self, primary: Region, box: BoundingBox
+    ) -> Tuple[CardinalDirection, Optional[str]]:
+        raise NotImplementedError
+
+    def _percentages(
+        self, primary: Region, box: BoundingBox
+    ) -> Tuple[PercentageMatrix, Optional[str]]:
+        raise NotImplementedError
+
+    # -- plumbing ----------------------------------------------------
+
+    def _timed(self, operation, implementation, primary, box):
+        start = time.perf_counter()
+        value, path = implementation(primary, box)
+        elapsed = time.perf_counter() - start
+        self.stats.record(operation, elapsed, path)
+        if self._observer is not None:
+            self._observer(EngineEvent(self.name, operation, elapsed, path))
+        return value, path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+# ---------------------------------------------------------------------------
+# Built-in engines
+# ---------------------------------------------------------------------------
+
+
+class ExactEngine(Engine):
+    """The reference implementation: Compute-CDR / Compute-CDR% (exact
+    over Python's numeric tower, one edge at a time)."""
+
+    name = "exact"
+
+    def _relation(self, primary, box):
+        return compute_cdr_against_box(primary, box), None
+
+    def _percentages(self, primary, box):
+        return compute_cdr_percentages_against_box(primary, box), None
+
+
+class FastEngine(Engine):
+    """The vectorised float64 numpy path (:mod:`repro.core.fast`).
+
+    Appropriate for large float workloads where exact rational
+    percentages are not required; only as exact as float64 for ties at
+    the grid lines.
+    """
+
+    name = "fast"
+
+    def _relation(self, primary, box):
+        from repro.core.fast import compute_cdr_fast_against_box
+
+        return compute_cdr_fast_against_box(primary, box), None
+
+    def _percentages(self, primary, box):
+        from repro.core.fast import compute_cdr_percentages_fast_against_box
+
+        return compute_cdr_percentages_fast_against_box(primary, box), None
+
+
+class GuardedEngine(Engine):
+    """The exactness-fallback ladder (:mod:`repro.core.guarded`): fast
+    where provably safe, exact where not.
+
+    The rung that answered each call is accumulated in
+    ``stats.path_counts`` (``"fast"`` / ``"exact"``) and reported as the
+    ``path`` of every :class:`EngineEvent`.
+    """
+
+    name = "guarded"
+
+    def __init__(
+        self,
+        *,
+        epsilon: Optional[float] = None,
+        drift_tolerance: Optional[float] = None,
+        observer: Optional[Observer] = None,
+    ) -> None:
+        from repro.core.guarded import DEFAULT_DRIFT_TOLERANCE, DEFAULT_EPSILON
+
+        super().__init__(observer=observer)
+        self.epsilon = DEFAULT_EPSILON if epsilon is None else epsilon
+        self.drift_tolerance = (
+            DEFAULT_DRIFT_TOLERANCE
+            if drift_tolerance is None
+            else drift_tolerance
+        )
+        # Pre-seed both rungs so telemetry readers (and the relation
+        # store's legacy ``guard_stats`` view) always see both keys.
+        self.stats.path_counts = {"fast": 0, "exact": 0}
+
+    def _relation(self, primary, box):
+        from repro.core.guarded import guarded_cdr_against_box
+
+        relation, diagnostics = guarded_cdr_against_box(
+            primary, box, epsilon=self.epsilon
+        )
+        return relation, diagnostics.path
+
+    def _percentages(self, primary, box):
+        from repro.core.guarded import guarded_percentages_against_box
+
+        matrix, diagnostics = guarded_percentages_against_box(
+            primary,
+            box,
+            epsilon=self.epsilon,
+            drift_tolerance=self.drift_tolerance,
+        )
+        return matrix, diagnostics.path
+
+
+class ClippingEngine(Engine):
+    """The polygon-clipping baseline the paper argues against (§3).
+
+    Nine edge scans per call; kept as a registered engine so the
+    benchmarks can compare every backend under identical harnesses.
+    """
+
+    name = "clipping"
+
+    def _relation(self, primary, box):
+        from repro.core.baseline import clip_region_to_tiles
+
+        pieces = clip_region_to_tiles(primary, box)
+        tiles = [tile for tile, polygons in pieces.items() if polygons]
+        return CardinalDirection(*tiles), None
+
+    def _percentages(self, primary, box):
+        from repro.core.baseline import clip_region_to_tiles
+
+        pieces = clip_region_to_tiles(primary, box)
+        areas = {
+            tile: sum((polygon.area() for polygon in polygons), start=0)
+            for tile, polygons in pieces.items()
+        }
+        return PercentageMatrix.from_areas(areas), None
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: A factory producing a fresh :class:`Engine`; usually the class itself.
+EngineFactory = Callable[..., Engine]
+
+_REGISTRY: Dict[str, EngineFactory] = {}
+
+#: Anything the consumers accept as an engine selector.
+EngineLike = Union[str, Engine]
+
+
+def register_engine(
+    name: str, factory: EngineFactory, *, replace: bool = False
+) -> None:
+    """Register a backend under ``name`` (usually the engine class).
+
+    After registration every consumer can select it by name:
+    ``RelationStore(configuration, engine=name)``,
+    ``batch_relations(..., engine=name)``, ``cardirect ... --engine
+    name``.  Re-registering an existing name raises unless
+    ``replace=True``.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"engine name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"engine {name!r} is already registered; pass replace=True to override"
+        )
+    _REGISTRY[name] = factory
+
+
+def unregister_engine(name: str) -> None:
+    """Remove a registered backend (primarily for tests/plugins)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_engines() -> Tuple[str, ...]:
+    """The names of all registered backends, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_engine(name: str, **options) -> Engine:
+    """Instantiate a fresh engine by registry name.
+
+    ``options`` are forwarded to the backend's factory (e.g.
+    ``create_engine("guarded", epsilon=1e-6)``).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"{name!r} does not name a registered compute engine; "
+            f"registered: {', '.join(available_engines())}"
+        ) from None
+    return factory(**options)
+
+
+def resolve_engine(engine: EngineLike, **options) -> Engine:
+    """Accept an :class:`Engine` instance as-is, or create one by name."""
+    if isinstance(engine, Engine):
+        return engine
+    if isinstance(engine, str):
+        return create_engine(engine, **options)
+    raise TypeError(
+        "engine must be an Engine instance or a registered engine name, "
+        f"got {type(engine).__name__}"
+    )
+
+
+def readonly_view(counts: Dict[str, int]) -> Mapping[str, int]:
+    """A live, read-only mapping view over a mutable counter dict."""
+    return MappingProxyType(counts)
+
+
+register_engine(ExactEngine.name, ExactEngine)
+register_engine(FastEngine.name, FastEngine)
+register_engine(GuardedEngine.name, GuardedEngine)
+register_engine(ClippingEngine.name, ClippingEngine)

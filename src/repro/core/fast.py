@@ -159,8 +159,26 @@ def compute_cdr_fast(
     regions, and the guarded wrapper shares it with its precondition
     check.
     """
-    primary_region = _as_region(primary)
-    box = _as_region(reference).bounding_box()
+    return compute_cdr_fast_against_box(
+        _as_region(primary),
+        _as_region(reference).bounding_box(),
+        arrays=arrays,
+    )
+
+
+def compute_cdr_fast_against_box(
+    primary: Region,
+    box: BoundingBox,
+    *,
+    arrays: Optional[Tuple[np.ndarray, ...]] = None,
+) -> CardinalDirection:
+    """Fast-path Compute-CDR when the reference mbb is already known.
+
+    The counterpart of :func:`repro.core.compute.compute_cdr_against_box`
+    for callers that cache reference mbbs (the relation store, the batch
+    sweep): only the primary's edges are scanned per call.
+    """
+    primary_region = primary
     col_lo, col_hi, row_lo, row_hi, _ = _band_intervals(
         primary_region, box, arrays
     )
@@ -191,10 +209,22 @@ def compute_cdr_percentages_fast(
     ``B`` derived from the ``B+N`` strip), evaluated in closed form over
     the per-edge parameter intervals.
     """
-    primary_region = _as_region(primary)
-    box = _as_region(reference).bounding_box()
+    return compute_cdr_percentages_fast_against_box(
+        _as_region(primary),
+        _as_region(reference).bounding_box(),
+        arrays=arrays,
+    )
+
+
+def compute_cdr_percentages_fast_against_box(
+    primary: Region,
+    box: BoundingBox,
+    *,
+    arrays: Optional[Tuple[np.ndarray, ...]] = None,
+) -> PercentageMatrix:
+    """Fast-path Compute-CDR% when the reference mbb is already known."""
     return PercentageMatrix.from_areas(
-        tile_areas_fast(primary_region, box, arrays=arrays)
+        tile_areas_fast(primary, box, arrays=arrays)
     )
 
 

@@ -43,7 +43,7 @@ from repro.core.compute import (
 )
 from repro.core.fast import (
     _edge_arrays,
-    compute_cdr_fast,
+    compute_cdr_fast_against_box,
     tile_areas_fast,
 )
 from repro.core.matrix import PercentageMatrix
@@ -259,7 +259,7 @@ def guarded_cdr_against_box(
     arrays = _edge_arrays(primary)
     reasons = _risk_reasons(arrays, box, epsilon)
     if not reasons:
-        relation = compute_cdr_fast(primary, box_region(box), arrays=arrays)
+        relation = compute_cdr_fast_against_box(primary, box, arrays=arrays)
         return GuardedValue(relation, GuardDiagnostics(FAST_PATH, (), epsilon))
     relation = compute_cdr_against_box(primary, box)
     return GuardedValue(relation, GuardDiagnostics(EXACT_PATH, reasons, epsilon))

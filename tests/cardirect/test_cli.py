@@ -58,6 +58,71 @@ class TestRelations:
         assert "%" in out
 
 
+class TestEngineOptions:
+    @pytest.mark.parametrize("engine", ["exact", "fast", "guarded", "clipping"])
+    def test_relations_engine_agrees_with_default(
+        self, demo_xml, capsys, engine
+    ):
+        assert main([
+            "relations", str(demo_xml),
+            "--primary", "peloponnesos", "--reference", "attica",
+            "--engine", engine,
+        ]) == 0
+        assert capsys.readouterr().out.strip() == "peloponnesos B:S:SW:W attica"
+
+    def test_relations_stats_report_calls_and_timings(self, demo_xml, capsys):
+        assert main([
+            "relations", str(demo_xml), "--engine", "fast", "--stats",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "engine 'fast':" in captured.err
+        assert "110 relation" in captured.err
+        assert "ms" in captured.err
+        assert "engine" not in captured.out  # telemetry stays off stdout
+
+    def test_guarded_stats_report_ladder_paths(self, demo_xml, capsys):
+        assert main([
+            "relations", str(demo_xml), "--engine", "guarded", "--stats",
+        ]) == 0
+        assert "paths:" in capsys.readouterr().err
+
+    def test_isolated_relations_thread_engine_stats(self, demo_xml, capsys):
+        assert main([
+            "relations", str(demo_xml),
+            "--isolate-errors", "--engine", "guarded", "--stats",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "engine 'guarded':" in captured.err
+        assert "110 pair(s) answered" in captured.out
+
+    def test_query_engine_and_stats(self, demo_xml, capsys):
+        assert main([
+            "query", str(demo_xml),
+            "color(a) = red and a S:SW:W:NW:N:NE:E:SE b",
+            "--engine", "guarded", "--stats",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "(Peloponnesos, Pylos)" in captured.out
+        assert "engine 'guarded':" in captured.err
+
+    def test_report_engine_and_stats(self, demo_xml, capsys):
+        assert main([
+            "report", str(demo_xml),
+            "--pair", "peloponnesos", "attica",
+            "--engine", "fast", "--stats",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "engine 'fast':" in captured.err
+
+    def test_unknown_engine_is_a_clean_error(self, demo_xml, capsys):
+        assert main([
+            "relations", str(demo_xml), "--engine", "quantum",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "registered" in err
+
+
 class TestQuery:
     def test_papers_query(self, demo_xml, capsys):
         assert main([

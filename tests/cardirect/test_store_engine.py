@@ -1,0 +1,153 @@
+"""Tests for the store's engine selection, telemetry and legacy shims."""
+
+import random
+
+import pytest
+
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.cardirect.store import RelationStore
+from repro.core.batch import BatchReport
+from repro.core.engine import available_engines, create_engine
+from repro.core.tiles import Tile
+from repro.workloads.generators import random_rectilinear_region
+
+
+def build_configuration(seed: int = 5, count: int = 5) -> Configuration:
+    rng = random.Random(seed)
+    return Configuration.from_regions(
+        [
+            AnnotatedRegion(
+                f"r{i}", random_rectilinear_region(rng, rng.randint(1, 5))
+            )
+            for i in range(count)
+        ]
+    )
+
+
+class TestEngineSelection:
+    @pytest.mark.parametrize("name", available_engines())
+    def test_every_registered_engine_matches_exact(self, name):
+        configuration = build_configuration()
+        exact = RelationStore(configuration)
+        store = RelationStore(configuration, engine=name)
+        assert store.engine.name == name
+        for primary, reference, relation in exact.all_relations():
+            assert store.relation(primary, reference) == relation
+
+    def test_engine_instance_accepted(self):
+        engine = create_engine("guarded")
+        store = RelationStore(build_configuration(), engine=engine)
+        assert store.engine is engine
+        store.relation("r0", "r1")
+        assert engine.stats.calls["relation"] == 1
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="registered"):
+            RelationStore(build_configuration(), engine="quantum")
+
+    def test_default_engine_is_exact(self):
+        store = RelationStore(build_configuration())
+        assert store.engine.name == "exact"
+
+
+class TestTelemetry:
+    def test_engine_stats_count_calls_and_time(self):
+        store = RelationStore(build_configuration(), engine="fast")
+        store.relation("r0", "r1")
+        store.percentages("r0", "r1")
+        assert store.engine_stats.calls == {"relation": 1, "percentages": 1}
+        assert store.engine_stats.total_seconds > 0.0
+
+    def test_cache_hits_count_as_cache_assists(self):
+        store = RelationStore(build_configuration(), engine="guarded")
+        store.relation("r0", "r1")
+        store.relation("r0", "r1")
+        store.percentages("r0", "r1")
+        store.percentages("r0", "r1")
+        assert store.engine_stats.total_calls == 2
+        assert store.engine_stats.cache_assists == 2
+
+    def test_guard_stats_is_readonly_view_of_engine_paths(self):
+        store = RelationStore(build_configuration(), engine="guarded")
+        assert dict(store.guard_stats) == {"fast": 0, "exact": 0}
+        list(store.all_relations())
+        assert sum(store.guard_stats.values()) == 20
+        assert (
+            dict(store.guard_stats) == store.engine_stats.path_counts
+        )
+        with pytest.raises(TypeError):
+            store.guard_stats["fast"] = 0
+
+    def test_guard_stats_empty_for_ladderless_engines(self):
+        store = RelationStore(build_configuration(), engine="fast")
+        store.relation("r0", "r1")
+        assert dict(store.guard_stats) == {}
+
+
+class TestDeprecatedAliases:
+    def test_fast_flag_maps_to_fast_engine(self):
+        with pytest.warns(DeprecationWarning, match="engine='fast'"):
+            store = RelationStore(build_configuration(), fast=True)
+        assert store.engine.name == "fast"
+
+    def test_guarded_flag_maps_to_guarded_engine_and_wins(self):
+        with pytest.warns(DeprecationWarning):
+            store = RelationStore(
+                build_configuration(), fast=True, guarded=True
+            )
+        assert store.engine.name == "guarded"
+
+    def test_mixing_engine_and_flags_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            RelationStore(build_configuration(), engine="fast", guarded=True)
+
+
+class TestFastPathUsesCachedBoxes:
+    def test_fast_store_percentages_agree_with_exact(self):
+        configuration = build_configuration(9)
+        exact = RelationStore(configuration)
+        fast = RelationStore(configuration, engine="fast")
+        for i in configuration.region_ids:
+            for j in configuration.region_ids:
+                if i == j:
+                    continue
+                fast_matrix = fast.percentages(i, j)
+                exact_matrix = exact.percentages(i, j)
+                for tile in Tile:
+                    assert abs(
+                        float(fast_matrix.percentage(tile))
+                        - float(exact_matrix.percentage(tile))
+                    ) < 1e-8
+
+    def test_fast_store_reuses_cached_reference_mbb(self, monkeypatch):
+        """The fast engine must consume the store's mbb cache instead of
+        rescanning the reference region's edges per call (the historic
+        cache defeat)."""
+        import repro.geometry.region as region_module
+
+        configuration = build_configuration()
+        store = RelationStore(configuration, engine="fast")
+        calls = {"count": 0}
+        original = region_module.Region.bounding_box
+
+        def counting(self):
+            calls["count"] += 1
+            return original(self)
+
+        monkeypatch.setattr(region_module.Region, "bounding_box", counting)
+        store.relation("r0", "r1")
+        store.percentages("r0", "r1")
+        store.relation("r2", "r1")
+        # One scan for r1's box (cached thereafter); none per call.
+        assert calls["count"] == 1
+
+
+class TestBatchDelegation:
+    @pytest.mark.parametrize("name", available_engines())
+    def test_batch_relations_inherits_store_engine(self, name):
+        store = RelationStore(build_configuration(count=3), engine=name)
+        report = store.batch_relations()
+        assert isinstance(report, BatchReport)
+        assert report.engine == name
+        assert report.engine_stats is not None
+        assert report.engine_stats.calls["relation"] == 6

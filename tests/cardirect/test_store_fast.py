@@ -1,4 +1,4 @@
-"""Tests for the store's vectorised fast mode."""
+"""Tests for the store's vectorised fast engine."""
 
 import random
 
@@ -24,14 +24,14 @@ class TestFastStore:
     def test_relations_agree_with_exact_store(self):
         configuration = build_configuration()
         exact = RelationStore(configuration)
-        fast = RelationStore(configuration, fast=True)
+        fast = RelationStore(configuration, engine="fast")
         for primary, reference, relation in exact.all_relations():
             assert fast.relation(primary, reference) == relation
 
     def test_percentages_agree_within_float_noise(self):
         configuration = build_configuration(9)
         exact = RelationStore(configuration)
-        fast = RelationStore(configuration, fast=True)
+        fast = RelationStore(configuration, engine="fast")
         ids = configuration.region_ids
         for i in ids:
             for j in ids:
@@ -46,13 +46,13 @@ class TestFastStore:
                     ) < 1e-8
 
     def test_fast_store_caches(self):
-        store = RelationStore(build_configuration(), fast=True)
+        store = RelationStore(build_configuration(), engine="fast")
         first = store.relation("r0", "r1")
         assert store.relation("r0", "r1") is first
 
     def test_fast_store_invalidation(self):
         configuration = build_configuration()
-        store = RelationStore(configuration, fast=True)
+        store = RelationStore(configuration, engine="fast")
         store.relation("r0", "r1")
         moved = configuration.get("r0")
         store.update_region(

@@ -61,11 +61,14 @@ def degenerate_configuration() -> Configuration:
 
 
 class TestAcceptanceScenario:
-    @pytest.mark.parametrize("compute", ["exact", "fast", "guarded"])
-    def test_degenerate_configuration_completes(self, compute):
+    @pytest.mark.parametrize("engine", ["exact", "fast", "guarded", "clipping"])
+    def test_degenerate_configuration_completes(self, engine):
         report = batch_relations(
-            degenerate_configuration(), compute=compute, percentages=True
+            degenerate_configuration(), engine=engine, percentages=True
         )
+        assert report.engine == engine
+        assert report.engine_stats is not None
+        assert report.engine_stats.calls["relation"] >= 2
         # Every pair not touching the unrepairable region is answered.
         assert len(report.ok_outcomes()) == 2
         assert {
@@ -118,9 +121,27 @@ class TestAcceptanceScenario:
         assert "1 region(s) repaired" in summary
         assert "unusable: c" in summary
 
-    def test_invalid_compute_mode_rejected(self):
-        with pytest.raises(ValueError, match="compute"):
-            batch_relations(degenerate_configuration(), compute="quantum")
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="compute engine"):
+            batch_relations(degenerate_configuration(), engine="quantum")
+
+    def test_deprecated_compute_alias_still_dispatches(self):
+        with pytest.warns(DeprecationWarning, match="engine"):
+            report = batch_relations(
+                degenerate_configuration(), compute="guarded"
+            )
+        assert report.engine == "guarded"
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="compute"):
+                batch_relations(
+                    degenerate_configuration(), compute="quantum"
+                )
+
+    def test_engine_and_compute_together_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            batch_relations(
+                degenerate_configuration(), engine="fast", compute="fast"
+            )
 
 
 class TestRuntimeRetry:
@@ -213,9 +234,10 @@ class TestStoreIntegration:
             list(store.all_relations(on_error="explode"))
 
     def test_batch_relations_method_inherits_mode(self):
-        store = RelationStore(degenerate_configuration(), guarded=True)
+        store = RelationStore(degenerate_configuration(), engine="guarded")
         report = store.batch_relations()
         assert isinstance(report, BatchReport)
+        assert report.engine == "guarded"
         assert all(
             o.path is not None for o in report.ok_outcomes()
         ), "guarded store must produce path diagnostics"
@@ -228,7 +250,7 @@ class TestStoreIntegration:
                     AnnotatedRegion("b", clean_square().translated(7, 7)),
                 ]
             ),
-            guarded=True,
+            engine="guarded",
         )
         list(store.all_relations())
         assert sum(store.guard_stats.values()) == 2
