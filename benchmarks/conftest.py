@@ -12,14 +12,17 @@ a reference run.
 
 from __future__ import annotations
 
+import math
 import random
 
 import pytest
 
+from repro.cardirect.model import AnnotatedRegion, Configuration
 from repro.geometry.region import Region
 from repro.workloads.generators import (
     random_multi_polygon_region,
     random_rectilinear_region,
+    random_star_polygon,
 )
 
 #: Edge counts for the scaling sweeps (Theorems 1 and 2).
@@ -49,6 +52,35 @@ def rectilinear_workload(rectangles: int) -> Region:
     return random_rectilinear_region(
         rng, rectangles, bounds=(-bound, -bound, bound, bound)
     )
+
+
+def sweep_configuration(count: int, *, edges: int = 12) -> Configuration:
+    """``count`` star regions on a jittered grid — the all-pairs workload.
+
+    Grid spacing 3 with radii up to 2 makes neighbouring mbbs overlap
+    (full-kernel pairs) while distant pairs sit strictly inside one
+    exterior tile of each other (mbb-prunable), so a sweep over all
+    ordered pairs exercises every path of the sweep engine.
+    """
+    rng = random.Random(SEED)
+    side = max(1, math.ceil(math.sqrt(count)))
+    regions = []
+    for index in range(count):
+        center = (
+            (index % side) * 3.0 + rng.uniform(-0.5, 0.5),
+            (index // side) * 3.0 + rng.uniform(-0.5, 0.5),
+        )
+        polygon = random_star_polygon(
+            rng, edges, center=center, min_radius=0.4, max_radius=2.0
+        )
+        regions.append(
+            AnnotatedRegion(
+                id=f"g{index}",
+                name=f"g{index}",
+                region=Region.from_polygon(polygon),
+            )
+        )
+    return Configuration.from_regions(regions)
 
 
 @pytest.fixture(scope="session")

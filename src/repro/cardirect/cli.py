@@ -94,6 +94,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "regions where possible) and report per-pair failures instead "
         "of aborting; exits 4 when any pair failed",
     )
+    relations.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="fan the sweep out over N worker processes (implies the "
+        "fault-isolated batch pipeline, like --isolate-errors); "
+        "per-worker engine telemetry is merged into --stats",
+    )
     _add_engine_options(relations)
 
     query = commands.add_parser("query", help="run a conjunctive query")
@@ -202,9 +210,15 @@ def _cmd_relations(
     isolate_errors: bool = False,
     engine: str = "exact",
     stats: bool = False,
+    workers: Optional[int] = None,
 ) -> int:
-    if isolate_errors:
-        return _cmd_relations_isolated(path, percentages, engine, stats)
+    if workers is not None and workers < 1:
+        print("error: --workers must be a positive integer", file=sys.stderr)
+        return 2
+    if isolate_errors or workers is not None:
+        return _cmd_relations_isolated(
+            path, percentages, engine, stats, workers
+        )
     configuration, _ = load_configuration(path)
     store = RelationStore(configuration, engine=engine)
     for primary_id, reference_id in _selected_pairs(store, primary, reference):
@@ -221,16 +235,25 @@ def _cmd_relations(
 
 
 def _cmd_relations_isolated(
-    path: str, percentages: bool, engine: str = "exact", stats: bool = False
+    path: str,
+    percentages: bool,
+    engine: str = "exact",
+    stats: bool = False,
+    workers: Optional[int] = None,
 ) -> int:
     """Fault-isolated sweep: every answerable pair answered, per-pair
-    error lines for the rest, exit code 4 when any pair failed."""
+    error lines for the rest, exit code 4 when any pair failed.
+
+    ``workers`` fans the sweep out over a process pool (see
+    :func:`repro.core.batch.batch_relations`); the merged per-worker
+    telemetry — including the sweep engine's prune/broadcast path
+    counts — lands in the ``--stats`` line."""
     ingestion_repairs = {}
     configuration, _ = load_configuration(
         path, mode="lenient", repairs=ingestion_repairs
     )
     store = RelationStore(configuration, engine=engine)
-    report = store.batch_relations(percentages=percentages)
+    report = store.batch_relations(percentages=percentages, workers=workers)
     for repair_report in ingestion_repairs.values():
         print(repair_report.summary())
     for repair_report in report.repairs.values():
@@ -392,6 +415,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 arguments.isolate_errors,
                 arguments.engine,
                 arguments.stats,
+                arguments.workers,
             )
         if arguments.command == "query":
             return _cmd_query(

@@ -205,14 +205,17 @@ class RelationStore:
 
         Delegates to :func:`repro.core.batch.batch_relations` over this
         store's configuration, defaulting the compute engine to a fresh
-        instance of the store's own (so the report's ``engine_stats``
-        cover exactly the sweep).  Accepts the same keyword arguments;
-        returns a :class:`~repro.core.batch.BatchReport`.
+        instance of the store's own — via
+        :meth:`~repro.core.engine.Engine.spawn`, so a custom engine's
+        configuration (a guarded ladder's ``epsilon``, an attached
+        observer) carries over while the report's ``engine_stats``
+        still cover exactly the sweep.  Accepts the same keyword
+        arguments; returns a :class:`~repro.core.batch.BatchReport`.
         """
         from repro.core.batch import batch_relations
 
         if "engine" not in kwargs and "compute" not in kwargs:
-            kwargs["engine"] = self._engine.name
+            kwargs["engine"] = self._engine.spawn()
         return batch_relations(self._configuration, **kwargs)
 
     @property

@@ -19,13 +19,27 @@ pairwise matrix with **per-pair fault isolation**:
 
 The result is a :class:`BatchReport` of :class:`PairOutcome` entries —
 ``ok`` / ``repaired`` / ``error`` — never an exception for bad geometry.
+
+Two sweep accelerations ride on top of the isolation machinery:
+
+* engines exposing the **bulk protocol** (``relation_many`` /
+  ``percentages_many``, e.g. :class:`~repro.core.sweep.SweepEngine`)
+  answer one primary against its whole row of reference boxes in a
+  single call; a row whose bulk computation raises falls back to the
+  per-pair loop, so fault isolation is preserved pair by pair;
+* ``workers=N`` chunks the primary rows across a **process pool** —
+  each worker recreates the engine from
+  :meth:`~repro.core.engine.Engine.worker_spec` and sweeps its chunk;
+  outcomes concatenate in chunk order (primary-major order is
+  preserved) and per-worker :class:`~repro.core.engine.EngineStats`
+  snapshots are merged into the report's stats.
 """
 
 from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cardirect.model import Configuration
 from repro.core.engine import (
@@ -82,6 +96,8 @@ class BatchReport:
     ``engine`` names the compute backend that served the sweep and
     ``engine_stats`` carries its uniform telemetry (call counts,
     wall-clock totals, ladder path counts) for exactly this batch.
+    Under ``workers=N`` the stats are the merged totals of every
+    worker's sweep.
     """
 
     outcomes: List[PairOutcome]
@@ -160,6 +176,245 @@ def _resolve_batch_engine(engine: EngineLike, epsilon: float) -> Engine:
         raise ValueError(f"compute engine selection failed: {error}") from None
 
 
+def _try_repair_into(
+    region_id: str,
+    region: Region,
+    repairs: Dict[str, RepairReport],
+    broken: Dict[str, str],
+) -> Optional[Region]:
+    """Repair a region; record the report or why it stayed broken."""
+    try:
+        repaired, report = repair_region(
+            region, mode=REPAIR, region_id=region_id
+        )
+    except GeometryError as error:
+        broken[region_id] = str(error.with_context(region_id=region_id))
+        return None
+    residual = _error_issues(repaired, region_id)
+    if residual:
+        broken[region_id] = "unrepairable: " + "; ".join(residual)
+        return None
+    repairs[region_id] = report
+    return repaired
+
+
+def _supports_bulk(engine: Engine) -> bool:
+    """Whether the engine answers whole rows (the bulk protocol)."""
+    return hasattr(engine, "relation_many") and hasattr(
+        engine, "percentages_many"
+    )
+
+
+def _bulk_row(
+    primary_id: str,
+    reference_ids: Sequence[str],
+    healthy: Dict[str, Region],
+    boxes: Dict[str, BoundingBox],
+    repairs: Dict[str, RepairReport],
+    *,
+    backend: Engine,
+    percentages: bool,
+) -> Dict[str, PairOutcome]:
+    """One primary against its whole reference row, in one bulk call.
+
+    Raises whatever the engine raises — the caller catches and replays
+    the row pair by pair so one bad pair cannot poison its neighbours.
+    """
+    primary = healthy[primary_id]
+    row_boxes = [boxes[reference_id] for reference_id in reference_ids]
+    relations = backend.relation_many(primary, row_boxes)
+    matrices = (
+        backend.percentages_many(primary, row_boxes) if percentages else None
+    )
+    row: Dict[str, PairOutcome] = {}
+    for index, reference_id in enumerate(reference_ids):
+        relation, path = relations[index]
+        matrix: Optional[PercentageMatrix] = None
+        if matrices is not None:
+            matrix, matrix_path = matrices[index]
+            if matrix_path is not None and matrix_path != path:
+                path = f"{path}/{matrix_path}"
+        repaired_pair = primary_id in repairs or reference_id in repairs
+        row[reference_id] = PairOutcome(
+            primary_id,
+            reference_id,
+            REPAIRED if repaired_pair else OK,
+            relation=relation,
+            percentages=matrix,
+            path=path,
+        )
+    return row
+
+
+def _pair_outcome(
+    primary_id: str,
+    reference_id: str,
+    healthy: Dict[str, Region],
+    boxes: Dict[str, BoundingBox],
+    repairs: Dict[str, RepairReport],
+    broken: Dict[str, str],
+    *,
+    backend: Engine,
+    percentages: bool,
+    repair: bool,
+) -> PairOutcome:
+    """One healthy pair through the engine, with retry-after-repair."""
+    primary = healthy[primary_id]
+    box = boxes[reference_id]
+    repaired_pair = primary_id in repairs or reference_id in repairs
+    try:
+        relation, matrix, path = _compute_pair(
+            primary, box, engine=backend, percentages=percentages
+        )
+    except ReproError as error:
+        if isinstance(error, GeometryError):
+            error.with_context(region_id=primary_id)
+        if repair and not repaired_pair:
+            retried = _retry_after_repair(
+                primary_id,
+                reference_id,
+                healthy,
+                boxes,
+                repairs,
+                broken,
+                engine=backend,
+                percentages=percentages,
+            )
+            if retried is not None:
+                return retried
+        return PairOutcome(
+            primary_id,
+            reference_id,
+            FAILED,
+            error=f"{type(error).__name__}: {error}",
+        )
+    return PairOutcome(
+        primary_id,
+        reference_id,
+        REPAIRED if repaired_pair else OK,
+        relation=relation,
+        percentages=matrix,
+        path=path,
+    )
+
+
+def _sweep_rows(
+    primary_ids: Sequence[str],
+    all_ids: Sequence[str],
+    *,
+    include_self: bool,
+    healthy: Dict[str, Region],
+    boxes: Dict[str, BoundingBox],
+    repairs: Dict[str, RepairReport],
+    broken: Dict[str, str],
+    backend: Engine,
+    percentages: bool,
+    repair: bool,
+) -> List[PairOutcome]:
+    """The primary-major sweep over ``primary_ids`` × ``all_ids``.
+
+    Rows go through the engine's bulk protocol when it offers one,
+    falling back to the per-pair loop (with its per-pair fault
+    isolation and retry-after-repair) when the bulk call raises.
+    Mutates ``healthy`` / ``boxes`` / ``repairs`` as retries repair
+    regions, exactly like the per-pair loop always has.
+    """
+    outcomes: List[PairOutcome] = []
+    use_bulk = _supports_bulk(backend)
+    for primary_id in primary_ids:
+        reference_ids = [
+            reference_id
+            for reference_id in all_ids
+            if include_self or reference_id != primary_id
+        ]
+        row: Dict[str, PairOutcome] = {}
+        computable: List[str] = []
+        for reference_id in reference_ids:
+            unusable = [
+                region_id
+                for region_id in (primary_id, reference_id)
+                if region_id in broken
+            ]
+            if unusable:
+                row[reference_id] = PairOutcome(
+                    primary_id,
+                    reference_id,
+                    FAILED,
+                    error="; ".join(
+                        f"region {region_id!r} unusable: {broken[region_id]}"
+                        for region_id in unusable
+                    ),
+                )
+            else:
+                computable.append(reference_id)
+        if use_bulk and computable:
+            try:
+                row.update(
+                    _bulk_row(
+                        primary_id,
+                        computable,
+                        healthy,
+                        boxes,
+                        repairs,
+                        backend=backend,
+                        percentages=percentages,
+                    )
+                )
+                computable = []
+            except ReproError:
+                pass  # replay the row pair by pair below
+        for reference_id in computable:
+            row[reference_id] = _pair_outcome(
+                primary_id,
+                reference_id,
+                healthy,
+                boxes,
+                repairs,
+                broken,
+                backend=backend,
+                percentages=percentages,
+                repair=repair,
+            )
+        outcomes.extend(row[reference_id] for reference_id in reference_ids)
+    return outcomes
+
+
+def _worker_chunk(payload: dict) -> Tuple[List[PairOutcome], dict, dict]:
+    """One worker's share of a parallel sweep (module-level: picklable).
+
+    Recreates the engine from its ``(name, options)`` spec — under the
+    default fork start method the child inherits every
+    :func:`~repro.core.engine.register_engine` registration made before
+    the pool started — sweeps its chunk of primary rows, and returns
+    the outcomes plus any *new* repair reports and a detached
+    :meth:`~repro.core.engine.EngineStats.as_dict` snapshot for the
+    parent to merge.
+    """
+    engine_name, engine_options = payload["engine_spec"]
+    backend = create_engine(engine_name, **engine_options)
+    repairs: Dict[str, RepairReport] = dict(payload["repairs"])
+    known_repairs = set(repairs)
+    broken: Dict[str, str] = dict(payload["broken"])
+    outcomes = _sweep_rows(
+        payload["primary_ids"],
+        payload["all_ids"],
+        include_self=payload["include_self"],
+        healthy=payload["healthy"],
+        boxes=payload["boxes"],
+        repairs=repairs,
+        broken=broken,
+        backend=backend,
+        percentages=payload["percentages"],
+        repair=payload["repair"],
+    )
+    new_repairs = {
+        region_id: report
+        for region_id, report in repairs.items()
+        if region_id not in known_repairs
+    }
+    return outcomes, new_repairs, backend.stats.as_dict()
+
+
 def batch_relations(
     configuration: Configuration,
     *,
@@ -170,23 +425,32 @@ def batch_relations(
     repair: bool = True,
     validate: bool = True,
     epsilon: float = DEFAULT_EPSILON,
+    workers: Optional[int] = None,
 ) -> BatchReport:
     """Compute every ordered pair with per-pair fault isolation.
 
     ``engine`` selects the compute backend by registered name —
     ``"exact"`` (reference, the default), ``"fast"`` (float64 numpy),
-    ``"guarded"`` (the exactness-fallback ladder), ``"clipping"``, or
-    any third-party :func:`~repro.core.engine.register_engine`
-    registration — or as an :class:`~repro.core.engine.Engine`
-    instance.  The engine's :class:`~repro.core.engine.EngineStats` for
-    the sweep are threaded into the returned report.  ``compute`` is
-    the deprecated pre-engine spelling of the same selector.
+    ``"guarded"`` (the exactness-fallback ladder), ``"clipping"``,
+    ``"sweep"`` (prune + broadcast bulk rows), or any third-party
+    :func:`~repro.core.engine.register_engine` registration — or as an
+    :class:`~repro.core.engine.Engine` instance.  The engine's
+    :class:`~repro.core.engine.EngineStats` for the sweep are threaded
+    into the returned report.  ``compute`` is the deprecated pre-engine
+    spelling of the same selector.
 
     With ``repair`` (default) invalid regions are repaired before use
     and failing pairs are retried on repaired geometry; with
     ``validate`` (default) the O(n²) geometric invariants are checked up
     front so silently-wrong answers from degenerate input (e.g. bowties,
     which raise nothing) are caught, not just crashes.
+
+    ``workers=N`` (N > 1) chunks the primary rows across a process
+    pool: each worker recreates the engine from
+    :meth:`~repro.core.engine.Engine.worker_spec` and sweeps its chunk;
+    outcomes keep primary-major order and per-worker stats are merged
+    into ``report.engine_stats``.  Validation and up-front repair still
+    run once, in the parent, before the fan-out.
     """
     if compute is not None:
         if engine is not None:
@@ -199,6 +463,8 @@ def batch_relations(
             stacklevel=2,
         )
         engine = compute
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be a positive integer, got {workers}")
     backend = _resolve_batch_engine(
         "exact" if engine is None else engine, epsilon
     )
@@ -206,33 +472,15 @@ def batch_relations(
     repairs: Dict[str, RepairReport] = {}
     broken: Dict[str, str] = {}
 
-    def _try_repair(region_id: str, region: Region) -> Optional[Region]:
-        """Repair a region; record the report or why it stayed broken."""
-        try:
-            repaired, report = repair_region(
-                region, mode=REPAIR, region_id=region_id
-            )
-        except GeometryError as error:
-            broken[region_id] = str(
-                error.with_context(region_id=region_id)
-            )
-            return None
-        residual = _error_issues(repaired, region_id)
-        if residual:
-            broken[region_id] = (
-                "unrepairable: " + "; ".join(residual)
-            )
-            return None
-        repairs[region_id] = report
-        return repaired
-
     for annotated in configuration:
         region = annotated.region
         if validate:
             issues = _error_issues(region, annotated.id)
             if issues:
                 if repair:
-                    repaired = _try_repair(annotated.id, region)
+                    repaired = _try_repair_into(
+                        annotated.id, region, repairs, broken
+                    )
                     if repaired is not None:
                         healthy[annotated.id] = repaired
                 else:
@@ -245,79 +493,33 @@ def batch_relations(
         for region_id, region in healthy.items()
     }
 
-    outcomes: List[PairOutcome] = []
-    for primary_id in configuration.region_ids:
-        for reference_id in configuration.region_ids:
-            if primary_id == reference_id and not include_self:
-                continue
-            unusable = [
-                region_id
-                for region_id in (primary_id, reference_id)
-                if region_id in broken
-            ]
-            if unusable:
-                outcomes.append(
-                    PairOutcome(
-                        primary_id,
-                        reference_id,
-                        FAILED,
-                        error="; ".join(
-                            f"region {region_id!r} unusable: "
-                            f"{broken[region_id]}"
-                            for region_id in unusable
-                        ),
-                    )
-                )
-                continue
-            primary = healthy[primary_id]
-            box = boxes[reference_id]
-            repaired_pair = (
-                primary_id in repairs or reference_id in repairs
-            )
-            try:
-                relation, matrix, path = _compute_pair(
-                    primary,
-                    box,
-                    engine=backend,
-                    percentages=percentages,
-                )
-            except ReproError as error:
-                if isinstance(error, GeometryError):
-                    error.with_context(region_id=primary_id)
-                if repair and not repaired_pair:
-                    retried = _retry_after_repair(
-                        primary_id,
-                        reference_id,
-                        healthy,
-                        boxes,
-                        repairs,
-                        broken,
-                        _try_repair,
-                        engine=backend,
-                        percentages=percentages,
-                    )
-                    if retried is not None:
-                        outcomes.append(retried)
-                        continue
-                outcomes.append(
-                    PairOutcome(
-                        primary_id,
-                        reference_id,
-                        FAILED,
-                        error=f"{type(error).__name__}: {error}",
-                    )
-                )
-                continue
-            outcomes.append(
-                PairOutcome(
-                    primary_id,
-                    reference_id,
-                    REPAIRED if repaired_pair else OK,
-                    relation=relation,
-                    percentages=matrix,
-                    path=path,
-                )
-            )
+    all_ids = list(configuration.region_ids)
+    if workers is not None and workers > 1 and len(all_ids) > 1:
+        outcomes = _parallel_sweep(
+            all_ids,
+            workers=workers,
+            include_self=include_self,
+            healthy=healthy,
+            boxes=boxes,
+            repairs=repairs,
+            broken=broken,
+            backend=backend,
+            percentages=percentages,
+            repair=repair,
+        )
+    else:
+        outcomes = _sweep_rows(
+            all_ids,
+            all_ids,
+            include_self=include_self,
+            healthy=healthy,
+            boxes=boxes,
+            repairs=repairs,
+            broken=broken,
+            backend=backend,
+            percentages=percentages,
+            repair=repair,
+        )
     return BatchReport(
         outcomes,
         repairs,
@@ -327,6 +529,59 @@ def batch_relations(
     )
 
 
+def _parallel_sweep(
+    all_ids: List[str],
+    *,
+    workers: int,
+    include_self: bool,
+    healthy: Dict[str, Region],
+    boxes: Dict[str, BoundingBox],
+    repairs: Dict[str, RepairReport],
+    broken: Dict[str, str],
+    backend: Engine,
+    percentages: bool,
+    repair: bool,
+) -> List[PairOutcome]:
+    """Fan the primary rows out over a process pool.
+
+    Primaries are split into ``workers`` contiguous chunks so
+    concatenating the chunk results in order reproduces the serial
+    primary-major outcome order exactly.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    engine_spec = backend.worker_spec()
+    chunk_size = -(-len(all_ids) // workers)  # ceil division
+    chunks = [
+        all_ids[start : start + chunk_size]
+        for start in range(0, len(all_ids), chunk_size)
+    ]
+    payloads = [
+        {
+            "engine_spec": engine_spec,
+            "primary_ids": chunk,
+            "all_ids": all_ids,
+            "include_self": include_self,
+            "healthy": healthy,
+            "boxes": boxes,
+            "repairs": repairs,
+            "broken": broken,
+            "percentages": percentages,
+            "repair": repair,
+        }
+        for chunk in chunks
+    ]
+    outcomes: List[PairOutcome] = []
+    with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+        for chunk_outcomes, new_repairs, stats_snapshot in pool.map(
+            _worker_chunk, payloads
+        ):
+            outcomes.extend(chunk_outcomes)
+            repairs.update(new_repairs)
+            backend.stats.merge(stats_snapshot)
+    return outcomes
+
+
 def _retry_after_repair(
     primary_id: str,
     reference_id: str,
@@ -334,7 +589,6 @@ def _retry_after_repair(
     boxes: Dict[str, BoundingBox],
     repairs: Dict[str, RepairReport],
     broken: Dict[str, str],
-    try_repair,
     *,
     engine: Engine,
     percentages: bool,
@@ -349,7 +603,9 @@ def _retry_after_repair(
     for region_id in (primary_id, reference_id):
         if region_id in repairs:
             continue
-        repaired = try_repair(region_id, healthy[region_id])
+        repaired = _try_repair_into(
+            region_id, healthy[region_id], repairs, broken
+        )
         if repaired is None:
             broken.pop(region_id, None)  # keep the pair error authoritative
             return None

@@ -25,7 +25,7 @@ Engines are looked up by name in a string-keyed registry:
 
 >>> engine = create_engine("guarded")
 >>> sorted(available_engines())
-['clipping', 'exact', 'fast', 'guarded']
+['clipping', 'exact', 'fast', 'guarded', 'sweep']
 
 Third-party backends plug in with one call — :func:`register_engine` —
 after which every consumer (``RelationStore(engine=...)``,
@@ -36,6 +36,7 @@ them by name with no further surgery.  See ``docs/ENGINES.md``.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Callable, Dict, Mapping, Optional, Tuple, Union
@@ -81,20 +82,26 @@ class EngineStats:
     * :attr:`calls` / :attr:`seconds` — per-operation call counts and
       wall-clock totals (``perf_counter``);
     * :attr:`path_counts` — how often each internal path answered
-      (the guarded ladder's ``"fast"`` / ``"exact"`` rungs; empty for
-      single-path engines);
+      (the guarded ladder's ``"fast"`` / ``"exact"`` rungs, the sweep
+      engine's ``"prune"`` / ``"broadcast"``; empty for single-path
+      engines);
     * :attr:`cache_assists` — operations a *caller* answered from its
       own cache without invoking the engine (recorded by the caller via
-      :meth:`record_cache_assist`, e.g. the relation store's pair cache).
+      :meth:`record_cache_assist`, e.g. the relation store's pair cache);
+    * :attr:`edge_cache_hits` — engine calls served from the engine's
+      own per-primary edge-array cache instead of rebuilding the
+      primary's float64 arrays (the dominant per-pair cost on sweeps).
     """
 
-    __slots__ = ("calls", "seconds", "path_counts", "cache_assists")
+    __slots__ = ("calls", "seconds", "path_counts", "cache_assists",
+                 "edge_cache_hits")
 
     def __init__(self) -> None:
         self.calls: Dict[str, int] = {op: 0 for op in OPERATIONS}
         self.seconds: Dict[str, float] = {op: 0.0 for op in OPERATIONS}
         self.path_counts: Dict[str, int] = {}
         self.cache_assists: int = 0
+        self.edge_cache_hits: int = 0
 
     @property
     def total_calls(self) -> int:
@@ -113,9 +120,50 @@ class EngineStats:
         if path is not None:
             self.path_counts[path] = self.path_counts.get(path, 0) + 1
 
+    def record_bulk(
+        self,
+        operation: str,
+        seconds: float,
+        count: int,
+        paths: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        """Account one bulk operation that answered ``count`` boxes.
+
+        Used by engines with many-box entry points (the sweep engine's
+        :meth:`~repro.core.sweep.SweepEngine.relation_many`): ``calls``
+        advances by ``count`` so pairs-per-second telemetry stays
+        comparable with per-pair engines, while ``seconds`` accrues the
+        single wall-clock measurement of the whole kernel invocation.
+        """
+        self.calls[operation] = self.calls.get(operation, 0) + count
+        self.seconds[operation] = self.seconds.get(operation, 0.0) + seconds
+        for path, n in (paths or {}).items():
+            self.path_counts[path] = self.path_counts.get(path, 0) + n
+
     def record_cache_assist(self) -> None:
         """Account one call a caller's cache answered for the engine."""
         self.cache_assists += 1
+
+    def record_edge_cache_hit(self) -> None:
+        """Account one engine call served from the edge-array cache."""
+        self.edge_cache_hits += 1
+
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold a detached :meth:`as_dict` snapshot into this record.
+
+        The parallel batch executor runs one engine per worker process
+        and merges the per-worker snapshots into the single
+        :class:`EngineStats` attached to the
+        :class:`~repro.core.batch.BatchReport`.
+        """
+        for op, count in snapshot.get("calls", {}).items():
+            self.calls[op] = self.calls.get(op, 0) + count
+        for op, seconds in snapshot.get("seconds", {}).items():
+            self.seconds[op] = self.seconds.get(op, 0.0) + seconds
+        for path, count in snapshot.get("path_counts", {}).items():
+            self.path_counts[path] = self.path_counts.get(path, 0) + count
+        self.cache_assists += snapshot.get("cache_assists", 0)
+        self.edge_cache_hits += snapshot.get("edge_cache_hits", 0)
 
     def as_dict(self) -> Dict[str, object]:
         """A plain-dict snapshot (JSON-friendly, detached from the engine)."""
@@ -124,6 +172,7 @@ class EngineStats:
             "seconds": dict(self.seconds),
             "path_counts": dict(self.path_counts),
             "cache_assists": self.cache_assists,
+            "edge_cache_hits": self.edge_cache_hits,
         }
 
     def summary(self) -> str:
@@ -145,10 +194,18 @@ class EngineStats:
             )
         if self.cache_assists:
             parts.append(f"cache assists: {self.cache_assists}")
+        if self.edge_cache_hits:
+            parts.append(f"edge-cache hits: {self.edge_cache_hits}")
         return "; ".join(parts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"EngineStats({self.as_dict()!r})"
+
+
+#: Default capacity of the per-engine edge-array cache.  The batch sweep
+#: iterates primary-major, so even a single slot catches the dominant
+#: rebuild; a few extra slots absorb interleaved store access patterns.
+DEFAULT_EDGE_CACHE_SIZE = 8
 
 
 class Engine:
@@ -163,14 +220,36 @@ class Engine:
     (the guarded ladder reports ``"fast"`` / ``"exact"``).  The base
     class wraps both with timing, :class:`EngineStats` accounting and
     observer notification, so a backend is only ever the two hooks.
+
+    The base class also owns a small **per-primary edge cache**: the
+    float64 edge arrays (and the mbb) of the last few primary regions,
+    keyed by object identity.  Building those arrays is a Python loop
+    over every vertex — the documented dominant cost of the numpy fast
+    path — and an all-pairs sweep historically rebuilt them O(n) times
+    per primary (once per reference box, and again for the percentage
+    call of the same pair).  Engines that consume edge arrays
+    (``fast``, ``guarded``, ``sweep``) fetch them via
+    :meth:`edge_arrays` so one build serves every reference box and
+    both operations; hits are visible as
+    ``stats.edge_cache_hits``.  ``edge_cache_size=0`` disables caching
+    (the pre-cache behaviour, kept for benchmarking).
     """
 
     #: Registry key and display name; subclasses override.
     name: str = "engine"
 
-    def __init__(self, *, observer: Optional[Observer] = None) -> None:
+    def __init__(
+        self,
+        *,
+        observer: Optional[Observer] = None,
+        edge_cache_size: int = DEFAULT_EDGE_CACHE_SIZE,
+    ) -> None:
         self.stats = EngineStats()
         self._observer = observer
+        self._edge_cache_size = edge_cache_size
+        # id(region) -> [region, arrays | None, box | None]; the strong
+        # region reference pins the id against reuse while cached.
+        self._edge_cache: "OrderedDict[int, list]" = OrderedDict()
 
     # -- public API --------------------------------------------------
 
@@ -193,6 +272,74 @@ class Engine:
     ) -> Tuple[PercentageMatrix, Optional[str]]:
         """Like :meth:`percentages`, also naming the internal path taken."""
         return self._timed("percentages", self._percentages, primary, box)
+
+    # -- edge-array cache --------------------------------------------
+
+    def edge_arrays(self, primary: Region) -> Tuple:
+        """The primary's float64 edge arrays, cached per region object.
+
+        One build serves every reference box *and* both the relation
+        and percentage calls of a pair; hits are recorded in
+        ``stats.edge_cache_hits``.
+        """
+        entry = self._edge_entry(primary)
+        if entry[1] is None:
+            from repro.core.fast import _edge_arrays
+
+            entry[1] = _edge_arrays(primary)
+        return entry[1]
+
+    def primary_box(self, primary: Region) -> BoundingBox:
+        """``mbb(primary)``, cached alongside the edge arrays."""
+        entry = self._edge_entry(primary)
+        if entry[2] is None:
+            entry[2] = primary.bounding_box()
+        return entry[2]
+
+    def _edge_entry(self, primary: Region) -> list:
+        """The cache slot for ``primary`` (lazily-filled fields)."""
+        if self._edge_cache_size <= 0:
+            return [primary, None, None]  # caching disabled: fresh slot
+        key = id(primary)
+        entry = self._edge_cache.get(key)
+        if entry is not None and entry[0] is primary:
+            self._edge_cache.move_to_end(key)
+            self.stats.record_edge_cache_hit()
+            return entry
+        entry = [primary, None, None]
+        self._edge_cache[key] = entry
+        while len(self._edge_cache) > self._edge_cache_size:
+            self._edge_cache.popitem(last=False)
+        return entry
+
+    # -- lifecycle ----------------------------------------------------
+
+    def clone_options(self) -> Dict[str, object]:
+        """The constructor options that configure this instance.
+
+        Subclasses with tunables (the guarded ladder's ``epsilon`` /
+        ``drift_tolerance``) override this so :meth:`spawn` and the
+        parallel batch executor can build *compatible* fresh instances
+        instead of silently dropping configuration.  ``observer`` is
+        intentionally excluded (callables don't cross process
+        boundaries; :meth:`spawn` re-attaches it in-process).
+        """
+        return {}
+
+    def spawn(self) -> "Engine":
+        """A fresh instance with this engine's configuration.
+
+        Same backend, same tunables, same observer — but zero'd stats
+        and an empty cache, so a consumer (e.g.
+        ``RelationStore.batch_relations``) gets telemetry covering
+        exactly its own sweep.
+        """
+        return type(self)(observer=self._observer, **self.clone_options())
+
+    def worker_spec(self) -> Tuple[str, Dict[str, object]]:
+        """``(registry name, options)`` for recreating this engine in a
+        worker process (observers are dropped — they can't be pickled)."""
+        return self.name, self.clone_options()
 
     # -- subclass hooks ----------------------------------------------
 
@@ -244,7 +391,9 @@ class FastEngine(Engine):
 
     Appropriate for large float workloads where exact rational
     percentages are not required; only as exact as float64 for ties at
-    the grid lines.
+    the grid lines.  Edge arrays come from the base class's per-primary
+    cache, so an all-pairs sweep builds each primary's arrays once
+    rather than once per pair.
     """
 
     name = "fast"
@@ -252,12 +401,22 @@ class FastEngine(Engine):
     def _relation(self, primary, box):
         from repro.core.fast import compute_cdr_fast_against_box
 
-        return compute_cdr_fast_against_box(primary, box), None
+        return (
+            compute_cdr_fast_against_box(
+                primary, box, arrays=self.edge_arrays(primary)
+            ),
+            None,
+        )
 
     def _percentages(self, primary, box):
         from repro.core.fast import compute_cdr_percentages_fast_against_box
 
-        return compute_cdr_percentages_fast_against_box(primary, box), None
+        return (
+            compute_cdr_percentages_fast_against_box(
+                primary, box, arrays=self.edge_arrays(primary)
+            ),
+            None,
+        )
 
 
 class GuardedEngine(Engine):
@@ -277,10 +436,11 @@ class GuardedEngine(Engine):
         epsilon: Optional[float] = None,
         drift_tolerance: Optional[float] = None,
         observer: Optional[Observer] = None,
+        edge_cache_size: int = DEFAULT_EDGE_CACHE_SIZE,
     ) -> None:
         from repro.core.guarded import DEFAULT_DRIFT_TOLERANCE, DEFAULT_EPSILON
 
-        super().__init__(observer=observer)
+        super().__init__(observer=observer, edge_cache_size=edge_cache_size)
         self.epsilon = DEFAULT_EPSILON if epsilon is None else epsilon
         self.drift_tolerance = (
             DEFAULT_DRIFT_TOLERANCE
@@ -291,11 +451,20 @@ class GuardedEngine(Engine):
         # store's legacy ``guard_stats`` view) always see both keys.
         self.stats.path_counts = {"fast": 0, "exact": 0}
 
+    def clone_options(self):
+        return {
+            "epsilon": self.epsilon,
+            "drift_tolerance": self.drift_tolerance,
+        }
+
     def _relation(self, primary, box):
         from repro.core.guarded import guarded_cdr_against_box
 
         relation, diagnostics = guarded_cdr_against_box(
-            primary, box, epsilon=self.epsilon
+            primary,
+            box,
+            epsilon=self.epsilon,
+            arrays=self.edge_arrays(primary),
         )
         return relation, diagnostics.path
 
@@ -307,6 +476,7 @@ class GuardedEngine(Engine):
             box,
             epsilon=self.epsilon,
             drift_tolerance=self.drift_tolerance,
+            arrays=self.edge_arrays(primary),
         )
         return matrix, diagnostics.path
 
@@ -414,7 +584,15 @@ def readonly_view(counts: Dict[str, int]) -> Mapping[str, int]:
     return MappingProxyType(counts)
 
 
+def _sweep_factory(**options) -> Engine:
+    """Lazy factory for the sweep engine (defers the numpy import)."""
+    from repro.core.sweep import SweepEngine
+
+    return SweepEngine(**options)
+
+
 register_engine(ExactEngine.name, ExactEngine)
 register_engine(FastEngine.name, FastEngine)
 register_engine(GuardedEngine.name, GuardedEngine)
 register_engine(ClippingEngine.name, ClippingEngine)
+register_engine("sweep", _sweep_factory)

@@ -69,58 +69,89 @@ def _edge_arrays(region: Region) -> Tuple[np.ndarray, ...]:
     return x1, y1, x2 - x1, y2 - y1
 
 
+def _axis_band_intervals_many(
+    start: np.ndarray, delta: np.ndarray,
+    lows: np.ndarray, highs: np.ndarray,
+    tie_sign: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-edge, per-box parameter intervals of one axis's three bands.
+
+    The broadcast generalisation of the single-box kernel: ``lows`` /
+    ``highs`` hold the axis lines of ``k`` reference boxes, and the
+    result is ``(lo, hi)`` of shape ``(n, k, 3)`` — band 0 = below
+    ``lows[j]``, band 1 = between, band 2 = above ``highs[j]`` for box
+    ``j``.  One vectorised call classifies a primary against every
+    reference box of a sweep at once, instead of ``k`` per-pair numpy
+    invocations over the same edge arrays.
+
+    Constant edges (``delta == 0``) occupy a single band chosen by
+    position — with the interior-side rule via ``tie_sign`` when
+    sitting exactly on a line.
+    """
+    n, k = start.shape[0], lows.shape[0]
+    lo = np.full((n, k, 3), np.inf)
+    hi = np.full((n, k, 3), -np.inf)
+
+    moving = delta != 0
+    if np.any(moving):
+        s = start[:, None]
+        d = delta[:, None]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t_low = (lows[None, :] - s) / d   # (n, k): edge meets x=lows[j]
+            t_high = (highs[None, :] - s) / d
+        clip_low = np.clip(t_low, 0.0, 1.0)
+        clip_high = np.clip(t_high, 0.0, 1.0)
+        ascending = (delta > 0)[:, None]
+        # Below band {position < low}: ascending edges occupy it before
+        # t_low, descending edges after it.
+        lo[moving, :, 0] = np.where(ascending, 0.0, clip_low)[moving]
+        hi[moving, :, 0] = np.where(ascending, clip_low, 1.0)[moving]
+        # Middle band: between the two crossings, whichever order.
+        lo[moving, :, 1] = np.minimum(clip_low, clip_high)[moving]
+        hi[moving, :, 1] = np.maximum(clip_low, clip_high)[moving]
+        # Above band {position > high}: mirrored.
+        lo[moving, :, 2] = np.where(ascending, clip_high, 0.0)[moving]
+        hi[moving, :, 2] = np.where(ascending, 1.0, clip_high)[moving]
+
+    constant = ~moving
+    if np.any(constant):
+        position = start[:, None]             # (n, 1), broadcast over boxes
+        sign = tie_sign[:, None]
+        band = np.ones((n, k), dtype=int)
+        band = np.where(position < lows[None, :], 0, band)
+        band = np.where(position > highs[None, :], 2, band)
+        # Exactly on a line: interior side decides (tie_sign > 0 means
+        # the material lies toward increasing coordinate).
+        on_low = constant[:, None] & (position == lows[None, :])
+        band = np.where(on_low & (sign > 0), 1, band)
+        band = np.where(on_low & (sign < 0), 0, band)
+        on_high = constant[:, None] & (position == highs[None, :])
+        band = np.where(on_high & (sign > 0), 2, band)
+        band = np.where(on_high & (sign < 0), 1, band)
+        rows, cols = np.nonzero(
+            constant[:, None] & np.ones((1, k), dtype=bool)
+        )
+        lo[rows, cols, band[rows, cols]] = 0.0
+        hi[rows, cols, band[rows, cols]] = 1.0
+    return lo, hi
+
+
 def _axis_band_intervals(
     start: np.ndarray, delta: np.ndarray, low: float, high: float,
     tie_sign: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Per-edge parameter intervals of the three bands of one axis.
 
-    Returns ``(lo, hi)`` of shape (n, 3): band 0 = below ``low``,
-    band 1 = between, band 2 = above ``high``.  Constant edges
-    (``delta == 0``) occupy a single band chosen by position — with the
-    interior-side rule via ``tie_sign`` when sitting exactly on a line.
+    Returns ``(lo, hi)`` of shape (n, 3) — the single-box view of
+    :func:`_axis_band_intervals_many` (one implementation serves both,
+    so the per-pair and all-pairs paths can never drift apart).
     """
-    n = start.shape[0]
-    lo = np.full((n, 3), np.inf)
-    hi = np.full((n, 3), -np.inf)
-
-    moving = delta != 0
-    if np.any(moving):
-        with np.errstate(divide="ignore", invalid="ignore"):
-            t_low = (low - start) / delta    # param where the edge meets x=low
-            t_high = (high - start) / delta
-        clip_low = np.clip(t_low, 0.0, 1.0)
-        clip_high = np.clip(t_high, 0.0, 1.0)
-        ascending = delta > 0
-        # Below band {position < low}: ascending edges occupy it before
-        # t_low, descending edges after it.
-        lo[moving, 0] = np.where(ascending, 0.0, clip_low)[moving]
-        hi[moving, 0] = np.where(ascending, clip_low, 1.0)[moving]
-        # Middle band: between the two crossings, whichever order.
-        lo[moving, 1] = np.minimum(clip_low, clip_high)[moving]
-        hi[moving, 1] = np.maximum(clip_low, clip_high)[moving]
-        # Above band {position > high}: mirrored.
-        lo[moving, 2] = np.where(ascending, clip_high, 0.0)[moving]
-        hi[moving, 2] = np.where(ascending, 1.0, clip_high)[moving]
-
-    constant = ~moving
-    if np.any(constant):
-        position = start
-        band = np.full(n, 1)
-        band = np.where(position < low, 0, band)
-        band = np.where(position > high, 2, band)
-        # Exactly on a line: interior side decides (tie_sign > 0 means
-        # the material lies toward increasing coordinate).
-        on_low = constant & (position == low)
-        band = np.where(on_low & (tie_sign > 0), 1, band)
-        band = np.where(on_low & (tie_sign < 0), 0, band)
-        on_high = constant & (position == high)
-        band = np.where(on_high & (tie_sign > 0), 2, band)
-        band = np.where(on_high & (tie_sign < 0), 1, band)
-        rows = np.nonzero(constant)[0]
-        lo[rows, band[rows]] = 0.0
-        hi[rows, band[rows]] = 1.0
-    return lo, hi
+    lo, hi = _axis_band_intervals_many(
+        start, delta,
+        np.asarray([low]), np.asarray([high]),
+        tie_sign,
+    )
+    return lo[:, 0, :], hi[:, 0, :]
 
 
 #: Tile at (column band, row band), bands indexed 0=-1, 1=0, 2=+1.
@@ -141,6 +172,32 @@ def _band_intervals(
     row_lo, row_hi = _axis_band_intervals(
         y1, dy, float(box.min_y), float(box.max_y), tie_sign=-dx
     )
+    return col_lo, col_hi, row_lo, row_hi, (x1, y1, dx, dy)
+
+
+def _box_lines(boxes) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The grid lines of many boxes as float64 arrays (m1, m2, l1, l2)."""
+    m1 = np.asarray([float(box.min_x) for box in boxes])
+    m2 = np.asarray([float(box.max_x) for box in boxes])
+    l1 = np.asarray([float(box.min_y) for box in boxes])
+    l2 = np.asarray([float(box.max_y) for box in boxes])
+    return m1, m2, l1, l2
+
+
+def _band_intervals_many(
+    region: Region,
+    boxes,
+    arrays: Optional[Tuple[np.ndarray, ...]] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, Tuple[np.ndarray, ...]]:
+    """Column/row band intervals of one primary against many boxes.
+
+    Shapes are ``(n_edges, n_boxes, 3)`` — the broadcast counterpart of
+    :func:`_band_intervals` for the all-pairs sweep.
+    """
+    x1, y1, dx, dy = arrays if arrays is not None else _edge_arrays(region)
+    m1, m2, l1, l2 = _box_lines(boxes)
+    col_lo, col_hi = _axis_band_intervals_many(x1, dx, m1, m2, tie_sign=dy)
+    row_lo, row_hi = _axis_band_intervals_many(y1, dy, l1, l2, tie_sign=-dx)
     return col_lo, col_hi, row_lo, row_hi, (x1, y1, dx, dy)
 
 

@@ -207,9 +207,18 @@ def guarded_percentages_against_box(
     *,
     epsilon: float = DEFAULT_EPSILON,
     drift_tolerance: float = DEFAULT_DRIFT_TOLERANCE,
+    arrays: Optional[Tuple[np.ndarray, ...]] = None,
 ) -> GuardedValue:
-    """Ladder variant of :func:`compute_cdr_percentages_against_box`."""
-    arrays = _edge_arrays(primary)
+    """Ladder variant of :func:`compute_cdr_percentages_against_box`.
+
+    ``arrays`` lets a caller that already holds the primary's edge
+    arrays (the engine layer's per-primary cache, or a preceding
+    :func:`guarded_cdr_against_box` call on the same primary) share one
+    build between the relation and percentage computations of a pair —
+    historically both entry points rebuilt them independently, doubling
+    the dominant cost of every percentages-bearing pair.
+    """
+    arrays = _edge_arrays(primary) if arrays is None else arrays
     reasons = list(_risk_reasons(arrays, box, epsilon))
     if not reasons:
         try:
@@ -253,10 +262,18 @@ def box_region(box: BoundingBox) -> Region:
 
 
 def guarded_cdr_against_box(
-    primary: Region, box: BoundingBox, *, epsilon: float = DEFAULT_EPSILON
+    primary: Region,
+    box: BoundingBox,
+    *,
+    epsilon: float = DEFAULT_EPSILON,
+    arrays: Optional[Tuple[np.ndarray, ...]] = None,
 ) -> GuardedValue:
-    """Ladder variant of :func:`compute_cdr_against_box` (cached-mbb use)."""
-    arrays = _edge_arrays(primary)
+    """Ladder variant of :func:`compute_cdr_against_box` (cached-mbb use).
+
+    ``arrays`` shares a previously-built edge-array set (see
+    :func:`guarded_percentages_against_box`).
+    """
+    arrays = _edge_arrays(primary) if arrays is None else arrays
     reasons = _risk_reasons(arrays, box, epsilon)
     if not reasons:
         relation = compute_cdr_fast_against_box(primary, box, arrays=arrays)

@@ -1,0 +1,384 @@
+"""The sweep-optimised compute layer: all-pairs relation extraction.
+
+CARDIRECT's core workload is the all-pairs sweep — "compute the
+(percentage) relations between all regions" (Section 4 of the paper) —
+and large constraint networks (Zhang et al., *Reasoning about Cardinal
+Directions between Extended Objects*) need exactly this n×n extraction
+to be cheap before consistency checking is practical at scale.  The
+historical path was a Python pair-by-pair loop that rebuilt each
+primary's edge arrays O(n) times per sweep.  This module stacks three
+optimisations on top of the engine layer's per-primary edge cache:
+
+1. **mbb single-tile prune** — when ``mbb(primary)`` lies *strictly*
+   inside one non-``B`` tile of ``mbb(reference)``, the whole primary
+   lies in that tile, so the single-tile relation (and a 100 %
+   :class:`~repro.core.matrix.PercentageMatrix`) follows from box
+   arithmetic alone — exact over the native coordinate types, no edge
+   scan, no float.  Boundary contact never prunes: the comparisons are
+   strict, so grazing pairs take the full kernel;
+2. **broadcast kernels** — :func:`compute_cdr_fast_many` /
+   :func:`tile_areas_fast_many` classify one primary against *all*
+   reference boxes in a single ``(n_edges, n_boxes, 3)`` numpy
+   invocation (:func:`repro.core.fast._axis_band_intervals_many`),
+   amortising the per-call numpy dispatch overhead that dominates
+   per-pair sweeps of small regions;
+3. **bulk engine entry points** — :class:`SweepEngine` (registry name
+   ``"sweep"``) serves the ordinary per-pair :class:`Engine` protocol
+   *and* ``relation_many`` / ``percentages_many``, which the batch
+   pipeline (:func:`repro.core.batch.batch_relations`) consumes one
+   primary row at a time.  Path telemetry distinguishes ``"prune"``,
+   ``"broadcast"`` and ``"fast"`` in ``EngineStats.path_counts``.
+
+The optional **parallel executor** — ``batch_relations(workers=N)`` —
+lives in :mod:`repro.core.batch`; it chunks primary rows across a
+process pool and merges per-worker :class:`EngineStats` into the
+:class:`~repro.core.batch.BatchReport`.
+
+Semantics: the prune path is exact; the kernel paths are float64,
+identical to :mod:`repro.core.fast` (the equivalence property tests
+cross-validate every path against the exact reference).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.engine import DEFAULT_EDGE_CACHE_SIZE, Engine, Observer
+from repro.core.fast import (
+    _EPSILON,
+    _TILE_GRID,
+    _band_intervals_many,
+    _box_lines,
+    _edge_arrays,
+    compute_cdr_fast_against_box,
+    tile_areas_fast,
+)
+from repro.core.matrix import PercentageMatrix
+from repro.core.relation import CardinalDirection
+from repro.core.tiles import Tile
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.predicates import point_in_polygon
+from repro.geometry.region import Region
+
+#: Path labels of the sweep engine's telemetry.
+PRUNE_PATH = "prune"
+BROADCAST_PATH = "broadcast"
+FAST_PATH = "fast"
+
+
+# ---------------------------------------------------------------------------
+# The mbb single-tile prune
+# ---------------------------------------------------------------------------
+
+
+def single_tile_prune(
+    primary_box: BoundingBox, reference_box: BoundingBox
+) -> Optional[Tile]:
+    """The single tile containing all of the primary, or ``None``.
+
+    Exact box arithmetic over the native coordinate types (``int`` /
+    ``Fraction`` stay rational): when ``mbb(primary)`` lies *strictly*
+    inside one non-``B`` tile of ``mbb(reference)``, every point of the
+    primary lies in that tile's interior, so ``primary R reference``
+    is the single-tile relation ``R = tile`` and the percentage matrix
+    is 100 % in that cell.  All comparisons are strict — a primary box
+    that merely touches a grid line of the reference box (boundary
+    contact) is *not* pruned, because tiles are closed and the touching
+    points belong to several tiles at once.
+
+    ``B`` is deliberately excluded: the interior tile is where the
+    interesting (multi-tile, hole-threading) geometry lives, and the
+    callers' float kernels already handle it; pruning is reserved for
+    the provably-trivial exterior placements that dominate spread-out
+    configurations.
+    """
+    if primary_box.max_x < reference_box.min_x:
+        column = -1
+    elif primary_box.min_x > reference_box.max_x:
+        column = 1
+    elif (
+        reference_box.min_x < primary_box.min_x
+        and primary_box.max_x < reference_box.max_x
+    ):
+        column = 0
+    else:
+        return None  # straddles or touches a vertical grid line
+    if primary_box.max_y < reference_box.min_y:
+        row = -1
+    elif primary_box.min_y > reference_box.max_y:
+        row = 1
+    elif (
+        reference_box.min_y < primary_box.min_y
+        and primary_box.max_y < reference_box.max_y
+    ):
+        row = 0
+    else:
+        return None  # straddles or touches a horizontal grid line
+    if column == 0 and row == 0:
+        return None  # strictly inside B: not pruned (see docstring)
+    return Tile.from_bands(column, row)
+
+
+def prune_matrix(tile: Tile) -> PercentageMatrix:
+    """The exact 100 %-in-one-tile percentage matrix of a pruned pair."""
+    return PercentageMatrix({tile: 100})
+
+
+# ---------------------------------------------------------------------------
+# Broadcast kernels: one primary against many reference boxes
+# ---------------------------------------------------------------------------
+
+
+def compute_cdr_fast_many(
+    primary: Region,
+    boxes: Sequence[BoundingBox],
+    *,
+    arrays: Optional[Tuple[np.ndarray, ...]] = None,
+) -> List[CardinalDirection]:
+    """Vectorised Compute-CDR of one primary against many boxes.
+
+    One ``(n_edges, n_boxes, 3)`` kernel invocation classifies the
+    primary's edges against every reference box at once; per-box
+    results match :func:`repro.core.fast.compute_cdr_fast_against_box`
+    (both sit on the same generalised band kernel).
+    """
+    if not boxes:
+        return []
+    col_lo, col_hi, row_lo, row_hi, _ = _band_intervals_many(
+        primary, boxes, arrays
+    )
+    k = len(boxes)
+    occupied = np.zeros((k, 3, 3), dtype=bool)
+    for c in range(3):
+        for r in range(3):
+            lo = np.maximum(col_lo[:, :, c], row_lo[:, :, r])
+            hi = np.minimum(col_hi[:, :, c], row_hi[:, :, r])
+            occupied[:, c, r] = np.any(hi - lo > _EPSILON, axis=0)
+    results: List[CardinalDirection] = []
+    for j, box in enumerate(boxes):
+        tiles = {
+            _TILE_GRID[c][r]
+            for c in range(3)
+            for r in range(3)
+            if occupied[j, c, r]
+        }
+        if Tile.B not in tiles:
+            # The B tile can be covered without any edge crossing it
+            # (reference box entirely inside the primary's interior).
+            centre = box.center
+            if any(point_in_polygon(centre, p) for p in primary.polygons):
+                tiles.add(Tile.B)
+        results.append(CardinalDirection(*tiles))
+    return results
+
+
+def tile_areas_fast_many(
+    primary: Region,
+    boxes: Sequence[BoundingBox],
+    *,
+    arrays: Optional[Tuple[np.ndarray, ...]] = None,
+) -> List[Dict[Tile, float]]:
+    """Per-tile float areas of one primary against many boxes.
+
+    The broadcast counterpart of
+    :func:`repro.core.fast.tile_areas_fast`: the trapezoid accumulators
+    of Compute-CDR% are evaluated as ``(n_edges, n_boxes)`` masked sums
+    — one numpy pass per tile instead of one per pair per tile.
+    """
+    if not boxes:
+        return []
+    col_lo, col_hi, row_lo, row_hi, (x1, y1, dx, dy) = _band_intervals_many(
+        primary, boxes, arrays
+    )
+    m1, m2, l1, l2 = _box_lines(boxes)
+    x1c, y1c = x1[:, None], y1[:, None]
+    dxc, dyc = dx[:, None], dy[:, None]
+
+    def _sanitise(lo: np.ndarray, hi: np.ndarray):
+        """Clear the ±inf empty-interval sentinels before arithmetic."""
+        valid = hi > lo
+        lo = np.where(valid, lo, 0.0)
+        hi = np.where(valid, hi, 0.0)
+        return lo, hi
+
+    def e_m_sum(lo: np.ndarray, hi: np.ndarray, m: np.ndarray) -> np.ndarray:
+        lo, hi = _sanitise(lo, hi)
+        length = hi - lo
+        x_sum = 2.0 * x1c + (lo + hi) * dxc
+        return np.sum(dyc * length * (x_sum - 2.0 * m[None, :]), axis=0) / 2.0
+
+    def e_l_sum(lo: np.ndarray, hi: np.ndarray, l: np.ndarray) -> np.ndarray:
+        lo, hi = _sanitise(lo, hi)
+        length = hi - lo
+        y_sum = 2.0 * y1c + (lo + hi) * dyc
+        return np.sum(dxc * length * (y_sum - 2.0 * l[None, :]), axis=0) / 2.0
+
+    def tile_interval(c: int, r: int) -> Tuple[np.ndarray, np.ndarray]:
+        return (
+            np.maximum(col_lo[:, :, c], row_lo[:, :, r]),
+            np.minimum(col_hi[:, :, c], row_hi[:, :, r]),
+        )
+
+    k = len(boxes)
+    per_tile: Dict[Tile, np.ndarray] = {}
+    for c, m in ((0, m1), (2, m2)):
+        for r in range(3):
+            lo, hi = tile_interval(c, r)
+            per_tile[_TILE_GRID[c][r]] = np.abs(e_m_sum(lo, hi, m))
+    lo, hi = tile_interval(1, 0)
+    per_tile[Tile.S] = np.abs(e_l_sum(lo, hi, l1))
+    lo, hi = tile_interval(1, 2)
+    area_n = np.abs(e_l_sum(lo, hi, l2))
+    per_tile[Tile.N] = area_n
+
+    # The B+N strip: central column ∩ { y(t) >= l1 } = central column ∩
+    # (row 1 ∪ row 2), a single interval because y(t) is monotone.
+    strip_lo = np.minimum(row_lo[:, :, 1], row_lo[:, :, 2])
+    strip_hi = np.maximum(row_hi[:, :, 1], row_hi[:, :, 2])
+    # Rows can be empty (+inf/-inf sentinels); an empty row must not
+    # corrupt the union, so fall back to the other row where needed.
+    empty_row1 = row_hi[:, :, 1] < row_lo[:, :, 1]
+    empty_row2 = row_hi[:, :, 2] < row_lo[:, :, 2]
+    strip_lo = np.where(empty_row1, row_lo[:, :, 2], strip_lo)
+    strip_lo = np.where(empty_row2, row_lo[:, :, 1], strip_lo)
+    strip_hi = np.where(empty_row1, row_hi[:, :, 2], strip_hi)
+    strip_hi = np.where(empty_row2, row_hi[:, :, 1], strip_hi)
+    lo = np.maximum(col_lo[:, :, 1], strip_lo)
+    hi = np.minimum(col_hi[:, :, 1], strip_hi)
+    area_bn = np.abs(e_l_sum(lo, hi, l1))
+    per_tile[Tile.B] = np.maximum(area_bn - area_n, 0.0)
+
+    return [
+        {tile: float(values[j]) for tile, values in per_tile.items()}
+        for j in range(k)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# The sweep engine
+# ---------------------------------------------------------------------------
+
+
+class SweepEngine(Engine):
+    """Sweep-optimised backend: prune + cached arrays + broadcast bulk.
+
+    Per-pair calls follow the ordinary :class:`Engine` protocol — the
+    mbb prune answers trivial exterior placements exactly from box
+    arithmetic (path ``"prune"``); everything else takes the float64
+    kernel over the cached edge arrays (path ``"fast"``).
+
+    The bulk entry points :meth:`relation_many` /
+    :meth:`percentages_many` answer one primary against a whole row of
+    reference boxes: pruned boxes are filtered out first, the rest go
+    through a single broadcast kernel invocation (path
+    ``"broadcast"``).  ``stats.calls`` advances by the number of boxes
+    served so pairs-per-second telemetry stays comparable with
+    per-pair engines.
+    """
+
+    name = "sweep"
+
+    def __init__(
+        self,
+        *,
+        observer: Optional[Observer] = None,
+        edge_cache_size: int = DEFAULT_EDGE_CACHE_SIZE,
+    ) -> None:
+        super().__init__(observer=observer, edge_cache_size=edge_cache_size)
+        # Pre-seed the paths so telemetry readers always see all keys.
+        self.stats.path_counts = {
+            PRUNE_PATH: 0,
+            BROADCAST_PATH: 0,
+            FAST_PATH: 0,
+        }
+
+    # -- per-pair protocol -------------------------------------------
+
+    def _relation(self, primary, box):
+        tile = single_tile_prune(self.primary_box(primary), box)
+        if tile is not None:
+            return CardinalDirection(tile), PRUNE_PATH
+        relation = compute_cdr_fast_against_box(
+            primary, box, arrays=self.edge_arrays(primary)
+        )
+        return relation, FAST_PATH
+
+    def _percentages(self, primary, box):
+        tile = single_tile_prune(self.primary_box(primary), box)
+        if tile is not None:
+            return prune_matrix(tile), PRUNE_PATH
+        matrix = PercentageMatrix.from_areas(
+            tile_areas_fast(primary, box, arrays=self.edge_arrays(primary))
+        )
+        return matrix, FAST_PATH
+
+    # -- bulk protocol -----------------------------------------------
+
+    def relation_many(
+        self, primary: Region, boxes: Sequence[BoundingBox]
+    ) -> List[Tuple[CardinalDirection, Optional[str]]]:
+        """``primary R box`` for every box, in one broadcast pass."""
+        return self._bulk(
+            "relation",
+            primary,
+            boxes,
+            prune=lambda tile: CardinalDirection(tile),
+            kernel=compute_cdr_fast_many,
+        )
+
+    def percentages_many(
+        self, primary: Region, boxes: Sequence[BoundingBox]
+    ) -> List[Tuple[PercentageMatrix, Optional[str]]]:
+        """The percentage matrix for every box, in one broadcast pass."""
+
+        def kernel(region, pending, *, arrays=None):
+            return [
+                PercentageMatrix.from_areas(areas)
+                for areas in tile_areas_fast_many(
+                    region, pending, arrays=arrays
+                )
+            ]
+
+        return self._bulk(
+            "percentages", primary, boxes, prune=prune_matrix, kernel=kernel
+        )
+
+    def _bulk(self, operation, primary, boxes, *, prune, kernel):
+        """Shared bulk plumbing: prune filter, one kernel, telemetry."""
+        if not boxes:
+            return []
+        start = time.perf_counter()
+        primary_box = self.primary_box(primary)
+        results: List[Optional[Tuple[object, Optional[str]]]] = []
+        pending: List[BoundingBox] = []
+        pending_at: List[int] = []
+        for index, box in enumerate(boxes):
+            tile = single_tile_prune(primary_box, box)
+            if tile is not None:
+                results.append((prune(tile), PRUNE_PATH))
+            else:
+                results.append(None)
+                pending.append(box)
+                pending_at.append(index)
+        paths = {PRUNE_PATH: len(boxes) - len(pending)}
+        if pending:
+            values = kernel(
+                primary, pending, arrays=self.edge_arrays(primary)
+            )
+            for index, value in zip(pending_at, values):
+                results[index] = (value, BROADCAST_PATH)
+            paths[BROADCAST_PATH] = len(pending)
+        elapsed = time.perf_counter() - start
+        self.stats.record_bulk(
+            operation, elapsed, len(boxes), {p: n for p, n in paths.items() if n}
+        )
+        if self._observer is not None:
+            from repro.core.engine import EngineEvent
+
+            self._observer(
+                EngineEvent(self.name, operation, elapsed, BROADCAST_PATH)
+            )
+        return results

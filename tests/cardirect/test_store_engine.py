@@ -151,3 +151,24 @@ class TestBatchDelegation:
         assert report.engine == name
         assert report.engine_stats is not None
         assert report.engine_stats.calls["relation"] == 6
+
+    def test_batch_relations_forwards_engine_configuration(self):
+        """A store built around a configured engine instance must hand
+        the batch a *compatible* instance, not just the name —
+        historically ``engine=self._engine.name`` silently dropped a
+        custom epsilon/observer."""
+        from repro.core.engine import create_engine
+
+        # An absurdly wide epsilon flags every pair as ill-conditioned,
+        # so all of them must take the guarded ladder's exact rung; if
+        # the store forwarded only the name, the default epsilon would
+        # leave (nearly) every pair on the fast rung instead.
+        engine = create_engine("guarded", epsilon=10.0)
+        store = RelationStore(build_configuration(count=3), engine=engine)
+        report = store.batch_relations()
+        assert report.engine == "guarded"
+        assert report.engine_stats.path_counts.get("fast", 0) == 0
+        assert report.engine_stats.path_counts["exact"] == 6
+        # The store's own engine keeps its telemetry untouched — the
+        # batch ran on a spawned twin, not on the shared instance.
+        assert store.engine_stats.calls["relation"] == 0

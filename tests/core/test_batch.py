@@ -61,7 +61,9 @@ def degenerate_configuration() -> Configuration:
 
 
 class TestAcceptanceScenario:
-    @pytest.mark.parametrize("engine", ["exact", "fast", "guarded", "clipping"])
+    @pytest.mark.parametrize(
+        "engine", ["exact", "fast", "guarded", "clipping", "sweep"]
+    )
     def test_degenerate_configuration_completes(self, engine):
         report = batch_relations(
             degenerate_configuration(), engine=engine, percentages=True
