@@ -1,0 +1,227 @@
+"""The observability overhead budget: instrumented vs sinks installed.
+
+``repro.obs`` promises that a disabled sink costs one attribute read
+and one ``None`` check per instrumented call site.  This harness holds
+the subsystem to that promise on the repo's headline workload (the
+seeded all-pairs sweep of ``bench_sweep``):
+
+* ``disabled`` — the instrumented code with no tracer/registry
+  installed.  This is the number that must stay within the regression
+  budget of the pre-observability sweep (``BENCH_sweep.json``);
+* ``traced`` — a :class:`repro.obs.Tracer` installed for the sweep;
+* ``metered`` — a :class:`repro.obs.MetricsRegistry` installed;
+* ``both`` — tracer and registry together (what ``cardirect
+  --trace --metrics`` runs).
+
+Machine-readable output lands in ``BENCH_obs.json``; sample artifacts
+(a JSONL trace and a Prometheus text file from the ``both`` run) are
+written next to it for CI upload::
+
+    PYTHONPATH=src python -m benchmarks.bench_obs            # 100 regions
+    PYTHONPATH=src python -m benchmarks.bench_obs --quick    # CI smoke
+
+The run **fails** (exit 1) when the ``traced``-vs-``disabled`` overhead
+exceeds the budget — tracing is allowed to cost something, but a
+regression in the *disabled* path is what the budget below guards
+(asserted against ``BENCH_sweep.json`` when present).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.core.batch import batch_relations
+from repro.core.engine import create_engine
+
+from benchmarks.conftest import SEED, sweep_configuration
+
+REGIONS = 100
+QUICK_REGIONS = 24
+EDGES_PER_REGION = 12
+
+#: Allowed slowdown of the *disabled*-sinks sweep vs the recorded
+#: pre-observability baseline (BENCH_sweep.json), as a fraction.
+DISABLED_BUDGET = 0.05
+
+#: Allowed slowdown with a tracer installed.  Tracing does real work
+#: (one span per bulk row), so the budget is loose — it exists to catch
+#: an accidental per-pair hot-path span, which would blow far past it.
+TRACED_BUDGET = 0.50
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+
+def _sweep(configuration) -> float:
+    engine = create_engine("sweep")
+    started = time.perf_counter()
+    report = batch_relations(
+        configuration, engine=engine, validate=False, repair=False
+    )
+    elapsed = time.perf_counter() - started
+    if report.error_outcomes():
+        raise AssertionError(
+            f"{len(report.error_outcomes())} pair(s) failed"
+        )
+    return elapsed
+
+
+def _time_mode(mode: str, configuration, artifacts: Dict[str, Path]) -> float:
+    if mode == "disabled":
+        return _sweep(configuration)
+    if mode == "traced":
+        with obs.tracing():
+            return _sweep(configuration)
+    if mode == "metered":
+        with obs.collecting():
+            return _sweep(configuration)
+    # "both": also the run that produces the sample CI artifacts.
+    with obs.tracing() as tracer, obs.collecting() as registry:
+        elapsed = _sweep(configuration)
+    if "trace" in artifacts:
+        tracer.export_jsonl(str(artifacts["trace"]))
+        registry.export_prometheus(str(artifacts["metrics"]))
+    return elapsed
+
+
+def run(
+    regions: int = REGIONS,
+    *,
+    quick: bool = False,
+    output: Optional[Path] = None,
+    verbose: bool = True,
+) -> int:
+    if quick:
+        regions = min(regions, QUICK_REGIONS)
+    configuration = sweep_configuration(regions, edges=EDGES_PER_REGION)
+    path = Path(output) if output is not None else DEFAULT_OUTPUT
+    path.parent.mkdir(parents=True, exist_ok=True)
+    artifacts = {
+        "trace": path.parent / "BENCH_obs_trace.jsonl",
+        "metrics": path.parent / "BENCH_obs_metrics.prom",
+    }
+    modes = ("disabled", "traced", "metered", "both")
+    repeats = 1 if quick else 5
+    _sweep(configuration)  # warmup: numpy/import costs land on no mode
+    best: Dict[str, float] = {}
+    # Interleave modes across rounds so shared-machine noise taxes each
+    # mode roughly equally (same rationale as bench_sweep).
+    for _ in range(repeats):
+        for mode in modes:
+            seconds = _time_mode(mode, configuration, artifacts)
+            if mode not in best or seconds < best[mode]:
+                best[mode] = seconds
+    pairs = regions * (regions - 1)
+    records = {
+        mode: {
+            "seconds": round(seconds, 6),
+            "pairs_per_second": round(pairs / seconds, 1),
+            "overhead_vs_disabled": round(
+                seconds / best["disabled"] - 1.0, 4
+            ),
+        }
+        for mode, seconds in best.items()
+    }
+    if verbose:
+        for mode, record in records.items():
+            print(
+                f"{mode:>9}: {record['pairs_per_second']:>10.1f} pairs/s "
+                f"({record['overhead_vs_disabled']:+.1%} vs disabled)"
+            )
+
+    failures: List[str] = []
+    traced_overhead = records["traced"]["overhead_vs_disabled"]
+    if traced_overhead > TRACED_BUDGET:
+        failures.append(
+            f"traced overhead {traced_overhead:.1%} exceeds the "
+            f"{TRACED_BUDGET:.0%} budget (per-pair span on the hot path?)"
+        )
+    baseline_record = None
+    if BASELINE.exists():
+        baseline = json.loads(BASELINE.read_text())
+        sweep_mode = baseline.get("modes", {}).get("sweep")
+        # The budget only transfers within a workload size: --quick runs
+        # compare against a --quick baseline, full runs against full.
+        if sweep_mode and baseline.get("regions") == regions:
+            baseline_pps = sweep_mode["pairs_per_second"]
+            disabled_pps = records["disabled"]["pairs_per_second"]
+            regression = 1.0 - disabled_pps / baseline_pps
+            baseline_record = {
+                "baseline_pairs_per_second": baseline_pps,
+                "disabled_pairs_per_second": disabled_pps,
+                "regression": round(regression, 4),
+                "budget": DISABLED_BUDGET,
+            }
+            if verbose:
+                print(
+                    f"disabled vs BENCH_sweep.json sweep baseline: "
+                    f"{-regression:+.1%} (budget -{DISABLED_BUDGET:.0%})"
+                )
+            if regression > DISABLED_BUDGET:
+                failures.append(
+                    f"disabled-sinks sweep regressed {regression:.1%} vs "
+                    f"BENCH_sweep.json ({disabled_pps:.1f} vs "
+                    f"{baseline_pps:.1f} pairs/s; budget "
+                    f"{DISABLED_BUDGET:.0%})"
+                )
+        elif verbose:
+            print(
+                "note: BENCH_sweep.json covers a different workload size; "
+                "baseline regression check skipped"
+            )
+
+    result = {
+        "benchmark": "obs",
+        "seed": SEED,
+        "quick": quick,
+        "regions": regions,
+        "pairs": pairs,
+        "modes": records,
+        "budgets": {
+            "disabled_vs_sweep_baseline": DISABLED_BUDGET,
+            "traced_vs_disabled": TRACED_BUDGET,
+        },
+        "baseline_check": baseline_record,
+        "artifacts": {name: str(p) for name, p in artifacts.items()},
+    }
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    if verbose:
+        print(f"written to {path}")
+        print(f"sample trace: {artifacts['trace']}")
+        print(f"sample metrics: {artifacts['metrics']}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="measure observability overhead on the all-pairs "
+        "sweep and write BENCH_obs.json (+ sample trace/metrics files)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"small workload ({QUICK_REGIONS} regions), one repeat "
+        "(CI smoke)",
+    )
+    parser.add_argument(
+        "--regions", type=int, default=REGIONS, help="region count"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, help="JSON output path"
+    )
+    arguments = parser.parse_args(argv)
+    return run(
+        arguments.regions, quick=arguments.quick, output=arguments.output
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

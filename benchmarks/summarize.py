@@ -1,0 +1,180 @@
+"""Collate every ``BENCH_*.json`` record into one trend table.
+
+Each perf-bearing PR leaves a machine-readable ``BENCH_<name>.json`` at
+the repo root (``bench_sweep``, ``bench_obs``, ...).  This tool folds
+them into a single aligned table — one row per (benchmark, mode) —
+so the perf trajectory is readable at a glance and diffable in CI
+logs::
+
+    PYTHONPATH=src python -m benchmarks.summarize
+    PYTHONPATH=src python -m benchmarks.summarize --format json
+    PYTHONPATH=src python -m benchmarks.summarize --format markdown
+
+The reader is deliberately lenient: it understands the shared record
+shape (``benchmark``, ``regions``/``pairs``, ``modes.<mode>.seconds`` /
+``pairs_per_second``) and renders whatever subset a record carries, so
+future benchmarks join the table by following the same convention
+without touching this file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def collect(root: Path = ROOT) -> List[Dict]:
+    """Every ``BENCH_*.json`` at ``root``, parsed, sorted by name.
+
+    Files that fail to parse are reported as rows with an ``error``
+    key rather than aborting the summary (a truncated record from a
+    killed run must not hide the healthy ones).
+    """
+    records = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            records.append({"file": path.name, "error": str(error)})
+            continue
+        data.setdefault("benchmark", path.stem.replace("BENCH_", ""))
+        data["file"] = path.name
+        records.append(data)
+    return records
+
+
+def rows(records: List[Dict]) -> List[Dict]:
+    """Flatten records into one row per (benchmark, mode)."""
+    flat: List[Dict] = []
+    for record in records:
+        if "error" in record:
+            flat.append(
+                {
+                    "benchmark": record["file"],
+                    "mode": "-",
+                    "note": f"unreadable: {record['error']}",
+                }
+            )
+            continue
+        workload = record.get("regions")
+        workload = f"{workload} regions" if workload else ""
+        modes = record.get("modes") or {}
+        if not modes:
+            flat.append(
+                {
+                    "benchmark": record["benchmark"],
+                    "mode": "-",
+                    "workload": workload,
+                    "note": "no modes recorded",
+                }
+            )
+        for mode, sample in modes.items():
+            row = {
+                "benchmark": record["benchmark"],
+                "mode": mode,
+                "workload": workload,
+            }
+            if "pairs_per_second" in sample:
+                row["pairs_per_second"] = sample["pairs_per_second"]
+            if "seconds" in sample:
+                row["seconds"] = sample["seconds"]
+            if "overhead_vs_disabled" in sample:
+                row["note"] = (
+                    f"{sample['overhead_vs_disabled']:+.1%} vs disabled"
+                )
+            speedups = record.get("speedup_vs_naive")
+            if speedups and mode in speedups:
+                row["note"] = f"{speedups[mode]}x vs naive"
+            flat.append(row)
+    return flat
+
+
+_COLUMNS = (
+    ("benchmark", "<"),
+    ("mode", "<"),
+    ("workload", "<"),
+    ("pairs_per_second", ">"),
+    ("seconds", ">"),
+    ("note", "<"),
+)
+
+
+def _cell(row: Dict, column: str) -> str:
+    value = row.get(column)
+    if value is None:
+        return ""
+    if column == "pairs_per_second":
+        return f"{value:,.1f}"
+    if column == "seconds":
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(flat: List[Dict], *, markdown: bool = False) -> str:
+    if not flat:
+        return "(no BENCH_*.json records found)"
+    headers = [name for name, _ in _COLUMNS]
+    grid = [headers] + [
+        [_cell(row, name) for name, _ in _COLUMNS] for row in flat
+    ]
+    widths = [max(len(line[i]) for line in grid) for i in range(len(headers))]
+    aligns = [align for _, align in _COLUMNS]
+
+    def line(cells):
+        rendered = [
+            f"{cell:{align}{width}}"
+            for cell, align, width in zip(cells, aligns, widths)
+        ]
+        if markdown:
+            return "| " + " | ".join(rendered) + " |"
+        return "  ".join(rendered).rstrip()
+
+    lines = [line(grid[0])]
+    if markdown:
+        lines.append(
+            "|"
+            + "|".join(
+                ("-" * (w + 1) + ":") if a == ">" else ("-" * (w + 2))
+                for w, a in zip(widths, aligns)
+            )
+            + "|"
+        )
+    else:
+        lines.append("  ".join("-" * w for w in widths))
+    lines.extend(line(cells) for cells in grid[1:])
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="collate BENCH_*.json records into one trend table"
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=ROOT,
+        help="directory holding the BENCH_*.json files (default: repo root)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("table", "markdown", "json"),
+        default="table",
+        help="output format (default: aligned text table)",
+    )
+    arguments = parser.parse_args(argv)
+    records = collect(arguments.root)
+    flat = rows(records)
+    if arguments.format == "json":
+        print(json.dumps(flat, indent=2))
+    else:
+        print(render_table(flat, markdown=arguments.format == "markdown"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -12,6 +12,19 @@ option selecting the compute backend from the engine registry
 (:mod:`repro.core.engine`) and ``--stats`` to print the engine's
 telemetry (call counts, wall-clock, ladder paths) to stderr.
 
+Every command additionally accepts the global observability options
+(before or after the subcommand name)::
+
+    cardirect --trace out.jsonl relations config.xml
+    cardirect relations config.xml --metrics out.prom
+    cardirect profile out.jsonl          # span tree + hot paths
+
+``--trace FILE`` installs a :class:`repro.obs.Tracer` for the run and
+writes the collected span tree as JSON Lines; ``--metrics FILE``
+installs a metrics registry and writes Prometheus text (or JSON when
+the file name ends in ``.json``).  ``profile`` renders a previously
+recorded trace file.
+
 The GUI of the original tool (drawing polygons over a map with a mouse)
 is out of scope for a library; everything computational — relation
 computation, XML persistence, querying — is available here.
@@ -49,12 +62,42 @@ def _add_engine_options(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_options(
+    parser: argparse.ArgumentParser, *, subcommand: bool
+) -> None:
+    """The global ``--trace`` / ``--metrics`` observability options.
+
+    They are defined on the main parser (so ``cardirect --trace f ...``
+    works) *and* on every subcommand (so the natural ``cardirect
+    relations ... --trace f`` works too).  The subcommand copies default
+    to ``argparse.SUPPRESS``: a subparser runs after the main parser and
+    would otherwise overwrite an already-parsed global value with its
+    own default.
+    """
+    kwargs = {"default": argparse.SUPPRESS} if subcommand else {}
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record a span trace of the run and write it to FILE "
+        "as JSON Lines (render it later with the profile command)",
+        **kwargs,
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="collect metrics during the run and write them to FILE "
+        "as Prometheus text (JSON when FILE ends in .json)",
+        **kwargs,
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cardirect",
         description="Compute and query cardinal direction relations "
         "between annotated regions (EDBT 2004).",
     )
+    _add_obs_options(parser, subcommand=False)
     commands = parser.add_subparsers(dest="command", required=True)
 
     validate = commands.add_parser("validate", help="check a configuration file")
@@ -151,6 +194,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the witness regions of a satisfiable network "
         "to this CARDIRECT XML file",
     )
+
+    profile = commands.add_parser(
+        "profile",
+        help="render a --trace JSONL file as a span tree with "
+        "hot-path percentages",
+    )
+    profile.add_argument("trace_file", help="JSON Lines trace file")
+    profile.add_argument(
+        "--min-percent",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="hide span groups below P%% of total traced time",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="number of hot paths to list (default: 10)",
+    )
+
+    for command in commands.choices.values():
+        _add_obs_options(command, subcommand=True)
     return parser
 
 
@@ -396,8 +463,60 @@ def _print_core_if_basic(stored) -> None:
         print(explain_inconsistency(constraints))
 
 
+def _cmd_profile(trace_file: str, min_percent: float, top: int) -> int:
+    from repro import obs
+
+    spans = obs.load_jsonl(trace_file)
+    if not spans:
+        print(f"{trace_file}: no spans recorded", file=sys.stderr)
+        return 1
+    print(f"trace: {trace_file} ({len(spans)} spans)")
+    print()
+    print(obs.render_span_tree(spans, min_percent=min_percent))
+    print()
+    print(obs.render_hot_paths(spans, top=top))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     arguments = _build_parser().parse_args(argv)
+    trace_path = getattr(arguments, "trace", None)
+    metrics_path = getattr(arguments, "metrics", None)
+    if trace_path is None and metrics_path is None:
+        return _dispatch(arguments)
+
+    from repro import obs
+
+    tracer = obs.Tracer() if trace_path else None
+    registry = obs.MetricsRegistry() if metrics_path else None
+    with obs.tracing(tracer) if tracer else _noop(), (
+        obs.collecting(registry) if registry else _noop()
+    ):
+        with obs.span(f"cli.{arguments.command}") as root:
+            status = _dispatch(arguments)
+            root.set(status=status)
+    if tracer is not None:
+        tracer.export_jsonl(trace_path)
+        print(
+            f"trace: {len(tracer.spans)} spans written to {trace_path}",
+            file=sys.stderr,
+        )
+    if registry is not None:
+        if metrics_path.endswith(".json"):
+            registry.export_json(metrics_path)
+        else:
+            registry.export_prometheus(metrics_path)
+        print(f"metrics written to {metrics_path}", file=sys.stderr)
+    return status
+
+
+def _noop():
+    from contextlib import nullcontext
+
+    return nullcontext()
+
+
+def _dispatch(arguments: argparse.Namespace) -> int:
     try:
         if arguments.command == "validate":
             return _cmd_validate(
@@ -440,6 +559,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         if arguments.command == "reason":
             return _cmd_reason(arguments.path, arguments.witness_xml)
+        if arguments.command == "profile":
+            return _cmd_profile(
+                arguments.trace_file, arguments.min_percent, arguments.top
+            )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -21,8 +21,9 @@ recompute geometry.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import QueryError
 from repro.cardirect.model import THEMATIC_ATTRIBUTES, Configuration
@@ -30,6 +31,8 @@ from repro.cardirect.store import RelationStore
 from repro.core.relation import CardinalDirection, DisjunctiveCD
 from repro.core.tiles import Tile
 from repro.extensions.topology import RCC8
+from repro.obs.metrics import current_metrics
+from repro.obs.trace import current_tracer, span as _obs_span
 
 
 @dataclass(frozen=True)
@@ -206,25 +209,75 @@ class Query:
     def evaluate(
         self, store: RelationStore
     ) -> List[Tuple[str, ...]]:
-        """All satisfying assignments, as tuples of region ids."""
-        return list(self.iter_results(store))
+        """All satisfying assignments, as tuples of region ids.
 
-    def iter_results(self, store: RelationStore) -> Iterator[Tuple[str, ...]]:
+        With a tracer or metrics registry installed (:mod:`repro.obs`),
+        evaluation is profiled: a ``query.evaluate`` span wraps the
+        search, each binary condition gets a ``query.clause`` child span
+        carrying its check/reject counts and accumulated time, and the
+        unary pruning records per-clause candidate counts.  Without
+        installed sinks the instrumented bookkeeping is skipped
+        entirely.
+        """
+        tracer = current_tracer()
+        registry = current_metrics()
+        if tracer is None and registry is None:
+            return list(self.iter_results(store))
+        clause_stats: Dict[int, List[float]] = {}
+        with _obs_span(
+            "query.evaluate",
+            variables=len(self.variables),
+            conditions=len(self.conditions),
+        ) as query_span:
+            results = list(
+                self.iter_results(store, _clause_stats=clause_stats)
+            )
+            query_span.set(results=len(results))
+            if tracer is not None or registry is not None:
+                binary_conditions = _binary_conditions(self.conditions)
+                for index, condition in enumerate(binary_conditions):
+                    checks, rejected, seconds = clause_stats.get(
+                        index, (0, 0, 0.0)
+                    )
+                    kind = _condition_kind(condition)
+                    if tracer is not None:
+                        tracer.record(
+                            "query.clause",
+                            float(seconds),
+                            {
+                                "kind": kind,
+                                "clause": (
+                                    f"{condition.primary} ? "
+                                    f"{condition.reference}"
+                                ),
+                                "checks": int(checks),
+                                "rejected": int(rejected),
+                            },
+                        )
+                    if registry is not None:
+                        registry.counter(
+                            "repro_query_clause_checks_total",
+                            "Binary clause checks during query evaluation.",
+                        ).inc(int(checks), kind=kind)
+        if registry is not None:
+            registry.counter(
+                "repro_query_evaluations_total",
+                "Queries evaluated to completion.",
+            ).inc()
+            registry.counter(
+                "repro_query_results_total",
+                "Result tuples produced by query evaluation.",
+            ).inc(len(results))
+        return results
+
+    def iter_results(
+        self,
+        store: RelationStore,
+        _clause_stats: Optional[Dict[int, List[float]]] = None,
+    ) -> Iterator[Tuple[str, ...]]:
         configuration = store.configuration
         candidates = self._unary_filtered_candidates(configuration)
-        binary_conditions = [
-            condition
-            for condition in self.conditions
-            if isinstance(
-                condition,
-                (
-                    RelationCondition,
-                    TopologyCondition,
-                    DistanceCondition,
-                    PercentageCondition,
-                ),
-            )
-        ]
+        binary_conditions = _binary_conditions(self.conditions)
         # Most-constrained variable first keeps the search shallow.
         order = sorted(self.variables, key=lambda v: len(candidates[v]))
         assignment: Dict[str, str] = {}
@@ -234,13 +287,29 @@ class Query:
                 return False
             assignment[variable] = region_id
             try:
-                for condition in binary_conditions:
+                for index, condition in enumerate(binary_conditions):
                     primary = assignment.get(condition.primary)
                     reference = assignment.get(condition.reference)
                     if primary is None or reference is None:
                         continue
-                    if not _binary_satisfied(condition, primary, reference, store):
-                        return False
+                    if _clause_stats is None:
+                        if not _binary_satisfied(
+                            condition, primary, reference, store
+                        ):
+                            return False
+                    else:
+                        started = time.perf_counter()
+                        held = _binary_satisfied(
+                            condition, primary, reference, store
+                        )
+                        entry = _clause_stats.setdefault(
+                            index, [0, 0, 0.0]
+                        )
+                        entry[0] += 1
+                        entry[2] += time.perf_counter() - started
+                        if not held:
+                            entry[1] += 1
+                            return False
                 return True
             finally:
                 del assignment[variable]
@@ -261,10 +330,17 @@ class Query:
     def _unary_filtered_candidates(
         self, configuration: Configuration
     ) -> Dict[str, List[str]]:
+        tracer = current_tracer()
         candidates = {
             variable: configuration.region_ids for variable in self.variables
         }
         for condition in self.conditions:
+            if not isinstance(
+                condition, (IdentityCondition, AttributeCondition)
+            ):
+                continue
+            before = len(candidates[condition.variable])
+            started = time.perf_counter() if tracer is not None else 0.0
             if isinstance(condition, IdentityCondition):
                 resolved = configuration.resolve(condition.reference).id
                 candidates[condition.variable] = [
@@ -272,14 +348,52 @@ class Query:
                     for region_id in candidates[condition.variable]
                     if region_id == resolved
                 ]
-            elif isinstance(condition, AttributeCondition):
+            else:
                 candidates[condition.variable] = [
                     region_id
                     for region_id in candidates[condition.variable]
                     if configuration.get(region_id).attribute(condition.attribute)
                     == condition.value
                 ]
+            if tracer is not None:
+                tracer.record(
+                    "query.clause",
+                    time.perf_counter() - started,
+                    {
+                        "kind": _condition_kind(condition),
+                        "clause": condition.variable,
+                        "candidates_before": before,
+                        "candidates_after": len(
+                            candidates[condition.variable]
+                        ),
+                    },
+                )
         return candidates
+
+
+def _binary_conditions(conditions: Sequence[Condition]) -> List[Condition]:
+    """The binary (two-variable) conditions, in declaration order."""
+    return [
+        condition
+        for condition in conditions
+        if isinstance(
+            condition,
+            (
+                RelationCondition,
+                TopologyCondition,
+                DistanceCondition,
+                PercentageCondition,
+            ),
+        )
+    ]
+
+
+def _condition_kind(condition: Condition) -> str:
+    """A short lowercase tag for telemetry labels (``relation``, ...)."""
+    name = type(condition).__name__
+    if name.endswith("Condition"):
+        name = name[: -len("Condition")]
+    return name.lower()
 
 
 def _condition_variables(condition: Condition) -> Tuple[str, ...]:

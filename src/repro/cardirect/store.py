@@ -30,9 +30,25 @@ from repro.errors import GeometryError, ReproError
 from repro.extensions.distance import DistanceFrame, minimum_distance
 from repro.extensions.topology import RCC8, rcc8
 from repro.geometry.bbox import BoundingBox
+from repro.obs.metrics import current_metrics
 
 #: ``all_relations`` error policies.
 ON_ERROR_MODES = ("raise", "skip", "report")
+
+
+def _count_store_request(operation: str, result: str) -> None:
+    """One ``repro_store_requests_total{operation, result}`` increment.
+
+    ``result`` is ``"hit"`` when the store's own cache answered and
+    ``"miss"`` when the engine had to compute.  A no-op unless a metrics
+    registry is installed (:func:`repro.obs.install_metrics`).
+    """
+    registry = current_metrics()
+    if registry is not None:
+        registry.counter(
+            "repro_store_requests_total",
+            "RelationStore lookups, by operation and cache outcome.",
+        ).inc(operation=operation, result=result)
 
 
 class RelationStore:
@@ -132,8 +148,10 @@ class RelationStore:
             primary = self._configuration.get(primary_id).region
             cached = self._engine.relation(primary, self._box(reference_id))
             self._relations[key] = cached
+            _count_store_request("relation", "miss")
         else:
             self._engine.stats.record_cache_assist()
+            _count_store_request("relation", "hit")
         return cached
 
     def percentages(self, primary_id: str, reference_id: str) -> PercentageMatrix:
@@ -144,8 +162,10 @@ class RelationStore:
             primary = self._configuration.get(primary_id).region
             cached = self._engine.percentages(primary, self._box(reference_id))
             self._percentages[key] = cached
+            _count_store_request("percentages", "miss")
         else:
             self._engine.stats.record_cache_assist()
+            _count_store_request("percentages", "hit")
         return cached
 
     def all_relations(

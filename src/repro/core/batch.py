@@ -33,13 +33,25 @@ Two sweep accelerations ride on top of the isolation machinery:
   outcomes concatenate in chunk order (primary-major order is
   preserved) and per-worker :class:`~repro.core.engine.EngineStats`
   snapshots are merged into the report's stats.
+
+When the observability subsystem (:mod:`repro.obs`) has sinks
+installed, the sweep is traced end to end: a ``batch.relations`` root
+span, one ``batch.chunk`` span per chunk (serial sweeps are one
+chunk), and — under ``workers=N`` — per-worker spans recorded inside
+each worker process, serialised back with the outcomes and grafted
+into the parent's trace, with worker metrics merged into the installed
+registry.
 """
 
 from __future__ import annotations
 
+import os
 import warnings
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
 
 from repro.cardirect.model import Configuration
 from repro.core.engine import (
@@ -379,40 +391,69 @@ def _sweep_rows(
     return outcomes
 
 
-def _worker_chunk(payload: dict) -> Tuple[List[PairOutcome], dict, dict]:
+def _worker_chunk(
+    payload: dict,
+) -> Tuple[List[PairOutcome], dict, dict, Optional[list], Optional[dict]]:
     """One worker's share of a parallel sweep (module-level: picklable).
 
     Recreates the engine from its ``(name, options)`` spec — under the
     default fork start method the child inherits every
     :func:`~repro.core.engine.register_engine` registration made before
     the pool started — sweeps its chunk of primary rows, and returns
-    the outcomes plus any *new* repair reports and a detached
-    :meth:`~repro.core.engine.EngineStats.as_dict` snapshot for the
-    parent to merge.
+    the outcomes plus any *new* repair reports, a detached
+    :meth:`~repro.core.engine.EngineStats.as_dict` snapshot, and — when
+    the parent had a tracer / metrics registry installed — the worker's
+    serialised spans and metrics snapshot.  The parent grafts the spans
+    into its own trace and merges the metrics, so ``workers=N`` loses
+    no telemetry to the process boundary (observers excepted; see
+    :meth:`~repro.core.engine.Engine.worker_spec`).
     """
     engine_name, engine_options = payload["engine_spec"]
     backend = create_engine(engine_name, **engine_options)
     repairs: Dict[str, RepairReport] = dict(payload["repairs"])
     known_repairs = set(repairs)
     broken: Dict[str, str] = dict(payload["broken"])
-    outcomes = _sweep_rows(
-        payload["primary_ids"],
-        payload["all_ids"],
-        include_self=payload["include_self"],
-        healthy=payload["healthy"],
-        boxes=payload["boxes"],
-        repairs=repairs,
-        broken=broken,
-        backend=backend,
-        percentages=payload["percentages"],
-        repair=payload["repair"],
-    )
+    chunk_index = payload.get("chunk_index", 0)
+    worker_label = f"worker-{chunk_index}"
+    tracer = obs.Tracer(worker=worker_label) if payload.get("trace") else None
+    registry = obs.MetricsRegistry() if payload.get("collect_metrics") else None
+    with obs.tracing(tracer) if tracer is not None else nullcontext():
+        with obs.collecting(registry) if registry is not None else nullcontext():
+            with obs.span(
+                "batch.worker",
+                chunk=chunk_index,
+                pid=os.getpid(),
+                primaries=len(payload["primary_ids"]),
+            ):
+                with obs.span(
+                    "batch.chunk",
+                    chunk=chunk_index,
+                    primaries=len(payload["primary_ids"]),
+                ):
+                    outcomes = _sweep_rows(
+                        payload["primary_ids"],
+                        payload["all_ids"],
+                        include_self=payload["include_self"],
+                        healthy=payload["healthy"],
+                        boxes=payload["boxes"],
+                        repairs=repairs,
+                        broken=broken,
+                        backend=backend,
+                        percentages=payload["percentages"],
+                        repair=payload["repair"],
+                    )
     new_repairs = {
         region_id: report
         for region_id, report in repairs.items()
         if region_id not in known_repairs
     }
-    return outcomes, new_repairs, backend.stats.as_dict()
+    return (
+        outcomes,
+        new_repairs,
+        backend.stats.as_dict(),
+        tracer.to_payload() if tracer is not None else None,
+        registry.snapshot() if registry is not None else None,
+    )
 
 
 def batch_relations(
@@ -494,32 +535,52 @@ def batch_relations(
     }
 
     all_ids = list(configuration.region_ids)
-    if workers is not None and workers > 1 and len(all_ids) > 1:
-        outcomes = _parallel_sweep(
-            all_ids,
-            workers=workers,
-            include_self=include_self,
-            healthy=healthy,
-            boxes=boxes,
-            repairs=repairs,
-            broken=broken,
-            backend=backend,
-            percentages=percentages,
-            repair=repair,
+    with obs.span(
+        "batch.relations",
+        engine=backend.name,
+        regions=len(all_ids),
+        workers=workers or 1,
+        percentages=percentages,
+    ) as batch_span:
+        if workers is not None and workers > 1 and len(all_ids) > 1:
+            outcomes = _parallel_sweep(
+                all_ids,
+                workers=workers,
+                include_self=include_self,
+                healthy=healthy,
+                boxes=boxes,
+                repairs=repairs,
+                broken=broken,
+                backend=backend,
+                percentages=percentages,
+                repair=repair,
+            )
+        else:
+            with obs.span("batch.chunk", chunk=0, primaries=len(all_ids)):
+                outcomes = _sweep_rows(
+                    all_ids,
+                    all_ids,
+                    include_self=include_self,
+                    healthy=healthy,
+                    boxes=boxes,
+                    repairs=repairs,
+                    broken=broken,
+                    backend=backend,
+                    percentages=percentages,
+                    repair=repair,
+                )
+        failed = sum(1 for outcome in outcomes if not outcome.ok)
+        batch_span.set(pairs=len(outcomes), failed=failed)
+    registry = obs.current_metrics()
+    if registry is not None:
+        counter = registry.counter(
+            "repro_batch_pairs_total",
+            "Pair outcomes produced by batch sweeps.",
         )
-    else:
-        outcomes = _sweep_rows(
-            all_ids,
-            all_ids,
-            include_self=include_self,
-            healthy=healthy,
-            boxes=boxes,
-            repairs=repairs,
-            broken=broken,
-            backend=backend,
-            percentages=percentages,
-            repair=repair,
-        )
+        for status in (OK, REPAIRED, FAILED):
+            count = sum(1 for outcome in outcomes if outcome.status == status)
+            if count:
+                counter.inc(count, status=status)
     return BatchReport(
         outcomes,
         repairs,
@@ -547,9 +608,18 @@ def _parallel_sweep(
     Primaries are split into ``workers`` contiguous chunks so
     concatenating the chunk results in order reproduces the serial
     primary-major outcome order exactly.
+
+    When a tracer / metrics registry is installed, each worker collects
+    its own spans and metric series and ships them back serialised;
+    they are grafted under the caller's current span (one
+    ``batch.worker`` → ``batch.chunk`` subtree per chunk) and merged
+    into the installed registry, so one coherent trace covers the whole
+    fan-out.
     """
     from concurrent.futures import ProcessPoolExecutor
 
+    tracer = obs.current_tracer()
+    registry = obs.current_metrics()
     engine_spec = backend.worker_spec()
     chunk_size = -(-len(all_ids) // workers)  # ceil division
     chunks = [
@@ -568,17 +638,28 @@ def _parallel_sweep(
             "broken": broken,
             "percentages": percentages,
             "repair": repair,
+            "chunk_index": index,
+            "trace": tracer is not None,
+            "collect_metrics": registry is not None,
         }
-        for chunk in chunks
+        for index, chunk in enumerate(chunks)
     ]
     outcomes: List[PairOutcome] = []
     with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-        for chunk_outcomes, new_repairs, stats_snapshot in pool.map(
-            _worker_chunk, payloads
-        ):
+        for index, (
+            chunk_outcomes,
+            new_repairs,
+            stats_snapshot,
+            span_payload,
+            metrics_snapshot,
+        ) in enumerate(pool.map(_worker_chunk, payloads)):
             outcomes.extend(chunk_outcomes)
             repairs.update(new_repairs)
             backend.stats.merge(stats_snapshot)
+            if span_payload and tracer is not None:
+                tracer.ingest(span_payload, worker=f"worker-{index}")
+            if metrics_snapshot and registry is not None:
+                registry.merge(metrics_snapshot)
     return outcomes
 
 

@@ -19,7 +19,13 @@ Every engine instance carries a uniform :class:`EngineStats` record —
 call counts, wall-clock totals (:func:`time.perf_counter`), ladder path
 counts, cache-assist counts — and an optional observer hook that streams
 one :class:`EngineEvent` per completed operation to an external metrics
-sink.
+sink.  When the observability subsystem (:mod:`repro.obs`) has a tracer
+or metrics registry installed, every operation is also reported there —
+a span named ``engine.<name>.<operation>`` and the
+``repro_engine_operations_total`` / ``repro_engine_operation_seconds``
+series — with no observer required (use
+:class:`repro.obs.EngineEventAdapter` to route events into *private*
+sinks instead).
 
 Engines are looked up by name in a string-keyed registry:
 
@@ -47,6 +53,8 @@ from repro.core.percentages import compute_cdr_percentages_against_box
 from repro.core.relation import CardinalDirection
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.region import Region
+from repro.obs.metrics import current_metrics
+from repro.obs.trace import current_tracer
 
 #: The two operations every engine implements.
 OPERATIONS = ("relation", "percentages")
@@ -54,22 +62,32 @@ OPERATIONS = ("relation", "percentages")
 
 @dataclass(frozen=True)
 class EngineEvent:
-    """One completed engine operation, as delivered to observers."""
+    """One completed engine operation, as delivered to observers.
+
+    ``count`` is the number of pairs the operation answered — 1 for the
+    per-pair protocol, the row length for bulk calls (the sweep
+    engine's ``relation_many`` / ``percentages_many``).
+    """
 
     engine: str
     operation: str  # "relation" or "percentages"
     seconds: float
     path: Optional[str] = None  # ladder rung, for engines that have one
+    count: int = 1
 
     def __str__(self) -> str:
         suffix = f" via {self.path}" if self.path else ""
+        bulk = f" x{self.count}" if self.count != 1 else ""
         return (
-            f"{self.engine}.{self.operation}: "
+            f"{self.engine}.{self.operation}{bulk}: "
             f"{self.seconds * 1e3:.3f} ms{suffix}"
         )
 
 
-#: External metrics sink: called once per completed operation.
+#: External metrics sink: called once per completed operation.  An
+#: observer that raises does not abort the operation — the exception is
+#: swallowed and counted in ``EngineStats.observer_errors`` (telemetry
+#: must never take down the computation it watches).
 Observer = Callable[[EngineEvent], None]
 
 
@@ -90,11 +108,13 @@ class EngineStats:
       :meth:`record_cache_assist`, e.g. the relation store's pair cache);
     * :attr:`edge_cache_hits` — engine calls served from the engine's
       own per-primary edge-array cache instead of rebuilding the
-      primary's float64 arrays (the dominant per-pair cost on sweeps).
+      primary's float64 arrays (the dominant per-pair cost on sweeps);
+    * :attr:`observer_errors` — observer callbacks that raised (the
+      exception is swallowed; the operation's result is unaffected).
     """
 
     __slots__ = ("calls", "seconds", "path_counts", "cache_assists",
-                 "edge_cache_hits")
+                 "edge_cache_hits", "observer_errors")
 
     def __init__(self) -> None:
         self.calls: Dict[str, int] = {op: 0 for op in OPERATIONS}
@@ -102,6 +122,7 @@ class EngineStats:
         self.path_counts: Dict[str, int] = {}
         self.cache_assists: int = 0
         self.edge_cache_hits: int = 0
+        self.observer_errors: int = 0
 
     @property
     def total_calls(self) -> int:
@@ -164,6 +185,7 @@ class EngineStats:
             self.path_counts[path] = self.path_counts.get(path, 0) + count
         self.cache_assists += snapshot.get("cache_assists", 0)
         self.edge_cache_hits += snapshot.get("edge_cache_hits", 0)
+        self.observer_errors += snapshot.get("observer_errors", 0)
 
     def as_dict(self) -> Dict[str, object]:
         """A plain-dict snapshot (JSON-friendly, detached from the engine)."""
@@ -173,6 +195,7 @@ class EngineStats:
             "path_counts": dict(self.path_counts),
             "cache_assists": self.cache_assists,
             "edge_cache_hits": self.edge_cache_hits,
+            "observer_errors": self.observer_errors,
         }
 
     def summary(self) -> str:
@@ -196,6 +219,8 @@ class EngineStats:
             parts.append(f"cache assists: {self.cache_assists}")
         if self.edge_cache_hits:
             parts.append(f"edge-cache hits: {self.edge_cache_hits}")
+        if self.observer_errors:
+            parts.append(f"observer errors: {self.observer_errors}")
         return "; ".join(parts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -338,7 +363,19 @@ class Engine:
 
     def worker_spec(self) -> Tuple[str, Dict[str, object]]:
         """``(registry name, options)`` for recreating this engine in a
-        worker process (observers are dropped — they can't be pickled)."""
+        worker process.
+
+        Observers are dropped — callables can't be pickled across the
+        process boundary — so a **custom observer attached to this
+        instance never fires for worker-side operations**.  Worker
+        telemetry is not lost, though: when a tracer / metrics registry
+        is installed (:mod:`repro.obs`), each worker records spans and
+        metrics locally and the batch executor merges them into the
+        parent's trace, alongside the merged
+        :meth:`EngineStats.as_dict` snapshots.  Custom observers that
+        need per-event worker data should read the merged trace
+        instead; see ``docs/OBSERVABILITY.md``.
+        """
         return self.name, self.clone_options()
 
     # -- subclass hooks ----------------------------------------------
@@ -360,9 +397,60 @@ class Engine:
         value, path = implementation(primary, box)
         elapsed = time.perf_counter() - start
         self.stats.record(operation, elapsed, path)
-        if self._observer is not None:
-            self._observer(EngineEvent(self.name, operation, elapsed, path))
+        self._emit_telemetry(operation, elapsed, path)
         return value, path
+
+    def _emit_telemetry(
+        self,
+        operation: str,
+        seconds: float,
+        path: Optional[str],
+        count: int = 1,
+        **extra_attributes,
+    ) -> None:
+        """Report one completed operation to every configured sink.
+
+        Three independent sinks, each optional: the installed span
+        tracer, the installed metrics registry (both from
+        :mod:`repro.obs`; one ``None`` check each while disabled), and
+        this instance's observer.  An observer that raises is counted
+        in ``stats.observer_errors`` and otherwise ignored — telemetry
+        never aborts ``relation()`` / ``percentages()``.
+        """
+        tracer = current_tracer()
+        if tracer is not None:
+            attributes = {"engine": self.name, "operation": operation}
+            if path is not None:
+                attributes["path"] = path
+            if count != 1:
+                attributes["count"] = count
+            if extra_attributes:
+                attributes.update(extra_attributes)
+            tracer.record(
+                f"engine.{self.name}.{operation}", seconds, attributes
+            )
+        registry = current_metrics()
+        if registry is not None:
+            registry.counter(
+                "repro_engine_operations_total",
+                "Completed engine operations (bulk calls count per pair).",
+            ).inc(
+                count,
+                engine=self.name,
+                operation=operation,
+                path=path or "",
+            )
+            registry.histogram(
+                "repro_engine_operation_seconds",
+                "Wall-clock seconds per engine invocation.",
+            ).observe(seconds, engine=self.name, operation=operation)
+        if self._observer is not None:
+            try:
+                self._observer(
+                    EngineEvent(self.name, operation, seconds, path, count)
+                )
+            except Exception:
+                self.stats.observer_errors += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

@@ -51,6 +51,25 @@ from repro.core.percentages import compute_cdr_percentages_against_box
 from repro.errors import RelationError
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.region import Region
+from repro.obs.metrics import current_metrics
+
+
+def _count_fallback(operation: str, reasons: Tuple[str, ...]) -> None:
+    """Account one exact-path fallback in the installed metrics registry.
+
+    One increment per flagged reason (a pair can trip several), so the
+    ``repro_guard_fallback_total{operation, reason}`` series answers
+    "which ill-conditioning class is costing us the fast path".
+    """
+    registry = current_metrics()
+    if registry is None:
+        return
+    counter = registry.counter(
+        "repro_guard_fallback_total",
+        "Guarded-ladder exact fallbacks, by flagged reason.",
+    )
+    for reason in reasons or ("unflagged",):
+        counter.inc(operation=operation, reason=reason)
 
 #: Relative distance to a grid line (or to an edge endpoint, in crossing
 #: parameter space) under which the float fast path is not trusted.
@@ -235,6 +254,7 @@ def guarded_percentages_against_box(
         except RelationError:
             reasons.append("invalid-fast-result")
     matrix = compute_cdr_percentages_against_box(primary, box)
+    _count_fallback("percentages", tuple(reasons))
     return GuardedValue(
         matrix, GuardDiagnostics(EXACT_PATH, tuple(reasons), epsilon)
     )
@@ -279,6 +299,7 @@ def guarded_cdr_against_box(
         relation = compute_cdr_fast_against_box(primary, box, arrays=arrays)
         return GuardedValue(relation, GuardDiagnostics(FAST_PATH, (), epsilon))
     relation = compute_cdr_against_box(primary, box)
+    _count_fallback("relation", reasons)
     return GuardedValue(relation, GuardDiagnostics(EXACT_PATH, reasons, epsilon))
 
 

@@ -375,10 +375,11 @@ class SweepEngine(Engine):
         self.stats.record_bulk(
             operation, elapsed, len(boxes), {p: n for p, n in paths.items() if n}
         )
-        if self._observer is not None:
-            from repro.core.engine import EngineEvent
-
-            self._observer(
-                EngineEvent(self.name, operation, elapsed, BROADCAST_PATH)
-            )
+        self._emit_telemetry(
+            operation,
+            elapsed,
+            BROADCAST_PATH,
+            count=len(boxes),
+            pruned=len(boxes) - len(pending),
+        )
         return results

@@ -50,6 +50,8 @@ from repro.geometry.point import Coordinate, Point
 from repro.geometry.polygon import Polygon, _twice_signed_area
 from repro.geometry.predicates import orientation
 from repro.geometry.region import Region
+from repro.obs.metrics import current_metrics
+from repro.obs.trace import span as _obs_span
 
 #: The three repair modes.
 STRICT = "strict"
@@ -461,21 +463,51 @@ def repair_region(
 
     actions: List[RepairAction] = []
     polygons: List[Polygon] = []
-    for index, ring in enumerate(rings):
-        try:
-            repaired, ring_actions = repair_polygon(
-                ring,
-                mode=mode,
-                snap_tolerance=snap_tolerance,
-                polygon_index=index,
-            )
-        except GeometryError as error:
-            raise error.with_context(region_id=region_id, polygon_index=index)
-        polygons.extend(repaired)
-        actions.extend(ring_actions)
+    with _obs_span(
+        "repair.region", mode=mode, region_id=region_id, rings=len(rings)
+    ) as obs_span:
+        for index, ring in enumerate(rings):
+            try:
+                repaired, ring_actions = repair_polygon(
+                    ring,
+                    mode=mode,
+                    snap_tolerance=snap_tolerance,
+                    polygon_index=index,
+                )
+            except GeometryError as error:
+                raise error.with_context(
+                    region_id=region_id, polygon_index=index
+                )
+            polygons.extend(repaired)
+            actions.extend(ring_actions)
+        obs_span.set(fixes=len(actions))
+    _count_repairs(actions)
     if not polygons:
         raise GeometryError(
             "region is empty after repair: every ring was degenerate",
             region_id=region_id,
         )
     return Region(polygons), RepairReport(tuple(actions), region_id)
+
+
+def _count_repairs(actions: Sequence[RepairAction]) -> None:
+    """Per-stage fix counts into the installed metrics registry.
+
+    One increment of ``repro_repair_fixes_total{code}`` per applied
+    action, plus one ``repro_repair_regions_total{changed}`` increment
+    per repaired region — the quickest read on what kinds of defects an
+    ingestion stream actually carries.
+    """
+    registry = current_metrics()
+    if registry is None:
+        return
+    fixes = registry.counter(
+        "repro_repair_fixes_total",
+        "Repair-pipeline fixes applied, by stage code.",
+    )
+    for action in actions:
+        fixes.inc(code=action.code)
+    registry.counter(
+        "repro_repair_regions_total",
+        "Regions passed through the repair pipeline.",
+    ).inc(changed=str(bool(actions)).lower())

@@ -1,0 +1,89 @@
+"""``repro.obs`` — zero-dependency tracing and metrics for the stack.
+
+The observability subsystem has three parts:
+
+* **span tracer** (:mod:`repro.obs.trace`) — nested, timed spans with
+  attributes, JSONL export, cross-process payload merging, and a no-op
+  mode whose per-call cost while disabled is a single ``None`` check;
+* **metrics registry** (:mod:`repro.obs.metrics`) — named counters,
+  gauges and histograms with JSON and Prometheus-text exporters and a
+  snapshot/merge channel for process-pool workers;
+* **instrumentation** — the engine layer, batch executor, repair
+  pipeline, consistency solver, query evaluator and relation store all
+  report into whichever tracer/registry is *installed*
+  (:func:`install_tracer` / :func:`install_metrics`); nothing is
+  recorded while none is.
+
+Quick start::
+
+    from repro import obs
+
+    with obs.tracing() as tracer, obs.collecting() as registry:
+        report = store.batch_relations(engine="sweep", workers=4)
+    tracer.export_jsonl("trace.jsonl")
+    registry.export_prometheus("metrics.prom")
+    print(obs.render_span_tree(tracer.spans))
+
+On the CLI the same wiring is one flag away: every ``cardirect``
+subcommand accepts ``--trace FILE`` and ``--metrics FILE``, and
+``cardirect profile`` prints the aggregated span tree with hot-path
+percentages.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.adapter import EngineEventAdapter
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collecting,
+    current_metrics,
+    install_metrics,
+    uninstall_metrics,
+)
+from repro.obs.report import (
+    SpanGroup,
+    aggregate_tree,
+    hot_paths,
+    render_hot_paths,
+    render_span_tree,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    load_jsonl,
+    record,
+    span,
+    tracing,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "EngineEventAdapter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "SpanGroup",
+    "Tracer",
+    "aggregate_tree",
+    "collecting",
+    "current_metrics",
+    "current_tracer",
+    "hot_paths",
+    "install_metrics",
+    "install_tracer",
+    "load_jsonl",
+    "record",
+    "render_hot_paths",
+    "render_span_tree",
+    "span",
+    "tracing",
+    "uninstall_metrics",
+    "uninstall_tracer",
+]

@@ -1,0 +1,91 @@
+"""Routing engine telemetry into the observability subsystem.
+
+The engine layer (:mod:`repro.core.engine`) predates ``repro.obs`` and
+streams one :class:`~repro.core.engine.EngineEvent` per completed
+operation to an ad-hoc observer callable.  :class:`EngineEventAdapter`
+is the bridge: an observer that turns each event into
+
+* a span on a tracer (name ``engine.<engine>.<operation>``, with the
+  path and bulk count as attributes), and/or
+* two metric series on a registry —
+  ``repro_engine_operations_total{engine, operation, path}`` and
+  ``repro_engine_operation_seconds{engine, operation}``.
+
+The adapter targets **explicit** sinks.  Engines already report
+directly to the *installed* tracer/registry (see
+``Engine._emit_telemetry``), so binding an adapter to those same
+installed sinks would double-count; the adapter exists for routing one
+engine's events into a private tracer or registry — a per-tenant
+registry in a service, a capture buffer in a test — without touching
+the process-wide sinks.
+
+Observers cannot cross process boundaries (``Engine.worker_spec`` drops
+them), so an adapter attached to a ``batch_relations(workers=N)``
+engine sees only parent-process events.  Worker telemetry flows through
+the serialised trace/metrics channel instead; see
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class EngineEventAdapter:
+    """An :data:`~repro.core.engine.Observer` feeding explicit sinks.
+
+    >>> tracer = Tracer()
+    >>> registry = MetricsRegistry()
+    >>> adapter = EngineEventAdapter(tracer=tracer, metrics=registry)
+    >>> # create_engine("sweep", observer=adapter)
+    """
+
+    def __init__(
+        self,
+        *,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if tracer is None and metrics is None:
+            raise ValueError(
+                "EngineEventAdapter needs at least one sink; pass tracer= "
+                "and/or metrics="
+            )
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def __call__(self, event) -> None:
+        count = getattr(event, "count", 1)
+        if self.tracer is not None:
+            attributes = {
+                "engine": event.engine,
+                "operation": event.operation,
+            }
+            if event.path is not None:
+                attributes["path"] = event.path
+            if count != 1:
+                attributes["count"] = count
+            self.tracer.record(
+                f"engine.{event.engine}.{event.operation}",
+                event.seconds,
+                attributes,
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_engine_operations_total",
+                "Completed engine operations (bulk calls count per pair).",
+            ).inc(
+                count,
+                engine=event.engine,
+                operation=event.operation,
+                path=event.path or "",
+            )
+            self.metrics.histogram(
+                "repro_engine_operation_seconds",
+                "Wall-clock seconds per engine invocation.",
+            ).observe(
+                event.seconds, engine=event.engine, operation=event.operation
+            )

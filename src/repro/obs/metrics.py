@@ -1,0 +1,384 @@
+"""The metrics registry: named counters, gauges and histograms.
+
+A :class:`MetricsRegistry` holds labelled metric families and exports
+them two ways:
+
+* :meth:`MetricsRegistry.snapshot` / :meth:`~MetricsRegistry.export_json`
+  — a plain-dict, JSON-friendly form, also the wire format for merging
+  worker-process metrics into the parent registry
+  (:meth:`MetricsRegistry.merge`);
+* :meth:`MetricsRegistry.to_prometheus_text` /
+  :meth:`~MetricsRegistry.export_prometheus` — the Prometheus text
+  exposition format (``# HELP`` / ``# TYPE`` headers, ``_bucket`` /
+  ``_sum`` / ``_count`` series for histograms), scrapeable or pushable
+  as-is.
+
+Like the tracer (:mod:`repro.obs.trace`), the registry follows the
+install/current pattern: instrumented call sites read
+:func:`current_metrics` and skip all work while it is ``None``, so the
+disabled overhead is one attribute read per call site.
+
+The naming convention follows Prometheus practice: ``repro_<area>_
+<what>_<unit-or-total>``, e.g. ``repro_engine_operations_total``,
+``repro_engine_operation_seconds``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: A frozen, sorted label set — the per-series key inside a family.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets, tuned for operation latencies in seconds.
+DEFAULT_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((name, str(value)) for name, value in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_labels(key: LabelKey, extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(key)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
+    return "{" + rendered + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class _Metric:
+    """Shared family plumbing: name, help text, per-labelset series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help = help_text
+        self._series: Dict[LabelKey, object] = {}
+        self._lock = threading.Lock()
+
+
+class Counter(_Metric):
+    """A monotonically increasing count, optionally labelled."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount!r}")
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        return float(self._series.get(_label_key(labels), 0))
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (queue sizes, cache occupancy)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        with self._lock:
+            self._series[_label_key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return float(self._series.get(_label_key(labels), 0))
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * (n_buckets + 1)  # +1: the +Inf bucket
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """A distribution over fixed buckets (cumulative on export)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text)
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("a histogram needs at least one bucket bound")
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets))
+            series.counts[bisect_left(self.buckets, value)] += 1
+            series.total += value
+            series.count += 1
+
+    def count(self, **labels: object) -> int:
+        series = self._series.get(_label_key(labels))
+        return series.count if series is not None else 0
+
+    def sum(self, **labels: object) -> float:
+        series = self._series.get(_label_key(labels))
+        return series.total if series is not None else 0.0
+
+
+class MetricsRegistry:
+    """A named collection of metric families with two exporters."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- family accessors (get-or-create) ----------------------------
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._family(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._family(Gauge, name, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = Histogram(
+                    name, help_text, buckets
+                )
+            elif not isinstance(metric, Histogram):
+                raise ValueError(
+                    f"{name!r} is registered as a {metric.kind}, not a histogram"
+                )
+        return metric
+
+    def _family(self, cls, name: str, help_text: str):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, help_text)
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"{name!r} is registered as a {metric.kind}, "
+                    f"not a {cls.kind}"
+                )
+        return metric
+
+    def families(self) -> List[_Metric]:
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    # -- JSON snapshot / merge ---------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict snapshot: JSON-friendly and merge-able."""
+        families = {}
+        for metric in self.families():
+            series = []
+            for key, value in sorted(metric._series.items()):
+                entry: Dict[str, object] = {"labels": dict(key)}
+                if isinstance(metric, Histogram):
+                    assert isinstance(value, _HistogramSeries)
+                    entry["buckets"] = list(value.counts)
+                    entry["sum"] = value.total
+                    entry["count"] = value.count
+                else:
+                    entry["value"] = value
+                series.append(entry)
+            family: Dict[str, object] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "series": series,
+            }
+            if isinstance(metric, Histogram):
+                family["bucket_bounds"] = list(metric.buckets)
+            families[metric.name] = family
+        return families
+
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters and histogram series add; gauges take the snapshot's
+        value (last writer wins — the natural reading for a level
+        reported by a finished worker).  Used to merge per-worker
+        registries into the parent's after a parallel sweep.
+        """
+        for name, family in snapshot.items():
+            kind = family.get("kind", "counter")
+            for entry in family.get("series", ()):
+                labels = dict(entry.get("labels", {}))
+                if kind == "counter":
+                    self.counter(name, family.get("help", "")).inc(
+                        entry["value"], **labels
+                    )
+                elif kind == "gauge":
+                    self.gauge(name, family.get("help", "")).set(
+                        entry["value"], **labels
+                    )
+                elif kind == "histogram":
+                    histogram = self.histogram(
+                        name,
+                        family.get("help", ""),
+                        tuple(family.get("bucket_bounds", DEFAULT_BUCKETS)),
+                    )
+                    key = _label_key(labels)
+                    with histogram._lock:
+                        series = histogram._series.get(key)
+                        if series is None:
+                            series = histogram._series[key] = _HistogramSeries(
+                                len(histogram.buckets)
+                            )
+                        for index, count in enumerate(entry["buckets"]):
+                            series.counts[index] += count
+                        series.total += entry["sum"]
+                        series.count += entry["count"]
+                else:  # pragma: no cover - future kinds pass through
+                    continue
+
+    def export_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # -- Prometheus text exposition ----------------------------------
+
+    def to_prometheus_text(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        lines: List[str] = []
+        for metric in self.families():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for key, value in sorted(metric._series.items()):
+                if isinstance(metric, Histogram):
+                    assert isinstance(value, _HistogramSeries)
+                    cumulative = 0
+                    for bound, count in zip(metric.buckets, value.counts):
+                        cumulative += count
+                        lines.append(
+                            f"{metric.name}_bucket"
+                            f"{_format_labels(key, ('le', _format_value(bound)))}"
+                            f" {cumulative}"
+                        )
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_format_labels(key, ('le', '+Inf'))} {value.count}"
+                    )
+                    lines.append(
+                        f"{metric.name}_sum{_format_labels(key)} "
+                        f"{repr(value.total)}"
+                    )
+                    lines.append(
+                        f"{metric.name}_count{_format_labels(key)} "
+                        f"{value.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{metric.name}{_format_labels(key)} "
+                        f"{_format_value(float(value))}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def export_prometheus(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_prometheus_text())
+
+
+# ---------------------------------------------------------------------------
+# The installed (global) registry
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def install_metrics(
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Install ``registry`` (default: fresh) as the process registry."""
+    global _ACTIVE
+    _ACTIVE = registry if registry is not None else MetricsRegistry()
+    return _ACTIVE
+
+
+def uninstall_metrics() -> Optional[MetricsRegistry]:
+    """Remove the installed registry (metrics off); returns it."""
+    global _ACTIVE
+    registry, _ACTIVE = _ACTIVE, None
+    return registry
+
+
+def current_metrics() -> Optional[MetricsRegistry]:
+    """The installed registry, or ``None`` while metrics are disabled."""
+    return _ACTIVE
+
+
+class collecting:
+    """``with collecting() as registry:`` — scoped install/uninstall."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._previous: Optional[MetricsRegistry] = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = current_metrics()
+        install_metrics(self._registry)
+        return self._registry
+
+    def __exit__(self, *exc_info: object) -> bool:
+        global _ACTIVE
+        _ACTIVE = self._previous
+        return False

@@ -1,0 +1,155 @@
+"""Rendering traces for humans: aggregated span trees and hot paths.
+
+A raw trace of an all-pairs sweep holds thousands of engine spans; the
+useful view groups siblings by name.  :func:`aggregate_tree` folds a
+span list into a tree of :class:`SpanGroup` nodes — per (parent, name):
+call count, total seconds, share of the root's wall clock —
+and :func:`render_span_tree` prints it::
+
+    cli.relations                                1x  0.412s 100.0%
+      batch.relations                            1x  0.401s  97.3%
+        batch.chunk                              2x  0.388s  94.2%
+          engine.sweep.relation               9900x  0.301s  73.1%
+
+:func:`hot_paths` flattens the same trace into per-name totals of
+**self time** (time not attributed to child spans), the quickest answer
+to "where did the time actually go".  Both power the CLI's
+``cardirect profile`` subcommand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.trace import Span
+
+
+class SpanGroup:
+    """All same-named spans sharing one parent group, folded together."""
+
+    __slots__ = ("name", "count", "seconds", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.seconds = 0.0
+        self.children: Dict[str, "SpanGroup"] = {}
+
+    def child(self, name: str) -> "SpanGroup":
+        group = self.children.get(name)
+        if group is None:
+            group = self.children[name] = SpanGroup(name)
+        return group
+
+
+def aggregate_tree(spans: Sequence[Span]) -> SpanGroup:
+    """Fold spans into a tree of name-grouped nodes under a virtual root.
+
+    Spans whose parent id is unknown (roots, or orphans from a
+    truncated trace) attach to the virtual root.  The virtual root's
+    ``seconds`` is the sum of its children — the denominator for the
+    percentage column.
+    """
+    by_id = {span.span_id: span for span in spans}
+    root = SpanGroup("<trace>")
+    # Resolve each span's chain of ancestor *names* so equal shapes fold.
+    group_of: Dict[str, SpanGroup] = {}
+
+    def resolve(span: Span) -> SpanGroup:
+        cached = group_of.get(span.span_id)
+        if cached is not None:
+            return cached
+        parent = by_id.get(span.parent_id) if span.parent_id else None
+        parent_group = resolve(parent) if parent is not None else root
+        group = parent_group.child(span.name)
+        group_of[span.span_id] = group
+        return group
+
+    for span in spans:
+        group = resolve(span)
+        group.count += 1
+        group.seconds += span.seconds or 0.0
+    root.seconds = sum(child.seconds for child in root.children.values())
+    root.count = 1
+    return root
+
+
+def render_span_tree(
+    spans: Sequence[Span],
+    *,
+    min_percent: float = 0.0,
+    indent: int = 2,
+) -> str:
+    """The aggregated tree as aligned text, hottest branches first."""
+    root = aggregate_tree(spans)
+    total = root.seconds or 1e-12
+    lines: List[Tuple[str, int, float, float]] = []
+
+    def walk(group: SpanGroup, depth: int) -> None:
+        share = 100.0 * group.seconds / total
+        if share < min_percent and depth > 0:
+            return
+        if depth > 0:  # the virtual root is implicit
+            lines.append(
+                (" " * indent * (depth - 1) + group.name, group.count,
+                 group.seconds, share)
+            )
+        for child in sorted(
+            group.children.values(), key=lambda g: -g.seconds
+        ):
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    if not lines:
+        return "(empty trace)"
+    width = max(len(label) for label, *_ in lines)
+    return "\n".join(
+        f"{label:<{width}}  {count:>8}x  {seconds:>9.3f}s  {share:>5.1f}%"
+        for label, count, seconds, share in lines
+    )
+
+
+def hot_paths(
+    spans: Sequence[Span], *, top: Optional[int] = None
+) -> List[Tuple[str, float, float, int]]:
+    """Per-name self-time totals: ``(name, self_seconds, percent, count)``.
+
+    Self time is a span's duration minus its direct children's — the
+    time spent *in* that layer rather than below it — clamped at zero
+    (bulk engine spans recorded post-hoc can slightly overlap their
+    parent's clock).  Percentages are of the whole trace's self time.
+    """
+    child_seconds: Dict[str, float] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            child_seconds[span.parent_id] = (
+                child_seconds.get(span.parent_id, 0.0) + (span.seconds or 0.0)
+            )
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for span in spans:
+        own = (span.seconds or 0.0) - child_seconds.get(span.span_id, 0.0)
+        totals[span.name] = totals.get(span.name, 0.0) + max(own, 0.0)
+        counts[span.name] = counts.get(span.name, 0) + 1
+    grand_total = sum(totals.values()) or 1e-12
+    ranked = sorted(totals.items(), key=lambda item: -item[1])
+    if top is not None:
+        ranked = ranked[:top]
+    return [
+        (name, seconds, 100.0 * seconds / grand_total, counts[name])
+        for name, seconds in ranked
+    ]
+
+
+def render_hot_paths(
+    spans: Sequence[Span], *, top: Optional[int] = 10
+) -> str:
+    """The :func:`hot_paths` table as aligned text."""
+    rows = hot_paths(spans, top=top)
+    if not rows:
+        return "(empty trace)"
+    width = max(len(name) for name, *_ in rows)
+    return "\n".join(
+        f"{name:<{width}}  {seconds:>9.3f}s  {share:>5.1f}%  ({count}x)"
+        for name, seconds, share, count in rows
+    )

@@ -50,6 +50,8 @@ from repro.core.compute import compute_cdr
 from repro.core.relation import CardinalDirection
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.region import Region
+from repro.obs.metrics import current_metrics
+from repro.obs.trace import span as _obs_span
 from repro.reasoning.witness import maximal_model
 
 Constraints = Mapping[Tuple[str, str], CardinalDirection]
@@ -226,35 +228,70 @@ def check_consistency(
 
     variables = [f"{kind}:{name}" for name in names for kind in ("lo", "hi")]
     last_unknown: Optional[ConsistencyResult] = None
-    for attempt in range(max(1, attempts)):
-        rng = random.Random(20040000 + attempt) if attempt else None
-        x_values, x_reason = _solve_axis(x_system, variables, rng)
-        if x_values is None:
-            return ConsistencyResult(
-                ConsistencyStatus.INCONSISTENT,
-                explanation=f"x-axis: {x_reason}",
-            )
-        y_values, y_reason = _solve_axis(y_system, variables, rng)
-        if y_values is None:
-            return ConsistencyResult(
-                ConsistencyStatus.INCONSISTENT,
-                explanation=f"y-axis: {y_reason}",
-            )
-        boxes = {
-            name: BoundingBox(
-                x_values[f"lo:{name}"],
-                y_values[f"lo:{name}"],
-                x_values[f"hi:{name}"],
-                y_values[f"hi:{name}"],
-            )
-            for name in names
-        }
-        result = _verify_maximal_model(boxes, constraints)
-        if result.status is ConsistencyStatus.CONSISTENT:
-            return result
-        last_unknown = result
-    assert last_unknown is not None
-    return last_unknown
+    result: Optional[ConsistencyResult] = None
+    attempts_used = 0
+    with _obs_span(
+        "reasoning.consistency",
+        constraints=len(constraints),
+        variables=len(names),
+        order_variables=len(variables),
+        inequalities=(
+            len(x_system.weak) + len(x_system.strict)
+            + len(y_system.weak) + len(y_system.strict)
+        ),
+    ) as check_span:
+        for attempt in range(max(1, attempts)):
+            attempts_used = attempt + 1
+            with _obs_span(
+                "reasoning.attempt", attempt=attempt
+            ) as attempt_span:
+                rng = random.Random(20040000 + attempt) if attempt else None
+                x_values, x_reason = _solve_axis(x_system, variables, rng)
+                if x_values is None:
+                    attempt_span.set(outcome="inconsistent", axis="x")
+                    result = ConsistencyResult(
+                        ConsistencyStatus.INCONSISTENT,
+                        explanation=f"x-axis: {x_reason}",
+                    )
+                    break
+                y_values, y_reason = _solve_axis(y_system, variables, rng)
+                if y_values is None:
+                    attempt_span.set(outcome="inconsistent", axis="y")
+                    result = ConsistencyResult(
+                        ConsistencyStatus.INCONSISTENT,
+                        explanation=f"y-axis: {y_reason}",
+                    )
+                    break
+                boxes = {
+                    name: BoundingBox(
+                        x_values[f"lo:{name}"],
+                        y_values[f"lo:{name}"],
+                        x_values[f"hi:{name}"],
+                        y_values[f"hi:{name}"],
+                    )
+                    for name in names
+                }
+                verified = _verify_maximal_model(boxes, constraints)
+                attempt_span.set(outcome=verified.status.value)
+                if verified.status is ConsistencyStatus.CONSISTENT:
+                    result = verified
+                    break
+                last_unknown = verified
+        if result is None:
+            assert last_unknown is not None
+            result = last_unknown
+        check_span.set(status=result.status.value, attempts=attempts_used)
+    registry = current_metrics()
+    if registry is not None:
+        registry.counter(
+            "repro_consistency_checks_total",
+            "Basic-network consistency checks, by outcome.",
+        ).inc(status=result.status.value)
+        registry.counter(
+            "repro_consistency_attempts_total",
+            "Endpoint linear extensions tried across all checks.",
+        ).inc(attempts_used)
+    return result
 
 
 def _verify_maximal_model(

@@ -34,6 +34,8 @@ from repro.core.relation import (
     CardinalDirection,
     DisjunctiveCD,
 )
+from repro.obs.metrics import current_metrics
+from repro.obs.trace import span as _obs_span
 from repro.geometry.region import Region
 from repro.reasoning.composition import compose
 from repro.reasoning.consistency import (
@@ -153,30 +155,70 @@ class DisjunctiveNetwork:
 
         Returns ``False`` when a constraint empties (definite
         inconsistency), ``True`` otherwise (consistency *not* guaranteed).
+
+        Progress is observable: a ``reasoning.closure`` span records
+        the rounds to fixpoint and the number of revisions (arcs
+        narrowed) / basic relations pruned, mirrored as
+        ``repro_closure_*`` counters in the installed metrics registry.
         """
         names = self._variables
         changed = True
         rounds = 0
-        while changed:
-            changed = False
-            rounds += 1
-            if rounds > max_rounds:  # pragma: no cover - safety valve
-                raise ReasoningError("algebraic closure did not converge")
-            for i, k, j in itertools.permutations(names, 3):
-                if i >= j:
-                    continue  # handle each unordered (i, j) once per k
-                r_ij = self.relation_between(i, j)
-                if len(r_ij) == 511:
-                    through = self._compose_pair(i, k, j)
-                    pruned = through
-                else:
-                    through = self._compose_pair(i, k, j)
-                    pruned = r_ij.intersection(through)
-                if pruned != r_ij:
-                    self._store(i, j, pruned)
-                    changed = True
-                    if pruned.is_empty:
-                        return False
+        revisions = 0
+        relations_pruned = 0
+        emptied = False
+        with _obs_span(
+            "reasoning.closure",
+            variables=len(names),
+            arcs=len(self._constraints),
+        ) as closure_span:
+            while changed:
+                changed = False
+                rounds += 1
+                if rounds > max_rounds:  # pragma: no cover - safety valve
+                    raise ReasoningError("algebraic closure did not converge")
+                for i, k, j in itertools.permutations(names, 3):
+                    if i >= j:
+                        continue  # handle each unordered (i, j) once per k
+                    r_ij = self.relation_between(i, j)
+                    if len(r_ij) == 511:
+                        through = self._compose_pair(i, k, j)
+                        pruned = through
+                    else:
+                        through = self._compose_pair(i, k, j)
+                        pruned = r_ij.intersection(through)
+                    if pruned != r_ij:
+                        self._store(i, j, pruned)
+                        changed = True
+                        revisions += 1
+                        relations_pruned += len(r_ij) - len(pruned)
+                        if pruned.is_empty:
+                            emptied = True
+                            break
+                if emptied:
+                    break
+            closure_span.set(
+                rounds=rounds,
+                revisions=revisions,
+                relations_pruned=relations_pruned,
+                emptied=emptied,
+            )
+        registry = current_metrics()
+        if registry is not None:
+            registry.counter(
+                "repro_closure_rounds_total",
+                "Path-consistency rounds run to fixpoint.",
+            ).inc(rounds)
+            registry.counter(
+                "repro_closure_revisions_total",
+                "Arcs narrowed during algebraic closure.",
+            ).inc(revisions)
+            registry.counter(
+                "repro_closure_relations_pruned_total",
+                "Basic relations removed from disjunctions by closure.",
+            ).inc(relations_pruned)
+        if emptied:
+            return False
         return not self.is_trivially_inconsistent
 
     #: Above this many (R_ik, R_kj) pairs the composition is approximated
@@ -215,28 +257,44 @@ class DisjunctiveNetwork:
         """
         if not self._constraints:
             raise ReasoningError("empty network")
-        if not self.algebraic_closure():
-            return SolveReport(solution=None, unverified_candidates=0)
+        with _obs_span(
+            "reasoning.solve",
+            variables=len(self._variables),
+            arcs=len(self._constraints),
+        ) as solve_span:
+            if not self.algebraic_closure():
+                solve_span.set(outcome="inconsistent", candidates=0)
+                return SolveReport(solution=None, unverified_candidates=0)
 
-        keys = sorted(
-            self._constraints, key=lambda key: len(self._constraints[key])
-        )
-        choices: List[List[CardinalDirection]] = [
-            sorted(self._constraints[key].relations) for key in keys
-        ]
-        unverified = 0
-        examined = 0
-        for combo in itertools.product(*choices):
-            examined += 1
-            if examined > max_candidates:
-                break
-            candidate = dict(zip(keys, combo))
-            result = check_consistency(candidate)
-            if result.status is ConsistencyStatus.CONSISTENT:
-                return SolveReport(
-                    Solution(assignment=candidate, witness=result.witness),
-                    unverified_candidates=unverified,
-                )
-            if result.status is ConsistencyStatus.UNKNOWN:
-                unverified += 1
-        return SolveReport(solution=None, unverified_candidates=unverified)
+            keys = sorted(
+                self._constraints, key=lambda key: len(self._constraints[key])
+            )
+            choices: List[List[CardinalDirection]] = [
+                sorted(self._constraints[key].relations) for key in keys
+            ]
+            unverified = 0
+            examined = 0
+            for combo in itertools.product(*choices):
+                examined += 1
+                if examined > max_candidates:
+                    break
+                candidate = dict(zip(keys, combo))
+                result = check_consistency(candidate)
+                if result.status is ConsistencyStatus.CONSISTENT:
+                    solve_span.set(
+                        outcome="consistent",
+                        candidates=examined,
+                        unverified=unverified,
+                    )
+                    return SolveReport(
+                        Solution(assignment=candidate, witness=result.witness),
+                        unverified_candidates=unverified,
+                    )
+                if result.status is ConsistencyStatus.UNKNOWN:
+                    unverified += 1
+            solve_span.set(
+                outcome="unknown" if unverified else "inconsistent",
+                candidates=examined,
+                unverified=unverified,
+            )
+            return SolveReport(solution=None, unverified_candidates=unverified)

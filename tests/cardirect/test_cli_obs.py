@@ -1,0 +1,121 @@
+"""CLI observability: the global --trace/--metrics options and the
+profile subcommand."""
+
+import json
+
+import pytest
+
+from repro.cardirect.cli import main
+from repro.obs import uninstall_metrics, uninstall_tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_sinks():
+    uninstall_tracer()
+    uninstall_metrics()
+    yield
+    uninstall_tracer()
+    uninstall_metrics()
+
+
+@pytest.fixture
+def demo_xml(tmp_path):
+    path = tmp_path / "greece.xml"
+    assert main(["demo", str(path)]) == 0
+    return path
+
+
+class TestTraceOption:
+    def test_trace_after_subcommand(self, demo_xml, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert main(["relations", str(demo_xml), "--trace", str(out)]) == 0
+        spans = [
+            json.loads(line)
+            for line in out.read_text().strip().splitlines()
+        ]
+        names = {span["name"] for span in spans}
+        assert "cli.relations" in names
+        assert "engine.exact.relation" in names
+        root = next(s for s in spans if s["name"] == "cli.relations")
+        assert root["parent"] is None
+        assert root["attrs"]["status"] == 0
+        assert "spans written" in capsys.readouterr().err
+
+    def test_trace_before_subcommand(self, demo_xml, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        assert main(["--trace", str(out), "relations", str(demo_xml)]) == 0
+        assert out.exists()
+
+    def test_sinks_uninstalled_afterwards(self, demo_xml, tmp_path):
+        from repro.obs import current_metrics, current_tracer
+
+        main([
+            "relations", str(demo_xml),
+            "--trace", str(tmp_path / "t.jsonl"),
+            "--metrics", str(tmp_path / "m.prom"),
+        ])
+        assert current_tracer() is None
+        assert current_metrics() is None
+
+
+class TestMetricsOption:
+    def test_prometheus_output(self, demo_xml, tmp_path):
+        out = tmp_path / "metrics.prom"
+        assert main(["relations", str(demo_xml), "--metrics", str(out)]) == 0
+        text = out.read_text()
+        assert "# TYPE repro_engine_operations_total counter" in text
+        assert "repro_store_requests_total" in text
+        assert 'operation="relation"' in text
+
+    def test_json_output_when_extension_is_json(self, demo_xml, tmp_path):
+        out = tmp_path / "metrics.json"
+        assert main(["relations", str(demo_xml), "--metrics", str(out)]) == 0
+        loaded = json.loads(out.read_text())
+        assert loaded["repro_engine_operations_total"]["kind"] == "counter"
+
+    def test_query_clause_telemetry(self, demo_xml, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        assert main([
+            "query", str(demo_xml), "a NW:N:NE b",
+            "--trace", str(trace), "--metrics", str(metrics),
+        ]) == 0
+        names = [
+            json.loads(line)["name"]
+            for line in trace.read_text().strip().splitlines()
+        ]
+        assert "query.evaluate" in names
+        assert "query.clause" in names
+        text = metrics.read_text()
+        assert "repro_query_evaluations_total 1" in text
+        assert "repro_query_clause_checks_total" in text
+
+
+class TestProfileCommand:
+    def test_renders_tree_and_hot_paths(self, demo_xml, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        main(["relations", str(demo_xml), "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["profile", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "cli.relations" in out
+        assert "engine.exact.relation" in out
+        assert "%" in out
+
+    def test_min_percent_filters(self, demo_xml, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        main(["relations", str(demo_xml), "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["profile", str(trace), "--min-percent", "99.9"]) == 0
+        out = capsys.readouterr().out
+        assert "cli.relations" in out
+
+    def test_empty_trace_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["profile", str(empty)]) == 1
+        assert "no spans" in capsys.readouterr().err
+
+    def test_missing_trace_file(self, tmp_path, capsys):
+        assert main(["profile", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,118 @@
+"""Batch-layer observability: chunk spans serially, and the serialised
+per-worker trace/metrics channel on parallel sweeps."""
+
+import random
+
+import pytest
+
+from repro.cardirect.model import AnnotatedRegion, Configuration
+from repro.core.batch import batch_relations
+from repro.obs import (
+    collecting,
+    tracing,
+    uninstall_metrics,
+    uninstall_tracer,
+)
+from repro.workloads.generators import random_rectilinear_region
+
+
+@pytest.fixture(autouse=True)
+def _clean_sinks():
+    uninstall_tracer()
+    uninstall_metrics()
+    yield
+    uninstall_tracer()
+    uninstall_metrics()
+
+
+def _configuration(count=6, seed=7):
+    rng = random.Random(seed)
+    regions = []
+    for index in range(count):
+        region = random_rectilinear_region(rng, 3)
+        if index % 2:
+            region = region.translated(300 * index, -200)
+        regions.append(
+            AnnotatedRegion(id=f"r{index}", name=f"r{index}", region=region)
+        )
+    return Configuration.from_regions(regions)
+
+
+class TestSerialBatchTracing:
+    def test_span_tree_shape(self):
+        configuration = _configuration()
+        with tracing() as tracer:
+            report = batch_relations(configuration, engine="sweep")
+        names = [s.name for s in tracer.spans]
+        assert names.count("batch.relations") == 1
+        assert names.count("batch.chunk") == 1
+        assert "engine.sweep.relation" in names
+        root = next(s for s in tracer.spans if s.name == "batch.relations")
+        chunk = next(s for s in tracer.spans if s.name == "batch.chunk")
+        assert chunk.parent_id == root.span_id
+        assert root.attributes["pairs"] == len(report.outcomes)
+        assert root.attributes["engine"] == "sweep"
+        engine_spans = [
+            s for s in tracer.spans if s.name == "engine.sweep.relation"
+        ]
+        assert all(s.parent_id == chunk.span_id for s in engine_spans)
+
+    def test_pair_status_metrics(self):
+        configuration = _configuration()
+        with collecting() as registry:
+            report = batch_relations(configuration, engine="sweep")
+        counter = registry.counter("repro_batch_pairs_total")
+        assert counter.value(status="ok") == len(report.ok_outcomes())
+
+    def test_no_sinks_no_spans(self):
+        # Regression guard: running untraced must not blow up anywhere.
+        report = batch_relations(_configuration(), engine="sweep")
+        assert report.outcomes
+
+
+class TestWorkerTraceChannel:
+    def test_worker_spans_merge_into_parent_trace(self):
+        configuration = _configuration(count=8)
+        with tracing() as tracer:
+            batch_relations(configuration, engine="sweep", workers=2)
+        spans = tracer.spans
+        worker_spans = [s for s in spans if s.name == "batch.worker"]
+        assert len(worker_spans) == 2
+        assert {s.attributes["chunk"] for s in worker_spans} == {0, 1}
+        assert {s.worker for s in worker_spans} == {"worker-0", "worker-1"}
+        # every worker span hangs under the one batch.relations root
+        root = next(s for s in spans if s.name == "batch.relations")
+        assert all(s.parent_id == root.span_id for s in worker_spans)
+        # engine spans from inside the workers arrived too, re-parented
+        # under their chunk spans with no id collisions
+        by_id = {s.span_id: s for s in spans}
+        assert len(by_id) == len(spans)
+        chunk_ids = {
+            s.span_id for s in spans if s.name == "batch.chunk"
+        }
+        engine_spans = [
+            s for s in spans if s.name == "engine.sweep.relation"
+        ]
+        assert engine_spans
+        for span in engine_spans:
+            assert by_id[span.parent_id].span_id in chunk_ids
+
+    def test_worker_metrics_merge_into_parent_registry(self):
+        configuration = _configuration(count=8)
+        with collecting() as registry:
+            report = batch_relations(
+                configuration, engine="sweep", workers=2
+            )
+        counter = registry.counter("repro_engine_operations_total")
+        total = sum(
+            value
+            for key, value in counter._series.items()
+            if ("operation", "relation") in key
+        )
+        assert total == report.engine_stats.calls["relation"]
+
+    def test_parallel_without_sinks_still_works(self):
+        report = batch_relations(
+            _configuration(count=8), engine="sweep", workers=2
+        )
+        assert not report.error_outcomes()

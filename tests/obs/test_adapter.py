@@ -1,0 +1,58 @@
+"""Tests for the engine-event adapter (repro.obs.adapter)."""
+
+import pytest
+
+from repro.core.engine import EngineEvent
+from repro.obs.adapter import EngineEventAdapter
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class TestEngineEventAdapter:
+    def test_needs_at_least_one_sink(self):
+        with pytest.raises(ValueError, match="at least one sink"):
+            EngineEventAdapter()
+
+    def test_routes_events_into_tracer(self):
+        tracer = Tracer()
+        adapter = EngineEventAdapter(tracer=tracer)
+        adapter(EngineEvent("guarded", "relation", 0.25, "exact"))
+        (span,) = tracer.spans
+        assert span.name == "engine.guarded.relation"
+        assert span.seconds == 0.25
+        assert span.attributes == {
+            "engine": "guarded",
+            "operation": "relation",
+            "path": "exact",
+        }
+
+    def test_routes_events_into_metrics(self):
+        registry = MetricsRegistry()
+        adapter = EngineEventAdapter(metrics=registry)
+        adapter(EngineEvent("sweep", "relation", 0.5, "broadcast", count=100))
+        counter = registry.counter("repro_engine_operations_total")
+        assert counter.value(
+            engine="sweep", operation="relation", path="broadcast"
+        ) == 100
+        histogram = registry.histogram("repro_engine_operation_seconds")
+        assert histogram.count(engine="sweep", operation="relation") == 1
+
+    def test_bulk_count_recorded_as_attribute(self):
+        tracer = Tracer()
+        EngineEventAdapter(tracer=tracer)(
+            EngineEvent("sweep", "relation", 0.1, "prune", count=42)
+        )
+        assert tracer.spans[0].attributes["count"] == 42
+
+    def test_usable_as_engine_observer(self):
+        from repro.core.engine import create_engine
+        from repro.geometry.region import Region
+
+        tracer = Tracer()
+        engine = create_engine(
+            "exact", observer=EngineEventAdapter(tracer=tracer)
+        )
+        square = Region.from_coordinates([[(0, 0), (0, 1), (1, 1), (1, 0)]])
+        engine.relation(square, square.bounding_box())
+        assert [s.name for s in tracer.spans] == ["engine.exact.relation"]
+        assert engine.stats.observer_errors == 0

@@ -1,0 +1,165 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    collecting,
+    current_metrics,
+    install_metrics,
+    uninstall_metrics,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_registry():
+    uninstall_metrics()
+    yield
+    uninstall_metrics()
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_things_total", "Things.")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+
+    def test_labels_separate_series(self):
+        counter = MetricsRegistry().counter("repro_things_total")
+        counter.inc(kind="a")
+        counter.inc(2, kind="b")
+        assert counter.value(kind="a") == 1
+        assert counter.value(kind="b") == 2
+        assert counter.value(kind="c") == 0
+
+    def test_counters_only_go_up(self):
+        counter = MetricsRegistry().counter("repro_things_total")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="registered as a counter"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="registered as a counter"):
+            registry.histogram("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("repro_queue_size")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value() == 12
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)  # above every bound: +Inf bucket
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(5.55)
+        text = registry.to_prometheus_text()
+        assert 'repro_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_seconds_bucket{le="1"} 2' in text
+        assert 'repro_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_seconds_count 3" in text
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            MetricsRegistry().histogram("x", buckets=())
+
+
+class TestPrometheusText:
+    def test_help_and_type_headers(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "Helpful text.").inc()
+        registry.gauge("repro_b").set(2.5)
+        text = registry.to_prometheus_text()
+        assert "# HELP repro_a_total Helpful text." in text
+        assert "# TYPE repro_a_total counter" in text
+        assert "# TYPE repro_b gauge" in text
+        assert "repro_a_total 1" in text
+        assert "repro_b 2.5" in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total").inc(path='we"ird\nname')
+        text = registry.to_prometheus_text()
+        assert r'path="we\"ird\nname"' in text
+
+    def test_labels_sorted_deterministically(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total").inc(zebra="z", alpha="a")
+        assert 'repro_a_total{alpha="a",zebra="z"} 1' in (
+            registry.to_prometheus_text()
+        )
+
+
+class TestSnapshotAndMerge:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "A.").inc(3, kind="x")
+        registry.gauge("repro_b").set(7)
+        registry.histogram("repro_c_seconds", buckets=(1.0,)).observe(0.5)
+        return registry
+
+    def test_merge_adds_counters_and_histograms(self):
+        parent = self._populated()
+        parent.merge(self._populated().snapshot())
+        assert parent.counter("repro_a_total").value(kind="x") == 6
+        assert parent.histogram("repro_c_seconds", buckets=(1.0,)).count() == 2
+        assert parent.histogram(
+            "repro_c_seconds", buckets=(1.0,)
+        ).sum() == pytest.approx(1.0)
+
+    def test_merge_gauges_last_writer_wins(self):
+        parent = self._populated()
+        worker = MetricsRegistry()
+        worker.gauge("repro_b").set(99)
+        parent.merge(worker.snapshot())
+        assert parent.gauge("repro_b").value() == 99
+
+    def test_merge_into_empty_registry(self):
+        parent = MetricsRegistry()
+        parent.merge(self._populated().snapshot())
+        assert parent.counter("repro_a_total").value(kind="x") == 3
+
+    def test_snapshot_is_json_safe(self, tmp_path):
+        registry = self._populated()
+        path = tmp_path / "metrics.json"
+        registry.export_json(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["repro_a_total"]["kind"] == "counter"
+        assert loaded["repro_c_seconds"]["bucket_bounds"] == [1.0]
+
+
+class TestGlobalHelpers:
+    def test_disabled_by_default(self):
+        assert current_metrics() is None
+
+    def test_install_uninstall(self):
+        registry = install_metrics()
+        assert current_metrics() is registry
+        assert uninstall_metrics() is registry
+        assert current_metrics() is None
+
+    def test_collecting_scope_restores_previous(self):
+        outer = install_metrics()
+        with collecting() as inner:
+            assert current_metrics() is inner
+        assert current_metrics() is outer

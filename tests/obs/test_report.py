@@ -1,0 +1,98 @@
+"""Tests for trace aggregation and rendering (repro.obs.report)."""
+
+import pytest
+
+from repro.obs.report import (
+    aggregate_tree,
+    hot_paths,
+    render_hot_paths,
+    render_span_tree,
+)
+from repro.obs.trace import Span
+
+
+def _span(name, span_id, parent, seconds):
+    return Span(name, span_id, parent, start=0.0, seconds=seconds)
+
+
+def _sample_trace():
+    # root(1.0s) -> chunk x2 (0.4s each) -> op x2 per chunk (0.1s each)
+    spans = [_span("root", "1", None, 1.0)]
+    n = 2
+    for c in range(2):
+        chunk_id = str(n)
+        n += 1
+        spans.append(_span("chunk", chunk_id, "1", 0.4))
+        for _ in range(2):
+            spans.append(_span("op", str(n), chunk_id, 0.1))
+            n += 1
+    return spans
+
+
+class TestAggregateTree:
+    def test_same_named_siblings_fold(self):
+        root = aggregate_tree(_sample_trace())
+        (top,) = root.children.values()
+        assert top.name == "root" and top.count == 1
+        (chunks,) = top.children.values()
+        assert chunks.name == "chunk"
+        assert chunks.count == 2
+        assert chunks.seconds == 0.8
+        (ops,) = chunks.children.values()
+        assert ops.count == 4
+        assert ops.seconds == 0.4
+
+    def test_orphans_attach_to_virtual_root(self):
+        spans = [_span("lost", "9", "missing-parent", 0.5)]
+        root = aggregate_tree(spans)
+        assert set(root.children) == {"lost"}
+        assert root.seconds == 0.5
+
+
+class TestRenderSpanTree:
+    def test_alignment_counts_and_percentages(self):
+        text = render_span_tree(_sample_trace())
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert "100.0%" in lines[0]
+        assert lines[1].startswith("  chunk")
+        assert "2x" in lines[1] and "80.0%" in lines[1]
+        assert lines[2].startswith("    op")
+        assert "4x" in lines[2] and "40.0%" in lines[2]
+
+    def test_min_percent_prunes_cold_branches(self):
+        text = render_span_tree(_sample_trace(), min_percent=50.0)
+        assert "op" not in text
+        assert "chunk" in text
+
+    def test_empty_trace(self):
+        assert render_span_tree([]) == "(empty trace)"
+
+
+class TestHotPaths:
+    def test_self_time_excludes_children(self):
+        ranked = dict(
+            (name, seconds)
+            for name, seconds, _, _ in hot_paths(_sample_trace())
+        )
+        # op: 4 x 0.1 leaf seconds; chunk: 2 x (0.4 - 0.2); root: 1.0 - 0.8
+        assert ranked["op"] == pytest.approx(0.4)
+        assert ranked["chunk"] == pytest.approx(0.4)
+        assert ranked["root"] == pytest.approx(0.2)
+
+    def test_negative_self_time_clamped(self):
+        spans = [
+            _span("parent", "1", None, 0.1),
+            _span("child", "2", "1", 0.5),  # overlapping bulk span
+        ]
+        ranked = {name: s for name, s, _, _ in hot_paths(spans)}
+        assert ranked["parent"] == 0.0
+
+    def test_top_limits_rows(self):
+        assert len(hot_paths(_sample_trace(), top=1)) == 1
+
+    def test_render(self):
+        text = render_hot_paths(_sample_trace(), top=3)
+        assert text.splitlines()[0].startswith(("op", "chunk"))
+        assert "(4x)" in text
+        assert render_hot_paths([]) == "(empty trace)"
