@@ -1,0 +1,78 @@
+"""``repro.analysis`` — project-native static analysis.
+
+Three pillars, all zero-dependency (stdlib ``ast`` plus the reasoning
+stack itself):
+
+* **domain linter** (:mod:`repro.analysis.linter` /
+  :mod:`repro.analysis.rules`) — AST rules for the invariants the
+  engine registry, the observability conventions and the numeric
+  layers rely on, with ``# repro: noqa[RULE]`` suppressions, pluggable
+  third-party rules and text/JSON reporters;
+* **D\\* algebra verifier** (:mod:`repro.analysis.algebra`) — proves
+  the inverse/composition tables of the reasoning stack satisfy the
+  involution, identity, closure and witness-coherence theorems over
+  the 511 basic relations;
+* **strict typing gate** (:mod:`repro.analysis.typing_gate`) — runs
+  mypy in strict mode over the gated packages when mypy is available,
+  reporting a structured pass/fail/skip.
+
+Everything surfaces through ``cardirect analyze`` (``--strict`` for CI
+gating, ``--algebra`` for the table proofs, ``--format json`` for the
+machine-readable artifact).  See ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from repro.analysis.algebra import (
+    AlgebraCheck,
+    AlgebraReport,
+    AlgebraViolation,
+    default_coherence_pairs,
+    verify_algebra,
+)
+from repro.analysis.linter import (
+    LintError,
+    LintResult,
+    Linter,
+    lint_paths,
+    render_json,
+    render_text,
+    result_as_dict,
+)
+from repro.analysis.rules import (
+    LintFinding,
+    ModuleInfo,
+    Rule,
+    available_rules,
+    create_rules,
+    register_rule,
+    unregister_rule,
+)
+from repro.analysis.typing_gate import (
+    STRICT_PACKAGES,
+    TypingReport,
+    run_typing_gate,
+)
+
+__all__ = [
+    "AlgebraCheck",
+    "AlgebraReport",
+    "AlgebraViolation",
+    "LintError",
+    "LintFinding",
+    "LintResult",
+    "Linter",
+    "ModuleInfo",
+    "Rule",
+    "STRICT_PACKAGES",
+    "TypingReport",
+    "available_rules",
+    "create_rules",
+    "default_coherence_pairs",
+    "lint_paths",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "result_as_dict",
+    "run_typing_gate",
+    "unregister_rule",
+    "verify_algebra",
+]

@@ -1,0 +1,434 @@
+"""D* algebra verifier: machine-check the inverse/composition tables.
+
+Zhang et al. (*Reasoning about Cardinal Directions between Extended
+Objects*, [20-22]) show that the soundness of path-consistency reasoning
+over cardinal direction relations rests entirely on the correctness of
+the inverse and composition tables.  This module proves, mechanically,
+the table-level theorems that actually hold for the weak composition and
+set-valued (disjunctive) inverse this reproduction implements:
+
+``inverse-closure``
+    ``inv(R)`` is a non-empty set of basic relations, for every basic
+    ``R`` (all 511 by default).
+
+``involution``
+    ``S ∈ inv(R)  ⟺  R ∈ inv(S)``.  Both sides say "some pair of
+    regions realises ``a R b`` and ``b S a``", so the converse relation
+    is symmetric; applying the (lifted) inverse twice can only ever give
+    back a superset containing ``R``.  A corrupted inverse-table entry —
+    a dropped or invented disjunct — breaks this symmetry and is
+    reported with the offending pair.
+
+``identity``
+    ``R ∈ compose(R, B)`` and ``R ∈ compose(B, R)``.  ``b B b`` holds
+    for every region (a region occupies tile ``B`` of its own bounding
+    box), so taking ``c = b`` (resp. ``a = b``) witnesses ``R`` in both
+    compositions.  Checked over all 511 basic relations by default.
+
+``composition-closure``
+    every composition the run computes is a non-empty disjunction of
+    basic relations.
+
+``coherence``
+    for every checked pair ``(R1, R2)`` and every ``R3 ∈ compose(R1,
+    R2)``: ``inv(R3) ∩ (inv(R2) ∘ inv(R1)) ≠ ∅``.  Any witness triple
+    ``a R1 b, b R2 c, a R3 c`` reads backwards as ``c S2 b, b S1 a, c
+    S3 a`` with ``Si ∈ inv(Ri)``, so the converse of a composition
+    member must be reachable by composing converses.
+
+A note on the textbook identity ``(R1 ∘ R2)⁻¹ = R2⁻¹ ∘ R1⁻¹``: it is
+**not a theorem here** and the verifier deliberately does not assert
+it.  Composition is *weak* (the strongest disjunction supported by
+witnesses, not a relation-algebra composition) and the inverse is
+itself set-valued, so both sides of the identity are incomparable
+over-approximations of the true converse-of-composition — empirically
+they differ in both directions already for single-tile pairs (e.g.
+``N ∘ N``).  The ``coherence`` check above is the witness-level
+consequence that *is* sound; see ``docs/STATIC_ANALYSIS.md`` for the
+full derivation.
+
+Coherence would cost 511² ≈ 261k compositions exhaustively (hours), so
+by default it runs over the 81 ordered pairs of single-tile relations —
+the generators of the algebra — with an incremental early-exit union
+(terms ordered small-first, stop once every member is witnessed).
+Callers can pass any ``coherence_pairs`` they like, and the inverse /
+composition tables are injectable so stored artefacts
+(:func:`repro.reasoning.tables.load_inverse_table`) and deliberately
+corrupted tables (the test suite) can be verified with the same engine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro import obs
+from repro.core.relation import (
+    ALL_BASIC_RELATIONS,
+    CardinalDirection,
+    DisjunctiveCD,
+)
+from repro.core.tiles import Tile
+from repro.reasoning.composition import compose
+from repro.reasoning.inverse import inverse
+
+__all__ = [
+    "AlgebraCheck",
+    "AlgebraReport",
+    "AlgebraViolation",
+    "default_coherence_pairs",
+    "verify_algebra",
+]
+
+#: ``inv`` and ``∘`` as injectable callables (defaults: the reasoning
+#: stack's enumerated operators).
+InverseFunction = Callable[[CardinalDirection], DisjunctiveCD]
+ComposeFunction = Callable[[CardinalDirection, CardinalDirection], DisjunctiveCD]
+
+#: Violations recorded verbatim per check before counting-only mode.
+MAX_RECORDED_VIOLATIONS = 25
+
+
+@dataclass(frozen=True)
+class AlgebraViolation:
+    """One broken table entry, with the relations that expose it."""
+
+    check: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.check}: {self.message}"
+
+
+@dataclass
+class AlgebraCheck:
+    """The outcome of one verification pass."""
+
+    name: str
+    description: str
+    checked: int = 0
+    violation_count: int = 0
+    violations: List[AlgebraViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.violation_count == 0
+
+    def record(self, message: str) -> None:
+        self.violation_count += 1
+        if len(self.violations) < MAX_RECORDED_VIOLATIONS:
+            self.violations.append(AlgebraViolation(self.name, message))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "checked": self.checked,
+            "violations": self.violation_count,
+            "examples": [violation.message for violation in self.violations],
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class AlgebraReport:
+    """Every check's outcome plus wall-clock accounting."""
+
+    checks: List[AlgebraCheck] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    @property
+    def violation_count(self) -> int:
+        return sum(check.violation_count for check in self.checks)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "checks": [check.as_dict() for check in self.checks],
+            "seconds": self.seconds,
+            "ok": self.ok,
+            "violations": self.violation_count,
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = []
+        for check in self.checks:
+            status = "ok" if check.ok else f"{check.violation_count} violation(s)"
+            lines.append(f"{check.name}: {check.checked} checked, {status}")
+            for violation in check.violations:
+                lines.append(f"  - {violation.message}")
+            if check.violation_count > len(check.violations):
+                hidden = check.violation_count - len(check.violations)
+                lines.append(f"  ... and {hidden} more")
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"algebra: {verdict} "
+            f"({self.violation_count} violation(s), {self.seconds:.2f}s)"
+        )
+        return "\n".join(lines)
+
+
+def default_coherence_pairs() -> List[Tuple[CardinalDirection, CardinalDirection]]:
+    """All 81 ordered pairs of single-tile relations.
+
+    The nine single-tile relations generate every basic relation (a
+    basic relation is a set of tiles), and their inverses exercise both
+    the smallest (``inv(N)``) and the largest (``inv(B)``, 487
+    disjuncts) inverse entries — a deterministic sample that touches
+    every row and column of the operator tables without the 511² cost.
+    """
+    singles = [CardinalDirection(tile) for tile in Tile]
+    return [(r1, r2) for r1 in singles for r2 in singles]
+
+
+def verify_algebra(
+    *,
+    relations: Optional[Sequence[CardinalDirection]] = None,
+    coherence_pairs: Optional[
+        Sequence[Tuple[CardinalDirection, CardinalDirection]]
+    ] = None,
+    inverse_of: Optional[InverseFunction] = None,
+    compose_of: Optional[ComposeFunction] = None,
+) -> AlgebraReport:
+    """Run every table-level check and return the structured report.
+
+    ``relations`` (default: all 511 basic relations) scopes the
+    inverse-closure, involution and identity checks; ``coherence_pairs``
+    (default: :func:`default_coherence_pairs`) the coherence check.
+    ``inverse_of`` / ``compose_of`` substitute the operator tables —
+    e.g. a stored table's ``table.__getitem__`` or a deliberately
+    corrupted wrapper in a test.
+    """
+    inverse_of = inverse if inverse_of is None else inverse_of
+    compose_of = compose if compose_of is None else compose_of
+    relations = (
+        sorted(ALL_BASIC_RELATIONS, key=_relation_key)
+        if relations is None
+        else list(relations)
+    )
+    pairs = (
+        default_coherence_pairs() if coherence_pairs is None else list(coherence_pairs)
+    )
+    report = AlgebraReport()
+    start = time.perf_counter()
+    with obs.span("analysis.algebra", relations=len(relations), pairs=len(pairs)):
+        inverse_sets = _checked_inverses(report, relations, inverse_of)
+        _check_involution(report, relations, inverse_sets, inverse_of)
+        closure = AlgebraCheck(
+            "composition-closure",
+            "compositions are non-empty disjunctions of basic relations",
+        )
+        _check_identity(report, closure, relations, compose_of)
+        _check_coherence(report, closure, pairs, inverse_of, compose_of)
+        report.checks.append(closure)
+    report.seconds = time.perf_counter() - start
+    registry = obs.current_metrics()
+    if registry is not None:
+        registry.counter(
+            "repro_algebra_violations_total",
+            "Algebra-verifier violations by check.",
+        ).inc(0)
+        for check in report.checks:
+            if check.violation_count:
+                registry.counter(
+                    "repro_algebra_violations_total",
+                    "Algebra-verifier violations by check.",
+                ).inc(check.violation_count, check=check.name)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Individual checks
+# ---------------------------------------------------------------------------
+
+
+def _relation_key(relation: CardinalDirection) -> Tuple[int, ...]:
+    return tuple(int(tile) for tile in relation.ordered_tiles())
+
+
+def _checked_inverses(
+    report: AlgebraReport,
+    relations: Sequence[CardinalDirection],
+    inverse_of: InverseFunction,
+) -> Dict[CardinalDirection, Set[CardinalDirection]]:
+    """The inverse-closure check; returns the materialised inverse sets."""
+    check = AlgebraCheck(
+        "inverse-closure",
+        "inv(R) is a non-empty set of basic relations",
+    )
+    basic = set(ALL_BASIC_RELATIONS)
+    inverse_sets: Dict[CardinalDirection, Set[CardinalDirection]] = {}
+    with obs.span("analysis.algebra.inverse_closure"):
+        for relation in relations:
+            check.checked += 1
+            try:
+                members = set(inverse_of(relation))
+            except Exception as error:  # repro: noqa[RA006] -- reported as a violation
+                check.record(f"inv({relation}) raised {error!r}")
+                members = set()
+            if not members:
+                check.record(f"inv({relation}) is empty")
+            for member in members:
+                if member not in basic:
+                    check.record(
+                        f"inv({relation}) contains non-basic member {member}"
+                    )
+            inverse_sets[relation] = members
+    report.checks.append(check)
+    return inverse_sets
+
+
+def _check_involution(
+    report: AlgebraReport,
+    relations: Sequence[CardinalDirection],
+    inverse_sets: Dict[CardinalDirection, Set[CardinalDirection]],
+    inverse_of: InverseFunction,
+) -> None:
+    """``S ∈ inv(R) ⟺ R ∈ inv(S)``: the converse relation is symmetric."""
+    check = AlgebraCheck(
+        "involution",
+        "S ∈ inv(R) if and only if R ∈ inv(S)",
+    )
+
+    def members_of(relation: CardinalDirection) -> Set[CardinalDirection]:
+        if relation not in inverse_sets:
+            try:
+                inverse_sets[relation] = set(inverse_of(relation))
+            except Exception:  # repro: noqa[RA006] -- reported as a violation
+                inverse_sets[relation] = set()
+        return inverse_sets[relation]
+
+    with obs.span("analysis.algebra.involution"):
+        for relation in relations:
+            for member in sorted(members_of(relation), key=_relation_key):
+                check.checked += 1
+                if relation not in members_of(member):
+                    check.record(
+                        f"{member} ∈ inv({relation}) but "
+                        f"{relation} ∉ inv({member}): the converse "
+                        "relation must be symmetric"
+                    )
+    report.checks.append(check)
+
+
+def _check_identity(
+    report: AlgebraReport,
+    closure: AlgebraCheck,
+    relations: Sequence[CardinalDirection],
+    compose_of: ComposeFunction,
+) -> None:
+    """``R ∈ compose(R, B)`` and ``R ∈ compose(B, R)`` (witness c = b)."""
+    check = AlgebraCheck(
+        "identity",
+        "R ∈ R ∘ B and R ∈ B ∘ R for the identity-like relation B",
+    )
+    b = CardinalDirection(Tile.B)
+    with obs.span("analysis.algebra.identity"):
+        for relation in relations:
+            for left, right, label in (
+                (relation, b, f"{relation} ∘ B"),
+                (b, relation, f"B ∘ {relation}"),
+            ):
+                check.checked += 1
+                members = _checked_composition(closure, left, right, compose_of)
+                if members is not None and relation not in members:
+                    check.record(
+                        f"{relation} ∉ {label}: taking both regions of "
+                        "the B-edge identical witnesses the identity law"
+                    )
+    report.checks.append(check)
+
+
+def _check_coherence(
+    report: AlgebraReport,
+    closure: AlgebraCheck,
+    pairs: Sequence[Tuple[CardinalDirection, CardinalDirection]],
+    inverse_of: InverseFunction,
+    compose_of: ComposeFunction,
+) -> None:
+    """``inv(R3) ∩ (inv(R2) ∘ inv(R1)) ≠ ∅`` for ``R3 ∈ R1 ∘ R2``.
+
+    The right-hand union is accumulated incrementally — cheap terms
+    (fewest tiles) first, membership resolved after every term, early
+    exit once all of ``compose(R1, R2)`` is witnessed — which turns a
+    487 × 487-term worst case into sub-second work on correct tables.
+    Only genuinely broken entries pay for the full union.
+    """
+    check = AlgebraCheck(
+        "coherence",
+        "every composition member's inverse is reachable by composing "
+        "inverses: inv(R3) ∩ (inv(R2) ∘ inv(R1)) ≠ ∅ for R3 ∈ R1 ∘ R2",
+    )
+    with obs.span("analysis.algebra.coherence", pairs=len(pairs)):
+        for r1, r2 in pairs:
+            members = _checked_composition(closure, r1, r2, compose_of)
+            if not members:
+                continue
+            check.checked += len(members)
+            unresolved = {
+                member: set(inverse_of(member)) for member in members
+            }
+            terms = sorted(
+                (
+                    (s2, s1)
+                    for s2 in inverse_of(r2)
+                    for s1 in inverse_of(r1)
+                ),
+                key=lambda term: len(term[0].tiles) + len(term[1].tiles),
+            )
+            union: Set[CardinalDirection] = set()
+            for s2, s1 in terms:
+                if not unresolved:
+                    break
+                composed = _checked_composition(closure, s2, s1, compose_of)
+                if composed:
+                    union.update(composed)
+                    unresolved = {
+                        member: inv_members
+                        for member, inv_members in unresolved.items()
+                        if not (inv_members & union)
+                    }
+            for member in sorted(unresolved, key=_relation_key):
+                check.record(
+                    f"{member} ∈ {r1} ∘ {r2} but no member of "
+                    f"inv({member}) appears in inv({r2}) ∘ inv({r1})"
+                )
+    report.checks.append(check)
+
+
+def _checked_composition(
+    closure: AlgebraCheck,
+    left: CardinalDirection,
+    right: CardinalDirection,
+    compose_of: ComposeFunction,
+) -> Optional[Set[CardinalDirection]]:
+    """Compute one composition, feeding the closure check as we go."""
+    closure.checked += 1
+    try:
+        members = set(compose_of(left, right))
+    except Exception as error:  # repro: noqa[RA006] -- reported as a violation
+        closure.record(f"{left} ∘ {right} raised {error!r}")
+        return None
+    if not members:
+        closure.record(f"{left} ∘ {right} is empty")
+        return None
+    basic = _basic_set()
+    invalid = [member for member in members if member not in basic]
+    for member in invalid:
+        closure.record(f"{left} ∘ {right} contains non-basic member {member}")
+    return members
+
+
+_BASIC_CACHE: Optional[Set[CardinalDirection]] = None
+
+
+def _basic_set() -> Set[CardinalDirection]:
+    global _BASIC_CACHE
+    if _BASIC_CACHE is None:
+        _BASIC_CACHE = set(ALL_BASIC_RELATIONS)
+    return _BASIC_CACHE

@@ -1,0 +1,132 @@
+"""The strict typing gate: mypy over the gated packages, when present.
+
+The gate's configuration lives in ``pyproject.toml`` (``[tool.mypy]``
+plus per-package strict overrides for :mod:`repro.core`,
+:mod:`repro.reasoning`, :mod:`repro.obs` and :mod:`repro.analysis`), so
+running ``mypy`` by hand, through ``cardirect analyze`` or in CI all
+check the same contract.
+
+mypy is deliberately an *optional* dependency: the library itself stays
+zero-dependency and the analyzer must run in minimal containers.  When
+mypy is not importable the gate reports ``skipped`` — visibly, never
+silently passing itself off as a green check — and ``cardirect analyze
+--strict`` does not fail on a skip.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["STRICT_PACKAGES", "TypingReport", "run_typing_gate"]
+
+#: The packages the strict gate covers (mirrors pyproject's overrides).
+STRICT_PACKAGES: Tuple[str, ...] = (
+    "repro.core",
+    "repro.reasoning",
+    "repro.obs",
+    "repro.analysis",
+)
+
+#: Gate outcomes.
+PASSED = "passed"
+FAILED = "failed"
+SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class TypingReport:
+    """One typing-gate run: status, the command, and mypy's output."""
+
+    status: str
+    packages: Tuple[str, ...]
+    command: Tuple[str, ...]
+    output: str
+
+    @property
+    def ok(self) -> bool:
+        """Skips are ok: an absent checker is reported, not failed."""
+        return self.status != FAILED
+
+    def summary(self) -> str:
+        if self.status == SKIPPED:
+            return f"typing gate: skipped ({self.output})"
+        return (
+            f"typing gate: {self.status} "
+            f"(mypy strict over {', '.join(self.packages)})"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "status": self.status,
+            "packages": list(self.packages),
+            "command": list(self.command),
+            "output": self.output,
+            "ok": self.ok,
+        }
+
+
+def run_typing_gate(
+    root: Optional[Union[str, Path]] = None,
+    *,
+    packages: Sequence[str] = STRICT_PACKAGES,
+    timeout: float = 600.0,
+) -> TypingReport:
+    """Run ``mypy -p <package>...`` against the pyproject configuration.
+
+    ``root`` is the directory holding ``pyproject.toml`` (default: the
+    repository root inferred from this file's location, falling back to
+    the current directory).  Returns a :class:`TypingReport`; never
+    raises for mypy findings — only for a missing root directory.
+    """
+    packages = tuple(packages)
+    if importlib.util.find_spec("mypy") is None:
+        return TypingReport(
+            status=SKIPPED,
+            packages=packages,
+            command=(),
+            output="mypy is not installed",
+        )
+    base = _resolve_root(root)
+    command: List[str] = [sys.executable, "-m", "mypy"]
+    config = base / "pyproject.toml"
+    if config.is_file():
+        command += ["--config-file", str(config)]
+    for package in packages:
+        command += ["-p", package]
+    try:
+        process = subprocess.run(
+            command,
+            cwd=str(base),
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+        )
+    except (OSError, subprocess.TimeoutExpired) as error:
+        return TypingReport(
+            status=SKIPPED,
+            packages=packages,
+            command=tuple(command),
+            output=f"mypy could not run: {error}",
+        )
+    output = (process.stdout + process.stderr).strip()
+    return TypingReport(
+        status=PASSED if process.returncode == 0 else FAILED,
+        packages=packages,
+        command=tuple(command),
+        output=output,
+    )
+
+
+def _resolve_root(root: Optional[Union[str, Path]]) -> Path:
+    if root is not None:
+        return Path(root)
+    # src/repro/analysis/typing_gate.py -> repository root three up from src
+    candidate = Path(__file__).resolve().parents[3]
+    if (candidate / "pyproject.toml").is_file():
+        return candidate
+    return Path.cwd()

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.errors import ReproError
@@ -193,6 +194,60 @@ def _build_parser() -> argparse.ArgumentParser:
         "--witness-xml",
         help="write the witness regions of a satisfiable network "
         "to this CARDIRECT XML file",
+    )
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="run the project-native static analysis: domain linter, "
+        "D* algebra verifier, strict typing gate",
+    )
+    analyze.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed "
+        "repro package sources)",
+    )
+    analyze.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    analyze.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated lint rule ids to run (default: all)",
+    )
+    analyze.add_argument(
+        "--algebra",
+        action="store_true",
+        help="also verify the D* inverse/composition tables "
+        "(involution, identity, closure and coherence over the 511 "
+        "basic relations; adds ~10s)",
+    )
+    analyze.add_argument(
+        "--inverse-table",
+        metavar="FILE",
+        help="with --algebra: verify a stored inverse table "
+        "(repro.reasoning.tables text format) instead of the live "
+        "inverse operator",
+    )
+    analyze.add_argument(
+        "--no-mypy",
+        action="store_true",
+        help="skip the strict typing gate even when mypy is installed",
+    )
+    analyze.add_argument(
+        "--report",
+        metavar="FILE",
+        help="additionally write the full JSON report to FILE "
+        "(the CI artifact)",
+    )
+    analyze.add_argument(
+        "--strict",
+        action="store_true",
+        help="gate mode: exit 5 on lint findings, 6 on algebra "
+        "violations, 7 on typing-gate failure (skips stay green)",
     )
 
     profile = commands.add_parser(
@@ -463,6 +518,96 @@ def _print_core_if_basic(stored) -> None:
         print(explain_inconsistency(constraints))
 
 
+def _cmd_analyze(
+    paths: List[str],
+    output_format: str,
+    select: Optional[str],
+    algebra: bool,
+    inverse_table: Optional[str],
+    no_mypy: bool,
+    report_path: Optional[str],
+    strict: bool,
+) -> int:
+    """The static-analysis front end: lint + algebra + typing gate.
+
+    Exit codes in ``--strict`` mode: 5 for lint findings, 6 for algebra
+    violations, 7 for a typing-gate *failure* (a skip — mypy not
+    installed — stays green but is reported).  Without ``--strict``
+    everything is reported and the exit code stays 0, so exploratory
+    runs never break pipelines that only wanted the report.
+    """
+    import json as json_module
+
+    from repro import analysis, obs
+
+    if not paths:
+        import repro
+
+        paths = [str(Path(repro.__file__).parent)]
+    rule_selection = (
+        [rule_id.strip().upper() for rule_id in select.split(",") if rule_id.strip()]
+        if select
+        else None
+    )
+    with obs.span("analysis.lint", paths=len(paths)):
+        lint_result = analysis.lint_paths(paths, select=rule_selection)
+    registry = obs.current_metrics()
+    if registry is not None and lint_result.findings:
+        counter = registry.counter(
+            "repro_analysis_findings_total", "Domain-lint findings by rule."
+        )
+        for finding in lint_result.findings:
+            counter.inc(rule=finding.rule_id)
+
+    algebra_report = None
+    if algebra:
+        inverse_of = None
+        if inverse_table:
+            from repro.reasoning.tables import load_inverse_table
+
+            table = load_inverse_table(inverse_table)
+            inverse_of = table.__getitem__
+        algebra_report = analysis.verify_algebra(inverse_of=inverse_of)
+
+    typing_report = None
+    if not no_mypy:
+        typing_report = analysis.run_typing_gate()
+
+    payload = {
+        "lint": analysis.result_as_dict(lint_result),
+        "algebra": algebra_report.as_dict() if algebra_report else None,
+        "typing": typing_report.as_dict() if typing_report else None,
+    }
+    if report_path:
+        Path(report_path).write_text(
+            json_module.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if output_format == "json":
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    else:
+        if lint_result.findings:
+            for finding in lint_result.findings:
+                print(str(finding))
+        print(f"lint: {lint_result.summary()}")
+        if algebra_report is not None:
+            print(algebra_report.render())
+        if typing_report is not None:
+            print(typing_report.summary())
+            if typing_report.status == "failed":
+                print(typing_report.output)
+    if report_path:
+        print(f"JSON report written to {report_path}", file=sys.stderr)
+    if strict:
+        if lint_result.findings:
+            return 5
+        if algebra_report is not None and not algebra_report.ok:
+            return 6
+        if typing_report is not None and not typing_report.ok:
+            return 7
+    return 0
+
+
 def _cmd_profile(trace_file: str, min_percent: float, top: int) -> int:
     from repro import obs
 
@@ -559,6 +704,17 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             )
         if arguments.command == "reason":
             return _cmd_reason(arguments.path, arguments.witness_xml)
+        if arguments.command == "analyze":
+            return _cmd_analyze(
+                arguments.paths,
+                arguments.format,
+                arguments.select,
+                arguments.algebra,
+                arguments.inverse_table,
+                arguments.no_mypy,
+                arguments.report,
+                arguments.strict,
+            )
         if arguments.command == "profile":
             return _cmd_profile(
                 arguments.trace_file, arguments.min_percent, arguments.top

@@ -539,7 +539,7 @@ class GuardedEngine(Engine):
         # store's legacy ``guard_stats`` view) always see both keys.
         self.stats.path_counts = {"fast": 0, "exact": 0}
 
-    def clone_options(self):
+    def clone_options(self) -> Dict[str, object]:
         return {
             "epsilon": self.epsilon,
             "drift_tolerance": self.drift_tolerance,
@@ -639,7 +639,7 @@ def available_engines() -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def create_engine(name: str, **options) -> Engine:
+def create_engine(name: str, **options: object) -> Engine:
     """Instantiate a fresh engine by registry name.
 
     ``options`` are forwarded to the backend's factory (e.g.
@@ -655,7 +655,7 @@ def create_engine(name: str, **options) -> Engine:
     return factory(**options)
 
 
-def resolve_engine(engine: EngineLike, **options) -> Engine:
+def resolve_engine(engine: EngineLike, **options: object) -> Engine:
     """Accept an :class:`Engine` instance as-is, or create one by name."""
     if isinstance(engine, Engine):
         return engine

@@ -16,7 +16,7 @@ Two 3×3 matrix views are provided:
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.errors import RelationError
 from repro.core.relation import CardinalDirection
@@ -58,7 +58,9 @@ class DirectionRelationMatrix:
         return "\n".join(lines)
 
     @classmethod
-    def from_rows(cls, rows) -> "DirectionRelationMatrix":
+    def from_rows(
+        cls, rows: Sequence[Sequence[object]]
+    ) -> "DirectionRelationMatrix":
         """Build from a 3×3 truthy/falsy nested sequence in paper layout."""
         tiles = []
         if len(rows) != 3 or any(len(r) != 3 for r in rows):

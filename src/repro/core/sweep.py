@@ -52,7 +52,6 @@ from repro.core.fast import (
     _TILE_GRID,
     _band_intervals_many,
     _box_lines,
-    _edge_arrays,
     compute_cdr_fast_against_box,
     tile_areas_fast,
 )

@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
+from repro.geometry.point import Coordinate
+
 from repro.cardirect.model import Configuration
 from repro.geometry.intersect import segments_intersection_parameter
 from repro.geometry.polygon import Polygon
@@ -158,7 +160,7 @@ def repair_validated_region(
     *,
     region_id: Optional[str] = None,
     mode: str = "repair",
-    snap_tolerance=None,
+    snap_tolerance: Optional[Coordinate] = None,
 ) -> Tuple[Region, List[ValidationIssue]]:
     """Repair a region and report what changed as validation issues.
 
@@ -186,7 +188,7 @@ def repair_validated_configuration(
     configuration: Configuration,
     *,
     mode: str = "repair",
-    snap_tolerance=None,
+    snap_tolerance: Optional[Coordinate] = None,
 ) -> Tuple[Configuration, List[ValidationIssue]]:
     """Repair every region of a configuration, preserving annotations.
 

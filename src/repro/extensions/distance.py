@@ -94,7 +94,7 @@ def minimum_distance(a: Region, b: Region) -> float:
     for edge_a in a.edges():
         for edge_b in b_edges:
             distance = segment_distance(edge_a, edge_b)
-            if distance == 0.0:
+            if distance <= 0.0:
                 return 0.0
             if distance < best:
                 best = distance

@@ -26,7 +26,7 @@ from repro.geometry.arrangement import (
     arrangement_axes,
     boundary_features,
     cell_cover,
-    is_rectilinear,
+    is_rectilinear as is_rectilinear,  # re-exported convenience
     require_rectilinear,
 )
 from repro.geometry.region import Region

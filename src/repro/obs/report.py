@@ -19,7 +19,7 @@ to "where did the time actually go".  Both power the CLI's
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.trace import Span
 

@@ -31,7 +31,7 @@ import json
 import threading
 import time
 from contextvars import ContextVar
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 #: Attribute values are kept JSON-scalar so every span serialises.
 AttributeValue = Union[str, int, float, bool, None]

@@ -26,14 +26,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.errors import ReasoningError
-from repro.core.relation import (
-    ALL_BASIC_RELATIONS,
-    CardinalDirection,
-    DisjunctiveCD,
-)
+from repro.core.relation import CardinalDirection, DisjunctiveCD
 from repro.obs.metrics import current_metrics
 from repro.obs.trace import span as _obs_span
 from repro.geometry.region import Region
@@ -92,7 +88,12 @@ class DisjunctiveNetwork:
         if name not in self._variables:
             self._variables.append(name)
 
-    def constrain(self, primary: str, reference: str, relation) -> None:
+    def constrain(
+        self,
+        primary: str,
+        reference: str,
+        relation: Union[CardinalDirection, DisjunctiveCD, str],
+    ) -> None:
         """Add (or intersect with) a constraint ``primary R reference``.
 
         ``relation`` may be a :class:`CardinalDirection`, a

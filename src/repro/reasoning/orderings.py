@@ -57,7 +57,7 @@ class Interval(NamedTuple):
         return lo < hi
 
 
-def band(g_lo, g_hi, index: int) -> Interval:
+def band(g_lo: object, g_hi: object, index: int) -> Interval:
     """The axis band of a grid: ``-1`` below ``g_lo``, ``0`` between, ``+1`` above."""
     if index == -1:
         return Interval(NEG_INF, g_lo)

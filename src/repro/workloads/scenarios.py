@@ -17,7 +17,7 @@ composite-region machinery end to end).
 from __future__ import annotations
 
 from fractions import Fraction as F
-from typing import Dict, List, NamedTuple, Tuple
+from typing import Dict, List, NamedTuple
 
 from repro.geometry.polygon import Polygon
 from repro.geometry.region import Region

@@ -1,0 +1,169 @@
+"""Linter mechanics: noqa, selection, discovery, registry, reporters."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    LintError,
+    Linter,
+    Rule,
+    available_rules,
+    lint_paths,
+    register_rule,
+    render_json,
+    render_text,
+    result_as_dict,
+    unregister_rule,
+)
+from repro.analysis.linter import module_name_for
+
+FLOATY = "def f(x: float) -> bool:\n    return x == 1.0\n"
+
+
+def lint(source, **kwargs):
+    linter = Linter(select=kwargs.pop("select", None))
+    linter.lint_source(source, module=kwargs.pop("module", "repro.core.fixture"))
+    return linter.finish()
+
+
+class TestNoqa:
+    def test_bare_noqa_suppresses_everything(self):
+        result = lint("def f(x: float) -> bool:\n    return x == 1.0  # repro: noqa\n")
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_targeted_noqa_suppresses_named_rule(self):
+        result = lint("def f(x: float) -> bool:\n    return x == 1.0  # repro: noqa[RA001]\n")
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_targeted_noqa_leaves_other_rules_alone(self):
+        result = lint("def f(x: float) -> bool:\n    return x == 1.0  # repro: noqa[RA004]\n")
+        assert [f.rule_id for f in result.findings] == ["RA001"]
+        assert result.suppressed == 0
+
+    def test_noqa_with_trailing_comment(self):
+        result = lint(
+            "def f(x: float) -> bool:\n"
+            "    return x == 1.0  # repro: noqa[RA001] -- exact sentinel\n"
+        )
+        assert result.findings == []
+
+    def test_generic_tool_noqa_is_ignored(self):
+        # Plain flake8/ruff-style "# noqa" must not silence domain rules.
+        result = lint("def f(x: float) -> bool:\n    return x == 1.0  # noqa\n")
+        assert [f.rule_id for f in result.findings] == ["RA001"]
+
+
+class TestSelection:
+    def test_select_restricts_rules(self):
+        source = "def f(x: float, a=[]) -> object:\n    return x == 1.0, a\n"
+        result = lint(source, select=["RA004"])
+        assert [f.rule_id for f in result.findings] == ["RA004"]
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(ValueError, match="unknown rule id"):
+            Linter(select=["RA999"])
+
+
+class TestDiscovery:
+    def test_lint_paths_walks_directories(self, tmp_path):
+        package = tmp_path / "repro" / "core"
+        package.mkdir(parents=True)
+        (package / "bad.py").write_text(FLOATY, encoding="utf-8")
+        (package / "good.py").write_text("VALUE = 1\n", encoding="utf-8")
+        result = lint_paths([tmp_path])
+        assert result.files_checked == 2
+        assert [f.rule_id for f in result.findings] == ["RA001"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(LintError, match="no such file"):
+            lint_paths([tmp_path / "nope"])
+
+    def test_syntax_error_raises(self, tmp_path):
+        bad = tmp_path / "repro" / "broken.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(:\n", encoding="utf-8")
+        with pytest.raises(LintError):
+            lint_paths([bad])
+
+    def test_module_name_anchors_at_repro(self):
+        assert (
+            module_name_for(Path("/x/src/repro/geometry/area.py"))
+            == "repro.geometry.area"
+        )
+        assert module_name_for(Path("src/repro/core/__init__.py")) == "repro.core"
+        assert module_name_for(Path("scripts/tool.py")) == "tool"
+
+
+class TestPluggableRules:
+    def test_registered_rule_participates(self):
+        class NoTodoRule(Rule):
+            id = "RA900"
+            name = "no-todo"
+            description = "test-only rule"
+
+            def check(self, module):
+                for number, line in enumerate(module.lines, start=1):
+                    if "TODO" in line:
+                        yield self.finding_at(module, number)
+
+            def finding_at(self, module, line):
+                from repro.analysis.rules import LintFinding
+
+                return LintFinding(
+                    rule_id=self.id,
+                    rule_name=self.name,
+                    path=module.path,
+                    line=line,
+                    column=1,
+                    message="TODO left in source",
+                )
+
+        register_rule(NoTodoRule)
+        try:
+            assert "RA900" in available_rules()
+            result = lint("x = 1  # TODO\n", select=["RA900"])
+            assert [f.rule_id for f in result.findings] == ["RA900"]
+        finally:
+            unregister_rule("RA900")
+        assert "RA900" not in available_rules()
+
+    def test_duplicate_registration_requires_replace(self):
+        from repro.analysis.rules import FloatEqualityRule
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_rule(FloatEqualityRule)
+        register_rule(FloatEqualityRule, replace=True)
+
+
+class TestReporters:
+    def test_render_text_has_findings_and_summary(self):
+        result = lint(FLOATY)
+        text = render_text(result)
+        assert "RA001" in text
+        assert "1 finding in 1 file(s)" in text
+
+    def test_result_as_dict_shape(self):
+        result = lint(FLOATY)
+        payload = result_as_dict(result)
+        assert payload["summary"]["findings"] == 1
+        assert payload["summary"]["ok"] is False
+        assert payload["findings"][0]["rule"] == "RA001"
+
+    def test_render_json_is_valid_json(self):
+        import json
+
+        payload = json.loads(render_json(lint(FLOATY)))
+        assert payload["summary"]["files_checked"] == 1
+
+
+class TestRepositoryIsClean:
+    def test_src_tree_has_zero_findings(self):
+        # The acceptance bar for `cardirect analyze --strict`: the
+        # shipped source must stay lint-clean under its own linter.
+        root = Path(__file__).resolve().parents[2] / "src" / "repro"
+        result = lint_paths([root])
+        assert result.files_checked > 50
+        assert result.findings == [], render_text(result)

@@ -1,0 +1,52 @@
+"""The typing gate: skip semantics without mypy, report shape always."""
+
+import importlib.util
+
+import pytest
+
+from repro.analysis import STRICT_PACKAGES, TypingReport, run_typing_gate
+from repro.analysis.typing_gate import FAILED, PASSED, SKIPPED
+
+HAS_MYPY = importlib.util.find_spec("mypy") is not None
+
+
+class TestReportShape:
+    def test_skip_is_ok_failure_is_not(self):
+        skipped = TypingReport(SKIPPED, STRICT_PACKAGES, (), "mypy is not installed")
+        failed = TypingReport(FAILED, STRICT_PACKAGES, ("mypy",), "boom")
+        passed = TypingReport(PASSED, STRICT_PACKAGES, ("mypy",), "")
+        assert skipped.ok and passed.ok and not failed.ok
+
+    def test_summary_mentions_skip_reason(self):
+        report = TypingReport(SKIPPED, STRICT_PACKAGES, (), "mypy is not installed")
+        assert "skipped" in report.summary()
+        assert "mypy is not installed" in report.summary()
+
+    def test_as_dict(self):
+        report = TypingReport(PASSED, STRICT_PACKAGES, ("mypy", "-p", "x"), "")
+        payload = report.as_dict()
+        assert payload["status"] == "passed"
+        assert payload["ok"] is True
+        assert payload["packages"] == list(STRICT_PACKAGES)
+
+    def test_gated_packages_match_the_documented_surface(self):
+        assert STRICT_PACKAGES == (
+            "repro.core",
+            "repro.reasoning",
+            "repro.obs",
+            "repro.analysis",
+        )
+
+
+class TestRunGate:
+    @pytest.mark.skipif(HAS_MYPY, reason="mypy installed: skip path untestable")
+    def test_without_mypy_the_gate_skips_visibly(self):
+        report = run_typing_gate()
+        assert report.status == SKIPPED
+        assert report.ok
+        assert "not installed" in report.output
+
+    @pytest.mark.skipif(not HAS_MYPY, reason="mypy not installed")
+    def test_with_mypy_the_gate_passes_on_this_repository(self):
+        report = run_typing_gate()
+        assert report.status == PASSED, report.output
