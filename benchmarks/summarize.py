@@ -90,6 +90,9 @@ def rows(records: List[Dict]) -> List[Dict]:
             speedups = record.get("speedup_vs_naive")
             if speedups and mode in speedups:
                 row["note"] = f"{speedups[mode]}x vs naive"
+            overheads = record.get("overhead_vs_plain")
+            if overheads and mode in overheads:
+                row["note"] = f"{overheads[mode]:+.1%} vs plain"
             flat.append(row)
     return flat
 

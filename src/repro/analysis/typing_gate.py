@@ -2,9 +2,9 @@
 
 The gate's configuration lives in ``pyproject.toml`` (``[tool.mypy]``
 plus per-package strict overrides for :mod:`repro.core`,
-:mod:`repro.reasoning`, :mod:`repro.obs` and :mod:`repro.analysis`), so
-running ``mypy`` by hand, through ``cardirect analyze`` or in CI all
-check the same contract.
+:mod:`repro.reasoning`, :mod:`repro.obs`, :mod:`repro.analysis` and
+:mod:`repro.resilience`), so running ``mypy`` by hand, through
+``cardirect analyze`` or in CI all check the same contract.
 
 mypy is deliberately an *optional* dependency: the library itself stays
 zero-dependency and the analyzer must run in minimal containers.  When
@@ -30,6 +30,7 @@ STRICT_PACKAGES: Tuple[str, ...] = (
     "repro.reasoning",
     "repro.obs",
     "repro.analysis",
+    "repro.resilience",
 )
 
 #: Gate outcomes.

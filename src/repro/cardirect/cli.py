@@ -146,6 +146,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "fault-isolated batch pipeline, like --isolate-errors); "
         "per-worker engine telemetry is merged into --stats",
     )
+    relations.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget for the whole sweep (implies the "
+        "fault-isolated batch pipeline); pairs past the budget are "
+        "reported as past-deadline instead of hanging, and the exit "
+        "code is 5 when the budget ran out",
+    )
+    relations.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        help="attempts per pair and per worker chunk before a "
+        "transient failure becomes permanent in the fault-isolated "
+        "pipeline (default: 2)",
+    )
+    relations.add_argument(
+        "--chunk-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="with --workers: declare a worker chunk lost after this "
+        "many seconds and re-dispatch it (hung-worker recovery)",
+    )
     _add_engine_options(relations)
 
     query = commands.add_parser("query", help="run a conjunctive query")
@@ -154,6 +178,14 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--allow-repeats", action="store_true",
         help="let different variables bind the same region",
+    )
+    query.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget for evaluation; on expiry the rows "
+        "found so far are printed as a labelled partial answer and "
+        "the exit code is 5",
     )
     _add_engine_options(query)
 
@@ -194,6 +226,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--witness-xml",
         help="write the witness regions of a satisfiable network "
         "to this CARDIRECT XML file",
+    )
+    reason.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget for the consistency search; on expiry "
+        "the verdict is a labelled partial result (unknown, exit 2) "
+        "instead of an open-ended solve",
     )
 
     analyze = commands.add_parser(
@@ -333,13 +373,35 @@ def _cmd_relations(
     engine: str = "exact",
     stats: bool = False,
     workers: Optional[int] = None,
+    deadline: Optional[float] = None,
+    retries: Optional[int] = None,
+    chunk_timeout: Optional[float] = None,
 ) -> int:
     if workers is not None and workers < 1:
         print("error: --workers must be a positive integer", file=sys.stderr)
         return 2
-    if isolate_errors or workers is not None:
+    if deadline is not None and deadline < 0:
+        print("error: --deadline must be non-negative", file=sys.stderr)
+        return 2
+    if retries is not None and retries < 1:
+        print("error: --retries must be a positive integer", file=sys.stderr)
+        return 2
+    if chunk_timeout is not None and chunk_timeout <= 0:
+        print("error: --chunk-timeout must be positive", file=sys.stderr)
+        return 2
+    resilient = (
+        deadline is not None or retries is not None or chunk_timeout is not None
+    )
+    if isolate_errors or workers is not None or resilient:
         return _cmd_relations_isolated(
-            path, percentages, engine, stats, workers
+            path,
+            percentages,
+            engine,
+            stats,
+            workers,
+            deadline=deadline,
+            retries=retries,
+            chunk_timeout=chunk_timeout,
         )
     configuration, _ = load_configuration(path)
     store = RelationStore(configuration, engine=engine)
@@ -362,9 +424,13 @@ def _cmd_relations_isolated(
     engine: str = "exact",
     stats: bool = False,
     workers: Optional[int] = None,
+    deadline: Optional[float] = None,
+    retries: Optional[int] = None,
+    chunk_timeout: Optional[float] = None,
 ) -> int:
     """Fault-isolated sweep: every answerable pair answered, per-pair
-    error lines for the rest, exit code 4 when any pair failed.
+    error lines for the rest, exit code 4 when any pair failed and 5
+    when the run was cut short by ``--deadline`` (errors win the tie).
 
     ``workers`` fans the sweep out over a process pool (see
     :func:`repro.core.batch.batch_relations`); the merged per-worker
@@ -375,7 +441,20 @@ def _cmd_relations_isolated(
         path, mode="lenient", repairs=ingestion_repairs
     )
     store = RelationStore(configuration, engine=engine)
-    report = store.batch_relations(percentages=percentages, workers=workers)
+    retry_policy = None
+    if retries is not None:
+        from repro.resilience.retry import RetryPolicy
+
+        retry_policy = RetryPolicy(
+            max_attempts=retries, base_delay=0.0, jitter=0.0
+        )
+    report = store.batch_relations(
+        percentages=percentages,
+        workers=workers,
+        deadline=deadline,
+        retry_policy=retry_policy,
+        chunk_timeout=chunk_timeout,
+    )
     for repair_report in ingestion_repairs.values():
         print(repair_report.summary())
     for repair_report in report.repairs.values():
@@ -394,7 +473,9 @@ def _cmd_relations_isolated(
             f"engine {report.engine!r}: {report.engine_stats.summary()}",
             file=sys.stderr,
         )
-    return 4 if report.error_outcomes() else 0
+    if report.error_outcomes():
+        return 4
+    return 5 if report.deadline_hit else 0
 
 
 def _cmd_query(
@@ -403,22 +484,42 @@ def _cmd_query(
     allow_repeats: bool,
     engine: str = "exact",
     stats: bool = False,
+    deadline: Optional[float] = None,
 ) -> int:
+    if deadline is not None and deadline < 0:
+        print("error: --deadline must be non-negative", file=sys.stderr)
+        return 2
+    from repro.errors import DeadlineExceeded
+    from repro.resilience.deadline import deadline_scope
+
     configuration, _ = load_configuration(path)
     store = RelationStore(configuration, engine=engine)
     query = parse_query(text, allow_repeats=allow_repeats)
-    results = query.evaluate(store)
+    complete = True
+    try:
+        with deadline_scope(deadline):
+            results = query.evaluate(store)
+    except DeadlineExceeded as error:
+        results = list(error.partial_results or ())
+        complete = False
     print(f"variables: ({', '.join(query.variables)})")
     if stats:
         _print_engine_stats(store)
     if not results:
-        print("no results")
-        return 0
+        print("no results" if complete else "no results before the deadline")
+        return 0 if complete else 5
     for row in results:
         names = ", ".join(
             configuration.get(region_id).name or region_id for region_id in row
         )
         print(f"({names})")
+    if not complete:
+        print(
+            f"deadline exceeded: the {len(results)} row(s) above are a "
+            "partial answer",
+            file=sys.stderr,
+        )
+        return 5
     return 0
 
 
@@ -474,15 +575,29 @@ def _cmd_report(
     return 0
 
 
-def _cmd_reason(path: str, witness_xml: Optional[str]) -> int:
+def _cmd_reason(
+    path: str,
+    witness_xml: Optional[str],
+    deadline: Optional[float] = None,
+) -> int:
     from repro.reasoning.netio import load_network, witness_to_configuration
 
+    if deadline is not None and deadline < 0:
+        print("error: --deadline must be non-negative", file=sys.stderr)
+        return 2
     network = load_network(path)
     # Snapshot before solving: algebraic closure prunes the stored
     # constraints in place, but explanations are about the user's input.
     original_constraints = network.constraints()
-    report = network.solve()
+    report = network.solve(deadline=deadline)
     if report.solution is None:
+        if report.deadline_exceeded:
+            print(
+                "unknown: deadline exceeded after examining "
+                f"{report.examined} candidate refinement(s); unexamined "
+                "refinements might still admit a solution"
+            )
+            return 2
         if report.unverified_candidates:
             print(
                 "unknown: no candidate refinement could be verified "
@@ -623,36 +738,62 @@ def _cmd_profile(trace_file: str, min_percent: float, top: int) -> int:
     return 0
 
 
+#: Conventional exit code for a SIGINT death (128 + signal 2).
+EXIT_INTERRUPTED = 130
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     arguments = _build_parser().parse_args(argv)
     trace_path = getattr(arguments, "trace", None)
     metrics_path = getattr(arguments, "metrics", None)
     if trace_path is None and metrics_path is None:
-        return _dispatch(arguments)
+        try:
+            return _dispatch(arguments)
+        except KeyboardInterrupt:
+            print("interrupted", file=sys.stderr)
+            return EXIT_INTERRUPTED
 
     from repro import obs
 
     tracer = obs.Tracer() if trace_path else None
     registry = obs.MetricsRegistry() if metrics_path else None
-    with obs.tracing(tracer) if tracer else _noop(), (
-        obs.collecting(registry) if registry else _noop()
-    ):
-        with obs.span(f"cli.{arguments.command}") as root:
-            status = _dispatch(arguments)
-            root.set(status=status)
-    if tracer is not None:
-        tracer.export_jsonl(trace_path)
-        print(
-            f"trace: {len(tracer.spans)} spans written to {trace_path}",
-            file=sys.stderr,
-        )
-    if registry is not None:
-        if metrics_path.endswith(".json"):
-            registry.export_json(metrics_path)
-        else:
-            registry.export_prometheus(metrics_path)
-        print(f"metrics written to {metrics_path}", file=sys.stderr)
+    status = EXIT_INTERRUPTED
+    try:
+        with obs.tracing(tracer) if tracer else _noop(), (
+            obs.collecting(registry) if registry else _noop()
+        ):
+            with obs.span(f"cli.{arguments.command}") as root:
+                status = _dispatch(arguments)
+                root.set(status=status)
+    except KeyboardInterrupt:
+        # Ctrl-C mid-run: one clean line, the conventional exit code,
+        # and whatever trace/metrics were collected still land on disk
+        # (partial observability is most valuable for the runs that
+        # never finished).
+        print("interrupted", file=sys.stderr)
+        status = EXIT_INTERRUPTED
+    finally:
+        _flush_observability(tracer, trace_path, registry, metrics_path)
     return status
+
+
+def _flush_observability(tracer, trace_path, registry, metrics_path) -> None:
+    """Write collected spans/metrics; never raise (runs on Ctrl-C too)."""
+    try:
+        if tracer is not None:
+            tracer.export_jsonl(trace_path)
+            print(
+                f"trace: {len(tracer.spans)} spans written to {trace_path}",
+                file=sys.stderr,
+            )
+        if registry is not None:
+            if metrics_path.endswith(".json"):
+                registry.export_json(metrics_path)
+            else:
+                registry.export_prometheus(metrics_path)
+            print(f"metrics written to {metrics_path}", file=sys.stderr)
+    except OSError as error:
+        print(f"error: observability flush failed: {error}", file=sys.stderr)
 
 
 def _noop():
@@ -680,6 +821,9 @@ def _dispatch(arguments: argparse.Namespace) -> int:
                 arguments.engine,
                 arguments.stats,
                 arguments.workers,
+                arguments.deadline,
+                arguments.retries,
+                arguments.chunk_timeout,
             )
         if arguments.command == "query":
             return _cmd_query(
@@ -688,6 +832,7 @@ def _dispatch(arguments: argparse.Namespace) -> int:
                 arguments.allow_repeats,
                 arguments.engine,
                 arguments.stats,
+                arguments.deadline,
             )
         if arguments.command == "demo":
             return _cmd_demo(arguments.path)
@@ -703,7 +848,9 @@ def _dispatch(arguments: argparse.Namespace) -> int:
                 arguments.stats,
             )
         if arguments.command == "reason":
-            return _cmd_reason(arguments.path, arguments.witness_xml)
+            return _cmd_reason(
+                arguments.path, arguments.witness_xml, arguments.deadline
+            )
         if arguments.command == "analyze":
             return _cmd_analyze(
                 arguments.paths,

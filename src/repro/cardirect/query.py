@@ -25,7 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import QueryError
+from repro.errors import DeadlineExceeded, QueryError
 from repro.cardirect.model import THEMATIC_ATTRIBUTES, Configuration
 from repro.cardirect.store import RelationStore
 from repro.core.relation import CardinalDirection, DisjunctiveCD
@@ -33,6 +33,7 @@ from repro.core.tiles import Tile
 from repro.extensions.topology import RCC8
 from repro.obs.metrics import current_metrics
 from repro.obs.trace import current_tracer, span as _obs_span
+from repro.resilience.deadline import current_deadline
 
 
 @dataclass(frozen=True)
@@ -218,20 +219,43 @@ class Query:
         unary pruning records per-clause candidate counts.  Without
         installed sinks the instrumented bookkeeping is skipped
         entirely.
+
+        Under a deadline (an enclosing
+        :func:`~repro.resilience.deadline_scope`) the search stops when
+        the budget expires and raises
+        :class:`~repro.errors.DeadlineExceeded` with the result tuples
+        found so far attached as ``error.partial_results`` — callers
+        choose between the partial answer and the failure.
         """
         tracer = current_tracer()
         registry = current_metrics()
         if tracer is None and registry is None:
-            return list(self.iter_results(store))
+            plain: List[Tuple[str, ...]] = []
+            try:
+                for row in self.iter_results(store):
+                    plain.append(row)
+            except DeadlineExceeded as error:
+                error.partial_results = tuple(plain)
+                raise
+            return plain
         clause_stats: Dict[int, List[float]] = {}
         with _obs_span(
             "query.evaluate",
             variables=len(self.variables),
             conditions=len(self.conditions),
         ) as query_span:
-            results = list(
-                self.iter_results(store, _clause_stats=clause_stats)
-            )
+            results: List[Tuple[str, ...]] = []
+            try:
+                for row in self.iter_results(
+                    store, _clause_stats=clause_stats
+                ):
+                    results.append(row)
+            except DeadlineExceeded as error:
+                query_span.set(
+                    results=len(results), deadline_exceeded=True
+                )
+                error.partial_results = tuple(results)
+                raise
             query_span.set(results=len(results))
             if tracer is not None or registry is not None:
                 binary_conditions = _binary_conditions(self.conditions)
@@ -314,12 +338,19 @@ class Query:
             finally:
                 del assignment[variable]
 
+        deadline = current_deadline()
+
         def search(depth: int) -> Iterator[Tuple[str, ...]]:
             if depth == len(order):
                 yield tuple(assignment[v] for v in self.variables)
                 return
             variable = order[depth]
             for region_id in candidates[variable]:
+                # Candidate-granularity deadline enforcement: already-
+                # yielded rows stay valid, so the caller keeps a
+                # well-labelled partial result.
+                if deadline is not None:
+                    deadline.check("query.evaluate")
                 if admissible(variable, region_id):
                     assignment[variable] = region_id
                     yield from search(depth + 1)

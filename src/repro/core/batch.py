@@ -46,10 +46,11 @@ registry.
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
 
@@ -65,15 +66,35 @@ from repro.core.guarded import DEFAULT_EPSILON
 from repro.core.matrix import PercentageMatrix
 from repro.core.relation import CardinalDirection
 from repro.core.validate import ERROR, validate_region
-from repro.errors import GeometryError, ReproError
+from repro.errors import DeadlineExceeded, GeometryError, InjectedFault, ReproError
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.region import Region
 from repro.geometry.repair import REPAIR, RepairReport, repair_region
+from repro.resilience.deadline import (
+    Deadline,
+    count_deadline_exceeded,
+    current_deadline,
+    deadline_scope,
+)
+from repro.resilience.faults import fault_point, maybe_corrupt
+from repro.resilience.retry import RetryPolicy, count_retry
 
 #: Outcome statuses.
 OK = "ok"
 REPAIRED = "repaired"
 FAILED = "error"
+DEADLINE = "deadline"
+
+#: One plain retry (no backoff) — exactly the historical behaviour of the
+#: retry-after-repair path, now expressed as a policy callers can replace.
+DEFAULT_BATCH_RETRY_POLICY = RetryPolicy(
+    max_attempts=2, base_delay=0.0, jitter=0.0
+)
+
+#: Extra seconds the parallel supervisor waits past an expired deadline so
+#: workers flushing their own deadline-labelled outcomes can still return
+#: them instead of being counted as lost.
+_DEADLINE_GRACE = 0.25
 
 
 @dataclass(frozen=True)
@@ -82,7 +103,7 @@ class PairOutcome:
 
     primary_id: str
     reference_id: str
-    status: str  # OK, REPAIRED or FAILED
+    status: str  # OK, REPAIRED, FAILED or DEADLINE
     relation: Optional[CardinalDirection] = None
     percentages: Optional[PercentageMatrix] = None
     error: Optional[str] = None
@@ -90,7 +111,7 @@ class PairOutcome:
 
     @property
     def ok(self) -> bool:
-        return self.status != FAILED
+        return self.status in (OK, REPAIRED)
 
     def __str__(self) -> str:
         if self.ok:
@@ -110,6 +131,16 @@ class BatchReport:
     wall-clock totals, ladder path counts) for exactly this batch.
     Under ``workers=N`` the stats are the merged totals of every
     worker's sweep.
+
+    The supervision fields account for how the parallel executor earned
+    the outcomes: ``worker_failures`` counts chunk dispatches lost to
+    crashed / hung / broken workers, ``chunk_retries`` re-dispatches of
+    lost chunks, and ``inline_chunks`` chunks that exhausted their
+    retries and ran serially in the parent as the last resort.  A crash
+    thus surfaces *only* here (and in telemetry) — never as missing or
+    failed pairs.  ``deadline_hit`` is set when a wall-clock deadline
+    expired mid-sweep, in which case the unreached pairs carry the
+    ``DEADLINE`` status (see :meth:`deadline_outcomes`).
     """
 
     outcomes: List[PairOutcome]
@@ -117,12 +148,24 @@ class BatchReport:
     broken: Dict[str, str]
     engine: Optional[str] = None
     engine_stats: Optional[EngineStats] = field(default=None, repr=False)
+    worker_failures: int = 0
+    chunk_retries: int = 0
+    inline_chunks: int = 0
+    deadline_hit: bool = False
 
     def ok_outcomes(self) -> List[PairOutcome]:
         return [outcome for outcome in self.outcomes if outcome.ok]
 
     def error_outcomes(self) -> List[PairOutcome]:
-        return [outcome for outcome in self.outcomes if not outcome.ok]
+        return [
+            outcome for outcome in self.outcomes if outcome.status == FAILED
+        ]
+
+    def deadline_outcomes(self) -> List[PairOutcome]:
+        """Pairs abandoned because the wall-clock deadline expired."""
+        return [
+            outcome for outcome in self.outcomes if outcome.status == DEADLINE
+        ]
 
     def relations(self) -> Dict[Tuple[str, str], CardinalDirection]:
         """The answered pairs as a ``{(primary, reference): R}`` mapping."""
@@ -136,12 +179,22 @@ class BatchReport:
         ok = len(self.ok_outcomes())
         failed = len(self.error_outcomes())
         parts = [f"{ok} pair(s) answered, {failed} failed"]
+        abandoned = len(self.deadline_outcomes())
+        if abandoned:
+            parts.append(f"{abandoned} pair(s) past deadline")
         if self.repairs:
             parts.append(f"{len(self.repairs)} region(s) repaired")
         if self.broken:
             parts.append(
                 f"{len(self.broken)} region(s) unusable: "
                 + ", ".join(sorted(self.broken))
+            )
+        if self.worker_failures:
+            parts.append(
+                f"{self.worker_failures} worker failure(s) recovered "
+                f"({self.chunk_retries} chunk retr"
+                f"{'y' if self.chunk_retries == 1 else 'ies'}, "
+                f"{self.inline_chunks} inline)"
             )
         return "; ".join(parts)
 
@@ -258,6 +311,18 @@ def _bulk_row(
     return row
 
 
+def _deadline_outcome(
+    primary_id: str, reference_id: str, detail: str = ""
+) -> PairOutcome:
+    """A pair abandoned because the wall-clock budget ran out."""
+    return PairOutcome(
+        primary_id,
+        reference_id,
+        DEADLINE,
+        error=detail or "wall-clock deadline expired before this pair",
+    )
+
+
 def _pair_outcome(
     primary_id: str,
     reference_id: str,
@@ -269,19 +334,55 @@ def _pair_outcome(
     backend: Engine,
     percentages: bool,
     repair: bool,
+    policy: RetryPolicy = DEFAULT_BATCH_RETRY_POLICY,
 ) -> PairOutcome:
-    """One healthy pair through the engine, with retry-after-repair."""
+    """One healthy pair through the engine, with policy-bounded retries.
+
+    Transient failures (injected faults) are retried by plain
+    recomputation; other :class:`ReproError`\\ s take the
+    retry-after-repair path when ``repair`` allows and the policy grants
+    more than one attempt.  A deadline expiry is terminal and yields a
+    ``DEADLINE`` outcome, never a retry.
+    """
     primary = healthy[primary_id]
     box = boxes[reference_id]
     repaired_pair = primary_id in repairs or reference_id in repairs
     try:
+        fault_point(
+            "batch.pair",
+            primary=primary_id,
+            reference=reference_id,
+            attempt=0,
+        )
         relation, matrix, path = _compute_pair(
             primary, box, engine=backend, percentages=percentages
+        )
+    except DeadlineExceeded as error:
+        return _deadline_outcome(primary_id, reference_id, str(error))
+    except InjectedFault as error:
+        retried = _retry_transient(
+            primary_id,
+            reference_id,
+            primary,
+            box,
+            backend=backend,
+            percentages=percentages,
+            policy=policy,
+            repaired_pair=repaired_pair,
+        )
+        if retried is not None:
+            return retried
+        return PairOutcome(
+            primary_id,
+            reference_id,
+            FAILED,
+            error=f"{type(error).__name__}: {error}",
         )
     except ReproError as error:
         if isinstance(error, GeometryError):
             error.with_context(region_id=primary_id)
-        if repair and not repaired_pair:
+        if repair and not repaired_pair and policy.max_attempts > 1:
+            count_retry("batch.repair")
             retried = _retry_after_repair(
                 primary_id,
                 reference_id,
@@ -310,6 +411,62 @@ def _pair_outcome(
     )
 
 
+def _retry_transient(
+    primary_id: str,
+    reference_id: str,
+    primary: Region,
+    box: BoundingBox,
+    *,
+    backend: Engine,
+    percentages: bool,
+    policy: RetryPolicy,
+    repaired_pair: bool,
+) -> Optional[PairOutcome]:
+    """Plain recomputation retries for a transiently-failing pair.
+
+    Used after an :class:`InjectedFault`: the geometry is fine, so
+    repair would be wasted work — just try again, up to the policy's
+    attempt budget, backing off between attempts (capped by the current
+    deadline).  Returns ``None`` when every attempt failed — the caller
+    then records the original error.
+    """
+    deadline = current_deadline()
+    for retry in range(policy.max_attempts - 1):
+        pause = policy.delay(retry, key=f"{primary_id}:{reference_id}")
+        if deadline is not None:
+            if deadline.expired():
+                return _deadline_outcome(primary_id, reference_id)
+            pause = min(pause, deadline.remaining())
+        count_retry("batch.pair")
+        if pause > 0.0:
+            time.sleep(pause)
+        try:
+            fault_point(
+                "batch.pair",
+                primary=primary_id,
+                reference=reference_id,
+                attempt=retry + 1,
+            )
+            relation, matrix, path = _compute_pair(
+                primary, box, engine=backend, percentages=percentages
+            )
+        except DeadlineExceeded as error:
+            return _deadline_outcome(primary_id, reference_id, str(error))
+        except InjectedFault:
+            continue
+        except ReproError:
+            return None
+        return PairOutcome(
+            primary_id,
+            reference_id,
+            REPAIRED if repaired_pair else OK,
+            relation=relation,
+            percentages=matrix,
+            path=path,
+        )
+    return None
+
+
 def _sweep_rows(
     primary_ids: Sequence[str],
     all_ids: Sequence[str],
@@ -322,6 +479,8 @@ def _sweep_rows(
     backend: Engine,
     percentages: bool,
     repair: bool,
+    policy: RetryPolicy = DEFAULT_BATCH_RETRY_POLICY,
+    attempt: int = 0,
 ) -> List[PairOutcome]:
     """The primary-major sweep over ``primary_ids`` × ``all_ids``.
 
@@ -330,10 +489,27 @@ def _sweep_rows(
     isolation and retry-after-repair) when the bulk call raises.
     Mutates ``healthy`` / ``boxes`` / ``repairs`` as retries repair
     regions, exactly like the per-pair loop always has.
+
+    The current deadline (contextvar) is checked once per row and once
+    per pair: when it expires, every unreached pair is emitted as a
+    ``DEADLINE`` outcome, so the output always covers the full
+    ``primary_ids`` × ``all_ids`` matrix — partial work is labelled,
+    never silently dropped.  ``attempt`` is the chunk dispatch attempt,
+    threaded into the ``batch.row`` fault-injection context.
     """
     outcomes: List[PairOutcome] = []
     use_bulk = _supports_bulk(backend)
-    for primary_id in primary_ids:
+    deadline = current_deadline()
+    for position, primary_id in enumerate(primary_ids):
+        if deadline is not None and deadline.expired():
+            count_deadline_exceeded("batch.sweep")
+            for late_primary in primary_ids[position:]:
+                outcomes.extend(
+                    _deadline_outcome(late_primary, reference_id)
+                    for reference_id in all_ids
+                    if include_self or reference_id != late_primary
+                )
+            break
         reference_ids = [
             reference_id
             for reference_id in all_ids
@@ -361,6 +537,7 @@ def _sweep_rows(
                 computable.append(reference_id)
         if use_bulk and computable:
             try:
+                fault_point("batch.row", primary=primary_id, attempt=attempt)
                 row.update(
                     _bulk_row(
                         primary_id,
@@ -373,9 +550,22 @@ def _sweep_rows(
                     )
                 )
                 computable = []
+            except DeadlineExceeded as error:
+                row.update(
+                    {
+                        reference_id: _deadline_outcome(
+                            primary_id, reference_id, str(error)
+                        )
+                        for reference_id in computable
+                    }
+                )
+                computable = []
             except ReproError:
                 pass  # replay the row pair by pair below
         for reference_id in computable:
+            if deadline is not None and deadline.expired():
+                row[reference_id] = _deadline_outcome(primary_id, reference_id)
+                continue
             row[reference_id] = _pair_outcome(
                 primary_id,
                 reference_id,
@@ -386,6 +576,7 @@ def _sweep_rows(
                 backend=backend,
                 percentages=percentages,
                 repair=repair,
+                policy=policy,
             )
         outcomes.extend(row[reference_id] for reference_id in reference_ids)
     return outcomes
@@ -408,20 +599,24 @@ def _worker_chunk(
     no telemetry to the process boundary (observers excepted; see
     :meth:`~repro.core.engine.Engine.worker_spec`).
     """
+    chunk_index = payload.get("chunk_index", 0)
+    attempt = payload.get("attempt", 0)
+    fault_point("batch.worker", chunk=chunk_index, attempt=attempt)
     engine_name, engine_options = payload["engine_spec"]
     backend = create_engine(engine_name, **engine_options)
     repairs: Dict[str, RepairReport] = dict(payload["repairs"])
     known_repairs = set(repairs)
     broken: Dict[str, str] = dict(payload["broken"])
-    chunk_index = payload.get("chunk_index", 0)
     worker_label = f"worker-{chunk_index}"
     tracer = obs.Tracer(worker=worker_label) if payload.get("trace") else None
     registry = obs.MetricsRegistry() if payload.get("collect_metrics") else None
+    policy = payload.get("retry_policy") or DEFAULT_BATCH_RETRY_POLICY
     with obs.tracing(tracer) if tracer is not None else nullcontext():
         with obs.collecting(registry) if registry is not None else nullcontext():
             with obs.span(
                 "batch.worker",
                 chunk=chunk_index,
+                attempt=attempt,
                 pid=os.getpid(),
                 primaries=len(payload["primary_ids"]),
             ):
@@ -430,18 +625,21 @@ def _worker_chunk(
                     chunk=chunk_index,
                     primaries=len(payload["primary_ids"]),
                 ):
-                    outcomes = _sweep_rows(
-                        payload["primary_ids"],
-                        payload["all_ids"],
-                        include_self=payload["include_self"],
-                        healthy=payload["healthy"],
-                        boxes=payload["boxes"],
-                        repairs=repairs,
-                        broken=broken,
-                        backend=backend,
-                        percentages=payload["percentages"],
-                        repair=payload["repair"],
-                    )
+                    with deadline_scope(payload.get("deadline_seconds")):
+                        outcomes = _sweep_rows(
+                            payload["primary_ids"],
+                            payload["all_ids"],
+                            include_self=payload["include_self"],
+                            healthy=payload["healthy"],
+                            boxes=payload["boxes"],
+                            repairs=repairs,
+                            broken=broken,
+                            backend=backend,
+                            percentages=payload["percentages"],
+                            repair=payload["repair"],
+                            policy=policy,
+                            attempt=attempt,
+                        )
     new_repairs = {
         region_id: report
         for region_id, report in repairs.items()
@@ -467,6 +665,9 @@ def batch_relations(
     validate: bool = True,
     epsilon: float = DEFAULT_EPSILON,
     workers: Optional[int] = None,
+    deadline: Optional[Union[Deadline, float]] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    chunk_timeout: Optional[float] = None,
 ) -> BatchReport:
     """Compute every ordered pair with per-pair fault isolation.
 
@@ -491,7 +692,21 @@ def batch_relations(
     :meth:`~repro.core.engine.Engine.worker_spec` and sweeps its chunk;
     outcomes keep primary-major order and per-worker stats are merged
     into ``report.engine_stats``.  Validation and up-front repair still
-    run once, in the parent, before the fan-out.
+    run once, in the parent, before the fan-out.  The fan-out is
+    *supervised*: chunks lost to crashed, hung (``chunk_timeout``
+    seconds) or broken workers are re-dispatched under the retry
+    policy, then run inline in the parent as the last resort — a dead
+    worker costs latency and a ``report.worker_failures`` entry, never
+    pairs.
+
+    ``deadline`` (seconds, or a :class:`~repro.resilience.Deadline`)
+    bounds the sweep's wall-clock: pairs not reached in time come back
+    as ``DEADLINE`` outcomes (``report.deadline_hit`` set) instead of
+    the call blocking indefinitely.  A deadline installed with
+    :func:`~repro.resilience.deadline_scope` is honoured the same way.
+    ``retry_policy`` bounds every retry loop (pair-level repair retries
+    and chunk re-dispatch alike); the default preserves the historical
+    single-retry behaviour.
     """
     if compute is not None:
         if engine is not None:
@@ -504,8 +719,22 @@ def batch_relations(
             stacklevel=2,
         )
         engine = compute
-    if workers is not None and workers < 1:
-        raise ValueError(f"workers must be a positive integer, got {workers}")
+    if workers is not None:
+        if isinstance(workers, bool) or not isinstance(workers, int):
+            raise ValueError(
+                f"workers must be a positive integer, got {workers!r} "
+                f"of type {type(workers).__name__}"
+            )
+        if workers < 1:
+            raise ValueError(
+                f"workers must be a positive integer, got {workers}"
+            )
+    if chunk_timeout is not None and not chunk_timeout > 0:
+        raise ValueError(
+            f"chunk_timeout must be a positive number of seconds, "
+            f"got {chunk_timeout!r}"
+        )
+    policy = retry_policy if retry_policy is not None else DEFAULT_BATCH_RETRY_POLICY
     backend = _resolve_batch_engine(
         "exact" if engine is None else engine, epsilon
     )
@@ -514,7 +743,9 @@ def batch_relations(
     broken: Dict[str, str] = {}
 
     for annotated in configuration:
-        region = annotated.region
+        region = maybe_corrupt(
+            "batch.region", annotated.region, region_id=annotated.id
+        )
         if validate:
             issues = _error_issues(region, annotated.id)
             if issues:
@@ -535,31 +766,19 @@ def batch_relations(
     }
 
     all_ids = list(configuration.region_ids)
-    with obs.span(
-        "batch.relations",
-        engine=backend.name,
-        regions=len(all_ids),
-        workers=workers or 1,
-        percentages=percentages,
-    ) as batch_span:
-        if workers is not None and workers > 1 and len(all_ids) > 1:
-            outcomes = _parallel_sweep(
-                all_ids,
-                workers=workers,
-                include_self=include_self,
-                healthy=healthy,
-                boxes=boxes,
-                repairs=repairs,
-                broken=broken,
-                backend=backend,
-                percentages=percentages,
-                repair=repair,
-            )
-        else:
-            with obs.span("batch.chunk", chunk=0, primaries=len(all_ids)):
-                outcomes = _sweep_rows(
+    supervision = {"worker_failures": 0, "chunk_retries": 0, "inline_chunks": 0}
+    with deadline_scope(deadline):
+        with obs.span(
+            "batch.relations",
+            engine=backend.name,
+            regions=len(all_ids),
+            workers=workers or 1,
+            percentages=percentages,
+        ) as batch_span:
+            if workers is not None and workers > 1 and len(all_ids) > 1:
+                outcomes, supervision = _parallel_sweep(
                     all_ids,
-                    all_ids,
+                    workers=workers,
                     include_self=include_self,
                     healthy=healthy,
                     boxes=boxes,
@@ -568,16 +787,41 @@ def batch_relations(
                     backend=backend,
                     percentages=percentages,
                     repair=repair,
+                    policy=policy,
+                    chunk_timeout=chunk_timeout,
                 )
-        failed = sum(1 for outcome in outcomes if not outcome.ok)
-        batch_span.set(pairs=len(outcomes), failed=failed)
+            else:
+                with obs.span("batch.chunk", chunk=0, primaries=len(all_ids)):
+                    outcomes = _sweep_rows(
+                        all_ids,
+                        all_ids,
+                        include_self=include_self,
+                        healthy=healthy,
+                        boxes=boxes,
+                        repairs=repairs,
+                        broken=broken,
+                        backend=backend,
+                        percentages=percentages,
+                        repair=repair,
+                        policy=policy,
+                    )
+            failed = sum(1 for outcome in outcomes if not outcome.ok)
+            deadline_hit = any(
+                outcome.status == DEADLINE for outcome in outcomes
+            )
+            batch_span.set(
+                pairs=len(outcomes),
+                failed=failed,
+                deadline_hit=deadline_hit,
+                worker_failures=supervision["worker_failures"],
+            )
     registry = obs.current_metrics()
     if registry is not None:
         counter = registry.counter(
             "repro_batch_pairs_total",
             "Pair outcomes produced by batch sweeps.",
         )
-        for status in (OK, REPAIRED, FAILED):
+        for status in (OK, REPAIRED, FAILED, DEADLINE):
             count = sum(1 for outcome in outcomes if outcome.status == status)
             if count:
                 counter.inc(count, status=status)
@@ -587,6 +831,10 @@ def batch_relations(
         broken,
         engine=backend.name,
         engine_stats=backend.stats,
+        worker_failures=supervision["worker_failures"],
+        chunk_retries=supervision["chunk_retries"],
+        inline_chunks=supervision["inline_chunks"],
+        deadline_hit=deadline_hit,
     )
 
 
@@ -602,34 +850,52 @@ def _parallel_sweep(
     backend: Engine,
     percentages: bool,
     repair: bool,
-) -> List[PairOutcome]:
-    """Fan the primary rows out over a process pool.
+    policy: RetryPolicy = DEFAULT_BATCH_RETRY_POLICY,
+    chunk_timeout: Optional[float] = None,
+) -> Tuple[List[PairOutcome], Dict[str, int]]:
+    """Fan the primary rows out over a *supervised* process pool.
 
-    Primaries are split into ``workers`` contiguous chunks so
-    concatenating the chunk results in order reproduces the serial
-    primary-major outcome order exactly.
+    Primaries are split into ``workers`` contiguous chunks.  Each retry
+    round submits every still-pending chunk to a fresh pool (a crashed
+    worker breaks its whole :class:`~concurrent.futures.
+    ProcessPoolExecutor`, so surviving a crash means surviving the
+    pool) and collects results in **completion order** — a slow chunk 0
+    no longer blocks merging the telemetry of finished chunks.  Chunks
+    whose future raises (``BrokenProcessPool``, a worker killed
+    mid-task) or that outlive ``chunk_timeout`` / the current deadline
+    are re-dispatched next round with an incremented ``attempt``, up to
+    ``policy.max_attempts`` rounds, with the policy's backoff between
+    rounds; whatever is still unanswered then runs inline, serially, in
+    the parent — the last resort that cannot crash away.  The final
+    outcome list is reassembled by chunk index, so primary-major order
+    is preserved exactly no matter which round answered which chunk.
 
     When a tracer / metrics registry is installed, each worker collects
     its own spans and metric series and ships them back serialised;
     they are grafted under the caller's current span (one
     ``batch.worker`` → ``batch.chunk`` subtree per chunk) and merged
     into the installed registry, so one coherent trace covers the whole
-    fan-out.
+    fan-out.  Lost dispatches are counted in
+    ``repro_worker_restart_total`` and the returned supervision stats
+    (``worker_failures`` / ``chunk_retries`` / ``inline_chunks``).
     """
-    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    from concurrent.futures.process import BrokenProcessPool
 
     tracer = obs.current_tracer()
     registry = obs.current_metrics()
     engine_spec = backend.worker_spec()
+    deadline = current_deadline()
     chunk_size = -(-len(all_ids) // workers)  # ceil division
     chunks = [
         all_ids[start : start + chunk_size]
         for start in range(0, len(all_ids), chunk_size)
     ]
-    payloads = [
-        {
+
+    def _payload(index: int, attempt: int) -> dict:
+        return {
             "engine_spec": engine_spec,
-            "primary_ids": chunk,
+            "primary_ids": chunks[index],
             "all_ids": all_ids,
             "include_self": include_self,
             "healthy": healthy,
@@ -639,28 +905,145 @@ def _parallel_sweep(
             "percentages": percentages,
             "repair": repair,
             "chunk_index": index,
+            "attempt": attempt,
+            "retry_policy": policy,
+            "deadline_seconds": (
+                deadline.remaining() if deadline is not None else None
+            ),
             "trace": tracer is not None,
             "collect_metrics": registry is not None,
         }
-        for index, chunk in enumerate(chunks)
-    ]
-    outcomes: List[PairOutcome] = []
-    with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-        for index, (
+
+    results: Dict[int, List[PairOutcome]] = {}
+    stats = {"worker_failures": 0, "chunk_retries": 0, "inline_chunks": 0}
+
+    def _absorb(index: int, result: tuple) -> None:
+        (
             chunk_outcomes,
             new_repairs,
             stats_snapshot,
             span_payload,
             metrics_snapshot,
-        ) in enumerate(pool.map(_worker_chunk, payloads)):
-            outcomes.extend(chunk_outcomes)
-            repairs.update(new_repairs)
-            backend.stats.merge(stats_snapshot)
-            if span_payload and tracer is not None:
-                tracer.ingest(span_payload, worker=f"worker-{index}")
-            if metrics_snapshot and registry is not None:
-                registry.merge(metrics_snapshot)
-    return outcomes
+        ) = result
+        results[index] = chunk_outcomes
+        repairs.update(new_repairs)
+        backend.stats.merge(stats_snapshot)
+        if span_payload and tracer is not None:
+            tracer.ingest(span_payload, worker=f"worker-{index}")
+        if metrics_snapshot and registry is not None:
+            registry.merge(metrics_snapshot)
+
+    def _count_lost(count: int, reason: str) -> None:
+        stats["worker_failures"] += count
+        if registry is not None:
+            registry.counter(
+                "repro_worker_restart_total",
+                "Parallel batch chunk dispatches lost to worker failures.",
+            ).inc(count, reason=reason)
+
+    pending = list(range(len(chunks)))
+    for round_number in range(policy.max_attempts):
+        if not pending:
+            break
+        if deadline is not None and deadline.expired():
+            break
+        if round_number:
+            stats["chunk_retries"] += len(pending)
+            for index in pending:
+                count_retry("batch.chunk")
+            pause = policy.delay(round_number - 1, key="batch.chunk")
+            if deadline is not None:
+                pause = min(pause, deadline.remaining())
+            if pause > 0.0:
+                time.sleep(pause)
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+        lost: List[int] = []
+        waiting: set = set()
+        try:
+            futures = {
+                pool.submit(_worker_chunk, _payload(index, round_number)): index
+                for index in pending
+            }
+            waiting = set(futures)
+            dispatched_at = time.monotonic()
+            while waiting:
+                budget: Optional[float] = None
+                if chunk_timeout is not None:
+                    budget = max(
+                        0.0,
+                        chunk_timeout - (time.monotonic() - dispatched_at),
+                    )
+                if deadline is not None:
+                    grace = deadline.remaining() + _DEADLINE_GRACE
+                    budget = grace if budget is None else min(budget, grace)
+                done, waiting = wait(
+                    waiting, timeout=budget, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # Timed out: every still-running chunk is lost this
+                    # round (a hung worker cannot be cancelled, only
+                    # abandoned — the fresh pool next round leaves it
+                    # behind).
+                    lost.extend(futures[future] for future in waiting)
+                    _count_lost(len(waiting), "timeout")
+                    break
+                for future in done:
+                    index = futures[future]
+                    try:
+                        _absorb(index, future.result())
+                    except BrokenProcessPool:
+                        lost.append(index)
+                        _count_lost(1, "broken_pool")
+                    except Exception as error:
+                        # A worker died mid-chunk or returned garbage;
+                        # either way the chunk is re-dispatched, so a
+                        # failure here costs latency, not pairs.
+                        lost.append(index)
+                        stats["worker_failures"] += 1
+                        if registry is not None:
+                            registry.counter(
+                                "repro_worker_restart_total",
+                                "Parallel batch chunk dispatches lost "
+                                "to worker failures.",
+                            ).inc(reason=type(error).__name__)
+        finally:
+            # Join the pool's internals unless a chunk is genuinely hung
+            # (then the management thread is stuck behind the hung task
+            # and can only be abandoned).  Joining where possible closes
+            # the executor's wakeup pipe cleanly, so interpreter-exit
+            # housekeeping never races a half-closed descriptor.
+            pool.shutdown(wait=not waiting, cancel_futures=True)
+        pending = sorted(lost)
+    if pending:
+        # Last resort: run the unanswered chunks serially in the parent.
+        # Under an expired deadline _sweep_rows labels every pair
+        # DEADLINE, so the matrix is complete either way.
+        stats["inline_chunks"] = len(pending)
+        for index in pending:
+            with obs.span(
+                "batch.chunk",
+                chunk=index,
+                primaries=len(chunks[index]),
+                inline=True,
+            ):
+                results[index] = _sweep_rows(
+                    chunks[index],
+                    all_ids,
+                    include_self=include_self,
+                    healthy=healthy,
+                    boxes=boxes,
+                    repairs=repairs,
+                    broken=broken,
+                    backend=backend,
+                    percentages=percentages,
+                    repair=repair,
+                    policy=policy,
+                    attempt=policy.max_attempts,
+                )
+    outcomes: List[PairOutcome] = []
+    for index in range(len(chunks)):
+        outcomes.extend(results[index])
+    return outcomes, stats
 
 
 def _retry_after_repair(

@@ -55,6 +55,7 @@ from repro.geometry.bbox import BoundingBox
 from repro.geometry.region import Region
 from repro.obs.metrics import current_metrics
 from repro.obs.trace import current_tracer
+from repro.resilience.deadline import current_deadline
 
 #: The two operations every engine implements.
 OPERATIONS = ("relation", "percentages")
@@ -393,6 +394,12 @@ class Engine:
     # -- plumbing ----------------------------------------------------
 
     def _timed(self, operation, implementation, primary, box):
+        # Pair-granularity deadline enforcement: refuse to start an
+        # operation whose budget has already expired (one contextvar
+        # read + None check when no deadline is installed).
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check(f"engine.{self.name}.{operation}")
         start = time.perf_counter()
         value, path = implementation(primary, box)
         elapsed = time.perf_counter() - start

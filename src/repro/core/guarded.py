@@ -52,6 +52,7 @@ from repro.errors import RelationError
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.region import Region
 from repro.obs.metrics import current_metrics
+from repro.resilience.deadline import current_deadline
 
 
 def _count_fallback(operation: str, reasons: Tuple[str, ...]) -> None:
@@ -253,6 +254,11 @@ def guarded_percentages_against_box(
             reasons.append("tile-area-drift")
         except RelationError:
             reasons.append("invalid-fast-result")
+    # The exact reference is the expensive rung of the ladder — refuse
+    # to start it on an already-expired budget.
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.check("guarded.percentages.exact")
     matrix = compute_cdr_percentages_against_box(primary, box)
     _count_fallback("percentages", tuple(reasons))
     return GuardedValue(
@@ -298,6 +304,9 @@ def guarded_cdr_against_box(
     if not reasons:
         relation = compute_cdr_fast_against_box(primary, box, arrays=arrays)
         return GuardedValue(relation, GuardDiagnostics(FAST_PATH, (), epsilon))
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.check("guarded.relation.exact")
     relation = compute_cdr_against_box(primary, box)
     _count_fallback("relation", reasons)
     return GuardedValue(relation, GuardDiagnostics(EXACT_PATH, reasons, epsilon))

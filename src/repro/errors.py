@@ -91,6 +91,53 @@ class ReasoningError(ReproError):
     """Errors from the reasoning layer (inverse / composition / consistency)."""
 
 
+class DeadlineExceeded(ReproError):
+    """A wall-clock budget expired before an operation completed.
+
+    Raised by deadline-aware call sites (engine operations, the batch
+    sweep, query evaluation) when the deadline installed through
+    :mod:`repro.resilience.deadline` runs out.  ``site`` names the
+    instrumented location that detected the expiry; ``partial_results``
+    is filled in by producers that can hand back the work finished
+    before the budget ran out (e.g. the query evaluator attaches the
+    result tuples found so far).
+    """
+
+    def __init__(
+        self,
+        message: str = "deadline exceeded",
+        *,
+        site: "str | None" = None,
+        remaining: "float | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.site = site
+        self.remaining = remaining
+        self.partial_results: "tuple | None" = None
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.site:
+            return f"{base} [at {self.site}]"
+        return base
+
+
+class InjectedFault(ReproError):
+    """A failure raised on purpose by the deterministic fault injector.
+
+    Only ever raised while a :class:`repro.resilience.faults.
+    FaultInjector` is installed (directly or through the ``REPRO_FAULTS``
+    environment variable).  It derives from :class:`ReproError` so the
+    fault-isolation paths treat it exactly like a real runtime failure —
+    which is the point: chaos tests prove the recovery machinery on the
+    same code paths production errors take.
+    """
+
+    def __init__(self, message: str, *, site: "str | None" = None) -> None:
+        super().__init__(message)
+        self.site = site
+
+
 class InternalConsistencyError(ReasoningError):
     """Two layers of the library disagree about a result that must match.
 

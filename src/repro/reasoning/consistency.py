@@ -41,7 +41,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import networkx as nx
 
@@ -52,6 +52,11 @@ from repro.geometry.bbox import BoundingBox
 from repro.geometry.region import Region
 from repro.obs.metrics import current_metrics
 from repro.obs.trace import span as _obs_span
+from repro.resilience.deadline import (
+    Deadline,
+    count_deadline_exceeded,
+    deadline_scope,
+)
 from repro.reasoning.witness import maximal_model
 
 Constraints = Mapping[Tuple[str, str], CardinalDirection]
@@ -72,13 +77,17 @@ class ConsistencyResult:
     ``witness`` maps variable names to concrete regions when the status is
     CONSISTENT; ``explanation`` is a human-readable account of the
     decision (the violated cycle for INCONSISTENT, the failing constraint
-    for UNKNOWN).
+    for UNKNOWN).  ``deadline_exceeded`` marks an UNKNOWN that is a
+    *labelled partial result*: the wall-clock budget ran out before the
+    attempt budget did, so the answer reflects only the endpoint orders
+    examined in time (the explanation says how many).
     """
 
     status: ConsistencyStatus
     witness: Optional[Dict[str, Region]] = None
     explanation: str = ""
     boxes: Optional[Dict[str, BoundingBox]] = None
+    deadline_exceeded: bool = False
 
     def __bool__(self) -> bool:
         return self.status is ConsistencyStatus.CONSISTENT
@@ -200,7 +209,10 @@ def _validate_constraints(constraints: Constraints) -> List[str]:
 
 
 def check_consistency(
-    constraints: Constraints, *, attempts: int = 4
+    constraints: Constraints,
+    *,
+    attempts: int = 4,
+    deadline: Optional[Union[Deadline, float]] = None,
 ) -> ConsistencyResult:
     """Decide satisfiability of a basic cardinal-direction network.
 
@@ -209,6 +221,15 @@ def check_consistency(
     randomised (deterministically seeded) extensions.  Order
     infeasibility is independent of the extension, so INCONSISTENT
     answers never need retries.
+
+    ``deadline`` (seconds, or a :class:`~repro.resilience.Deadline`)
+    bounds the wall-clock spent across attempts; a deadline installed
+    by an enclosing :func:`~repro.resilience.deadline_scope` applies
+    equally.  When the budget expires mid-check the result is a
+    labelled partial answer — UNKNOWN with ``deadline_exceeded`` set
+    and an explanation counting the extensions actually examined —
+    never a hang (consistency is NP-hard in general, so an unbounded
+    check is a real risk, not a formality).
 
     >>> from repro.core.relation import CardinalDirection as CD
     >>> result = check_consistency({("a", "b"): CD.parse("N"),
@@ -230,7 +251,8 @@ def check_consistency(
     last_unknown: Optional[ConsistencyResult] = None
     result: Optional[ConsistencyResult] = None
     attempts_used = 0
-    with _obs_span(
+    attempt_budget = max(1, attempts)
+    with deadline_scope(deadline) as active_deadline, _obs_span(
         "reasoning.consistency",
         constraints=len(constraints),
         variables=len(names),
@@ -240,7 +262,18 @@ def check_consistency(
             + len(y_system.weak) + len(y_system.strict)
         ),
     ) as check_span:
-        for attempt in range(max(1, attempts)):
+        for attempt in range(attempt_budget):
+            if active_deadline is not None and active_deadline.expired():
+                count_deadline_exceeded("reasoning.consistency")
+                result = ConsistencyResult(
+                    ConsistencyStatus.UNKNOWN,
+                    explanation=(
+                        f"deadline exceeded after {attempt} of "
+                        f"{attempt_budget} endpoint orders"
+                    ),
+                    deadline_exceeded=True,
+                )
+                break
             attempts_used = attempt + 1
             with _obs_span(
                 "reasoning.attempt", attempt=attempt
@@ -280,7 +313,11 @@ def check_consistency(
         if result is None:
             assert last_unknown is not None
             result = last_unknown
-        check_span.set(status=result.status.value, attempts=attempts_used)
+        check_span.set(
+            status=result.status.value,
+            attempts=attempts_used,
+            deadline_exceeded=result.deadline_exceeded,
+        )
     registry = current_metrics()
     if registry is not None:
         registry.counter(

@@ -32,6 +32,11 @@ from repro.errors import ReasoningError
 from repro.core.relation import CardinalDirection, DisjunctiveCD
 from repro.obs.metrics import current_metrics
 from repro.obs.trace import span as _obs_span
+from repro.resilience.deadline import (
+    Deadline,
+    count_deadline_exceeded,
+    deadline_scope,
+)
 from repro.geometry.region import Region
 from repro.reasoning.composition import compose
 from repro.reasoning.consistency import (
@@ -64,10 +69,16 @@ class SolveReport:
     ``solution`` is ``None`` when no candidate refinement could be
     verified; ``unverified_candidates`` counts refinements the basic
     checker answered UNKNOWN on (0 means the negative answer is certain).
+    ``deadline_exceeded`` marks a negative answer that is really a
+    labelled partial result: the wall-clock budget ran out after
+    ``examined`` of the candidate refinements, so unexamined candidates
+    might still admit a solution.
     """
 
     solution: Optional[Solution]
     unverified_candidates: int = 0
+    deadline_exceeded: bool = False
+    examined: int = 0
 
     def __bool__(self) -> bool:
         return self.solution is not None
@@ -161,19 +172,33 @@ class DisjunctiveNetwork:
         the rounds to fixpoint and the number of revisions (arcs
         narrowed) / basic relations pruned, mirrored as
         ``repro_closure_*`` counters in the installed metrics registry.
+
+        A deadline installed through :func:`~repro.resilience.
+        deadline_scope` is checked once per round: on expiry the loop
+        stops early, which is sound — closure only ever *prunes*, so
+        stopping short merely leaves the network less narrowed.
         """
+        from repro.resilience.deadline import current_deadline
+
         names = self._variables
         changed = True
         rounds = 0
         revisions = 0
         relations_pruned = 0
         emptied = False
+        active_deadline = current_deadline()
         with _obs_span(
             "reasoning.closure",
             variables=len(names),
             arcs=len(self._constraints),
         ) as closure_span:
             while changed:
+                if (
+                    active_deadline is not None
+                    and active_deadline.expired()
+                ):
+                    count_deadline_exceeded("reasoning.closure")
+                    break
                 changed = False
                 rounds += 1
                 if rounds > max_rounds:  # pragma: no cover - safety valve
@@ -247,18 +272,28 @@ class DisjunctiveNetwork:
         else:
             self._constraints[(i, j)] = relation
 
-    def solve(self, *, max_candidates: int = 20000) -> SolveReport:
+    def solve(
+        self,
+        *,
+        max_candidates: int = 20000,
+        deadline: Optional[Union[Deadline, float]] = None,
+    ) -> SolveReport:
         """Search for a verified solution by refinement.
 
         Runs algebraic closure first, then backtracks over basic choices
         for each constrained pair (smallest disjunctions first), checking
         each complete refinement with the basic-network consistency
         checker.  ``max_candidates`` bounds the number of complete
-        refinements examined.
+        refinements examined; ``deadline`` (seconds, or a
+        :class:`~repro.resilience.Deadline` — an enclosing
+        :func:`~repro.resilience.deadline_scope` works too) bounds the
+        wall-clock.  On expiry the report is a labelled partial result:
+        ``deadline_exceeded`` is set and ``examined`` says how far the
+        candidate enumeration got before stopping.
         """
         if not self._constraints:
             raise ReasoningError("empty network")
-        with _obs_span(
+        with deadline_scope(deadline) as active_deadline, _obs_span(
             "reasoning.solve",
             variables=len(self._variables),
             arcs=len(self._constraints),
@@ -275,7 +310,15 @@ class DisjunctiveNetwork:
             ]
             unverified = 0
             examined = 0
+            out_of_time = False
             for combo in itertools.product(*choices):
+                if (
+                    active_deadline is not None
+                    and active_deadline.expired()
+                ):
+                    count_deadline_exceeded("reasoning.solve")
+                    out_of_time = True
+                    break
                 examined += 1
                 if examined > max_candidates:
                     break
@@ -290,12 +333,22 @@ class DisjunctiveNetwork:
                     return SolveReport(
                         Solution(assignment=candidate, witness=result.witness),
                         unverified_candidates=unverified,
+                        examined=examined,
                     )
                 if result.status is ConsistencyStatus.UNKNOWN:
                     unverified += 1
             solve_span.set(
-                outcome="unknown" if unverified else "inconsistent",
+                outcome=(
+                    "deadline"
+                    if out_of_time
+                    else "unknown" if unverified else "inconsistent"
+                ),
                 candidates=examined,
                 unverified=unverified,
             )
-            return SolveReport(solution=None, unverified_candidates=unverified)
+            return SolveReport(
+                solution=None,
+                unverified_candidates=unverified,
+                deadline_exceeded=out_of_time,
+                examined=examined,
+            )

@@ -1,0 +1,164 @@
+"""Wall-clock budgets that propagate through the call stack.
+
+The reasoning layer solves an NP-hard problem (consistency of cardinal
+direction networks — see PAPERS.md), and a production batch run may
+process thousands of region pairs: both need a way to say *"spend at
+most this long, then give me what you have"*.  A :class:`Deadline` is
+an absolute expiry instant derived from a relative budget; it is
+installed for a dynamic scope with :func:`deadline_scope` and read back
+anywhere below via :func:`current_deadline` — a :mod:`contextvars`
+variable, so concurrent threads / tasks see only their own budget.
+
+Design points:
+
+* **cheap when absent** — instrumented hot paths (one engine operation,
+  one solver iteration) pay a single contextvar read plus a ``None``
+  check, mirroring the :mod:`repro.obs` no-op discipline;
+* **cooperative** — code *checks* the deadline at well-labelled sites
+  and raises :class:`~repro.errors.DeadlineExceeded`; nothing is killed
+  pre-emptively, so partially-computed results can be labelled and
+  returned;
+* **testable** — the clock is injectable, so tests expire a deadline
+  without sleeping;
+* **nested scopes tighten, never loosen** — an inner
+  :func:`deadline_scope` keeps whichever deadline expires sooner.
+
+Expiries are counted per site in ``repro_deadline_exceeded_total`` when
+a metrics registry is installed.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Iterator, Optional, Union
+
+from repro.errors import DeadlineExceeded
+from repro.obs.metrics import current_metrics
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "current_deadline",
+    "deadline_scope",
+    "remaining_budget",
+]
+
+
+class Deadline:
+    """An absolute wall-clock expiry, created from a relative budget.
+
+    ``seconds`` is the budget measured from *now*; ``clock`` (default
+    :func:`time.monotonic`) exists so tests can drive time by hand.
+    Instances are immutable in spirit: the expiry instant is fixed at
+    construction.
+    """
+
+    __slots__ = ("_clock", "_expires_at", "budget")
+
+    def __init__(
+        self,
+        seconds: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not isinstance(seconds, (int, float)) or isinstance(seconds, bool):
+            raise ValueError(
+                f"deadline budget must be a number, got {seconds!r}"
+            )
+        if seconds < 0:
+            raise ValueError(
+                f"deadline budget must be non-negative, got {seconds!r}"
+            )
+        self.budget = float(seconds)
+        self._clock = clock
+        self._expires_at = clock() + self.budget
+
+    def remaining(self) -> float:
+        """Seconds left before expiry; never negative."""
+        return max(0.0, self._expires_at - self._clock())
+
+    def expired(self) -> bool:
+        """True once the budget has run out."""
+        return self._clock() >= self._expires_at
+
+    def check(self, site: str) -> None:
+        """Raise :class:`DeadlineExceeded` (and count it) when expired.
+
+        ``site`` names the call site for diagnostics and for the
+        ``repro_deadline_exceeded_total`` counter's ``site`` label.
+        """
+        if self._clock() >= self._expires_at:
+            count_deadline_exceeded(site)
+            raise DeadlineExceeded(site=site, remaining=0.0)
+
+    def timeout(self, cap: Optional[float] = None) -> float:
+        """The remaining budget as a timeout value, optionally capped.
+
+        Convenient for handing to blocking waits:
+        ``future_wait(timeout=deadline.timeout(chunk_timeout))``.
+        """
+        remaining = self.remaining()
+        if cap is None:
+            return remaining
+        return min(remaining, cap)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Deadline budget={self.budget:.3f}s remaining={self.remaining():.3f}s>"
+
+
+#: The deadline governing the current execution context, if any.
+_CURRENT: ContextVar[Optional[Deadline]] = ContextVar(
+    "repro-resilience-deadline", default=None
+)
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The deadline installed for this context, or ``None``."""
+    return _CURRENT.get()
+
+
+def remaining_budget() -> Optional[float]:
+    """Seconds left on the current deadline, or ``None`` when unbounded."""
+    deadline = _CURRENT.get()
+    if deadline is None:
+        return None
+    return deadline.remaining()
+
+
+@contextmanager
+def deadline_scope(
+    deadline: Union[Deadline, float, int, None],
+) -> Iterator[Optional[Deadline]]:
+    """Install a deadline for the duration of the ``with`` block.
+
+    ``deadline`` may be a :class:`Deadline`, a plain number of seconds
+    (a fresh deadline is created), or ``None`` (no-op: the enclosing
+    deadline, if any, stays in force).  When a deadline is already
+    installed, the *sooner-expiring* of the two governs the scope — an
+    inner scope can tighten a budget but never extend it.
+    """
+    if deadline is None:
+        yield _CURRENT.get()
+        return
+    if not isinstance(deadline, Deadline):
+        deadline = Deadline(deadline)
+    enclosing = _CURRENT.get()
+    if enclosing is not None and enclosing.remaining() <= deadline.remaining():
+        deadline = enclosing
+    token = _CURRENT.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _CURRENT.reset(token)
+
+
+def count_deadline_exceeded(site: str) -> None:
+    """Increment ``repro_deadline_exceeded_total{site=...}`` if collecting."""
+    registry = current_metrics()
+    if registry is not None:
+        registry.counter(
+            "repro_deadline_exceeded_total",
+            "Operations abandoned because a wall-clock deadline expired.",
+        ).inc(site=site)

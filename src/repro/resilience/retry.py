@@ -1,0 +1,153 @@
+"""Bounded retries with exponential backoff and deterministic jitter.
+
+A :class:`RetryPolicy` is a small frozen value object describing *how
+hard to try*: the attempt budget, the backoff curve, and a jitter term.
+Everything is deterministic — the jitter for ``(key, attempt)`` is drawn
+from a :class:`random.Random` seeded by the policy seed, the caller's
+key, and the attempt number — so a retried run replays the exact same
+schedule, which keeps chaos tests and benchmarks reproducible.
+
+Two consumption styles:
+
+* declarative — :meth:`RetryPolicy.delay` / :meth:`RetryPolicy.delays`
+  give the sleep schedule to supervision loops that manage their own
+  attempt state (the parallel batch executor re-dispatching lost
+  chunks);
+* imperative — :meth:`RetryPolicy.call` wraps a callable, retrying on
+  the configured exception types, sleeping between attempts, counting
+  each retry in ``repro_retry_total{site=...}``, and never retrying
+  past the current deadline (a sleep is capped by the remaining budget,
+  and :class:`~repro.errors.DeadlineExceeded` is always terminal).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.errors import DeadlineExceeded, ReproError
+from repro.obs.metrics import current_metrics
+from repro.resilience.deadline import Deadline, current_deadline
+
+__all__ = ["RetryPolicy", "count_retry"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, and how long to wait in between.
+
+    ``max_attempts`` counts *total* attempts (1 = no retries).  The
+    delay before attempt ``n`` (n ≥ 1, zero-based) is
+    ``min(base_delay * multiplier**(n-1), max_delay)`` plus a jitter
+    term uniform in ``[0, jitter * that delay]``, drawn deterministically
+    from ``(seed, key, n)``.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_attempts, int) or isinstance(
+            self.max_attempts, bool
+        ):
+            raise ValueError(
+                f"max_attempts must be an integer, got {self.max_attempts!r}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be at least 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("retry delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"backoff multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {self.jitter}")
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait before (zero-based) retry ``attempt``.
+
+        ``attempt=0`` is the first *retry* (i.e. before the second
+        overall attempt).  ``key`` differentiates jitter streams so
+        concurrent retriers do not thunder in lockstep.
+        """
+        if attempt < 0:
+            raise ValueError(f"attempt must be non-negative, got {attempt}")
+        base = min(self.base_delay * (self.multiplier ** attempt), self.max_delay)
+        if base <= 0.0:
+            return 0.0
+        if self.jitter <= 0.0:
+            return base
+        rng = random.Random(f"{self.seed}:{key}:{attempt}")
+        return base + rng.uniform(0.0, self.jitter * base)
+
+    def delays(self, key: str = "") -> Tuple[float, ...]:
+        """The full sleep schedule: one entry per possible retry."""
+        return tuple(
+            self.delay(attempt, key) for attempt in range(self.max_attempts - 1)
+        )
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        *,
+        key: str = "",
+        site: str = "retry",
+        retry_on: Tuple[Type[BaseException], ...] = (ReproError,),
+        deadline: Optional[Deadline] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> T:
+        """Invoke ``fn`` under this policy.
+
+        Retries on ``retry_on`` exceptions (default: any
+        :class:`ReproError`), except :class:`DeadlineExceeded`, which is
+        always terminal — retrying an expired budget cannot succeed.
+        Sleeps are capped by the remaining deadline (the installed
+        contextvar deadline when ``deadline`` is not given), and when
+        the budget cannot cover the next backoff the last error is
+        re-raised immediately.  Each retry increments
+        ``repro_retry_total{site=...}``.
+        """
+        if deadline is None:
+            deadline = current_deadline()
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except DeadlineExceeded:
+                raise
+            except retry_on as error:
+                last_error = error
+                if attempt + 1 >= self.max_attempts:
+                    break
+                pause = self.delay(attempt, key)
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining <= 0.0:
+                        break
+                    pause = min(pause, remaining)
+                count_retry(site)
+                if pause > 0.0:
+                    sleep(pause)
+        assert last_error is not None
+        raise last_error
+
+
+def count_retry(site: str) -> None:
+    """Increment ``repro_retry_total{site=...}`` if collecting."""
+    registry = current_metrics()
+    if registry is not None:
+        registry.counter(
+            "repro_retry_total",
+            "Retries performed after transient failures.",
+        ).inc(site=site)

@@ -35,6 +35,7 @@ class TestReportShape:
             "repro.reasoning",
             "repro.obs",
             "repro.analysis",
+            "repro.resilience",
         )
 
 

@@ -1,0 +1,110 @@
+"""Tests for wall-clock budgets (repro.resilience.deadline)."""
+
+import pytest
+
+from repro import obs
+from repro.errors import DeadlineExceeded
+from repro.resilience.deadline import (
+    Deadline,
+    current_deadline,
+    deadline_scope,
+    remaining_budget,
+)
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock so tests never sleep."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_counts_down_with_the_clock(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(10.0)
+        assert not deadline.expired()
+        clock.advance(4.0)
+        assert deadline.remaining() == pytest.approx(6.0)
+        clock.advance(7.0)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0  # clamped, never negative
+
+    def test_zero_budget_is_born_expired(self):
+        assert Deadline(0.0, clock=FakeClock()).expired()
+
+    @pytest.mark.parametrize("bad", [-1, -0.5, "3", None, True])
+    def test_rejects_bad_budgets(self, bad):
+        with pytest.raises(ValueError):
+            Deadline(bad)
+
+    def test_check_raises_with_site_diagnostics(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        deadline.check("test.site")  # not expired: no-op
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check("test.site")
+        assert excinfo.value.site == "test.site"
+        assert "test.site" in str(excinfo.value)
+
+    def test_check_counts_expiry_per_site(self):
+        clock = FakeClock()
+        deadline = Deadline(0.0, clock=clock)
+        registry = obs.MetricsRegistry()
+        with obs.collecting(registry):
+            with pytest.raises(DeadlineExceeded):
+                deadline.check("test.site")
+        counter = registry.counter("repro_deadline_exceeded_total")
+        assert counter.value(site="test.site") == 1
+
+    def test_timeout_caps(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        assert deadline.timeout() == pytest.approx(10.0)
+        assert deadline.timeout(3.0) == pytest.approx(3.0)
+        clock.advance(9.0)
+        assert deadline.timeout(3.0) == pytest.approx(1.0)
+
+
+class TestDeadlineScope:
+    def test_default_is_unbounded(self):
+        assert current_deadline() is None
+        assert remaining_budget() is None
+
+    def test_installs_and_restores(self):
+        with deadline_scope(5.0) as deadline:
+            assert current_deadline() is deadline
+            assert remaining_budget() is not None
+        assert current_deadline() is None
+
+    def test_accepts_a_deadline_instance(self):
+        deadline = Deadline(5.0, clock=FakeClock())
+        with deadline_scope(deadline) as active:
+            assert active is deadline
+            assert current_deadline() is deadline
+
+    def test_none_keeps_the_enclosing_deadline(self):
+        with deadline_scope(5.0) as outer:
+            with deadline_scope(None) as inner:
+                assert inner is outer
+                assert current_deadline() is outer
+
+    def test_nested_scopes_tighten_never_loosen(self):
+        clock = FakeClock()
+        tight = Deadline(1.0, clock=clock)
+        loose = Deadline(100.0, clock=clock)
+        with deadline_scope(tight):
+            with deadline_scope(loose) as active:
+                # The inner (looser) scope must not extend the budget.
+                assert active is tight
+        with deadline_scope(loose):
+            with deadline_scope(tight) as active:
+                assert active is tight

@@ -1,0 +1,130 @@
+"""Tests for bounded deterministic retries (repro.resilience.retry)."""
+
+import pytest
+
+from repro import obs
+from repro.errors import DeadlineExceeded, RelationError
+from repro.resilience.deadline import Deadline
+from repro.resilience.retry import RetryPolicy
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True, "3"])
+    def test_rejects_bad_attempt_budgets(self, bad):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=bad)
+
+    def test_rejects_negative_delays_and_jitter(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestSchedule:
+    def test_exponential_backoff_with_cap(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0,
+            max_delay=0.3, jitter=0.0,
+        )
+        assert policy.delays() == pytest.approx((0.1, 0.2, 0.3, 0.3))
+
+    def test_jitter_is_deterministic_per_seed_key_attempt(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.5, seed=7)
+        assert policy.delay(0, key="a") == policy.delay(0, key="a")
+        assert policy.delay(0, key="a") != policy.delay(0, key="b")
+        assert policy.delay(0, key="a") != policy.delay(1, key="a")
+        reseeded = RetryPolicy(base_delay=1.0, jitter=0.5, seed=8)
+        assert policy.delay(0, key="a") != reseeded.delay(0, key="a")
+
+    def test_jitter_bounded_by_fraction_of_base(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.25)
+        for attempt in range(20):
+            assert 1.0 <= policy.delay(attempt) <= 1.25
+
+
+class TestCall:
+    def test_retries_then_succeeds(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise RelationError("transient")
+            return "answer"
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        assert policy.call(flaky, sleep=lambda _: None) == "answer"
+        assert len(attempts) == 3
+
+    def test_exhausts_attempts_and_reraises_last_error(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        with pytest.raises(RelationError, match="always"):
+            policy.call(
+                lambda: (_ for _ in ()).throw(RelationError("always")),
+                sleep=lambda _: None,
+            )
+
+    def test_deadline_exceeded_is_always_terminal(self):
+        calls = []
+
+        def expired():
+            calls.append(1)
+            raise DeadlineExceeded(site="test")
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0, jitter=0.0)
+        with pytest.raises(DeadlineExceeded):
+            policy.call(expired, sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_sleep_capped_by_remaining_budget(self):
+        clock = FakeClock()
+        deadline = Deadline(0.25, clock=clock)
+        slept = []
+        policy = RetryPolicy(max_attempts=2, base_delay=10.0, jitter=0.0)
+        with pytest.raises(RelationError):
+            policy.call(
+                lambda: (_ for _ in ()).throw(RelationError("x")),
+                deadline=deadline,
+                sleep=slept.append,
+            )
+        assert slept == [pytest.approx(0.25)]
+
+    def test_expired_budget_skips_the_retry(self):
+        clock = FakeClock()
+        deadline = Deadline(0.0, clock=clock)
+        calls = []
+
+        def failing():
+            calls.append(1)
+            raise RelationError("x")
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0, jitter=0.0)
+        with pytest.raises(RelationError):
+            policy.call(failing, deadline=deadline, sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_counts_each_retry(self):
+        registry = obs.MetricsRegistry()
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        with obs.collecting(registry):
+            with pytest.raises(RelationError):
+                policy.call(
+                    lambda: (_ for _ in ()).throw(RelationError("x")),
+                    site="test.retry",
+                    sleep=lambda _: None,
+                )
+        counter = registry.counter("repro_retry_total")
+        assert counter.value(site="test.retry") == 2
