@@ -12,19 +12,33 @@ trajectory for it.  Four modes, stacked the way the optimisations stack:
 * ``sweep`` — the sweep engine's bulk rows: exact mbb single-tile
   pruning plus one ``(n_edges, n_boxes, 3)`` broadcast kernel per
   remaining row;
-* ``workers`` — the sweep engine fanned out over a process pool
-  (``batch_relations(workers=2)``).  Only pays off with >1 core; the
-  JSON records the honest number either way.
+* ``workers`` — the sweep engine fanned out over the shared-memory
+  plane pool (``batch_relations(workers=2)``): one flattened
+  configuration in ``/dev/shm``, index-range chunks, persistent
+  workers.
+
+Two scaling tiers ride along on full (non ``--quick``) runs:
+
+* the **1k-region tier** times the full ``batch_relations`` pipeline
+  serially and at ``workers=2`` / ``workers=4``, verifying the worker
+  runs against the serial sweep's relations and recording the speedup
+  per worker count — the ISSUE 7 acceptance number;
+* the **10k-region tier** times the plane kernel alone
+  (``sweep_plane`` over a capped primary slice) — the 100M-pair
+  workload where outcome assembly, not the kernel, is the question.
 
 Machine-readable output lands in ``BENCH_sweep.json`` (pairs/sec per
-mode, region/edge counts, speedups vs the naive loop)::
+mode, region/edge counts, speedups vs the naive loop, per-tier scaling)::
 
     PYTHONPATH=src python -m benchmarks.bench_sweep            # 100 regions
     PYTHONPATH=src python -m benchmarks.bench_sweep --quick    # CI smoke
 
 Every mode's relations are asserted identical to the ``exact``
 reference before any number is reported — a fast wrong sweep fails the
-run, it does not set a record.
+run, it does not set a record.  ``--check-scaling RATIO`` turns the
+record into a gate: exit 1 unless ``workers`` reaches RATIO × the
+serial sweep's pairs/sec (the CI regression tripwire for the
+parallel path).
 """
 
 from __future__ import annotations
@@ -52,6 +66,13 @@ EDGES_PER_REGION = 12
 
 #: Default output path: the repo root, next to README.md.
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+#: Full-pipeline scaling tier: serial vs workers=2 vs workers=4.
+TIER_REGIONS = 1000
+
+#: Kernel-only tier: plane sweep over a capped primary slice.
+KERNEL_TIER_REGIONS = 10_000
+KERNEL_TIER_PRIMARIES = 200
 
 
 def _mode_engine(mode: str) -> Engine:
@@ -137,20 +158,161 @@ def _check_against_exact(configuration) -> None:
             )
 
 
+def _time_batch(configuration, *, workers: Optional[int]) -> Dict:
+    """One timed full-pipeline sweep; returns seconds + the report."""
+    started = time.perf_counter()
+    report = batch_relations(
+        configuration,
+        engine="sweep",
+        workers=workers,
+        validate=False,
+        repair=False,
+    )
+    elapsed = time.perf_counter() - started
+    if report.error_outcomes():
+        raise AssertionError(
+            f"workers={workers}: "
+            f"{len(report.error_outcomes())} pair(s) failed"
+        )
+    return {"seconds": elapsed, "report": report}
+
+
+def _run_scaling_tier(verbose: bool) -> Dict:
+    """The 1k-region tier: full pipeline, serial vs workers=2 / 4.
+
+    Too large to verify against the exact reference in benchmark time,
+    so the worker runs are verified against the *serial sweep* instead
+    — the serial sweep itself is exact-verified on the headline
+    workload every run.
+    """
+    configuration = sweep_configuration(TIER_REGIONS, edges=EDGES_PER_REGION)
+    pairs = TIER_REGIONS * (TIER_REGIONS - 1)
+    tier_workers = (None, 2, 4)
+    best: Dict[Optional[int], float] = {}
+    expected = None
+    for _ in range(3):  # interleaved best-of-3 (see _run_modes)
+        for workers in tier_workers:
+            sample = _time_batch(configuration, workers=workers)
+            report = sample.pop("report")
+            if workers is None and expected is None:
+                expected = report.relations()
+            elif workers is not None and report.relations() != expected:
+                raise AssertionError(
+                    f"tier {TIER_REGIONS}: workers={workers} disagrees "
+                    "with the serial sweep"
+                )
+            seconds = sample["seconds"]
+            if workers not in best or seconds < best[workers]:
+                best[workers] = seconds
+    serial_pps = pairs / best[None]
+    modes: Dict[str, Dict] = {
+        "serial": {
+            "workers": None,
+            "seconds": round(best[None], 6),
+            "pairs_per_second": round(serial_pps, 1),
+        }
+    }
+    for workers in (2, 4):
+        pps = pairs / best[workers]
+        modes[f"workers={workers}"] = {
+            "workers": workers,
+            "seconds": round(best[workers], 6),
+            "pairs_per_second": round(pps, 1),
+            "speedup_vs_serial": round(pps / serial_pps, 2),
+        }
+    tier = {"regions": TIER_REGIONS, "pairs": pairs, "modes": modes}
+    if verbose:
+        for mode, record in modes.items():
+            scale = record.get("speedup_vs_serial")
+            suffix = f"  ({scale:.2f}x serial)" if scale is not None else ""
+            print(
+                f"tier {TIER_REGIONS} {mode:>10}: "
+                f"{record['pairs_per_second']:>10.1f} pairs/s"
+                f"{suffix}"
+            )
+    return tier
+
+
+def _run_kernel_tier(verbose: bool) -> Dict:
+    """The 10k-region tier: the plane kernel alone, no assembly.
+
+    Measures ``sweep_plane`` over :data:`KERNEL_TIER_PRIMARIES`
+    primary rows of a 10k-region plane — the raw per-row cost the
+    full pipeline amortises at scale.
+    """
+    from repro.core.plane import GeometryPlane
+
+    configuration = sweep_configuration(
+        KERNEL_TIER_REGIONS, edges=EDGES_PER_REGION
+    )
+    healthy = {annotated.id: annotated.region for annotated in configuration}
+    boxes = {
+        region_id: region.bounding_box()
+        for region_id, region in healthy.items()
+    }
+    all_ids = list(configuration.region_ids)
+    plane = GeometryPlane.build(
+        all_ids, healthy=healthy, boxes=boxes, broken={}
+    )
+    try:
+        engine = create_engine("sweep")
+        started = time.perf_counter()
+        rows_done, _, _, _ = engine.sweep_plane(
+            plane, 0, KERNEL_TIER_PRIMARIES
+        )
+        elapsed = time.perf_counter() - started
+    finally:
+        plane.destroy()
+    if rows_done != KERNEL_TIER_PRIMARIES:
+        raise AssertionError(
+            f"kernel tier swept {rows_done} rows, "
+            f"wanted {KERNEL_TIER_PRIMARIES}"
+        )
+    pairs = KERNEL_TIER_PRIMARIES * (KERNEL_TIER_REGIONS - 1)
+    record = {
+        "regions": KERNEL_TIER_REGIONS,
+        "primaries": KERNEL_TIER_PRIMARIES,
+        "pairs": pairs,
+        "kernel_only": True,
+        "modes": {
+            "kernel": {
+                "workers": None,
+                "seconds": round(elapsed, 6),
+                "pairs_per_second": round(pairs / elapsed, 1),
+            }
+        },
+    }
+    if verbose:
+        print(
+            f"tier {KERNEL_TIER_REGIONS} kernel    : "
+            f"{record['modes']['kernel']['pairs_per_second']:>10.1f} pairs/s "
+            f"({KERNEL_TIER_PRIMARIES} primaries)"
+        )
+    return record
+
+
 def run(
     regions: int = REGIONS,
     *,
     quick: bool = False,
     output: Optional[Path] = None,
     verbose: bool = True,
+    tiers: Optional[bool] = None,
+    check_scaling: Optional[float] = None,
 ) -> int:
-    """Time all four modes and write the JSON record.
+    """Time all four modes (plus scaling tiers) and write the JSON record.
 
-    Returns a process exit code: 0 when every mode agreed with the
-    exact reference, 1 otherwise.
+    ``tiers`` adds the 1k full-pipeline and 10k kernel-only tiers
+    (default: on for full runs, off for ``--quick``).
+    ``check_scaling`` turns the run into a gate: exit 1 unless the
+    ``workers`` mode reaches that multiple of the serial sweep's
+    pairs/sec.  Returns a process exit code: 0 when every mode agreed
+    with its reference (and any gate passed), 1 otherwise.
     """
     if quick:
         regions = min(regions, QUICK_REGIONS)
+    if tiers is None:
+        tiers = not quick
     configuration = sweep_configuration(regions, edges=EDGES_PER_REGION)
     try:
         _check_against_exact(configuration)
@@ -169,6 +331,11 @@ def run(
                 f"({record['seconds']:.3f} s)"
             )
     naive = modes["naive"]["pairs_per_second"]
+    scaling_ratio = round(
+        modes["workers"]["pairs_per_second"]
+        / modes["sweep"]["pairs_per_second"],
+        2,
+    )
     result = {
         "benchmark": "sweep",
         "seed": SEED,
@@ -182,11 +349,31 @@ def run(
             mode: round(modes[mode]["pairs_per_second"] / naive, 2)
             for mode in modes
         },
+        "scaling": {"workers=2": scaling_ratio},
     }
+    if tiers:
+        try:
+            result["tiers"] = {
+                str(TIER_REGIONS): _run_scaling_tier(verbose),
+                str(KERNEL_TIER_REGIONS): _run_kernel_tier(verbose),
+            }
+        except AssertionError as error:
+            print(f"FAIL: {error}", file=sys.stderr)
+            return 1
     path = Path(output) if output is not None else DEFAULT_OUTPUT
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(result, indent=2) + "\n")
     if verbose:
         print(f"written to {path}")
+    if check_scaling is not None and scaling_ratio < check_scaling:
+        print(
+            f"FAIL: workers mode reached only {scaling_ratio:.2f}x the "
+            f"serial sweep ({modes['workers']['pairs_per_second']:.0f} vs "
+            f"{modes['sweep']['pairs_per_second']:.0f} pairs/s); the "
+            f"gate demands >= {check_scaling:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -252,9 +439,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--output", type=Path, default=None, help="JSON output path"
     )
+    tier_group = parser.add_mutually_exclusive_group()
+    tier_group.add_argument(
+        "--tiers",
+        dest="tiers",
+        action="store_true",
+        default=None,
+        help=f"force the {TIER_REGIONS}-region scaling and "
+        f"{KERNEL_TIER_REGIONS}-region kernel tiers (default: on for "
+        "full runs, off for --quick)",
+    )
+    tier_group.add_argument(
+        "--no-tiers",
+        dest="tiers",
+        action="store_false",
+        help="skip the scaling / kernel tiers",
+    )
+    parser.add_argument(
+        "--check-scaling",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit 1 unless the workers mode reaches RATIO x the serial "
+        "sweep's pairs/sec (CI regression gate)",
+    )
     arguments = parser.parse_args(argv)
     return run(
-        arguments.regions, quick=arguments.quick, output=arguments.output
+        arguments.regions,
+        quick=arguments.quick,
+        output=arguments.output,
+        tiers=arguments.tiers,
+        check_scaling=arguments.check_scaling,
     )
 
 

@@ -15,6 +15,13 @@ shape (``benchmark``, ``regions``/``pairs``, ``modes.<mode>.seconds`` /
 ``pairs_per_second``) and renders whatever subset a record carries, so
 future benchmarks join the table by following the same convention
 without touching this file.
+
+Records that carry scaling tiers (``tiers.<regions>.modes``, written by
+``bench_sweep`` since the shared-memory plane landed) contribute one
+row per tier mode, and any mode with a ``speedup_vs_serial`` number —
+or a top-level ``scaling`` ratio — fills the ``scaling`` column, so the
+parallel story (how many multiples of the serial sweep each worker
+count buys) sits next to the absolute pairs/sec it came from.
 """
 
 from __future__ import annotations
@@ -93,7 +100,29 @@ def rows(records: List[Dict]) -> List[Dict]:
             overheads = record.get("overhead_vs_plain")
             if overheads and mode in overheads:
                 row["note"] = f"{overheads[mode]:+.1%} vs plain"
+            scaling = record.get("scaling") or {}
+            ratio = scaling.get(f"workers={sample.get('workers')}")
+            if ratio is not None:
+                row["scaling"] = f"{ratio:.2f}x serial"
             flat.append(row)
+        for tier in (record.get("tiers") or {}).values():
+            tier_workload = f"{tier.get('regions', '?')} regions"
+            if tier.get("kernel_only"):
+                tier_workload += " (kernel)"
+            for mode, sample in (tier.get("modes") or {}).items():
+                row = {
+                    "benchmark": record["benchmark"],
+                    "mode": mode,
+                    "workload": tier_workload,
+                }
+                if "pairs_per_second" in sample:
+                    row["pairs_per_second"] = sample["pairs_per_second"]
+                if "seconds" in sample:
+                    row["seconds"] = sample["seconds"]
+                speedup = sample.get("speedup_vs_serial")
+                if speedup is not None:
+                    row["scaling"] = f"{speedup:.2f}x serial"
+                flat.append(row)
     return flat
 
 
@@ -103,6 +132,7 @@ _COLUMNS = (
     ("workload", "<"),
     ("pairs_per_second", ">"),
     ("seconds", ">"),
+    ("scaling", ">"),
     ("note", "<"),
 )
 

@@ -33,6 +33,7 @@ computation, XML persistence, querying — is available here.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -43,6 +44,22 @@ from repro.cardirect.parser import parse_query
 from repro.cardirect.store import RelationStore
 from repro.cardirect.xmlio import load_configuration, save_configuration
 from repro.core.engine import available_engines
+
+
+def _parse_workers(text: str) -> int:
+    """``--workers`` values: a positive integer, or ``auto`` / ``0``
+    resolving to one worker per available CPU."""
+    if text.strip().lower() == "auto":
+        return os.cpu_count() or 1
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, 0 or 'auto', got {text!r}"
+        ) from None
+    if value == 0:
+        return os.cpu_count() or 1
+    return value
 
 
 def _add_engine_options(command: argparse.ArgumentParser) -> None:
@@ -140,11 +157,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     relations.add_argument(
         "--workers",
-        type=int,
+        type=_parse_workers,
         metavar="N",
         help="fan the sweep out over N worker processes (implies the "
         "fault-isolated batch pipeline, like --isolate-errors); "
-        "per-worker engine telemetry is merged into --stats",
+        "'auto' or 0 mean one worker per available CPU; per-worker "
+        "engine telemetry is merged into --stats",
     )
     relations.add_argument(
         "--deadline",

@@ -32,7 +32,15 @@ Two sweep accelerations ride on top of the isolation machinery:
   :meth:`~repro.core.engine.Engine.worker_spec` and sweeps its chunk;
   outcomes concatenate in chunk order (primary-major order is
   preserved) and per-worker :class:`~repro.core.engine.EngineStats`
-  snapshots are merged into the report's stats.
+  snapshots are merged into the report's stats.  Engines that speak
+  the **plane protocol** (``supports_plane``, e.g. the sweep engine)
+  take the shared-memory fast path: the parent flattens the validated
+  configuration once into a :class:`~repro.core.plane.GeometryPlane`,
+  a *persistent* supervised pool attaches to it by name at initializer
+  time, chunks shrink to index ranges sized adaptively from observed
+  chunk latency, and workers return compact tile-mask/area blocks the
+  parent assembles into outcomes — no geometry is ever pickled.
+  Engines without the protocol keep the legacy pickled-chunk pool.
 
 When the observability subsystem (:mod:`repro.obs`) has sinks
 installed, the sweep is traced end to end: a ``batch.relations`` root
@@ -50,7 +58,16 @@ import time
 import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro import obs
 
@@ -65,6 +82,7 @@ from repro.core.engine import (
 from repro.core.guarded import DEFAULT_EPSILON
 from repro.core.matrix import PercentageMatrix
 from repro.core.relation import CardinalDirection
+from repro.core.tiles import Tile
 from repro.core.validate import ERROR, validate_region
 from repro.errors import DeadlineExceeded, GeometryError, InjectedFault, ReproError
 from repro.geometry.bbox import BoundingBox
@@ -97,9 +115,15 @@ DEFAULT_BATCH_RETRY_POLICY = RetryPolicy(
 _DEADLINE_GRACE = 0.25
 
 
-@dataclass(frozen=True)
-class PairOutcome:
-    """The result (or failure) of one ordered pair."""
+class PairOutcome(NamedTuple):
+    """The result (or failure) of one ordered pair.
+
+    A named tuple rather than a frozen dataclass: a plane-parallel
+    sweep constructs one per pair in the parent's assembly loop, and
+    tuple construction is several times cheaper than frozen-dataclass
+    field assignment — at a million pairs that difference is seconds.
+    Still immutable, still compared field by field.
+    """
 
     primary_id: str
     reference_id: str
@@ -654,6 +678,670 @@ def _worker_chunk(
     )
 
 
+# ---------------------------------------------------------------------------
+# Shared-memory plane executor
+# ---------------------------------------------------------------------------
+
+#: Interned relation per tile bitmask — a plane sweep would otherwise
+#: materialise one identical :class:`CardinalDirection` per pair.
+_RELATION_CACHE: Dict[int, CardinalDirection] = {}
+
+
+def _relation_from_mask(mask: int) -> CardinalDirection:
+    """The direction relation named by a plane tile bitmask (interned)."""
+    relation = _RELATION_CACHE.get(mask)
+    if relation is None:
+        relation = CardinalDirection(
+            *[tile for tile in Tile if mask & (1 << int(tile))]
+        )
+        _RELATION_CACHE[mask] = relation
+    return relation
+
+
+#: Floor on the adaptive chunk size — below this the dispatch overhead
+#: (IPC round-trip, task bookkeeping) dominates the row work.
+_MIN_CHUNK_ROWS = 4
+
+#: How many chunks per worker the initial carve aims for, so the sizer
+#: gets latency observations early without serialising the sweep.
+_CHUNK_LEAD = 4
+
+#: Target wall-clock per chunk once a throughput estimate exists: long
+#: enough to amortise dispatch overhead, short enough that a lost chunk
+#: re-dispatches cheaply and deadline checks stay responsive.
+_TARGET_CHUNK_SECONDS = 0.25
+
+
+class _ChunkSizer:
+    """Adaptive chunk sizing from observed chunk latency.
+
+    Starts from a static carve (about :data:`_CHUNK_LEAD` chunks per
+    worker, floored at :data:`_MIN_CHUNK_ROWS` rows, never wider than an
+    even ``total / workers`` split so small workloads still fan out) and
+    converges on whatever row count currently takes about
+    :data:`_TARGET_CHUNK_SECONDS` per chunk, smoothing the observed
+    rows-per-second with an even EWMA so one outlier chunk cannot whip
+    the size around.
+    """
+
+    def __init__(self, total_rows: int, workers: int) -> None:
+        self._ceiling = max(1, -(-total_rows // workers))
+        lead = max(_MIN_CHUNK_ROWS, -(-total_rows // (workers * _CHUNK_LEAD)))
+        self._size = max(1, min(lead, self._ceiling))
+        self._rate: Optional[float] = None
+
+    def next_size(self, remaining: int) -> int:
+        """Rows to carve into the next chunk."""
+        return max(1, min(self._size, remaining))
+
+    def observe(self, rows: int, seconds: float) -> None:
+        """Fold one completed chunk's latency into the size estimate."""
+        if rows <= 0 or seconds <= 0.0:
+            return
+        rate = rows / seconds
+        self._rate = rate if self._rate is None else 0.5 * self._rate + 0.5 * rate
+        target = int(self._rate * _TARGET_CHUNK_SECONDS)
+        self._size = max(_MIN_CHUNK_ROWS, min(target, self._ceiling))
+
+
+class _PlaneChunk:
+    """One index-range dispatch unit of a plane sweep."""
+
+    __slots__ = ("index", "start", "stop", "attempt", "dispatched_at")
+
+    def __init__(
+        self, index: int, start: int, stop: int, attempt: int = 0
+    ) -> None:
+        self.index = index
+        self.start = start
+        self.stop = stop
+        self.attempt = attempt
+        self.dispatched_at = 0.0
+
+    @property
+    def rows(self) -> int:
+        return self.stop - self.start
+
+
+#: Worker-process state installed by :func:`_plane_worker_init`: the
+#: attached plane and the engine spec, reused by every chunk the worker
+#: serves — the point of the persistent pool is attach once, sweep many.
+_WORKER_PLANE: Optional[Any] = None
+_WORKER_ENGINE_SPEC: Optional[tuple] = None
+
+
+def _plane_worker_init(
+    plane_name: str, engine_spec: tuple, generation: int
+) -> None:
+    """Pool initializer: attach this worker to the shared plane once.
+
+    ``generation`` is the supervisor's pool rebuild counter, threaded
+    into the ``plane.attach`` fault-injection context so chaos tests can
+    target (or spare) specific rebuilds.  An attach failure kills the
+    worker during initialisation, which breaks the pool; the supervisor
+    answers with a rebuild under the retry policy.
+    """
+    global _WORKER_PLANE, _WORKER_ENGINE_SPEC
+    from repro.core.plane import GeometryPlane
+
+    _WORKER_PLANE = GeometryPlane.attach(plane_name, generation=generation)
+    _WORKER_ENGINE_SPEC = engine_spec
+
+
+def _plane_chunk(task: dict) -> tuple:
+    """One index-range chunk against the worker's attached plane.
+
+    The task dict carries nothing but indices and flags — geometry
+    lives in the plane this worker attached at initializer time.  A
+    fresh engine per chunk keeps the stats snapshot scoped to exactly
+    this dispatch (re-dispatched chunks must not double-count).  Returns
+    ``(rows_done, masks, paths, areas, cpu_seconds, stats, spans,
+    metrics)`` — compact numpy blocks the parent assembles into
+    outcomes, the chunk's CPU cost (feeding the adaptive sizer), plus
+    the same telemetry graft payloads the legacy worker ships.
+    """
+    plane = _WORKER_PLANE
+    spec = _WORKER_ENGINE_SPEC
+    if plane is None or spec is None:  # pragma: no cover - init contract
+        raise RuntimeError("plane chunk dispatched to an uninitialised worker")
+    chunk_index = task["chunk_index"]
+    attempt = task["attempt"]
+    fault_point("batch.worker", chunk=chunk_index, attempt=attempt)
+    engine_name, engine_options = spec
+    backend = create_engine(engine_name, **engine_options)
+    sweep_plane = getattr(backend, "sweep_plane")
+    rows = task["stop"] - task["start"]
+    tracer = (
+        obs.Tracer(worker=f"worker-{chunk_index}")
+        if task.get("trace")
+        else None
+    )
+    registry = obs.MetricsRegistry() if task.get("collect_metrics") else None
+    started = time.perf_counter()
+    cpu_started = time.process_time()
+    with obs.tracing(tracer) if tracer is not None else nullcontext():
+        with obs.collecting(registry) if registry is not None else nullcontext():
+            with obs.span(
+                "batch.worker",
+                chunk=chunk_index,
+                attempt=attempt,
+                pid=os.getpid(),
+                primaries=rows,
+            ):
+                with obs.span(
+                    "batch.chunk", chunk=chunk_index, primaries=rows
+                ):
+                    with deadline_scope(task.get("deadline_seconds")):
+                        rows_done, masks, paths, areas = sweep_plane(
+                            plane,
+                            task["start"],
+                            task["stop"],
+                            include_self=task["include_self"],
+                            percentages=task["percentages"],
+                            attempt=attempt,
+                        )
+                        if rows_done < rows:
+                            count_deadline_exceeded("batch.sweep")
+    elapsed = time.perf_counter() - started
+    # CPU seconds, not wall: under N-way contention the wall latency of
+    # a chunk inflates with the worker count, and sizing chunks from it
+    # would shrink them (and blow up per-chunk overhead) exactly when
+    # the machine is busiest.  The worker's own CPU time measures the
+    # real per-row cost regardless of who else is running.
+    cpu_seconds = time.process_time() - cpu_started
+    return (
+        rows_done,
+        masks,
+        paths,
+        areas,
+        cpu_seconds if cpu_seconds > 0.0 else elapsed,
+        backend.stats.as_dict(),
+        tracer.to_payload() if tracer is not None else None,
+        registry.snapshot() if registry is not None else None,
+    )
+
+
+def _assemble_plane_rows(
+    masks: Any,
+    paths: Any,
+    areas: Any,
+    *,
+    start: int,
+    rows_done: int,
+    all_ids: Sequence[str],
+    include_self: bool,
+    repairs: Dict[str, RepairReport],
+    broken: Dict[str, str],
+    percentages: bool,
+) -> List[PairOutcome]:
+    """Worker mask/area blocks → :class:`PairOutcome` rows.
+
+    Reproduces the serial outcome shape bit for bit: broken pairs carry
+    the primary-then-reference unusable message, pruned pairs the exact
+    ``{tile: 100}`` matrix, broadcast pairs a
+    :meth:`~repro.core.matrix.PercentageMatrix.from_areas` over the
+    per-tile float areas in :data:`~repro.core.sweep.AREA_TILE_ORDER` —
+    the same values in the same summation order as the serial kernel.
+    """
+    from repro.core.sweep import (
+        AREA_TILE_ORDER,
+        BROADCAST_PATH,
+        PLANE_PATH_PRUNE,
+        PRUNE_PATH,
+        prune_matrix,
+    )
+
+    # The hottest loop of a parallel sweep — a million iterations at a
+    # thousand regions, so the body is tuned: numpy rows become plain
+    # lists once (scalar ndarray indexing is ~10x a list index), the
+    # self column is an integer compare (chunk rows *are* positions in
+    # ``all_ids``), the broken/repaired lookups collapse to constants
+    # when those maps are empty (the common case), and outcomes are
+    # built positionally.
+    outcomes: List[PairOutcome] = []
+    append = outcomes.append
+    ids = list(all_ids)
+    n = len(ids)
+    path_names = (None, PRUNE_PATH, BROADCAST_PATH)
+    relation_cache = _RELATION_CACHE
+    any_broken = bool(broken)
+    any_repairs = bool(repairs)
+    repaired_columns = (
+        [region_id in repairs for region_id in ids] if any_repairs else None
+    )
+    for row_offset in range(rows_done):
+        row_index = start + row_offset
+        primary_id = ids[row_index]
+        primary_broken = any_broken and primary_id in broken
+        primary_repaired = any_repairs and primary_id in repairs
+        mask_row = masks[row_offset].tolist()
+        path_row = paths[row_offset].tolist()
+        self_column = -1 if include_self else row_index
+        for column in range(n):
+            if column == self_column:
+                continue
+            reference_id = ids[column]
+            if primary_broken or (any_broken and reference_id in broken):
+                unusable = [
+                    region_id
+                    for region_id in (primary_id, reference_id)
+                    if region_id in broken
+                ]
+                append(
+                    PairOutcome(
+                        primary_id,
+                        reference_id,
+                        FAILED,
+                        None,
+                        None,
+                        "; ".join(
+                            f"region {region_id!r} unusable: "
+                            f"{broken[region_id]}"
+                            for region_id in unusable
+                        ),
+                        None,
+                    )
+                )
+                continue
+            mask = mask_row[column]
+            if mask == 0:  # pragma: no cover - kernel always occupies a tile
+                append(
+                    PairOutcome(
+                        primary_id,
+                        reference_id,
+                        FAILED,
+                        None,
+                        None,
+                        "plane kernel produced an empty tile mask",
+                        None,
+                    )
+                )
+                continue
+            path_code = path_row[column]
+            matrix: Optional[PercentageMatrix] = None
+            if percentages:
+                if path_code == PLANE_PATH_PRUNE:
+                    matrix = prune_matrix(Tile(mask.bit_length() - 1))
+                elif areas is not None:
+                    matrix = PercentageMatrix.from_areas(
+                        {
+                            tile: float(value)
+                            for tile, value in zip(
+                                AREA_TILE_ORDER, areas[row_offset, column]
+                            )
+                        }
+                    )
+            relation = relation_cache.get(mask)
+            if relation is None:
+                relation = _relation_from_mask(mask)
+            append(
+                PairOutcome(
+                    primary_id,
+                    reference_id,
+                    REPAIRED
+                    if primary_repaired
+                    or (repaired_columns is not None and repaired_columns[column])
+                    else OK,
+                    relation,
+                    matrix,
+                    None,
+                    path_names[path_code],
+                )
+            )
+    return outcomes
+
+
+def _plane_parallel_sweep(
+    all_ids: List[str],
+    *,
+    workers: int,
+    include_self: bool,
+    healthy: Dict[str, Region],
+    boxes: Dict[str, BoundingBox],
+    repairs: Dict[str, RepairReport],
+    broken: Dict[str, str],
+    backend: Engine,
+    percentages: bool,
+    repair: bool,
+    policy: RetryPolicy = DEFAULT_BATCH_RETRY_POLICY,
+    chunk_timeout: Optional[float] = None,
+) -> Tuple[List[PairOutcome], Dict[str, int]]:
+    """Fan the sweep out over a persistent pool sharing one plane.
+
+    Builds the :class:`~repro.core.plane.GeometryPlane` once, supervises
+    the pool in :func:`_supervise_plane_pool`, and **unconditionally**
+    destroys the segment on the way out — success, crashed or hung pool,
+    deadline expiry and ``KeyboardInterrupt`` alike — so no ``/dev/shm``
+    segment can outlive the sweep.
+    """
+    from repro.core.plane import GeometryPlane
+
+    plane = GeometryPlane.build(
+        all_ids,
+        healthy=healthy,
+        boxes=boxes,
+        broken=broken,
+        repaired=tuple(repairs),
+    )
+    try:
+        return _supervise_plane_pool(
+            plane,
+            all_ids,
+            workers=workers,
+            include_self=include_self,
+            healthy=healthy,
+            boxes=boxes,
+            repairs=repairs,
+            broken=broken,
+            backend=backend,
+            percentages=percentages,
+            repair=repair,
+            policy=policy,
+            chunk_timeout=chunk_timeout,
+        )
+    finally:
+        plane.destroy()
+
+
+def _supervise_plane_pool(
+    plane: Any,
+    all_ids: List[str],
+    *,
+    workers: int,
+    include_self: bool,
+    healthy: Dict[str, Region],
+    boxes: Dict[str, BoundingBox],
+    repairs: Dict[str, RepairReport],
+    broken: Dict[str, str],
+    backend: Engine,
+    percentages: bool,
+    repair: bool,
+    policy: RetryPolicy,
+    chunk_timeout: Optional[float],
+) -> Tuple[List[PairOutcome], Dict[str, int]]:
+    """The persistent supervised pool over an already-built plane.
+
+    One :class:`~concurrent.futures.ProcessPoolExecutor` lives across
+    the whole sweep (workers attach to the plane in their initializer);
+    the supervisor keeps up to ``workers`` index-range chunks in flight,
+    carving chunk sizes adaptively from observed chunk latency.  Loss
+    handling keeps PR 6's guarantees with finer grain than the legacy
+    round-based pool:
+
+    * a future that *raises* (an injected fault, a worker bug) loses
+      only its own chunk — the pool survives;
+    * a ``BrokenProcessPool`` (worker killed) loses every in-flight
+      chunk and the pool is rebuilt with a bumped ``generation``;
+    * a ``chunk_timeout`` expiry means a hung worker, which can only be
+      abandoned: every in-flight chunk is lost and the pool is rebuilt.
+
+    Lost chunks re-enter the dispatch queue with an incremented attempt
+    (``policy.max_attempts`` bounding, backoff between attempts); chunks
+    that exhaust retries — plus anything stranded by a deadline expiry —
+    run inline through :func:`_sweep_rows`, the serial last resort that
+    labels past-deadline pairs ``DEADLINE``.  Workers return partial
+    blocks when their deadline slice expires; the unswept remainder is
+    requeued as a fresh chunk so the matrix is always complete.  The
+    final outcome list is reassembled in ascending row order, so
+    primary-major order is preserved exactly no matter which attempt
+    (or the inline fallback) answered which rows.
+    """
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    from concurrent.futures.process import BrokenProcessPool
+
+    tracer = obs.current_tracer()
+    registry = obs.current_metrics()
+    engine_spec = backend.worker_spec()
+    deadline = current_deadline()
+    total_rows = len(all_ids)
+    sizer = _ChunkSizer(total_rows, workers)
+    stats = {"worker_failures": 0, "chunk_retries": 0, "inline_chunks": 0}
+    completed: List[Tuple[int, List[PairOutcome]]] = []
+    retry_queue: List[_PlaneChunk] = []
+    exhausted: List[_PlaneChunk] = []
+    in_flight: Dict[Any, _PlaneChunk] = {}
+    next_start = 0
+    next_index = 0
+    generation = 0
+    pool: Optional[Any] = None
+
+    def _task(chunk: _PlaneChunk) -> dict:
+        return {
+            "chunk_index": chunk.index,
+            "attempt": chunk.attempt,
+            "start": chunk.start,
+            "stop": chunk.stop,
+            "include_self": include_self,
+            "percentages": percentages,
+            "deadline_seconds": (
+                deadline.remaining() if deadline is not None else None
+            ),
+            "trace": tracer is not None,
+            "collect_metrics": registry is not None,
+        }
+
+    def _count_lost(count: int, reason: str) -> None:
+        stats["worker_failures"] += count
+        if registry is not None:
+            registry.counter(
+                "repro_worker_restart_total",
+                "Parallel batch chunk dispatches lost to worker failures.",
+            ).inc(count, reason=reason)
+
+    def _requeue(chunk: _PlaneChunk) -> None:
+        if chunk.attempt + 1 < policy.max_attempts:
+            chunk.attempt += 1
+            stats["chunk_retries"] += 1
+            count_retry("batch.chunk")
+            retry_queue.append(chunk)
+        else:
+            exhausted.append(chunk)
+
+    def _lose(chunk: _PlaneChunk, reason: str) -> None:
+        _count_lost(1, reason)
+        _requeue(chunk)
+
+    def _absorb(chunk: _PlaneChunk, result: tuple) -> None:
+        nonlocal next_index
+        (
+            rows_done,
+            masks,
+            paths,
+            areas,
+            cpu_seconds,
+            stats_snapshot,
+            span_payload,
+            metrics_snapshot,
+        ) = result
+        backend.stats.merge(stats_snapshot)
+        if span_payload and tracer is not None:
+            tracer.ingest(span_payload, worker=f"worker-{chunk.index}")
+        if metrics_snapshot and registry is not None:
+            registry.merge(metrics_snapshot)
+        if rows_done > 0:
+            sizer.observe(rows_done, cpu_seconds)
+            completed.append(
+                (
+                    chunk.start,
+                    _assemble_plane_rows(
+                        masks,
+                        paths,
+                        areas,
+                        start=chunk.start,
+                        rows_done=rows_done,
+                        all_ids=all_ids,
+                        include_self=include_self,
+                        repairs=repairs,
+                        broken=broken,
+                        percentages=percentages,
+                    ),
+                )
+            )
+        if rows_done < chunk.rows:
+            # The worker's deadline slice expired mid-chunk; requeue the
+            # unswept remainder — under a live parent deadline it is
+            # re-dispatched, under an expired one the inline fallback
+            # below labels it DEADLINE.
+            retry_queue.append(
+                _PlaneChunk(next_index, chunk.start + rows_done, chunk.stop)
+            )
+            next_index += 1
+
+    def _shutdown_pool(*, abandon: bool) -> None:
+        nonlocal pool
+        if pool is not None:
+            pool.shutdown(wait=not abandon, cancel_futures=True)
+            pool = None
+
+    try:
+        while True:
+            if deadline is not None and deadline.expired():
+                break
+            while len(in_flight) < workers and (
+                retry_queue or next_start < total_rows
+            ):
+                if retry_queue:
+                    chunk = retry_queue.pop(0)
+                    if chunk.attempt:
+                        pause = policy.delay(
+                            chunk.attempt - 1, key="batch.chunk"
+                        )
+                        if deadline is not None:
+                            pause = min(
+                                pause, max(deadline.remaining(), 0.0)
+                            )
+                        if pause > 0.0:
+                            time.sleep(pause)
+                else:
+                    size = sizer.next_size(total_rows - next_start)
+                    chunk = _PlaneChunk(
+                        next_index, next_start, next_start + size
+                    )
+                    next_index += 1
+                    next_start += size
+                if pool is None:
+                    pool = ProcessPoolExecutor(
+                        max_workers=workers,
+                        initializer=_plane_worker_init,
+                        initargs=(plane.name, engine_spec, generation),
+                    )
+                chunk.dispatched_at = time.monotonic()
+                try:
+                    future = pool.submit(_plane_chunk, _task(chunk))
+                except BrokenProcessPool:
+                    _lose(chunk, "broken_pool")
+                    generation += 1
+                    _shutdown_pool(abandon=False)
+                    continue
+                in_flight[future] = chunk
+            if not in_flight:
+                break
+            budget: Optional[float] = None
+            if chunk_timeout is not None:
+                now = time.monotonic()
+                budget = max(
+                    0.0,
+                    min(
+                        chunk_timeout - (now - flying.dispatched_at)
+                        for flying in in_flight.values()
+                    ),
+                )
+            if deadline is not None:
+                grace = deadline.remaining() + _DEADLINE_GRACE
+                budget = grace if budget is None else min(budget, grace)
+            done, _ = wait(
+                set(in_flight), timeout=budget, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                if deadline is not None and deadline.expired():
+                    # Workers flush their own partial blocks on expiry;
+                    # whatever stayed unreturned past the grace window is
+                    # labelled by the inline fallback below.
+                    break
+                # chunk_timeout elapsed: at least one worker is hung.  A
+                # hung worker cannot be cancelled, only abandoned — and
+                # every in-flight dispatch shares its abandoned pool.
+                for flying_chunk in list(in_flight.values()):
+                    _lose(flying_chunk, "timeout")
+                in_flight.clear()
+                generation += 1
+                _shutdown_pool(abandon=True)
+                continue
+            pool_broken = False
+            for future in done:
+                finished = in_flight.pop(future)
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    _lose(finished, "broken_pool")
+                    pool_broken = True
+                except Exception as error:
+                    # The worker raised (e.g. an injected fault): the
+                    # chunk is lost but the pool survives — no rebuild.
+                    stats["worker_failures"] += 1
+                    if registry is not None:
+                        registry.counter(
+                            "repro_worker_restart_total",
+                            "Parallel batch chunk dispatches lost "
+                            "to worker failures.",
+                        ).inc(reason=type(error).__name__)
+                    _requeue(finished)
+                else:
+                    _absorb(finished, result)
+            if pool_broken:
+                # A killed worker breaks the whole executor; every other
+                # in-flight dispatch goes down with it.
+                for flying_chunk in list(in_flight.values()):
+                    _lose(flying_chunk, "broken_pool")
+                in_flight.clear()
+                generation += 1
+                _shutdown_pool(abandon=False)
+    finally:
+        _shutdown_pool(abandon=bool(in_flight))
+
+    # Whatever the pool never answered: chunks that exhausted their
+    # retries, anything stranded in flight / queued by deadline expiry,
+    # plus the rows never carved at all.
+    leftovers = exhausted + retry_queue + list(in_flight.values())
+    if next_start < total_rows:
+        leftovers.append(_PlaneChunk(next_index, next_start, total_rows))
+        next_index += 1
+    if leftovers:
+        leftovers.sort(key=lambda record: record.start)
+        stats["inline_chunks"] = len(leftovers)
+        for record in leftovers:
+            with obs.span(
+                "batch.chunk",
+                chunk=record.index,
+                primaries=record.rows,
+                inline=True,
+            ):
+                completed.append(
+                    (
+                        record.start,
+                        _sweep_rows(
+                            all_ids[record.start : record.stop],
+                            all_ids,
+                            include_self=include_self,
+                            healthy=healthy,
+                            boxes=boxes,
+                            repairs=repairs,
+                            broken=broken,
+                            backend=backend,
+                            percentages=percentages,
+                            repair=repair,
+                            policy=policy,
+                            attempt=policy.max_attempts,
+                        ),
+                    )
+                )
+    completed.sort(key=lambda item: item[0])
+    outcomes: List[PairOutcome] = []
+    for _, chunk_outcomes in completed:
+        outcomes.extend(chunk_outcomes)
+    return outcomes, stats
+
+
 def batch_relations(
     configuration: Configuration,
     *,
@@ -776,7 +1464,12 @@ def batch_relations(
             percentages=percentages,
         ) as batch_span:
             if workers is not None and workers > 1 and len(all_ids) > 1:
-                outcomes, supervision = _parallel_sweep(
+                parallel = (
+                    _plane_parallel_sweep
+                    if getattr(backend, "supports_plane", False)
+                    else _parallel_sweep
+                )
+                outcomes, supervision = parallel(
                     all_ids,
                     workers=workers,
                     include_self=include_self,

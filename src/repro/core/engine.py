@@ -264,6 +264,14 @@ class Engine:
     #: Registry key and display name; subclasses override.
     name: str = "engine"
 
+    #: Whether the engine implements the index-addressed
+    #: ``sweep_plane(plane, start, stop, ...)`` protocol over a
+    #: shared-memory :class:`~repro.core.plane.GeometryPlane`.  The
+    #: parallel batch executor uses it to skip pickling geometry into
+    #: worker chunks; engines without it take the legacy pickled-chunk
+    #: path under ``workers=N``.
+    supports_plane: bool = False
+
     def __init__(
         self,
         *,

@@ -1,0 +1,395 @@
+"""The shared-memory geometry plane: one flattened configuration, N processes.
+
+``batch_relations(workers=N)`` historically pickled region geometry,
+boxes and repair state into every chunk payload and rebuilt the worker
+pool (and every worker's edge arrays) each retry round — enough
+serialisation tax to make two workers *slower* than one.  The plane is
+the fix: the parent flattens a validated/repaired configuration **once**
+into columnar float64/int64 arrays backed by a single
+:class:`multiprocessing.shared_memory.SharedMemory` segment, workers
+attach by name at pool-initializer time, and a chunk dispatch shrinks to
+a tuple of row indices.
+
+Segment layout (one segment, 16-byte-aligned sections)::
+
+    [u64 little-endian meta length][meta JSON]
+    [offsets  int64   (n+1)]   per-region edge ranges (broken rows empty)
+    [boxes    float64 (n, 4)]  mbb per region: min_x, max_x, min_y, max_y
+    [health   uint8   (n)]     1 = usable, 0 = broken (box row is NaN)
+    [x1 y1 x2 y2  float64 (E)] edge endpoints, concatenated in id order
+
+The meta JSON carries the id table, the broken-region reasons and the
+repaired-id list, so a worker needs nothing but the segment name to
+reconstruct sweep context.  Edge endpoints are stored as ``(x1, y1,
+x2, y2)`` — *not* ``(dx, dy)`` — so the exact float64 vertex values of
+:func:`repro.core.fast._edge_arrays` survive the round trip; the deltas
+are derived on attach with the same ``x2 - x1`` subtraction the serial
+kernel performs, keeping the parallel kernels bit-identical to serial.
+
+Coordinate caveat: the plane is float64.  ``int`` coordinates (and any
+float input) are preserved exactly; ``Fraction`` coordinates beyond
+float64 precision are rounded at :func:`build` time, exactly as the
+serial float kernels round them at :func:`repro.core.fast._edge_arrays`
+time — the prune path, however, compares float boxes here where the
+serial prune compares native types, so astronomically large exact
+coordinates may prune differently.  The equivalence suites cover the
+int/float workloads the repo generates.
+
+Lifecycle contract: the creating parent *must* call :meth:`destroy`
+(``close`` + ``unlink``) when the sweep ends — success, crash, deadline
+expiry or ``KeyboardInterrupt`` alike — or the segment outlives the
+process in ``/dev/shm``.  Workers only ever :meth:`attach` /
+:meth:`close`; they deliberately skip the resource-tracker registration
+(see :func:`_attach_untracked`) so a worker death cannot prematurely
+unlink a segment the parent still owns (bpo-39959).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.region import Region
+from repro.resilience.faults import fault_point
+
+__all__ = ["GeometryPlane"]
+
+#: Section alignment inside the segment.
+_ALIGN = 16
+
+#: The meta-length header: one little-endian uint64.
+_HEADER = struct.Struct("<Q")
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def _region_edges(region: Region) -> Tuple[list, list, list, list]:
+    """Edge endpoints as float lists — the loop of ``_edge_arrays``,
+    keeping ``(x2, y2)`` instead of folding them into deltas."""
+    x1_list: list = []
+    y1_list: list = []
+    x2_list: list = []
+    y2_list: list = []
+    for polygon in region.polygons:
+        vertices = polygon.vertices
+        count = len(vertices)
+        for i in range(count):
+            a, b = vertices[i], vertices[(i + 1) % count]
+            x1_list.append(float(a.x))
+            y1_list.append(float(a.y))
+            x2_list.append(float(b.x))
+            y2_list.append(float(b.y))
+    return x1_list, y1_list, x2_list, y2_list
+
+
+class GeometryPlane:
+    """A flattened configuration in one shared-memory segment.
+
+    Build once in the parent (:meth:`build`), attach by name in workers
+    (:meth:`attach`), address regions by row index everywhere.  The
+    numpy attributes are zero-copy views over the segment.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        *,
+        ids: Tuple[str, ...],
+        broken: Dict[str, str],
+        repaired: Tuple[str, ...],
+        offsets: np.ndarray,
+        boxes: np.ndarray,
+        health: np.ndarray,
+        x1: np.ndarray,
+        y1: np.ndarray,
+        x2: np.ndarray,
+        y2: np.ndarray,
+        owner: bool,
+    ) -> None:
+        self._segment = segment
+        self.ids = ids
+        self.broken = broken
+        self.repaired = repaired
+        self.offsets = offsets
+        self.boxes = boxes
+        self.health = health
+        self.x1 = x1
+        self.y1 = y1
+        self.x2 = x2
+        self.y2 = y2
+        self.owner = owner
+        self._name = segment.name
+        self._deltas: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._healthy_columns: Optional[np.ndarray] = None
+        self._closed = False
+        self._unlinked = False
+
+    # -- construction ------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        all_ids: Sequence[str],
+        *,
+        healthy: Mapping[str, Region],
+        boxes: Mapping[str, BoundingBox],
+        broken: Mapping[str, str],
+        repaired: Sequence[str] = (),
+    ) -> "GeometryPlane":
+        """Flatten one configuration into a fresh shared segment.
+
+        ``all_ids`` fixes the row order (it must cover every key of
+        ``healthy`` and ``broken``); broken rows get zero edges, a NaN
+        box and ``health == 0`` so workers can skip them without any
+        per-id lookups.  The caller owns the returned plane and must
+        :meth:`destroy` it.
+        """
+        n = len(all_ids)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        box_rows = np.full((n, 4), np.nan, dtype=np.float64)
+        health = np.zeros(n, dtype=np.uint8)
+        x1_all: list = []
+        y1_all: list = []
+        x2_all: list = []
+        y2_all: list = []
+        for index, region_id in enumerate(all_ids):
+            region = healthy.get(region_id)
+            if region is None:
+                offsets[index + 1] = offsets[index]
+                continue
+            x1_list, y1_list, x2_list, y2_list = _region_edges(region)
+            x1_all.extend(x1_list)
+            y1_all.extend(y1_list)
+            x2_all.extend(x2_list)
+            y2_all.extend(y2_list)
+            offsets[index + 1] = offsets[index] + len(x1_list)
+            box = boxes[region_id]
+            box_rows[index] = (
+                float(box.min_x),
+                float(box.max_x),
+                float(box.min_y),
+                float(box.max_y),
+            )
+            health[index] = 1
+        edge_count = int(offsets[-1])
+        meta = json.dumps(
+            {
+                "version": 1,
+                "n": n,
+                "edges": edge_count,
+                "ids": list(all_ids),
+                "broken": dict(broken),
+                "repaired": list(repaired),
+            }
+        ).encode("utf-8")
+
+        sections = _section_layout(len(meta), n, edge_count)
+        segment = shared_memory.SharedMemory(create=True, size=sections["total"])
+        segment.buf[: _HEADER.size] = _HEADER.pack(len(meta))
+        segment.buf[_HEADER.size : _HEADER.size + len(meta)] = meta
+        views = _section_views(segment, sections, n, edge_count)
+        views["offsets"][:] = offsets
+        views["boxes"][:] = box_rows
+        views["health"][:] = health
+        views["x1"][:] = np.asarray(x1_all, dtype=np.float64)
+        views["y1"][:] = np.asarray(y1_all, dtype=np.float64)
+        views["x2"][:] = np.asarray(x2_all, dtype=np.float64)
+        views["y2"][:] = np.asarray(y2_all, dtype=np.float64)
+        return cls(
+            segment,
+            ids=tuple(all_ids),
+            broken=dict(broken),
+            repaired=tuple(repaired),
+            offsets=views["offsets"],
+            boxes=views["boxes"],
+            health=views["health"],
+            x1=views["x1"],
+            y1=views["y1"],
+            x2=views["x2"],
+            y2=views["y2"],
+            owner=True,
+        )
+
+    @classmethod
+    def attach(cls, name: str, *, generation: int = 0) -> "GeometryPlane":
+        """Attach to an existing plane by segment name (worker side).
+
+        ``generation`` is the supervisor's pool rebuild counter — it
+        reaches the ``plane.attach`` fault site so chaos tests can kill
+        the first pool's initializers and assert the rebuilt generation
+        recovers.  The attached plane is *not* the owner: closing it
+        never unlinks the segment, and the worker's ``resource_tracker``
+        registration is dropped so a dying worker cannot trigger an
+        early unlink of a segment the parent still owns.
+        """
+        fault_point("plane.attach", name=name, generation=generation)
+        segment = _attach_untracked(name)
+        (meta_length,) = _HEADER.unpack_from(segment.buf, 0)
+        meta = json.loads(bytes(segment.buf[_HEADER.size : _HEADER.size + meta_length]))
+        n = int(meta["n"])
+        edge_count = int(meta["edges"])
+        sections = _section_layout(meta_length, n, edge_count)
+        views = _section_views(segment, sections, n, edge_count)
+        return cls(
+            segment,
+            ids=tuple(meta["ids"]),
+            broken=dict(meta["broken"]),
+            repaired=tuple(meta["repaired"]),
+            offsets=views["offsets"],
+            boxes=views["boxes"],
+            health=views["health"],
+            x1=views["x1"],
+            y1=views["y1"],
+            x2=views["x2"],
+            y2=views["y2"],
+            owner=False,
+        )
+
+    # -- derived views ------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach by."""
+        return self._name
+
+    @property
+    def size(self) -> int:
+        """Region (row) count, broken rows included."""
+        return len(self.ids)
+
+    @property
+    def edge_count(self) -> int:
+        return int(self.offsets[-1])
+
+    def deltas(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(dx, dy)`` — derived lazily with the serial kernel's exact
+        ``x2 - x1`` subtraction, cached per attachment."""
+        if self._deltas is None:
+            self._deltas = (self.x2 - self.x1, self.y2 - self.y1)
+        return self._deltas
+
+    def healthy_columns(self) -> np.ndarray:
+        """Indices of usable rows (the sweep's reference columns)."""
+        if self._healthy_columns is None:
+            self._healthy_columns = np.nonzero(self.health)[0]
+        return self._healthy_columns
+
+    def edge_slice(self, row: int) -> Tuple[int, int]:
+        """The ``[start, stop)`` edge-array range of one region row."""
+        return int(self.offsets[row]), int(self.offsets[row + 1])
+
+    # -- lifecycle ----------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (best effort).
+
+        numpy views exported from the buffer can pin the mapping
+        (``BufferError``); that only delays the munmap until the views
+        are garbage collected — :meth:`unlink` is what frees the
+        backing segment, and is never blocked by a lingering view.
+        """
+        if self._closed:
+            return
+        self._release_views()
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - exported views still alive
+            return
+        self._closed = True
+
+    def unlink(self) -> None:
+        """Free the backing segment (owner side; idempotent).
+
+        Works whether or not :meth:`close` succeeded — ``shm_unlink``
+        needs only the name, never the mapping.
+        """
+        if self._unlinked:
+            return
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:
+            pass
+        self._unlinked = True
+
+    def destroy(self) -> None:
+        """``close`` + ``unlink`` — the owner's guaranteed teardown."""
+        self.close()
+        self.unlink()
+
+    def _release_views(self) -> None:
+        empty_f = np.empty(0, dtype=np.float64)
+        self.offsets = np.empty(0, dtype=np.int64)
+        self.boxes = np.empty((0, 4), dtype=np.float64)
+        self.health = np.empty(0, dtype=np.uint8)
+        self.x1 = self.y1 = self.x2 = self.y2 = empty_f
+        self._deltas = None
+        self._healthy_columns = None
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without a resource_tracker registration.
+
+    ``SharedMemory(create=False)`` registers the segment with the
+    process's resource tracker (bpo-39959), which is wrong for a
+    non-owner: pool workers all share the parent's forked tracker, so N
+    workers registering and unregistering one name leaves N-1 noisy
+    unbalanced messages — and a dying worker could unlink a segment the
+    parent still owns.  Python 3.13 grew ``track=False`` for exactly
+    this; earlier versions get the same effect by suppressing the
+    registration call for the duration of the constructor (single
+    thread: pool initializers and chunk dispatch never race in one
+    worker process).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, create=False, track=False)  # type: ignore[call-arg]
+    except TypeError:  # pre-3.13: no track= parameter
+        pass
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name, create=False)
+    finally:
+        resource_tracker.register = original
+
+
+def _section_layout(meta_length: int, n: int, edge_count: int) -> Dict[str, int]:
+    """Byte offsets of every section for a given meta/row/edge count."""
+    layout: Dict[str, int] = {}
+    cursor = _aligned(_HEADER.size + meta_length)
+    layout["offsets"] = cursor
+    cursor = _aligned(cursor + (n + 1) * 8)
+    layout["boxes"] = cursor
+    cursor = _aligned(cursor + n * 4 * 8)
+    layout["health"] = cursor
+    cursor = _aligned(cursor + n)
+    for section in ("x1", "y1", "x2", "y2"):
+        layout[section] = cursor
+        cursor = _aligned(cursor + edge_count * 8)
+    layout["total"] = max(cursor, 1)  # zero-region planes still need a byte
+    return layout
+
+
+def _section_views(
+    segment: shared_memory.SharedMemory,
+    sections: Dict[str, int],
+    n: int,
+    edge_count: int,
+) -> Dict[str, np.ndarray]:
+    buffer = segment.buf
+    views = {
+        "offsets": np.ndarray((n + 1,), dtype=np.int64, buffer=buffer, offset=sections["offsets"]),
+        "boxes": np.ndarray((n, 4), dtype=np.float64, buffer=buffer, offset=sections["boxes"]),
+        "health": np.ndarray((n,), dtype=np.uint8, buffer=buffer, offset=sections["health"]),
+    }
+    for section in ("x1", "y1", "x2", "y2"):
+        views[section] = np.ndarray(
+            (edge_count,), dtype=np.float64, buffer=buffer, offset=sections[section]
+        )
+    return views

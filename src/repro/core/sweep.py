@@ -42,7 +42,7 @@ cross-validate every path against the exact reference).
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,6 +50,7 @@ from repro.core.engine import DEFAULT_EDGE_CACHE_SIZE, Engine, Observer
 from repro.core.fast import (
     _EPSILON,
     _TILE_GRID,
+    _axis_band_intervals_many,
     _band_intervals_many,
     _box_lines,
     compute_cdr_fast_against_box,
@@ -61,11 +62,43 @@ from repro.core.tiles import Tile
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.predicates import point_in_polygon
 from repro.geometry.region import Region
+from repro.resilience.deadline import current_deadline
+from repro.resilience.faults import fault_point
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.plane import GeometryPlane
 
 #: Path labels of the sweep engine's telemetry.
 PRUNE_PATH = "prune"
 BROADCAST_PATH = "broadcast"
 FAST_PATH = "fast"
+
+#: Byte codes of the per-pair path plane in :meth:`SweepEngine.sweep_plane`
+#: results (0 = not computed: broken / self / past-deadline column).
+PLANE_PATH_PRUNE = 1
+PLANE_PATH_BROADCAST = 2
+
+#: The area columns of a plane-sweep percentage block, in exactly the
+#: insertion order of :func:`tile_areas_fast_many`'s per-tile dict — the
+#: order determines the float summation order of
+#: :meth:`~repro.core.matrix.PercentageMatrix.from_areas`, so keeping it
+#: identical keeps parallel percentages bit-identical to serial.
+AREA_TILE_ORDER: Tuple[Tile, ...] = (
+    Tile.SW, Tile.W, Tile.NW, Tile.SE, Tile.E, Tile.NE, Tile.S, Tile.N, Tile.B,
+)
+
+#: ``1 << tile`` per (column band, row band) — turns a (k, 3, 3)
+#: occupancy block into a (k,) uint16 tile bitmask in one reduction.
+_TILE_MASKS = np.array(
+    [[1 << int(_TILE_GRID[c][r]) for r in range(3)] for c in range(3)],
+    dtype=np.uint16,
+)
+
+_B_MASK = np.uint16(1 << int(Tile.B))
+
+#: Sentinel band value marking "straddles / touches a grid line" in the
+#: vectorised prune (real bands are -1 / 0 / +1).
+_NO_BAND = 2
 
 
 # ---------------------------------------------------------------------------
@@ -131,6 +164,28 @@ def prune_matrix(tile: Tile) -> PercentageMatrix:
 # ---------------------------------------------------------------------------
 
 
+def _occupancy_many(
+    col_lo: np.ndarray,
+    col_hi: np.ndarray,
+    row_lo: np.ndarray,
+    row_hi: np.ndarray,
+) -> np.ndarray:
+    """Per-box tile occupancy ``(k, 3, 3)`` from the band intervals.
+
+    A tile is occupied when any edge has a positive-length parameter
+    piece in the column ∩ row interval.  Shared by the Region-facing
+    broadcast kernel and the plane sweep so the two can never drift.
+    """
+    k = col_lo.shape[1]
+    occupied = np.zeros((k, 3, 3), dtype=bool)
+    for c in range(3):
+        for r in range(3):
+            lo = np.maximum(col_lo[:, :, c], row_lo[:, :, r])
+            hi = np.minimum(col_hi[:, :, c], row_hi[:, :, r])
+            occupied[:, c, r] = np.any(hi - lo > _EPSILON, axis=0)
+    return occupied
+
+
 def compute_cdr_fast_many(
     primary: Region,
     boxes: Sequence[BoundingBox],
@@ -150,12 +205,7 @@ def compute_cdr_fast_many(
         primary, boxes, arrays
     )
     k = len(boxes)
-    occupied = np.zeros((k, 3, 3), dtype=bool)
-    for c in range(3):
-        for r in range(3):
-            lo = np.maximum(col_lo[:, :, c], row_lo[:, :, r])
-            hi = np.minimum(col_hi[:, :, c], row_hi[:, :, r])
-            occupied[:, c, r] = np.any(hi - lo > _EPSILON, axis=0)
+    occupied = _occupancy_many(col_lo, col_hi, row_lo, row_hi)
     results: List[CardinalDirection] = []
     for j, box in enumerate(boxes):
         tiles = {
@@ -192,7 +242,31 @@ def tile_areas_fast_many(
     col_lo, col_hi, row_lo, row_hi, (x1, y1, dx, dy) = _band_intervals_many(
         primary, boxes, arrays
     )
-    m1, m2, l1, l2 = _box_lines(boxes)
+    per_tile = _tile_area_columns(
+        col_lo, col_hi, row_lo, row_hi, (x1, y1, dx, dy), _box_lines(boxes)
+    )
+    return [
+        {tile: float(values[j]) for tile, values in per_tile.items()}
+        for j in range(len(boxes))
+    ]
+
+
+def _tile_area_columns(
+    col_lo: np.ndarray,
+    col_hi: np.ndarray,
+    row_lo: np.ndarray,
+    row_hi: np.ndarray,
+    arrays: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    lines: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+) -> Dict[Tile, np.ndarray]:
+    """The masked trapezoid sums as per-tile ``(k,)`` columns.
+
+    The array-level core of :func:`tile_areas_fast_many`, shared with
+    the plane sweep; the dict's insertion order is
+    :data:`AREA_TILE_ORDER` (load-bearing — see there).
+    """
+    x1, y1, dx, dy = arrays
+    m1, m2, l1, l2 = lines
     x1c, y1c = x1[:, None], y1[:, None]
     dxc, dyc = dx[:, None], dy[:, None]
 
@@ -221,7 +295,6 @@ def tile_areas_fast_many(
             np.minimum(col_hi[:, :, c], row_hi[:, :, r]),
         )
 
-    k = len(boxes)
     per_tile: Dict[Tile, np.ndarray] = {}
     for c, m in ((0, m1), (2, m2)):
         for r in range(3):
@@ -250,10 +323,55 @@ def tile_areas_fast_many(
     area_bn = np.abs(e_l_sum(lo, hi, l1))
     per_tile[Tile.B] = np.maximum(area_bn - area_n, 0.0)
 
-    return [
-        {tile: float(values[j]) for tile, values in per_tile.items()}
-        for j in range(k)
-    ]
+    return per_tile
+
+
+def _points_in_region(
+    x1: np.ndarray,
+    y1: np.ndarray,
+    x2: np.ndarray,
+    y2: np.ndarray,
+    px: np.ndarray,
+    py: np.ndarray,
+) -> np.ndarray:
+    """Boundary-inclusive even–odd membership of points in a region.
+
+    The vectorised counterpart of running
+    :func:`repro.geometry.predicates.point_in_ring` over every ring of
+    a region — same float operations in the same order, so the plane
+    sweep's centre-of-``mbb`` test agrees bit for bit with the serial
+    kernel's.  Even–odd parity is accumulated over *all* edges at once
+    instead of per polygon; for a validated region (pairwise-disjoint
+    polygon interiors, so no polygon can sit inside another) the parity
+    over the union of rings equals the per-polygon disjunction, and any
+    boundary case is caught by the on-segment test first, exactly as in
+    the scalar predicate.
+    """
+    ax, ay = x1[:, None], y1[:, None]
+    bx, by = x2[:, None], y2[:, None]
+    cx, cy = px[None, :], py[None, :]
+    degenerate = (ax == bx) & (ay == by)
+    # point_on_segment: collinear and inside the segment's bbox.
+    cross = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    on_segment = (
+        ~degenerate
+        & (cross == 0)
+        & (np.minimum(ax, bx) <= cx)
+        & (cx <= np.maximum(ax, bx))
+        & (np.minimum(ay, by) <= cy)
+        & (cy <= np.maximum(ay, by))
+    )
+    # Even-odd ray crossings, cross-multiplied like point_in_ring.
+    straddles = (ay > cy) != (by > cy)
+    dy = by - ay
+    t_num = cy - ay
+    x_cross_num = ax * dy + t_num * (bx - ax)
+    toggles = straddles & (
+        ((dy > 0) & (x_cross_num > cx * dy))
+        | ((dy < 0) & (x_cross_num < cx * dy))
+    )
+    odd = (np.count_nonzero(toggles, axis=0) % 2).astype(bool)
+    return odd | np.any(on_segment, axis=0)
 
 
 # ---------------------------------------------------------------------------
@@ -276,9 +394,16 @@ class SweepEngine(Engine):
     ``"broadcast"``).  ``stats.calls`` advances by the number of boxes
     served so pairs-per-second telemetry stays comparable with
     per-pair engines.
+
+    :meth:`sweep_plane` is the index-addressed face of the same
+    kernels: it sweeps a row range of a shared-memory
+    :class:`~repro.core.plane.GeometryPlane` without materialising any
+    :class:`~repro.geometry.region.Region` objects — the path the
+    parallel batch executor dispatches to workers.
     """
 
     name = "sweep"
+    supports_plane = True
 
     def __init__(
         self,
@@ -382,3 +507,184 @@ class SweepEngine(Engine):
             pruned=len(boxes) - len(pending),
         )
         return results
+
+    # -- plane protocol ----------------------------------------------
+
+    def sweep_plane(
+        self,
+        plane: "GeometryPlane",
+        start: int,
+        stop: int,
+        *,
+        include_self: bool = False,
+        percentages: bool = False,
+        attempt: int = 0,
+    ) -> Tuple[int, np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Sweep plane rows ``[start, stop)`` against every healthy column.
+
+        The index-addressed bulk path: geometry comes straight from the
+        shared-memory plane's columnar arrays — no ``Region`` objects,
+        no pickled boxes, no per-worker edge rebuilds.  Row results
+        land in full-width arrays indexed by global column:
+
+        * ``masks`` — ``(rows, n)`` uint16 tile bitmask per pair
+          (``1 << int(tile)``), 0 for self / broken / unswept columns;
+        * ``paths`` — ``(rows, n)`` uint8, :data:`PLANE_PATH_PRUNE` /
+          :data:`PLANE_PATH_BROADCAST` / 0 (not computed);
+        * ``areas`` — ``(rows, n, 9)`` float64 per-tile areas in
+          :data:`AREA_TILE_ORDER` for broadcast pairs (``None`` unless
+          ``percentages``); pruned pairs are exact 100 %-single-tile by
+          construction and carry no float areas.
+
+        Returns ``(rows_done, masks, paths, areas)``.  ``rows_done <
+        stop - start`` only when the ambient deadline expired — partial
+        work is returned, never discarded; the caller labels the rest.
+        Per-pair float semantics, prune decisions, stats accounting
+        (``record_bulk`` per row and operation) and telemetry match
+        :meth:`relation_many` / :meth:`percentages_many` exactly —
+        the equivalence suite asserts byte-identical outcomes.
+        """
+        ids = plane.ids
+        offsets = plane.offsets
+        health = plane.health
+        boxes = plane.boxes
+        x1, y1 = plane.x1, plane.y1
+        x2, y2 = plane.x2, plane.y2
+        dx, dy = plane.deltas()
+        healthy_columns = plane.healthy_columns()
+        n = plane.size
+        rows = stop - start
+        masks = np.zeros((rows, n), dtype=np.uint16)
+        paths = np.zeros((rows, n), dtype=np.uint8)
+        areas = np.zeros((rows, n, 9), dtype=np.float64) if percentages else None
+        deadline = current_deadline()
+        for row_offset in range(rows):
+            row = start + row_offset
+            if deadline is not None and deadline.expired():
+                return row_offset, masks, paths, areas
+            if not health[row]:
+                continue
+            if include_self:
+                columns = healthy_columns
+            else:
+                columns = healthy_columns[healthy_columns != row]
+            k = columns.size
+            if k == 0:
+                continue
+            fault_point("batch.row", primary=ids[row], attempt=attempt)
+
+            started = time.perf_counter()
+            m1 = boxes[columns, 0]
+            m2 = boxes[columns, 1]
+            l1 = boxes[columns, 2]
+            l2 = boxes[columns, 3]
+            p_min_x, p_max_x, p_min_y, p_max_y = boxes[row]
+            # The vectorised single-tile prune — float64 mirror of
+            # single_tile_prune's strict comparisons (straddle / touch
+            # never prunes, strictly-inside-B never prunes).
+            col_band = np.where(
+                p_max_x < m1,
+                -1,
+                np.where(
+                    p_min_x > m2,
+                    1,
+                    np.where((m1 < p_min_x) & (p_max_x < m2), 0, _NO_BAND),
+                ),
+            )
+            row_band = np.where(
+                p_max_y < l1,
+                -1,
+                np.where(
+                    p_min_y > l2,
+                    1,
+                    np.where((l1 < p_min_y) & (p_max_y < l2), 0, _NO_BAND),
+                ),
+            )
+            pruned = (
+                (col_band != _NO_BAND)
+                & (row_band != _NO_BAND)
+                & ~((col_band == 0) & (row_band == 0))
+            )
+            pruned_at = np.nonzero(pruned)[0]
+            pending_at = np.nonzero(~pruned)[0]
+            row_masks = np.zeros(k, dtype=np.uint16)
+            if pruned_at.size:
+                row_masks[pruned_at] = _TILE_MASKS[
+                    col_band[pruned_at] + 1, row_band[pruned_at] + 1
+                ]
+            col_lo = col_hi = row_lo = row_hi = None
+            edge_first, edge_last = int(offsets[row]), int(offsets[row + 1])
+            ex1 = x1[edge_first:edge_last]
+            ey1 = y1[edge_first:edge_last]
+            edx = dx[edge_first:edge_last]
+            edy = dy[edge_first:edge_last]
+            if pending_at.size:
+                col_lo, col_hi = _axis_band_intervals_many(
+                    ex1, edx, m1[pending_at], m2[pending_at], tie_sign=edy
+                )
+                row_lo, row_hi = _axis_band_intervals_many(
+                    ey1, edy, l1[pending_at], l2[pending_at], tie_sign=-edx
+                )
+                occupied = _occupancy_many(col_lo, col_hi, row_lo, row_hi)
+                kernel_masks = (
+                    (occupied * _TILE_MASKS[None, :, :])
+                    .sum(axis=(1, 2))
+                    .astype(np.uint16)
+                )
+                # The B tile can be covered without any edge crossing it
+                # (reference box entirely inside the primary's interior):
+                # test the box centre, exactly like the Region kernel.
+                missing_b = np.nonzero((kernel_masks & _B_MASK) == 0)[0]
+                if missing_b.size:
+                    centre_x = (m1[pending_at[missing_b]] + m2[pending_at[missing_b]]) / 2.0
+                    centre_y = (l1[pending_at[missing_b]] + l2[pending_at[missing_b]]) / 2.0
+                    inside = _points_in_region(
+                        ex1,
+                        ey1,
+                        x2[edge_first:edge_last],
+                        y2[edge_first:edge_last],
+                        centre_x,
+                        centre_y,
+                    )
+                    kernel_masks[missing_b[inside]] |= _B_MASK
+                row_masks[pending_at] = kernel_masks
+            elapsed = time.perf_counter() - started
+            masks[row_offset, columns] = row_masks
+            paths[row_offset, columns[pruned_at]] = PLANE_PATH_PRUNE
+            paths[row_offset, columns[pending_at]] = PLANE_PATH_BROADCAST
+            path_counts = {PRUNE_PATH: int(pruned_at.size)}
+            if pending_at.size:
+                path_counts[BROADCAST_PATH] = int(pending_at.size)
+            recorded = {p: c for p, c in path_counts.items() if c}
+            self.stats.record_bulk("relation", elapsed, k, recorded)
+            self._emit_telemetry(
+                "relation",
+                elapsed,
+                BROADCAST_PATH,
+                count=k,
+                pruned=int(pruned_at.size),
+            )
+            if percentages and areas is not None:
+                started = time.perf_counter()
+                if pending_at.size:
+                    per_tile = _tile_area_columns(
+                        col_lo,
+                        col_hi,
+                        row_lo,
+                        row_hi,
+                        (ex1, ey1, edx, edy),
+                        (m1[pending_at], m2[pending_at], l1[pending_at], l2[pending_at]),
+                    )
+                    areas[row_offset, columns[pending_at], :] = np.stack(
+                        [per_tile[tile] for tile in AREA_TILE_ORDER], axis=1
+                    )
+                elapsed = time.perf_counter() - started
+                self.stats.record_bulk("percentages", elapsed, k, dict(recorded))
+                self._emit_telemetry(
+                    "percentages",
+                    elapsed,
+                    BROADCAST_PATH,
+                    count=k,
+                    pruned=int(pruned_at.size),
+                )
+        return rows, masks, paths, areas

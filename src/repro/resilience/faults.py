@@ -22,6 +22,11 @@ workers however they were started).  Current sites:
                           reference, attempt)
 ``batch.region``          region ingestion — ``corrupt`` swaps two polygon
                           vertices into a bowtie (ctx: region_id)
+``plane.attach``          worker attaching to the shared-memory geometry
+                          plane at pool-initializer time (ctx: name,
+                          generation — the supervisor's pool rebuild
+                          counter, so chaos tests can target or spare
+                          specific rebuilds)
 ========================  ===================================================
 
 Fault kinds: ``raise`` (throw :class:`~repro.errors.InjectedFault`),

@@ -1,5 +1,7 @@
 """Tests for the CARDIRECT command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cardirect.cli import main
@@ -56,6 +58,40 @@ class TestRelations:
         out = capsys.readouterr().out
         assert "attica vs peloponnesos:" in out
         assert "%" in out
+
+
+class TestWorkersOption:
+    def test_auto_resolves_to_cpu_count(self):
+        from repro.cardirect.cli import _parse_workers
+
+        expected = os.cpu_count() or 1
+        assert _parse_workers("auto") == expected
+        assert _parse_workers("AUTO") == expected
+        assert _parse_workers("0") == expected
+
+    def test_explicit_counts_pass_through(self):
+        from repro.cardirect.cli import _parse_workers
+
+        assert _parse_workers("3") == 3
+        assert _parse_workers("1") == 1
+
+    def test_garbage_is_an_argparse_error(self):
+        import argparse
+
+        from repro.cardirect.cli import _parse_workers
+
+        with pytest.raises(argparse.ArgumentTypeError, match="banana"):
+            _parse_workers("banana")
+
+    def test_relations_accepts_workers_auto(self, demo_xml, capsys):
+        assert main(["relations", str(demo_xml), "--workers", "auto"]) == 0
+        out = capsys.readouterr().out
+        # The batch path prints every pair plus its summary line.
+        assert "110 pair(s) answered" in out
+
+    def test_negative_workers_is_a_clean_error(self, demo_xml, capsys):
+        assert main(["relations", str(demo_xml), "--workers", "-2"]) == 2
+        assert "--workers" in capsys.readouterr().err
 
 
 class TestEngineOptions:
