@@ -4,9 +4,27 @@ The paper's usage scenario: annotate many regions, compute relations,
 retrieve combinations by query.  Benches the two halves separately —
 bulk relation computation (cold store) and repeated query evaluation
 (warm store) — on a synthetic configuration of labelled patches.
+
+Besides the pytest-benchmark cases, a standalone run persists the
+numbers the same way ``bench_sweep`` does, so the query trajectory is
+diffable across PRs in ``benchmarks.summarize``::
+
+    PYTHONPATH=src python -m benchmarks.bench_query   # BENCH_query.json
+
+Modes: ``bulk_cold`` (all-pairs relations from a cold store),
+``warm_indexed`` / ``warm_scan`` (the paper's query shape on a warm
+store, with and without the spatial index).
 """
 
+from __future__ import annotations
+
+import argparse
+import json
 import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
 
 import pytest
 
@@ -17,13 +35,20 @@ from repro.workloads.generators import random_rectilinear_region
 
 REGIONS = 40
 
+#: The paper's query shape: thematic filters plus a disjunctive
+#: direction constraint.
+QUERY_TEXT = (
+    "color(a) = red and color(b) = blue and a {N, NW:N, N:NE, NW:N:NE} b"
+)
 
-@pytest.fixture(scope="module")
-def configuration() -> Configuration:
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_query.json"
+
+
+def build_configuration(count: int = REGIONS) -> Configuration:
     rng = random.Random(7)
     colors = ("red", "blue", "green", "black")
     config = Configuration(image_name="bench")
-    for index in range(REGIONS):
+    for index in range(count):
         config.add(
             AnnotatedRegion(
                 id=f"r{index:03d}",
@@ -35,6 +60,11 @@ def configuration() -> Configuration:
             )
         )
     return config
+
+
+@pytest.fixture(scope="module")
+def configuration() -> Configuration:
+    return build_configuration()
 
 
 @pytest.mark.benchmark(group="cardirect-store")
@@ -54,9 +84,7 @@ def test_warm_query_evaluation(benchmark, configuration):
     """The paper's query shape on a warm store: thematic filters plus a
     disjunctive direction constraint."""
     store = RelationStore(configuration)
-    query = parse_query(
-        "color(a) = red and color(b) = blue and a {N, NW:N, N:NE, NW:N:NE} b"
-    )
+    query = parse_query(QUERY_TEXT)
     query.evaluate(store)  # warm the relation cache
 
     results = benchmark(query.evaluate, store)
@@ -74,3 +102,122 @@ def test_three_variable_query(benchmark, configuration):
 
     results = benchmark(query.evaluate, store)
     assert isinstance(results, list)
+
+
+# ---------------------------------------------------------------------------
+# standalone runner: persist the numbers for benchmarks.summarize
+# ---------------------------------------------------------------------------
+
+
+def _time_best(repeats: int, sample) -> float:
+    return min(sample() for _ in range(repeats))
+
+
+def run(
+    regions: int = REGIONS,
+    *,
+    quick: bool = False,
+    output: Optional[Path] = None,
+    verbose: bool = True,
+) -> int:
+    """Time the store/query halves and write ``BENCH_query.json``.
+
+    The indexed and scan evaluations are asserted row-for-row identical
+    before any number is reported.
+    """
+    repeats = 1 if quick else 5
+    configuration = build_configuration(regions)
+    query = parse_query(QUERY_TEXT)
+
+    def bulk_cold() -> float:
+        store = RelationStore(configuration)
+        started = time.perf_counter()
+        count = sum(1 for _ in store.all_relations())
+        elapsed = time.perf_counter() - started
+        if count != regions * (regions - 1):
+            raise AssertionError(f"bulk sweep yielded {count} pairs")
+        return elapsed
+
+    warm_indexed_store = RelationStore(configuration)
+    warm_scan_store = RelationStore(configuration, use_index=False)
+    expected = query.evaluate(warm_scan_store, use_index=False)
+    if query.evaluate(warm_indexed_store) != expected:
+        print(
+            "FAIL: indexed evaluation disagrees with the scan",
+            file=sys.stderr,
+        )
+        return 1
+
+    def warm(store: RelationStore, use_index: bool):
+        def sample() -> float:
+            started = time.perf_counter()
+            query.evaluate(store, use_index=use_index)
+            return time.perf_counter() - started
+
+        return sample
+
+    modes: Dict[str, Dict] = {
+        "bulk_cold": {
+            "seconds": round(_time_best(repeats, bulk_cold), 6),
+            "pairs": regions * (regions - 1),
+        },
+        "warm_scan": {
+            "seconds": round(
+                _time_best(repeats, warm(warm_scan_store, False)), 6
+            ),
+        },
+        "warm_indexed": {
+            "seconds": round(
+                _time_best(repeats, warm(warm_indexed_store, True)), 6
+            ),
+        },
+    }
+    modes["bulk_cold"]["pairs_per_second"] = round(
+        modes["bulk_cold"]["pairs"] / modes["bulk_cold"]["seconds"], 1
+    )
+    scan = modes["warm_scan"]["seconds"]
+    indexed = modes["warm_indexed"]["seconds"]
+    if indexed > 0:
+        modes["warm_indexed"]["speedup_vs_scan"] = round(scan / indexed, 2)
+    result = {
+        "benchmark": "query",
+        "quick": quick,
+        "regions": regions,
+        "query_text": QUERY_TEXT,
+        "rows": len(expected),
+        "modes": modes,
+    }
+    path = Path(output) if output is not None else DEFAULT_OUTPUT
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    if verbose:
+        for mode, record in modes.items():
+            print(f"{mode:>13}: {record['seconds']:.6f} s")
+        print(f"written to {path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="time CARDIRECT store/query throughput and write "
+        "BENCH_query.json"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="single repeat (CI smoke)"
+    )
+    parser.add_argument(
+        "--regions", type=int, default=REGIONS, help="region count"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, help="JSON output path"
+    )
+    arguments = parser.parse_args(argv)
+    return run(
+        arguments.regions,
+        quick=arguments.quick,
+        output=arguments.output,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -71,7 +71,7 @@ def rows(records: List[Dict]) -> List[Dict]:
         workload = record.get("regions")
         workload = f"{workload} regions" if workload else ""
         modes = record.get("modes") or {}
-        if not modes:
+        if not modes and not record.get("tiers"):
             flat.append(
                 {
                     "benchmark": record["benchmark"],
@@ -94,6 +94,7 @@ def rows(records: List[Dict]) -> List[Dict]:
                 row["note"] = (
                     f"{sample['overhead_vs_disabled']:+.1%} vs disabled"
                 )
+            _baseline_note(row, sample)
             speedups = record.get("speedup_vs_naive")
             if speedups and mode in speedups:
                 row["note"] = f"{speedups[mode]}x vs naive"
@@ -122,8 +123,30 @@ def rows(records: List[Dict]) -> List[Dict]:
                 speedup = sample.get("speedup_vs_serial")
                 if speedup is not None:
                     row["scaling"] = f"{speedup:.2f}x serial"
+                _baseline_note(row, sample)
                 flat.append(row)
     return flat
+
+
+def _baseline_note(row: Dict, sample: Dict) -> None:
+    """Fill ``note`` from the index/query speedup convention.
+
+    ``bench_index`` and ``bench_query`` record per-mode
+    ``speedup_vs_scan`` / ``speedup_vs_full`` ratios (and mark
+    estimated baselines); render them the way ``speedup_vs_naive``
+    rows read.
+    """
+    notes = []
+    for key, baseline in (
+        ("speedup_vs_scan", "scan"),
+        ("speedup_vs_full", "full recompute"),
+    ):
+        if key in sample:
+            notes.append(f"{sample[key]}x vs {baseline}")
+    if sample.get("estimated"):
+        notes.append("estimated")
+    if notes and "note" not in row:
+        row["note"] = ", ".join(notes)
 
 
 _COLUMNS = (

@@ -205,6 +205,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "found so far are printed as a labelled partial answer and "
         "the exit code is 5",
     )
+    query.add_argument(
+        "--no-index",
+        action="store_true",
+        help="disable the spatial index and evaluate direction clauses "
+        "by scanning every candidate pair (slower; results are "
+        "identical)",
+    )
     _add_engine_options(query)
 
     demo = commands.add_parser(
@@ -503,6 +510,7 @@ def _cmd_query(
     engine: str = "exact",
     stats: bool = False,
     deadline: Optional[float] = None,
+    no_index: bool = False,
 ) -> int:
     if deadline is not None and deadline < 0:
         print("error: --deadline must be non-negative", file=sys.stderr)
@@ -511,12 +519,12 @@ def _cmd_query(
     from repro.resilience.deadline import deadline_scope
 
     configuration, _ = load_configuration(path)
-    store = RelationStore(configuration, engine=engine)
+    store = RelationStore(configuration, engine=engine, use_index=not no_index)
     query = parse_query(text, allow_repeats=allow_repeats)
     complete = True
     try:
         with deadline_scope(deadline):
-            results = query.evaluate(store)
+            results = query.evaluate(store, use_index=not no_index)
     except DeadlineExceeded as error:
         results = list(error.partial_results or ())
         complete = False
@@ -851,6 +859,7 @@ def _dispatch(arguments: argparse.Namespace) -> int:
                 arguments.engine,
                 arguments.stats,
                 arguments.deadline,
+                arguments.no_index,
             )
         if arguments.command == "demo":
             return _cmd_demo(arguments.path)

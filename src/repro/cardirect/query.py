@@ -17,15 +17,36 @@ conditions are checked during a depth-first assignment, most-constrained
 variable first.  Relations come from a :class:`~repro.cardirect.store.
 RelationStore`, so repeated queries over one configuration never
 recompute geometry.
+
+When the store carries a spatial index (:attr:`RelationStore.index`,
+the default), each direction clause additionally restricts its
+variable's pool *before* the engine sees it: with the other side bound,
+the clause is a box-arithmetic question over the candidate's mbb
+(:meth:`~repro.core.index.SpatialIndex.direction_candidates`), so
+provably-impossible candidates are dropped and provably-satisfying ones
+skip the engine check outright.  The index answers are conservative in
+both directions, so results are identical to the full scan — pass
+``use_index=False`` (or build the store with ``use_index=False``, or
+``--no-index`` on the CLI) to fall back and check.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from repro.errors import DeadlineExceeded, QueryError
+from repro.errors import DeadlineExceeded, QueryError, ReproError
 from repro.cardirect.model import THEMATIC_ATTRIBUTES, Configuration
 from repro.cardirect.store import RelationStore
 from repro.core.relation import CardinalDirection, DisjunctiveCD
@@ -208,17 +229,22 @@ class Query:
                     )
 
     def evaluate(
-        self, store: RelationStore
+        self, store: RelationStore, *, use_index: bool = True
     ) -> List[Tuple[str, ...]]:
         """All satisfying assignments, as tuples of region ids.
+
+        ``use_index=False`` bypasses the store's spatial index for this
+        evaluation (the full-scan reference path); by construction both
+        paths return identical results.
 
         With a tracer or metrics registry installed (:mod:`repro.obs`),
         evaluation is profiled: a ``query.evaluate`` span wraps the
         search, each binary condition gets a ``query.clause`` child span
-        carrying its check/reject counts and accumulated time, and the
-        unary pruning records per-clause candidate counts.  Without
-        installed sinks the instrumented bookkeeping is skipped
-        entirely.
+        carrying its check/reject counts and accumulated time (plus,
+        for index-restricted relation clauses, ``index_candidates`` /
+        ``index_rejected`` / ``index_definite``), and the unary pruning
+        records per-clause candidate counts.  Without installed sinks
+        the instrumented bookkeeping is skipped entirely.
 
         Under a deadline (an enclosing
         :func:`~repro.resilience.deadline_scope`) the search stops when
@@ -232,7 +258,7 @@ class Query:
         if tracer is None and registry is None:
             plain: List[Tuple[str, ...]] = []
             try:
-                for row in self.iter_results(store):
+                for row in self.iter_results(store, use_index=use_index):
                     plain.append(row)
             except DeadlineExceeded as error:
                 error.partial_results = tuple(plain)
@@ -247,7 +273,7 @@ class Query:
             results: List[Tuple[str, ...]] = []
             try:
                 for row in self.iter_results(
-                    store, _clause_stats=clause_stats
+                    store, use_index=use_index, _clause_stats=clause_stats
                 ):
                     results.append(row)
             except DeadlineExceeded as error:
@@ -260,9 +286,14 @@ class Query:
             if tracer is not None or registry is not None:
                 binary_conditions = _binary_conditions(self.conditions)
                 for index, condition in enumerate(binary_conditions):
-                    checks, rejected, seconds = clause_stats.get(
-                        index, (0, 0, 0.0)
-                    )
+                    (
+                        checks,
+                        rejected,
+                        seconds,
+                        index_candidates,
+                        index_rejected,
+                        index_definite,
+                    ) = clause_stats.get(index, (0, 0, 0.0, 0, 0, 0))
                     kind = _condition_kind(condition)
                     if tracer is not None:
                         tracer.record(
@@ -276,6 +307,9 @@ class Query:
                                 ),
                                 "checks": int(checks),
                                 "rejected": int(rejected),
+                                "index_candidates": int(index_candidates),
+                                "index_rejected": int(index_rejected),
+                                "index_definite": int(index_definite),
                             },
                         )
                     if registry is not None:
@@ -283,6 +317,23 @@ class Query:
                             "repro_query_clause_checks_total",
                             "Binary clause checks during query evaluation.",
                         ).inc(int(checks), kind=kind)
+                        if index_candidates or index_rejected:
+                            registry.counter(
+                                "repro_query_index_candidates_total",
+                                "Clause candidates admitted by the "
+                                "spatial index.",
+                            ).inc(int(index_candidates), kind=kind)
+                            registry.counter(
+                                "repro_query_index_rejected_total",
+                                "Clause candidates rejected by the spatial "
+                                "index before any engine work.",
+                            ).inc(int(index_rejected), kind=kind)
+                        if index_definite:
+                            registry.counter(
+                                "repro_query_index_definite_total",
+                                "Engine checks skipped because the spatial "
+                                "index proved the clause outright.",
+                            ).inc(int(index_definite), kind=kind)
         if registry is not None:
             registry.counter(
                 "repro_query_evaluations_total",
@@ -297,24 +348,110 @@ class Query:
     def iter_results(
         self,
         store: RelationStore,
+        *,
+        use_index: bool = True,
         _clause_stats: Optional[Dict[int, List[float]]] = None,
     ) -> Iterator[Tuple[str, ...]]:
         configuration = store.configuration
         candidates = self._unary_filtered_candidates(configuration)
         binary_conditions = _binary_conditions(self.conditions)
-        # Most-constrained variable first keeps the search shallow.
-        order = sorted(self.variables, key=lambda v: len(candidates[v]))
+        # Most-constrained variable first keeps the search shallow;
+        # lexicographic tie-break keeps the order (and every trace
+        # derived from it) deterministic across runs.
+        order = sorted(
+            self.variables, key=lambda v: (len(candidates[v]), v)
+        )
         assignment: Dict[str, str] = {}
+        index = store.index if use_index else None
 
-        def admissible(variable: str, region_id: str) -> bool:
+        def restrict(
+            variable: str,
+        ) -> Tuple[List[str], Dict[int, FrozenSet[str]]]:
+            """Index-restrict the variable's pool at this search depth.
+
+            Every relation clause linking ``variable`` to an
+            already-bound one is answered by the index against the
+            bound side's mbb: the pool shrinks to the clause's
+            candidate superset, and provably-satisfying ids are
+            collected per clause so :func:`admissible` can skip their
+            engine checks.
+            """
+            pool = candidates[variable]
+            definite_map: Dict[int, FrozenSet[str]] = {}
+            if index is None or not pool:
+                return pool, definite_map
+            allowed: Optional[FrozenSet[str]] = None
+            for cond_index, condition in enumerate(binary_conditions):
+                if not isinstance(condition, RelationCondition):
+                    continue
+                if (
+                    condition.primary == variable
+                    and condition.reference in assignment
+                ):
+                    role = "primary"
+                    anchor = assignment[condition.reference]
+                elif (
+                    condition.reference == variable
+                    and condition.primary in assignment
+                ):
+                    role = "reference"
+                    anchor = assignment[condition.primary]
+                else:
+                    continue
+                try:
+                    box = store.bounding_box(anchor)
+                except ReproError:
+                    continue  # broken anchor: the engine check decides
+                answer = index.direction_candidates(
+                    condition.relation, box, role=role
+                )
+                if answer is None:
+                    continue  # too wide to be selective
+                allowed = (
+                    answer.candidates
+                    if allowed is None
+                    else allowed & answer.candidates
+                )
+                if answer.definite:
+                    definite_map[cond_index] = answer.definite
+                if _clause_stats is not None:
+                    entry = _clause_stats.setdefault(
+                        cond_index, [0, 0, 0.0, 0, 0, 0]
+                    )
+                    survivors = sum(
+                        1 for rid in pool if rid in answer.candidates
+                    )
+                    entry[3] += survivors
+                    entry[4] += len(pool) - survivors
+            if allowed is None:
+                return pool, definite_map
+            return [rid for rid in pool if rid in allowed], definite_map
+
+        def admissible(
+            variable: str,
+            region_id: str,
+            definite_map: Dict[int, FrozenSet[str]],
+        ) -> bool:
             if not self.allow_repeats and region_id in assignment.values():
                 return False
             assignment[variable] = region_id
             try:
-                for index, condition in enumerate(binary_conditions):
+                for index_, condition in enumerate(binary_conditions):
                     primary = assignment.get(condition.primary)
                     reference = assignment.get(condition.reference)
                     if primary is None or reference is None:
+                        continue
+                    if (
+                        index_ in definite_map
+                        and region_id in definite_map[index_]
+                    ):
+                        # The index already proved this clause for this
+                        # candidate (single-tile prune): no engine work.
+                        if _clause_stats is not None:
+                            entry = _clause_stats.setdefault(
+                                index_, [0, 0, 0.0, 0, 0, 0]
+                            )
+                            entry[5] += 1
                         continue
                     if _clause_stats is None:
                         if not _binary_satisfied(
@@ -327,7 +464,7 @@ class Query:
                             condition, primary, reference, store
                         )
                         entry = _clause_stats.setdefault(
-                            index, [0, 0, 0.0]
+                            index_, [0, 0, 0.0, 0, 0, 0]
                         )
                         entry[0] += 1
                         entry[2] += time.perf_counter() - started
@@ -345,13 +482,14 @@ class Query:
                 yield tuple(assignment[v] for v in self.variables)
                 return
             variable = order[depth]
-            for region_id in candidates[variable]:
+            pool, definite_map = restrict(variable)
+            for region_id in pool:
                 # Candidate-granularity deadline enforcement: already-
                 # yielded rows stay valid, so the caller keeps a
                 # well-labelled partial result.
                 if deadline is not None:
                     deadline.check("query.evaluate")
-                if admissible(variable, region_id):
+                if admissible(variable, region_id, definite_map):
                     assignment[variable] = region_id
                     yield from search(depth + 1)
                     del assignment[variable]

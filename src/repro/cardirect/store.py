@@ -11,7 +11,7 @@ times rather than recomputing boxes from scratch.
 from __future__ import annotations
 
 import warnings
-from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.batch import BatchReport
@@ -24,6 +24,7 @@ from repro.core.engine import (
     readonly_view,
     resolve_engine,
 )
+from repro.core.index import SpatialIndex
 from repro.core.matrix import PercentageMatrix
 from repro.core.relation import CardinalDirection
 from repro.errors import GeometryError, ReproError
@@ -69,6 +70,7 @@ class RelationStore:
         engine: Optional[EngineLike] = None,
         fast: bool = False,
         guarded: bool = False,
+        use_index: bool = True,
     ) -> None:
         """``engine`` selects the cardinal-direction compute backend —
         a registered engine name (``"exact"`` default, ``"fast"``,
@@ -81,7 +83,11 @@ class RelationStore:
 
         ``fast=True`` / ``guarded=True`` are deprecated aliases for
         ``engine="fast"`` / ``engine="guarded"`` (``guarded`` takes
-        precedence, as before)."""
+        precedence, as before).
+
+        ``use_index=False`` disables the mbb spatial index
+        (:attr:`index` stays ``None``), forcing every consumer — the
+        query evaluator foremost — onto the full-scan path."""
         if engine is not None and (fast or guarded):
             raise ValueError(
                 "pass either engine= or the deprecated fast=/guarded= "
@@ -105,6 +111,13 @@ class RelationStore:
         self._distances: Dict[Tuple[str, str], float] = {}
         self._distance_frame = distance_frame
         self._engine = resolve_engine(engine)
+        self._use_index = bool(use_index)
+        self._index: Optional[SpatialIndex] = None
+        # Maintained relation matrix: `_matrix_ids` names the id set a
+        # complete matrix was last built for (None = never), `_dirty`
+        # the ids whose row/column must be recomputed before serving.
+        self._matrix_ids: Optional[Tuple[str, ...]] = None
+        self._dirty: Set[str] = set()
 
     @property
     def configuration(self) -> Configuration:
@@ -139,6 +152,114 @@ class RelationStore:
             box = self._configuration.get(region_id).region.bounding_box()
             self._boxes[region_id] = box
         return box
+
+    def bounding_box(self, region_id: str) -> BoundingBox:
+        """The region's mbb (cached) — the grid every relation is read
+        against, and the anchor geometry index queries take."""
+        return self._box(region_id)
+
+    @property
+    def use_index(self) -> bool:
+        """Whether this store maintains an mbb spatial index."""
+        return self._use_index
+
+    @property
+    def index(self) -> Optional[SpatialIndex]:
+        """The :class:`~repro.core.index.SpatialIndex` over this
+        configuration's mbbs, built lazily and kept current across
+        :meth:`update_region` / :meth:`invalidate` (regions whose box
+        cannot be computed stay unindexed — always candidates, never
+        rejected).  ``None`` when the store was built with
+        ``use_index=False``.
+        """
+        if not self._use_index:
+            return None
+        ids = tuple(self._configuration.region_ids)
+        index = self._index
+        if index is None or index.ids != ids:
+            boxes: Dict[str, BoundingBox] = {}
+            for region_id in ids:
+                try:
+                    boxes[region_id] = self._box(region_id)
+                except ReproError:
+                    continue
+            index = SpatialIndex(ids, boxes)
+            self._index = index
+        return index
+
+    def refresh_matrix(self) -> None:
+        """Bring the maintained all-pairs relation matrix up to date.
+
+        First call (or after the configuration's id set changes)
+        computes every ordered pair, bulk row-at-a-time when the engine
+        offers ``relation_many``.  After a targeted
+        :meth:`invalidate` / :meth:`update_region`, only the dirty
+        ids' rows and columns are recomputed — ``O(n)`` engine work per
+        edited region instead of the ``O(n^2)`` drop-everything
+        rebuild.  :meth:`all_relations` calls this implicitly.
+        """
+        ids = tuple(self._configuration.region_ids)
+        if self._matrix_ids != ids:
+            # Full (re)build: the dirty set is subsumed — invalidation
+            # already dropped the stale pairs, so they recompute here.
+            self._dirty.clear()
+            for primary_id in ids:
+                self._refresh_row(primary_id, ids)
+            self._matrix_ids = ids
+            return
+        if not self._dirty:
+            return
+        for region_id in sorted(self._dirty):
+            if region_id not in self._matrix_ids:
+                continue
+            self._refresh_row(region_id, ids)
+            self._refresh_column(region_id, ids)
+        self._dirty.clear()
+
+    def _refresh_row(self, primary_id: str, ids: Tuple[str, ...]) -> None:
+        """Fill every missing ``(primary_id, *)`` relation, bulk first."""
+        missing = [
+            reference_id
+            for reference_id in ids
+            if reference_id != primary_id
+            and (primary_id, reference_id) not in self._relations
+        ]
+        if not missing:
+            return
+        bulk = getattr(self._engine, "relation_many", None)
+        if bulk is not None:
+            try:
+                primary = self._configuration.get(primary_id).region
+                boxes = [self._box(reference_id) for reference_id in missing]
+                results = bulk(primary, boxes)
+            except ReproError:
+                # Replay per-pair below: same results where computable,
+                # and the legacy first-failing-pair error context.
+                pass
+            else:
+                for reference_id, (relation, _path) in zip(missing, results):
+                    self._relations[(primary_id, reference_id)] = relation
+                    _count_store_request("relation", "miss")
+                return
+        for reference_id in missing:
+            try:
+                self.relation(primary_id, reference_id)
+            except GeometryError as error:
+                error.with_context(region_id=primary_id)
+                raise
+
+    def _refresh_column(self, reference_id: str, ids: Tuple[str, ...]) -> None:
+        """Fill every missing ``(*, reference_id)`` relation."""
+        for primary_id in ids:
+            if primary_id == reference_id:
+                continue
+            if (primary_id, reference_id) in self._relations:
+                continue
+            try:
+                self.relation(primary_id, reference_id)
+            except GeometryError as error:
+                error.with_context(region_id=primary_id)
+                raise
 
     def relation(self, primary_id: str, reference_id: str) -> CardinalDirection:
         """``R`` with ``primary R reference`` (cached)."""
@@ -185,6 +306,12 @@ class RelationStore:
           objects instead of triples, one per pair, ``ok`` or ``error``.
           For the full validate→repair→retry pipeline use
           :meth:`batch_relations`.
+
+        In the default ``"raise"`` mode the sweep is served from the
+        maintained matrix (:meth:`refresh_matrix`): the first run
+        computes it bulk row-at-a-time, later runs replay it with no
+        engine work at all, and edits re-enter only the touched
+        row/column.
         """
         if on_error not in ON_ERROR_MODES:
             raise ValueError(
@@ -194,6 +321,19 @@ class RelationStore:
             from repro.core.batch import FAILED, OK, PairOutcome
 
         ids = self._configuration.region_ids
+        if on_error == "raise" and not include_self:
+            self.refresh_matrix()
+            relations = self._relations
+            for primary_id in ids:
+                for reference_id in ids:
+                    if primary_id == reference_id:
+                        continue
+                    yield (
+                        primary_id,
+                        reference_id,
+                        relations[(primary_id, reference_id)],
+                    )
+            return
         for primary_id in ids:
             for reference_id in ids:
                 if primary_id == reference_id and not include_self:
@@ -287,7 +427,11 @@ class RelationStore:
         """Drop cache entries touching ``region_id`` (or everything).
 
         Call after editing a region's geometry via
-        :meth:`Configuration.replace_region`.
+        :meth:`Configuration.replace_region`.  A targeted invalidation
+        marks only that region's matrix row/column dirty (recomputed on
+        the next :meth:`refresh_matrix` / :meth:`all_relations`) and
+        re-points the spatial index row in place; the no-argument form
+        drops the matrix and the index wholesale.
         """
         if region_id is None:
             self._relations.clear()
@@ -295,6 +439,9 @@ class RelationStore:
             self._boxes.clear()
             self._topology.clear()
             self._distances.clear()
+            self._matrix_ids = None
+            self._dirty.clear()
+            self._index = None
             return
         self._boxes.pop(region_id, None)
         for cache in (
@@ -306,6 +453,15 @@ class RelationStore:
             stale = [key for key in cache if region_id in key]
             for key in stale:
                 del cache[key]
+        if self._matrix_ids is not None:
+            self._dirty.add(region_id)
+        if self._index is not None:
+            try:
+                box: Optional[BoundingBox] = self._box(region_id)
+            except (ReproError, KeyError):
+                box = None
+            if not self._index.update(region_id, box):
+                self._index = None
 
     def update_region(self, annotated: AnnotatedRegion) -> None:
         """Replace a region in the configuration and invalidate its entries."""

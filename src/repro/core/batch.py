@@ -764,14 +764,21 @@ class _PlaneChunk:
 
 
 #: Worker-process state installed by :func:`_plane_worker_init`: the
-#: attached plane and the engine spec, reused by every chunk the worker
-#: serves — the point of the persistent pool is attach once, sweep many.
+#: attached plane, the engine spec, and the (row, column) restriction,
+#: reused by every chunk the worker serves — the point of the
+#: persistent pool is attach once, sweep many; the restriction rides in
+#: the initargs for the same reason (constant per sweep, so it is
+#: pickled once per worker instead of once per chunk).
 _WORKER_PLANE: Optional[Any] = None
 _WORKER_ENGINE_SPEC: Optional[tuple] = None
+_WORKER_RESTRICTION: Optional[tuple] = None
 
 
 def _plane_worker_init(
-    plane_name: str, engine_spec: tuple, generation: int
+    plane_name: str,
+    engine_spec: tuple,
+    generation: int,
+    restriction: Optional[tuple] = None,
 ) -> None:
     """Pool initializer: attach this worker to the shared plane once.
 
@@ -780,12 +787,17 @@ def _plane_worker_init(
     target (or spare) specific rebuilds.  An attach failure kills the
     worker during initialisation, which breaks the pool; the supervisor
     answers with a rebuild under the retry policy.
+
+    ``restriction`` is ``(row_index, column_index)`` for a
+    subset-restricted sweep (see :func:`batch_relations`'s
+    ``primaries`` / ``references``), or ``None`` for the full matrix.
     """
-    global _WORKER_PLANE, _WORKER_ENGINE_SPEC
+    global _WORKER_PLANE, _WORKER_ENGINE_SPEC, _WORKER_RESTRICTION
     from repro.core.plane import GeometryPlane
 
     _WORKER_PLANE = GeometryPlane.attach(plane_name, generation=generation)
     _WORKER_ENGINE_SPEC = engine_spec
+    _WORKER_RESTRICTION = restriction
 
 
 def _plane_chunk(task: dict) -> tuple:
@@ -802,6 +814,7 @@ def _plane_chunk(task: dict) -> tuple:
     """
     plane = _WORKER_PLANE
     spec = _WORKER_ENGINE_SPEC
+    restriction = _WORKER_RESTRICTION or (None, None)
     if plane is None or spec is None:  # pragma: no cover - init contract
         raise RuntimeError("plane chunk dispatched to an uninitialised worker")
     chunk_index = task["chunk_index"]
@@ -839,6 +852,8 @@ def _plane_chunk(task: dict) -> tuple:
                             include_self=task["include_self"],
                             percentages=task["percentages"],
                             attempt=attempt,
+                            row_index=restriction[0],
+                            column_index=restriction[1],
                         )
                         if rows_done < rows:
                             count_deadline_exceeded("batch.sweep")
@@ -873,6 +888,8 @@ def _assemble_plane_rows(
     repairs: Dict[str, RepairReport],
     broken: Dict[str, str],
     percentages: bool,
+    row_lookup: Optional[Sequence[int]] = None,
+    column_positions: Optional[Sequence[int]] = None,
 ) -> List[PairOutcome]:
     """Worker mask/area blocks → :class:`PairOutcome` rows.
 
@@ -882,6 +899,12 @@ def _assemble_plane_rows(
     :meth:`~repro.core.matrix.PercentageMatrix.from_areas` over the
     per-tile float areas in :data:`~repro.core.sweep.AREA_TILE_ORDER` —
     the same values in the same summation order as the serial kernel.
+
+    For a restricted sweep, ``row_lookup`` maps chunk positions to
+    global plane rows and ``column_positions`` lists the reference
+    columns in the caller's order (both ``None`` for the full matrix),
+    so restricted outcomes match the serial restricted sweep pair for
+    pair.
     """
     from repro.core.sweep import (
         AREA_TILE_ORDER,
@@ -894,14 +917,17 @@ def _assemble_plane_rows(
     # The hottest loop of a parallel sweep — a million iterations at a
     # thousand regions, so the body is tuned: numpy rows become plain
     # lists once (scalar ndarray indexing is ~10x a list index), the
-    # self column is an integer compare (chunk rows *are* positions in
-    # ``all_ids``), the broken/repaired lookups collapse to constants
-    # when those maps are empty (the common case), and outcomes are
-    # built positionally.
+    # self column is an integer compare (chunk positions resolve to
+    # global rows once per row), the broken/repaired lookups collapse
+    # to constants when those maps are empty (the common case), and
+    # outcomes are built positionally.
     outcomes: List[PairOutcome] = []
     append = outcomes.append
     ids = list(all_ids)
     n = len(ids)
+    columns_iter = (
+        range(n) if column_positions is None else list(column_positions)
+    )
     path_names = (None, PRUNE_PATH, BROADCAST_PATH)
     relation_cache = _RELATION_CACHE
     any_broken = bool(broken)
@@ -910,14 +936,15 @@ def _assemble_plane_rows(
         [region_id in repairs for region_id in ids] if any_repairs else None
     )
     for row_offset in range(rows_done):
-        row_index = start + row_offset
+        position = start + row_offset
+        row_index = position if row_lookup is None else row_lookup[position]
         primary_id = ids[row_index]
         primary_broken = any_broken and primary_id in broken
         primary_repaired = any_repairs and primary_id in repairs
         mask_row = masks[row_offset].tolist()
         path_row = paths[row_offset].tolist()
         self_column = -1 if include_self else row_index
-        for column in range(n):
+        for column in columns_iter:
             if column == self_column:
                 continue
             reference_id = ids[column]
@@ -994,6 +1021,8 @@ def _assemble_plane_rows(
 def _plane_parallel_sweep(
     all_ids: List[str],
     *,
+    primaries: Optional[Sequence[str]] = None,
+    references: Optional[Sequence[str]] = None,
     workers: int,
     include_self: bool,
     healthy: Dict[str, Region],
@@ -1013,6 +1042,12 @@ def _plane_parallel_sweep(
     destroys the segment on the way out — success, crashed or hung pool,
     deadline expiry and ``KeyboardInterrupt`` alike — so no ``/dev/shm``
     segment can outlive the sweep.
+
+    ``primaries`` / ``references`` restrict the swept pairs: the plane
+    still flattens every region (positions are global, and a reference
+    needs geometry whether or not it is a primary), but chunks carve
+    the restricted *row list* and workers skip non-candidate columns
+    inside the kernel.
     """
     from repro.core.plane import GeometryPlane
 
@@ -1023,10 +1058,23 @@ def _plane_parallel_sweep(
         broken=broken,
         repaired=tuple(repairs),
     )
+    position_of = {region_id: index for index, region_id in enumerate(all_ids)}
+    row_index = (
+        None
+        if primaries is None
+        else tuple(position_of[region_id] for region_id in primaries)
+    )
+    column_index = (
+        None
+        if references is None
+        else tuple(position_of[region_id] for region_id in references)
+    )
     try:
         return _supervise_plane_pool(
             plane,
             all_ids,
+            row_index=row_index,
+            column_index=column_index,
             workers=workers,
             include_self=include_self,
             healthy=healthy,
@@ -1047,6 +1095,8 @@ def _supervise_plane_pool(
     plane: Any,
     all_ids: List[str],
     *,
+    row_index: Optional[Tuple[int, ...]] = None,
+    column_index: Optional[Tuple[int, ...]] = None,
     workers: int,
     include_self: bool,
     healthy: Dict[str, Region],
@@ -1093,7 +1143,23 @@ def _supervise_plane_pool(
     registry = obs.current_metrics()
     engine_spec = backend.worker_spec()
     deadline = current_deadline()
-    total_rows = len(all_ids)
+    total_rows = len(all_ids) if row_index is None else len(row_index)
+    restriction = (
+        None if row_index is None and column_index is None
+        else (row_index, column_index)
+    )
+    # Inline-fallback views: chunk [start, stop) addresses positions in
+    # the restricted row list, and references keep the caller's order.
+    primary_row_ids = (
+        all_ids
+        if row_index is None
+        else [all_ids[position] for position in row_index]
+    )
+    reference_ids = (
+        all_ids
+        if column_index is None
+        else [all_ids[position] for position in column_index]
+    )
     sizer = _ChunkSizer(total_rows, workers)
     stats = {"worker_failures": 0, "chunk_retries": 0, "inline_chunks": 0}
     completed: List[Tuple[int, List[PairOutcome]]] = []
@@ -1174,6 +1240,8 @@ def _supervise_plane_pool(
                         repairs=repairs,
                         broken=broken,
                         percentages=percentages,
+                        row_lookup=row_index,
+                        column_positions=column_index,
                     ),
                 )
             )
@@ -1223,7 +1291,12 @@ def _supervise_plane_pool(
                     pool = ProcessPoolExecutor(
                         max_workers=workers,
                         initializer=_plane_worker_init,
-                        initargs=(plane.name, engine_spec, generation),
+                        initargs=(
+                            plane.name,
+                            engine_spec,
+                            generation,
+                            restriction,
+                        ),
                     )
                 chunk.dispatched_at = time.monotonic()
                 try:
@@ -1320,8 +1393,8 @@ def _supervise_plane_pool(
                     (
                         record.start,
                         _sweep_rows(
-                            all_ids[record.start : record.stop],
-                            all_ids,
+                            primary_row_ids[record.start : record.stop],
+                            reference_ids,
                             include_self=include_self,
                             healthy=healthy,
                             boxes=boxes,
@@ -1356,8 +1429,19 @@ def batch_relations(
     deadline: Optional[Union[Deadline, float]] = None,
     retry_policy: Optional[RetryPolicy] = None,
     chunk_timeout: Optional[float] = None,
+    primaries: Optional[Sequence[str]] = None,
+    references: Optional[Sequence[str]] = None,
 ) -> BatchReport:
     """Compute every ordered pair with per-pair fault isolation.
+
+    ``primaries`` / ``references`` restrict the sweep to the given id
+    subsets (each defaults to every region): only pairs in ``primaries
+    × references`` are computed, in the given order.  This is how an
+    index-supplied candidate list (e.g. from
+    :meth:`~repro.core.index.SpatialIndex.direction_candidates`)
+    reaches the parallel executor — the plane still flattens the whole
+    configuration once, but chunks address positions in the restricted
+    row list, so non-candidate rows and columns are never swept.
 
     ``engine`` selects the compute backend by registered name —
     ``"exact"`` (reference, the default), ``"fast"`` (float64 numpy),
@@ -1454,16 +1538,30 @@ def batch_relations(
     }
 
     all_ids = list(configuration.region_ids)
+    known_ids = set(all_ids)
+    for label, subset in (("primaries", primaries), ("references", references)):
+        if subset is None:
+            continue
+        unknown = [region_id for region_id in subset if region_id not in known_ids]
+        if unknown:
+            raise ValueError(
+                f"{label} contains ids not in the configuration: "
+                f"{unknown[:5]!r}"
+            )
+    primary_ids = list(primaries) if primaries is not None else all_ids
+    reference_ids = list(references) if references is not None else all_ids
     supervision = {"worker_failures": 0, "chunk_retries": 0, "inline_chunks": 0}
     with deadline_scope(deadline):
         with obs.span(
             "batch.relations",
             engine=backend.name,
             regions=len(all_ids),
+            primaries=len(primary_ids),
+            references=len(reference_ids),
             workers=workers or 1,
             percentages=percentages,
         ) as batch_span:
-            if workers is not None and workers > 1 and len(all_ids) > 1:
+            if workers is not None and workers > 1 and len(primary_ids) > 1:
                 parallel = (
                     _plane_parallel_sweep
                     if getattr(backend, "supports_plane", False)
@@ -1471,6 +1569,8 @@ def batch_relations(
                 )
                 outcomes, supervision = parallel(
                     all_ids,
+                    primaries=primaries,
+                    references=references,
                     workers=workers,
                     include_self=include_self,
                     healthy=healthy,
@@ -1484,10 +1584,12 @@ def batch_relations(
                     chunk_timeout=chunk_timeout,
                 )
             else:
-                with obs.span("batch.chunk", chunk=0, primaries=len(all_ids)):
+                with obs.span(
+                    "batch.chunk", chunk=0, primaries=len(primary_ids)
+                ):
                     outcomes = _sweep_rows(
-                        all_ids,
-                        all_ids,
+                        primary_ids,
+                        reference_ids,
                         include_self=include_self,
                         healthy=healthy,
                         boxes=boxes,
@@ -1534,6 +1636,8 @@ def batch_relations(
 def _parallel_sweep(
     all_ids: List[str],
     *,
+    primaries: Optional[Sequence[str]] = None,
+    references: Optional[Sequence[str]] = None,
     workers: int,
     include_self: bool,
     healthy: Dict[str, Region],
@@ -1579,17 +1683,19 @@ def _parallel_sweep(
     registry = obs.current_metrics()
     engine_spec = backend.worker_spec()
     deadline = current_deadline()
-    chunk_size = -(-len(all_ids) // workers)  # ceil division
+    primary_ids = list(primaries) if primaries is not None else all_ids
+    reference_ids = list(references) if references is not None else all_ids
+    chunk_size = -(-len(primary_ids) // workers)  # ceil division
     chunks = [
-        all_ids[start : start + chunk_size]
-        for start in range(0, len(all_ids), chunk_size)
+        primary_ids[start : start + chunk_size]
+        for start in range(0, len(primary_ids), chunk_size)
     ]
 
     def _payload(index: int, attempt: int) -> dict:
         return {
             "engine_spec": engine_spec,
             "primary_ids": chunks[index],
-            "all_ids": all_ids,
+            "all_ids": reference_ids,
             "include_self": include_self,
             "healthy": healthy,
             "boxes": boxes,
@@ -1721,7 +1827,7 @@ def _parallel_sweep(
             ):
                 results[index] = _sweep_rows(
                     chunks[index],
-                    all_ids,
+                    reference_ids,
                     include_self=include_self,
                     healthy=healthy,
                     boxes=boxes,

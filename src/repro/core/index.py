@@ -1,0 +1,609 @@
+"""Spatial indexing of region mbbs: direction queries by box arithmetic.
+
+The query evaluator historically scanned every candidate pair — ``a
+{N, NW:N} b`` with ``b`` bound meant one engine call per region in the
+configuration.  But a direction constraint over a *known* reference box
+is a pure box-arithmetic question about the candidate's mbb, the same
+observation behind the sweep engine's single-tile prune
+(:func:`repro.core.sweep.single_tile_prune`), lifted here from the
+all-pairs sweep into a standing, queryable structure.
+
+:class:`SpatialIndex` packs every region's mbb — the four scalars
+``(min_x, max_x, min_y, max_y)``, exactly the columnar row layout the
+shared-memory :class:`~repro.core.plane.GeometryPlane` materialises —
+into an STR-bulk-loaded page tree (sort-tile-recursive: sort by x
+centre, slab, sort slabs by y centre, chop into pages).  Every page
+keeps per-coordinate ranges, so a query touches a page's members only
+when the page straddles the query box: fully-inside pages are accepted
+wholesale, disjoint pages are skipped wholesale.
+
+Two query families are served, both derived from Definition 1's tiling:
+
+* :meth:`SpatialIndex.direction_candidates` — given a disjunctive
+  relation ``D`` and the *other* side's mbb, the ids that can possibly
+  satisfy the clause (a **superset** of the true satisfiers; callers
+  verify survivors against the engine), plus the ids that *provably*
+  satisfy it without any edge work (a **subset**).  Both roles are
+  supported: the indexed variable as primary (``x R b``) and as
+  reference (``b R x``).
+* :meth:`SpatialIndex.tile_candidates` — per non-``B`` tile of a
+  reference box, the ids whose mbb lies *strictly* inside that tile:
+  exactly the pairs :func:`~repro.core.sweep.single_tile_prune`
+  answers, with the same strict-boundary semantics (boundary contact
+  never qualifies, ``B`` never qualifies).
+
+**Soundness.**  For ``occupied(a, b) = d`` two facts are necessary and
+decompose per coordinate: (1) ``a`` is contained in the union of the
+closed tiles of ``d``, so ``mbb(a)`` fits the union's bounding ranges;
+(2) every tile of ``d`` holds a positive-area part of ``a``, so every
+tile of ``d`` meets ``mbb(a)``.  Both reduce to closed interval
+constraints on the four mbb scalars — a 4-d box query — evaluated here
+per disjunct and unioned.  The *definite* side is the prune theorem:
+``mbb(a)`` strictly inside one non-``B`` tile forces the single-tile
+relation exactly.
+
+**Exactness over floats.**  The packed arrays are float64.  Coordinates
+that round-trip exactly (ints within 2^53, every float — all the
+geometry the repo's workloads generate) are compared exactly, so the
+candidate test is the exact closed-interval test and the strict test is
+exactly the native prune.  Coordinates beyond float64 (wide
+``Fraction`` values) are stored *widened outward* by one ulp on each
+side, and query bounds are widened the same way — the candidate set can
+only grow (stays a superset) and the definite set can only shrink
+(stays a subset), so index-accelerated answers equal full-scan answers
+for every coordinate type, not just the float-faithful ones.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.core.relation import CardinalDirection, DisjunctiveCD
+from repro.core.tiles import Tile
+from repro.geometry.bbox import BoundingBox
+
+__all__ = ["IndexAnswer", "SpatialIndex", "DEFAULT_PAGE_SIZE", "MAX_DISJUNCTS"]
+
+#: Rows per STR page: big enough that page bookkeeping is negligible,
+#: small enough that a straddling page costs little vectorised work.
+DEFAULT_PAGE_SIZE = 64
+
+#: Disjunction width beyond which a clause stops being selective enough
+#: to bother the index with (the universal relation has 511 disjuncts;
+#: a union of that many 4-d boxes approaches "everything" anyway).
+MAX_DISJUNCTS = 64
+
+#: The four packed coordinates, in the plane's box-row order.
+_MIN_X, _MAX_X, _MIN_Y, _MAX_Y = range(4)
+
+#: The two clause roles an indexed variable can play.
+_ROLES = ("primary", "reference")
+
+
+def _float_down(value: object) -> float:
+    """The largest float64 ``<= value`` (identity for exact values)."""
+    result = float(value)  # type: ignore[arg-type]
+    while result > value:  # type: ignore[operator]
+        result = float(np.nextafter(result, -np.inf))
+    return result
+
+
+def _float_up(value: object) -> float:
+    """The smallest float64 ``>= value`` (identity for exact values)."""
+    result = float(value)  # type: ignore[arg-type]
+    while result < value:  # type: ignore[operator]
+        result = float(np.nextafter(result, np.inf))
+    return result
+
+
+class IndexAnswer(NamedTuple):
+    """One clause's index verdict.
+
+    ``candidates`` is a superset of the ids that satisfy the clause
+    (everything outside it is provably a non-match); ``definite`` is a
+    subset of ``candidates`` that provably satisfies it (single-tile
+    prune), needing no engine verification at all.
+    """
+
+    candidates: FrozenSet[str]
+    definite: FrozenSet[str]
+
+
+def _axis_primary_bounds(
+    bands: FrozenSet[int], low_line: object, high_line: object
+) -> Tuple[object, object, object, object]:
+    """Closed bounds on (min, max) of a *primary*'s mbb along one axis.
+
+    ``bands`` are the -1/0/1 bands the relation spans on this axis;
+    ``low_line`` / ``high_line`` the reference box's grid lines.
+    Returns ``(min_lo, min_hi, max_lo, max_hi)`` — containment in the
+    band union bounds the coordinates from outside, while "every band
+    is met" bounds them from inside.
+    """
+    min_lo = (
+        -math.inf if -1 in bands else (low_line if 0 in bands else high_line)
+    )
+    max_hi = (
+        math.inf if 1 in bands else (high_line if 0 in bands else low_line)
+    )
+    min_hi = (
+        low_line if -1 in bands else (high_line if 0 in bands else math.inf)
+    )
+    max_lo = (
+        high_line if 1 in bands else (low_line if 0 in bands else -math.inf)
+    )
+    return min_lo, min_hi, max_lo, max_hi
+
+
+def _axis_reference_bounds(
+    bands: FrozenSet[int], primary_low: object, primary_high: object
+) -> Tuple[object, object, object, object]:
+    """Closed bounds on (min, max) of a *reference*'s mbb along one axis.
+
+    The mirror of :func:`_axis_primary_bounds`: the primary's extent
+    ``[primary_low, primary_high]`` is fixed and the reference's grid
+    lines are the unknowns.  Containment in the band union constrains
+    which side of the primary each grid line may fall; "every band is
+    met" constrains the lines against the primary's extent.
+    """
+    min_lo: object = -math.inf
+    min_hi: object = math.inf
+    max_lo: object = -math.inf
+    max_hi: object = math.inf
+    if -1 in bands:  # the low outer band must meet the primary's extent
+        min_lo = max(min_lo, primary_low)  # type: ignore[call-overload]
+    else:  # no low band: the primary may not poke below the low line
+        if 0 in bands:
+            min_hi = min(min_hi, primary_low)  # type: ignore[call-overload]
+        else:  # only the high band: the whole primary sits past max
+            max_hi = min(max_hi, primary_low)  # type: ignore[call-overload]
+    if 0 in bands:  # the central band must meet the primary's extent
+        min_hi = min(min_hi, primary_high)  # type: ignore[call-overload]
+        max_lo = max(max_lo, primary_low)  # type: ignore[call-overload]
+    if 1 in bands:  # the high outer band must meet the primary's extent
+        max_hi = min(max_hi, primary_high)  # type: ignore[call-overload]
+    else:  # no high band: the primary may not poke above the high line
+        if 0 in bands:
+            max_lo = max(max_lo, primary_high)  # type: ignore[call-overload]
+        else:  # only the low band: the whole primary sits before min
+            min_lo = max(min_lo, primary_high)  # type: ignore[call-overload]
+    return min_lo, min_hi, max_lo, max_hi
+
+
+def _closed_bounds(
+    relation: CardinalDirection, box: BoundingBox, role: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The 4-d closed query box of one disjunct, conservatively widened.
+
+    Returns ``(lo, hi)`` float64 arrays over ``(min_x, max_x, min_y,
+    max_y)``: an indexed region can satisfy ``occupied = relation``
+    (with ``box`` on the other side, in the given ``role``) only if its
+    packed coordinates fall inside.
+    """
+    axis = (
+        _axis_primary_bounds if role == "primary" else _axis_reference_bounds
+    )
+    x_min_lo, x_min_hi, x_max_lo, x_max_hi = axis(
+        relation.spans_columns, box.min_x, box.max_x
+    )
+    y_min_lo, y_min_hi, y_max_lo, y_max_hi = axis(
+        relation.spans_rows, box.min_y, box.max_y
+    )
+    lo = np.array(
+        [
+            _float_down(x_min_lo),
+            _float_down(x_max_lo),
+            _float_down(y_min_lo),
+            _float_down(y_max_lo),
+        ]
+    )
+    hi = np.array(
+        [
+            _float_up(x_min_hi),
+            _float_up(x_max_hi),
+            _float_up(y_min_hi),
+            _float_up(y_max_hi),
+        ]
+    )
+    return lo, hi
+
+
+def _strict_bounds(
+    tile: Tile, box: BoundingBox, role: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The 4-d *open* box of "strictly inside one tile", conservatively.
+
+    Returns ``(lo, hi)``: an indexed region whose packed coordinates
+    fall strictly inside provably lands the single-tile prune, i.e. its
+    relation against ``box`` (in the given ``role``) is exactly
+    ``CardinalDirection(tile)``.  The widening direction is the
+    opposite of :func:`_closed_bounds` — uncertain coordinates *fail*
+    the strict test and fall back to engine verification.
+    """
+    lo = np.full(4, -math.inf)
+    hi = np.full(4, math.inf)
+
+    def clamp(dim: int, *, above: object = None, below: object = None) -> None:
+        if above is not None:  # coordinate must be > above
+            lo[dim] = max(lo[dim], _float_up(above))
+        if below is not None:  # coordinate must be < below
+            hi[dim] = min(hi[dim], _float_down(below))
+
+    if role == "primary":
+        # mbb(candidate) strictly inside `tile` of the fixed box.
+        if tile.column == -1:
+            clamp(_MAX_X, below=box.min_x)
+        elif tile.column == 1:
+            clamp(_MIN_X, above=box.max_x)
+        else:
+            clamp(_MIN_X, above=box.min_x)
+            clamp(_MAX_X, below=box.max_x)
+        if tile.row == -1:
+            clamp(_MAX_Y, below=box.min_y)
+        elif tile.row == 1:
+            clamp(_MIN_Y, above=box.max_y)
+        else:
+            clamp(_MIN_Y, above=box.min_y)
+            clamp(_MAX_Y, below=box.max_y)
+    else:
+        # The fixed primary box strictly inside `tile` of the candidate.
+        if tile.column == -1:
+            clamp(_MIN_X, above=box.max_x)
+        elif tile.column == 1:
+            clamp(_MAX_X, below=box.min_x)
+        else:
+            clamp(_MIN_X, below=box.min_x)
+            clamp(_MAX_X, above=box.max_x)
+        if tile.row == -1:
+            clamp(_MIN_Y, above=box.max_y)
+        elif tile.row == 1:
+            clamp(_MAX_Y, below=box.min_y)
+        else:
+            clamp(_MIN_Y, below=box.min_y)
+            clamp(_MAX_Y, above=box.max_y)
+    return lo, hi
+
+
+class SpatialIndex:
+    """An STR-packed index over region mbbs, updatable in place.
+
+    ``ids`` fixes the row order (matching, e.g., a configuration's or a
+    :class:`~repro.core.plane.GeometryPlane`'s); ``boxes`` maps each id
+    to its :class:`~repro.geometry.bbox.BoundingBox`.  Ids missing from
+    ``boxes`` (broken geometry) stay *unindexed*: they are returned as
+    candidates by every query (the index must never reject what it
+    cannot see) and never as definite answers.
+    """
+
+    def __init__(
+        self,
+        ids: Sequence[str],
+        boxes: Mapping[str, BoundingBox],
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        if page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {page_size}")
+        self._ids: Tuple[str, ...] = tuple(ids)
+        self._positions: Dict[str, int] = {
+            region_id: position for position, region_id in enumerate(self._ids)
+        }
+        if len(self._positions) != len(self._ids):
+            raise ValueError("duplicate region id in index")
+        self._page_size = page_size
+        n = len(self._ids)
+        self._lo = np.full((n, 4), np.nan)
+        self._hi = np.full((n, 4), np.nan)
+        self._indexed = np.zeros(n, dtype=bool)
+        for position, region_id in enumerate(self._ids):
+            box = boxes.get(region_id)
+            if box is not None:
+                self._write_row(position, box)
+        self._pack()
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def from_plane_rows(
+        cls,
+        ids: Sequence[str],
+        rows: np.ndarray,
+        *,
+        health: Optional[np.ndarray] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> "SpatialIndex":
+        """Bulk-load from columnar ``(n, 4)`` float64 mbb rows.
+
+        ``rows`` uses the :class:`~repro.core.plane.GeometryPlane` box
+        layout ``(min_x, max_x, min_y, max_y)``; rows with ``health ==
+        0`` (or any NaN coordinate) stay unindexed.  Float rows are
+        taken as exact — this is the right entry point when the
+        coordinates came out of the plane's own float64 arrays.
+        """
+        index = cls.__new__(cls)
+        index._ids = tuple(ids)
+        index._positions = {
+            region_id: position for position, region_id in enumerate(index._ids)
+        }
+        if len(index._positions) != len(index._ids):
+            raise ValueError("duplicate region id in index")
+        if page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {page_size}")
+        index._page_size = page_size
+        n = len(index._ids)
+        data = np.asarray(rows, dtype=np.float64)
+        if data.shape != (n, 4):
+            raise ValueError(
+                f"expected ({n}, 4) box rows, got {data.shape}"
+            )
+        index._lo = data.copy()
+        index._hi = data.copy()
+        usable = ~np.isnan(data).any(axis=1)
+        if health is not None:
+            usable &= np.asarray(health, dtype=bool)
+        index._indexed = usable
+        index._lo[~usable] = np.nan
+        index._hi[~usable] = np.nan
+        index._pack()
+        return index
+
+    def _write_row(self, position: int, box: BoundingBox) -> None:
+        values = (box.min_x, box.max_x, box.min_y, box.max_y)
+        for dim, value in enumerate(values):
+            self._lo[position, dim] = _float_down(value)
+            self._hi[position, dim] = _float_up(value)
+        self._indexed[position] = True
+
+    def _pack(self) -> None:
+        """STR bulk-load: x-sorted slabs, y-sorted pages, page ranges."""
+        n = len(self._ids)
+        indexed_positions = np.nonzero(self._indexed)[0]
+        unindexed_positions = np.nonzero(~self._indexed)[0]
+        if indexed_positions.size:
+            centre_x = (
+                self._lo[indexed_positions, _MIN_X]
+                + self._hi[indexed_positions, _MAX_X]
+            )
+            centre_y = (
+                self._lo[indexed_positions, _MIN_Y]
+                + self._hi[indexed_positions, _MAX_Y]
+            )
+            page_count = max(1, -(-indexed_positions.size // self._page_size))
+            slab_count = max(1, int(math.ceil(math.sqrt(page_count))))
+            slab_rows = -(-indexed_positions.size // slab_count)
+            by_x = indexed_positions[np.argsort(centre_x, kind="stable")]
+            ordered: List[np.ndarray] = []
+            for slab_start in range(0, by_x.size, slab_rows):
+                slab = by_x[slab_start : slab_start + slab_rows]
+                slab_centre_y = centre_y[
+                    np.searchsorted(indexed_positions, slab)
+                ]
+                ordered.append(slab[np.argsort(slab_centre_y, kind="stable")])
+            order = np.concatenate(ordered)
+        else:
+            order = np.empty(0, dtype=np.int64)
+        # Unindexed rows ride at the tail in a dedicated always-skip page
+        # region: queries union them back in by id, not by arithmetic.
+        self._order = np.concatenate(
+            [order, unindexed_positions]
+        ).astype(np.int64)
+        self._indexed_count = int(order.size)
+        boundaries = list(range(0, self._indexed_count, self._page_size))
+        boundaries.append(self._indexed_count)
+        self._page_bounds: List[Tuple[int, int]] = [
+            (boundaries[i], boundaries[i + 1])
+            for i in range(len(boundaries) - 1)
+            if boundaries[i + 1] > boundaries[i]
+        ]
+        pages = len(self._page_bounds)
+        self._page_of = np.full(n, -1, dtype=np.int64)
+        self._page_min_lo = np.full((pages, 4), np.inf)
+        self._page_max_lo = np.full((pages, 4), -np.inf)
+        self._page_min_hi = np.full((pages, 4), np.inf)
+        self._page_max_hi = np.full((pages, 4), -np.inf)
+        for page, (start, stop) in enumerate(self._page_bounds):
+            members = self._order[start:stop]
+            self._page_of[members] = page
+            self._refresh_page(page)
+        self._unindexed_ids: FrozenSet[str] = frozenset(
+            self._ids[position] for position in unindexed_positions
+        )
+
+    def _refresh_page(self, page: int) -> None:
+        start, stop = self._page_bounds[page]
+        members = self._order[start:stop]
+        lo = self._lo[members]
+        hi = self._hi[members]
+        self._page_min_lo[page] = lo.min(axis=0)
+        self._page_max_lo[page] = lo.max(axis=0)
+        self._page_min_hi[page] = hi.min(axis=0)
+        self._page_max_hi[page] = hi.max(axis=0)
+
+    # -- introspection ------------------------------------------------
+
+    @property
+    def ids(self) -> Tuple[str, ...]:
+        """Every id this index covers, in row order."""
+        return self._ids
+
+    @property
+    def unindexed_ids(self) -> FrozenSet[str]:
+        """Ids with no usable box: always candidates, never definite."""
+        return self._unindexed_ids
+
+    @property
+    def page_count(self) -> int:
+        return len(self._page_bounds)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, region_id: object) -> bool:
+        return region_id in self._positions
+
+    # -- maintenance --------------------------------------------------
+
+    def update(self, region_id: str, box: Optional[BoundingBox]) -> bool:
+        """Re-point one id at a new box, in place.
+
+        Rewrites the id's packed row and refreshes only its page's
+        ranges — O(page size), no repack.  Returns ``False`` (leaving
+        the index unchanged) when the edit cannot be absorbed in place:
+        an unknown id, or an id that must move between the indexed and
+        unindexed populations (``box=None`` for an indexed id, a real
+        box for an unindexed one) — callers rebuild then.
+        """
+        position = self._positions.get(region_id)
+        if position is None:
+            return False
+        indexed = bool(self._indexed[position])
+        if box is None or not indexed:
+            # Changing population membership moves rows across the
+            # packed/unindexed boundary: that is a rebuild, not an edit.
+            return box is None and not indexed
+        self._write_row(position, box)
+        self._refresh_page(int(self._page_of[position]))
+        return True
+
+    # -- queries ------------------------------------------------------
+
+    def _query_mask(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        *,
+        strict: bool,
+    ) -> np.ndarray:
+        """Boolean row mask of one 4-d box query over the packed pages.
+
+        ``strict=False``: the conservative closed test — a row passes
+        when each widened coordinate interval meets the (pre-widened)
+        query interval; never misses a true satisfier.  ``strict=True``:
+        the definite open test — a row passes only when each widened
+        interval sits strictly inside; never admits a false one.
+        """
+        mask = np.zeros(len(self._ids), dtype=bool)
+        row_lo, row_hi = self._lo, self._hi
+        for page, (start, stop) in enumerate(self._page_bounds):
+            if strict:
+                # No member can pass when the page range leaks outside.
+                if (self._page_max_hi[page] <= lo).any() or (
+                    self._page_min_lo[page] >= hi
+                ).any():
+                    continue
+                if (self._page_min_lo[page] > lo).all() and (
+                    self._page_max_hi[page] < hi
+                ).all():
+                    mask[self._order[start:stop]] = True
+                    continue
+            else:
+                if (self._page_max_hi[page] < lo).any() or (
+                    self._page_min_lo[page] > hi
+                ).any():
+                    continue
+                if (self._page_min_hi[page] >= lo).all() and (
+                    self._page_max_lo[page] <= hi
+                ).all():
+                    mask[self._order[start:stop]] = True
+                    continue
+            members = self._order[start:stop]
+            if strict:
+                passes = (row_lo[members] > lo).all(axis=1) & (
+                    row_hi[members] < hi
+                ).all(axis=1)
+            else:
+                passes = (row_hi[members] >= lo).all(axis=1) & (
+                    row_lo[members] <= hi
+                ).all(axis=1)
+            mask[members[passes]] = True
+        return mask
+
+    def box_query(
+        self, lo: Sequence[float], hi: Sequence[float]
+    ) -> Tuple[str, ...]:
+        """Ids whose ``(min_x, max_x, min_y, max_y)`` lie in a closed
+        4-d box (unbounded dimensions as ±inf); unindexed ids included.
+        """
+        mask = self._query_mask(
+            np.asarray(lo, dtype=np.float64),
+            np.asarray(hi, dtype=np.float64),
+            strict=False,
+        )
+        found = [self._ids[position] for position in np.nonzero(mask)[0]]
+        return tuple(found)
+
+    def direction_candidates(
+        self,
+        relation: DisjunctiveCD,
+        box: BoundingBox,
+        *,
+        role: str = "primary",
+        max_disjuncts: int = MAX_DISJUNCTS,
+    ) -> Optional[IndexAnswer]:
+        """The index verdict for one direction clause against ``box``.
+
+        ``role="primary"`` answers ``x R box`` for indexed ``x``;
+        ``role="reference"`` answers ``box R x``.  Returns ``None``
+        when the disjunction is too wide to be selective
+        (``max_disjuncts``) — the caller falls back to the scan path.
+        The empty disjunction is unsatisfiable: empty candidate set.
+        """
+        if role not in _ROLES:
+            raise ValueError(f"role must be one of {_ROLES}, got {role!r}")
+        disjuncts = relation.relations
+        if len(disjuncts) > max_disjuncts:
+            return None
+        candidate_mask = np.zeros(len(self._ids), dtype=bool)
+        definite_mask = np.zeros(len(self._ids), dtype=bool)
+        for disjunct in disjuncts:
+            lo, hi = _closed_bounds(disjunct, box, role)
+            candidate_mask |= self._query_mask(lo, hi, strict=False)
+            if disjunct.is_single_tile:
+                tile = next(iter(disjunct.tiles))
+                if tile is not Tile.B:
+                    strict_lo, strict_hi = _strict_bounds(tile, box, role)
+                    definite_mask |= self._query_mask(
+                        strict_lo, strict_hi, strict=True
+                    )
+        candidates = frozenset(
+            self._ids[position] for position in np.nonzero(candidate_mask)[0]
+        ) | self._unindexed_ids
+        definite = frozenset(
+            self._ids[position] for position in np.nonzero(definite_mask)[0]
+        )
+        return IndexAnswer(candidates, definite)
+
+    def tile_candidates(
+        self, box: BoundingBox, *, role: str = "primary"
+    ) -> Dict[Tile, Tuple[str, ...]]:
+        """Per non-``B`` tile, the ids *strictly* inside it — the
+        pairs :func:`~repro.core.sweep.single_tile_prune` prunes, with
+        identical strict-boundary semantics: boundary contact never
+        qualifies, and ``B`` is absent by construction.  Every listed
+        id's relation (in the given ``role``) is exactly the
+        single-tile relation of its key.
+        """
+        if role not in _ROLES:
+            raise ValueError(f"role must be one of {_ROLES}, got {role!r}")
+        result: Dict[Tile, Tuple[str, ...]] = {}
+        for tile in Tile:
+            if tile is Tile.B:
+                continue
+            lo, hi = _strict_bounds(tile, box, role)
+            mask = self._query_mask(lo, hi, strict=True)
+            result[tile] = tuple(
+                self._ids[position] for position in np.nonzero(mask)[0]
+            )
+        return result

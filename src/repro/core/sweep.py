@@ -519,6 +519,8 @@ class SweepEngine(Engine):
         include_self: bool = False,
         percentages: bool = False,
         attempt: int = 0,
+        row_index: Optional[Sequence[int]] = None,
+        column_index: Optional[Sequence[int]] = None,
     ) -> Tuple[int, np.ndarray, np.ndarray, Optional[np.ndarray]]:
         """Sweep plane rows ``[start, stop)`` against every healthy column.
 
@@ -543,6 +545,15 @@ class SweepEngine(Engine):
         (``record_bulk`` per row and operation) and telemetry match
         :meth:`relation_many` / :meth:`percentages_many` exactly —
         the equivalence suite asserts byte-identical outcomes.
+
+        ``row_index`` / ``column_index`` restrict the sweep to an
+        index-supplied subset: ``row_index`` is a list of global plane
+        row numbers and ``[start, stop)`` then addresses *positions in
+        that list* (so chunk carving stays positional), while
+        ``column_index`` limits the reference columns (intersected with
+        the healthy set; self-pairs are still excluded by global row
+        number).  Result arrays keep their full-width ``(rows, n)``
+        global-column layout either way.
         """
         ids = plane.ids
         offsets = plane.offsets
@@ -552,6 +563,11 @@ class SweepEngine(Engine):
         x2, y2 = plane.x2, plane.y2
         dx, dy = plane.deltas()
         healthy_columns = plane.healthy_columns()
+        if column_index is not None:
+            wanted = np.asarray(column_index, dtype=np.int64)
+            healthy_columns = healthy_columns[
+                np.isin(healthy_columns, wanted)
+            ]
         n = plane.size
         rows = stop - start
         masks = np.zeros((rows, n), dtype=np.uint16)
@@ -559,7 +575,8 @@ class SweepEngine(Engine):
         areas = np.zeros((rows, n, 9), dtype=np.float64) if percentages else None
         deadline = current_deadline()
         for row_offset in range(rows):
-            row = start + row_offset
+            position = start + row_offset
+            row = position if row_index is None else int(row_index[position])
             if deadline is not None and deadline.expired():
                 return row_offset, masks, paths, areas
             if not health[row]:

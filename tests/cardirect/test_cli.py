@@ -141,6 +141,13 @@ class TestEngineOptions:
         assert "(Peloponnesos, Pylos)" in captured.out
         assert "engine 'guarded':" in captured.err
 
+    def test_query_no_index_same_answer(self, demo_xml, capsys):
+        text = "color(a) = red and a S:SW:W:NW:N:NE:E:SE b"
+        assert main(["query", str(demo_xml), text]) == 0
+        indexed = capsys.readouterr().out
+        assert main(["query", str(demo_xml), text, "--no-index"]) == 0
+        assert capsys.readouterr().out == indexed
+
     def test_report_engine_and_stats(self, demo_xml, capsys):
         assert main([
             "report", str(demo_xml),

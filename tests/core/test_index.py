@@ -1,0 +1,316 @@
+"""Property tests for the packed spatial index (`repro.core.index`).
+
+The index is an *accelerator*, so its acceptance bar is containment,
+not similarity: for every direction clause, its candidate set must
+contain every true satisfier (soundness — a miss would silently drop
+query answers) and its definite set must contain only true satisfiers
+whose relation is exactly the single-tile disjunct (so the evaluator
+may skip the engine check).  `tile_candidates` gets the adversarial
+boundary treatment `single_tile_prune` gets in the sweep suite: the
+two must agree pair-for-pair, including on grazing mbbs where strict
+semantics forbid pruning.
+"""
+
+import random
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.engine import create_engine
+from repro.core.index import (
+    DEFAULT_PAGE_SIZE,
+    MAX_DISJUNCTS,
+    SpatialIndex,
+)
+from repro.core.relation import (
+    ALL_BASIC_RELATIONS,
+    CardinalDirection,
+    DisjunctiveCD,
+)
+from repro.core.sweep import single_tile_prune
+from repro.core.tiles import Tile
+from repro.geometry.bbox import BoundingBox
+from repro.workloads.generators import random_rectilinear_region
+
+SEEDS = (3, 11, 20040314)
+
+
+def _workload(seed, count, *, rectangles=3, bounds=(-40, -40, 40, 40)):
+    """id -> Region for ``count`` random rectilinear regions."""
+    rng = random.Random(seed)
+    return {
+        f"r{index}": random_rectilinear_region(
+            rng, rectangles, bounds=bounds
+        )
+        for index in range(count)
+    }
+
+
+def _boxes(regions):
+    return {
+        region_id: region.bounding_box()
+        for region_id, region in regions.items()
+    }
+
+
+def _index(regions, **kwargs):
+    boxes = _boxes(regions)
+    return SpatialIndex(sorted(regions), boxes, **kwargs), boxes
+
+
+class TestTileCandidates:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("role", ["primary", "reference"])
+    def test_matches_single_tile_prune(self, seed, role):
+        regions = _workload(seed, 30)
+        index, boxes = _index(regions)
+        for anchor_id, anchor_box in boxes.items():
+            answers = index.tile_candidates(anchor_box, role=role)
+            for other_id, other_box in boxes.items():
+                if role == "primary":
+                    pruned = single_tile_prune(other_box, anchor_box)
+                else:
+                    pruned = single_tile_prune(anchor_box, other_box)
+                listed = {
+                    tile
+                    for tile, members in answers.items()
+                    if other_id in members
+                }
+                if pruned is None or pruned is Tile.B:
+                    assert not listed, (anchor_id, other_id, listed)
+                else:
+                    assert listed == {pruned}, (anchor_id, other_id)
+
+    def test_boundary_contact_never_qualifies(self):
+        """Grazing mbbs share a grid line: strict semantics say no."""
+        reference = BoundingBox(0, 0, 10, 10)
+        grazing = {
+            "west_touch": BoundingBox(-5, 2, 0, 8),
+            "north_touch": BoundingBox(2, 10, 8, 15),
+            "corner_touch": BoundingBox(10, 10, 15, 15),
+            "due_west": BoundingBox(-5, 2, -1, 8),
+        }
+        index = SpatialIndex(sorted(grazing), grazing)
+        answers = index.tile_candidates(reference, role="primary")
+        listed = {
+            region_id
+            for members in answers.values()
+            for region_id in members
+        }
+        assert listed == {"due_west"}
+        assert answers[Tile.W] == ("due_west",)
+
+    def test_b_tile_absent(self):
+        regions = _workload(0, 10)
+        index, boxes = _index(regions)
+        answers = index.tile_candidates(next(iter(boxes.values())))
+        assert Tile.B not in answers
+        assert set(answers) == set(Tile) - {Tile.B}
+
+
+class TestDirectionCandidates:
+    def _true_satisfiers(
+        self, engine, regions, boxes, relation, anchor_id, role
+    ):
+        found = set()
+        for other_id in regions:
+            if other_id == anchor_id:
+                continue
+            if role == "primary":
+                computed = engine.relation(
+                    regions[other_id], boxes[anchor_id]
+                )
+            else:
+                computed = engine.relation(
+                    regions[anchor_id], boxes[other_id]
+                )
+            if relation.contains(computed):
+                found.add(other_id)
+        return found
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("role", ["primary", "reference"])
+    def test_sound_and_definite(self, seed, role):
+        """candidates ⊇ true satisfiers ⊇ definite, per random clause."""
+        rng = random.Random(seed)
+        regions = _workload(seed, 25)
+        index, boxes = _index(regions)
+        engine = create_engine("exact")
+        single_tiles = [
+            CardinalDirection(tile) for tile in Tile if tile is not Tile.B
+        ]
+        for _ in range(12):
+            anchor_id = rng.choice(sorted(regions))
+            width = rng.randrange(1, 5)
+            relation = DisjunctiveCD(
+                {rng.choice(ALL_BASIC_RELATIONS) for _ in range(width)}
+                | {rng.choice(single_tiles)}
+            )
+            answer = index.direction_candidates(
+                relation, boxes[anchor_id], role=role
+            )
+            assert answer is not None
+            true = self._true_satisfiers(
+                engine, regions, boxes, relation, anchor_id, role
+            )
+            missed = true - set(answer.candidates)
+            assert not missed, (anchor_id, relation, missed)
+            false_definite = set(answer.definite) - true
+            assert not false_definite, (anchor_id, relation, false_definite)
+            assert answer.definite <= answer.candidates
+
+    def test_wide_disjunction_abstains(self):
+        regions = _workload(1, 5)
+        index, boxes = _index(regions)
+        wide = DisjunctiveCD(ALL_BASIC_RELATIONS[: MAX_DISJUNCTS + 1])
+        box = next(iter(boxes.values()))
+        assert index.direction_candidates(wide, box) is None
+        narrow = DisjunctiveCD(ALL_BASIC_RELATIONS[:MAX_DISJUNCTS])
+        assert index.direction_candidates(narrow, box) is not None
+
+    def test_empty_disjunction_is_unsatisfiable(self):
+        regions = _workload(2, 5)
+        index, boxes = _index(regions)
+        answer = index.direction_candidates(
+            DisjunctiveCD(), next(iter(boxes.values()))
+        )
+        assert answer is not None
+        assert answer.candidates == frozenset()
+        assert answer.definite == frozenset()
+
+    def test_bad_role_rejected(self):
+        regions = _workload(2, 3)
+        index, boxes = _index(regions)
+        box = next(iter(boxes.values()))
+        with pytest.raises(ValueError):
+            index.direction_candidates(
+                DisjunctiveCD({CardinalDirection(Tile.N)}), box, role="left"
+            )
+        with pytest.raises(ValueError):
+            index.tile_candidates(box, role="left")
+
+    def test_fraction_boxes_stay_sound(self):
+        """Wide exact coordinates are rounded outward, never inward."""
+        third = Fraction(1, 3)
+        regions = {
+            "exact": BoundingBox(third, third, 2 * third, 2 * third),
+            "north": BoundingBox(0.4, 1, 0.6, 2),
+        }
+        index = SpatialIndex(sorted(regions), regions)
+        anchor = BoundingBox(
+            Fraction(1, 3), Fraction(-10), Fraction(2, 3), Fraction(1, 3)
+        )
+        answer = index.direction_candidates(
+            DisjunctiveCD({CardinalDirection(Tile.N)}), anchor
+        )
+        # "exact" touches the anchor's max_y grid line within float
+        # rounding: it must stay a candidate and must not be definite.
+        assert "exact" in answer.candidates
+        assert "exact" not in answer.definite
+        assert "north" in answer.definite
+
+
+class TestMaintenance:
+    def test_update_matches_rebuild(self):
+        regions = _workload(7, 40)
+        index, boxes = _index(regions)
+        moved = "r11"
+        boxes[moved] = BoundingBox(200, 200, 210, 210)
+        assert index.update(moved, boxes[moved])
+        rebuilt = SpatialIndex(sorted(regions), boxes)
+        probe = BoundingBox(195, 195, 220, 220)
+        for role in ("primary", "reference"):
+            assert index.tile_candidates(probe, role=role) == (
+                rebuilt.tile_candidates(probe, role=role)
+            )
+        relation = DisjunctiveCD({CardinalDirection(Tile.B)})
+        assert index.direction_candidates(relation, probe) == (
+            rebuilt.direction_candidates(relation, probe)
+        )
+
+    def test_update_unknown_id(self):
+        index, _ = _index(_workload(7, 4))
+        assert not index.update("ghost", BoundingBox(0, 0, 1, 1))
+
+    def test_population_change_demands_rebuild(self):
+        regions = _workload(7, 6)
+        boxes = _boxes(regions)
+        del boxes["r0"]  # r0 starts unindexed
+        index = SpatialIndex(sorted(regions), boxes)
+        assert "r0" in index.unindexed_ids
+        # unindexed -> indexed and indexed -> unindexed both refuse...
+        assert not index.update("r0", BoundingBox(0, 0, 1, 1))
+        assert not index.update("r1", None)
+        # ...while unindexed -> still-unindexed is absorbable.
+        assert index.update("r0", None)
+
+    def test_unindexed_always_candidate_never_definite(self):
+        regions = _workload(9, 12)
+        boxes = _boxes(regions)
+        del boxes["r3"]
+        index = SpatialIndex(sorted(regions), boxes)
+        relation = DisjunctiveCD({CardinalDirection(Tile.SW)})
+        anchor = boxes["r0"]
+        answer = index.direction_candidates(relation, anchor)
+        assert "r3" in answer.candidates
+        assert "r3" not in answer.definite
+        for members in index.tile_candidates(anchor).values():
+            assert "r3" not in members
+
+
+class TestPacking:
+    def test_multi_page_agrees_with_single_page(self):
+        """STR paging is a layout choice, never a semantics change."""
+        regions = _workload(13, 3 * DEFAULT_PAGE_SIZE)
+        boxes = _boxes(regions)
+        paged = SpatialIndex(sorted(regions), boxes)
+        flat = SpatialIndex(sorted(regions), boxes, page_size=10**9)
+        assert paged.page_count > 1
+        assert flat.page_count == 1
+        for anchor in list(boxes.values())[:10]:
+            assert paged.tile_candidates(anchor) == flat.tile_candidates(
+                anchor
+            )
+
+    def test_box_query(self):
+        boxes = {
+            "inside": BoundingBox(1, 1, 2, 2),
+            "outside": BoundingBox(30, 30, 40, 40),
+        }
+        index = SpatialIndex(sorted(boxes), boxes)
+        found = index.box_query(
+            (0, 0, 0, 0), (10, 10, 10, 10)
+        )
+        assert found == ("inside",)
+        everything = index.box_query(
+            (-np.inf,) * 4, (np.inf,) * 4
+        )
+        assert set(everything) == set(boxes)
+
+    def test_from_plane_rows(self):
+        rows = np.array(
+            [
+                [0.0, 1.0, 0.0, 1.0],
+                [5.0, 6.0, 5.0, 6.0],
+                [np.nan, np.nan, np.nan, np.nan],
+            ]
+        )
+        health = np.array([1, 0, 1], dtype=np.uint8)
+        index = SpatialIndex.from_plane_rows(
+            ["a", "b", "c"], rows, health=health
+        )
+        # b is unhealthy, c has no coordinates: both unindexed.
+        assert index.unindexed_ids == frozenset({"b", "c"})
+        assert len(index) == 3
+
+    def test_empty_and_validation(self):
+        empty = SpatialIndex((), {})
+        assert len(empty) == 0
+        assert empty.box_query((0, 0, 0, 0), (1, 1, 1, 1)) == ()
+        with pytest.raises(ValueError):
+            SpatialIndex(("a", "a"), {})
+        with pytest.raises(ValueError):
+            SpatialIndex(("a",), {}, page_size=0)
+        with pytest.raises(ValueError):
+            SpatialIndex.from_plane_rows(["a"], np.zeros((2, 4)))
