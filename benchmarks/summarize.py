@@ -22,6 +22,12 @@ row per tier mode, and any mode with a ``speedup_vs_serial`` number —
 or a top-level ``scaling`` ratio — fills the ``scaling`` column, so the
 parallel story (how many multiples of the serial sweep each worker
 count buys) sits next to the absolute pairs/sec it came from.
+
+When a ``BENCH_trend.json`` registry exists (see ``benchmarks/trend.py``),
+each row's throughput is compared against the best that metric ever
+recorded and the drift lands in the ``vs best`` column — the at-a-glance
+trajectory: ``+0.0%`` means this run *is* the best, ``-12%`` means the
+machine or the code has backed off it.
 """
 
 from __future__ import annotations
@@ -88,6 +94,9 @@ def rows(records: List[Dict]) -> List[Dict]:
             }
             if "pairs_per_second" in sample:
                 row["pairs_per_second"] = sample["pairs_per_second"]
+                row["_trend_key"] = (
+                    f"{record['benchmark']}.modes.{mode}.pairs_per_second"
+                )
             if "seconds" in sample:
                 row["seconds"] = sample["seconds"]
             if "overhead_vs_disabled" in sample:
@@ -106,7 +115,7 @@ def rows(records: List[Dict]) -> List[Dict]:
             if ratio is not None:
                 row["scaling"] = f"{ratio:.2f}x serial"
             flat.append(row)
-        for tier in (record.get("tiers") or {}).values():
+        for tier_key, tier in (record.get("tiers") or {}).items():
             tier_workload = f"{tier.get('regions', '?')} regions"
             if tier.get("kernel_only"):
                 tier_workload += " (kernel)"
@@ -118,6 +127,10 @@ def rows(records: List[Dict]) -> List[Dict]:
                 }
                 if "pairs_per_second" in sample:
                     row["pairs_per_second"] = sample["pairs_per_second"]
+                    row["_trend_key"] = (
+                        f"{record['benchmark']}.tiers.{tier_key}.modes."
+                        f"{mode}.pairs_per_second"
+                    )
                 if "seconds" in sample:
                     row["seconds"] = sample["seconds"]
                 speedup = sample.get("speedup_vs_serial")
@@ -149,6 +162,33 @@ def _baseline_note(row: Dict, sample: Dict) -> None:
         row["note"] = ", ".join(notes)
 
 
+def attach_trend(flat: List[Dict], root: Path = ROOT) -> None:
+    """Fill each row's ``vs_best`` column from ``BENCH_trend.json``.
+
+    Consumes the hidden ``_trend_key`` markers :func:`rows` leaves on
+    throughput-bearing rows (they are always removed, so JSON output
+    stays clean even when no registry exists).
+    """
+    # Imported lazily: trend.py imports this module at load time.
+    from benchmarks.trend import HIGHER, load_registry, vs_best
+
+    series: Dict = {}
+    registry_path = root / "BENCH_trend.json"
+    if registry_path.exists():
+        series = load_registry(registry_path).get("series", {})
+    for row in flat:
+        key = row.pop("_trend_key", None)
+        if key is None:
+            continue
+        entry = series.get(key)
+        best = entry.get("best") if isinstance(entry, dict) else None
+        value = row.get("pairs_per_second")
+        if isinstance(best, (int, float)) and best > 0 and value:
+            drift = vs_best(float(value), HIGHER, float(best))
+            if drift is not None:
+                row["vs_best"] = f"{drift:+.1%}"
+
+
 _COLUMNS = (
     ("benchmark", "<"),
     ("mode", "<"),
@@ -156,6 +196,7 @@ _COLUMNS = (
     ("pairs_per_second", ">"),
     ("seconds", ">"),
     ("scaling", ">"),
+    ("vs_best", ">"),
     ("note", "<"),
 )
 
@@ -225,6 +266,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     arguments = parser.parse_args(argv)
     records = collect(arguments.root)
     flat = rows(records)
+    attach_trend(flat, arguments.root)
     if arguments.format == "json":
         print(json.dumps(flat, indent=2))
     else:

@@ -17,13 +17,19 @@ Every command additionally accepts the global observability options
 
     cardirect --trace out.jsonl relations config.xml
     cardirect relations config.xml --metrics out.prom
-    cardirect profile out.jsonl          # span tree + hot paths
+    cardirect relations config.xml --profile out.folded --events ev.jsonl
+    cardirect profile out.jsonl          # span tree + hot paths + quantiles
+    cardirect profile --sample out.folded  # hottest functions
 
 ``--trace FILE`` installs a :class:`repro.obs.Tracer` for the run and
 writes the collected span tree as JSON Lines; ``--metrics FILE``
 installs a metrics registry and writes Prometheus text (or JSON when
-the file name ends in ``.json``).  ``profile`` renders a previously
-recorded trace file.
+the file name ends in ``.json``); ``--profile FILE`` runs the sampling
+profiler (:mod:`repro.obs.profiler`) and writes flamegraph-ready
+collapsed stacks; ``--events FILE`` records the structured event log
+(:mod:`repro.obs.events`), slow-op warnings included.  ``profile``
+renders a previously recorded trace (or, with ``--sample``, a
+collapsed-stack profile).
 
 The GUI of the original tool (drawing polygons over a map with a mouse)
 is out of scope for a library; everything computational — relation
@@ -105,6 +111,21 @@ def _add_obs_options(
         metavar="FILE",
         help="collect metrics during the run and write them to FILE "
         "as Prometheus text (JSON when FILE ends in .json)",
+        **kwargs,
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        help="run the sampling profiler (REPRO_PROFILE_HZ overrides "
+        "the rate) and write collapsed stacks to FILE — flamegraph-"
+        "ready, or render with 'profile --sample FILE'",
+        **kwargs,
+    )
+    parser.add_argument(
+        "--events",
+        metavar="FILE",
+        help="record the structured event log (incl. slow-op warnings; "
+        "see REPRO_SLOW_OP_BUDGET) and write it to FILE as JSON Lines",
         **kwargs,
     )
 
@@ -318,9 +339,21 @@ def _build_parser() -> argparse.ArgumentParser:
     profile = commands.add_parser(
         "profile",
         help="render a --trace JSONL file as a span tree with "
-        "hot-path percentages",
+        "hot-path percentages and duration quantiles, or (with "
+        "--sample) a --profile collapsed-stack file as a "
+        "top-functions table",
     )
-    profile.add_argument("trace_file", help="JSON Lines trace file")
+    profile.add_argument(
+        "trace_file",
+        help="JSON Lines trace file (or a .folded collapsed-stack "
+        "profile with --sample)",
+    )
+    profile.add_argument(
+        "--sample",
+        action="store_true",
+        help="treat the input as a collapsed-stack (.folded) sampling "
+        "profile written by --profile and rank its hottest functions",
+    )
     profile.add_argument(
         "--min-percent",
         type=float,
@@ -749,18 +782,62 @@ def _cmd_analyze(
     return 0
 
 
-def _cmd_profile(trace_file: str, min_percent: float, top: int) -> int:
+def _cmd_profile(
+    trace_file: str, min_percent: float, top: int, sample: bool = False
+) -> int:
+    """Render a trace (span tree + hot paths + duration quantiles) or,
+    with ``--sample``, a collapsed-stack profile (top functions).
+
+    A missing, empty or corrupt input is one clean error line and exit
+    code 2 — these files come from other runs (often other machines),
+    and a malformed artifact is a usage-grade problem, not a crash.
+    """
     from repro import obs
 
-    spans = obs.load_jsonl(trace_file)
+    if sample:
+        try:
+            with open(trace_file, "r", encoding="utf-8") as handle:
+                counts = obs.parse_folded(handle.read())
+        except OSError as error:
+            print(f"error: {trace_file}: {error.strerror or error}", file=sys.stderr)
+            return 2
+        except ValueError as error:
+            print(
+                f"error: {trace_file}: not a collapsed-stack profile "
+                f"({error})",
+                file=sys.stderr,
+            )
+            return 2
+        if not counts:
+            print(f"error: {trace_file}: no samples recorded", file=sys.stderr)
+            return 2
+        total = sum(counts.values())
+        print(f"profile: {trace_file} ({total} samples, {len(counts)} stacks)")
+        print()
+        print(obs.render_folded_top(counts, top=top))
+        return 0
+
+    try:
+        spans = obs.load_jsonl(trace_file)
+    except OSError as error:
+        print(f"error: {trace_file}: {error.strerror or error}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError) as error:
+        print(
+            f"error: {trace_file}: not a JSONL span trace ({error})",
+            file=sys.stderr,
+        )
+        return 2
     if not spans:
-        print(f"{trace_file}: no spans recorded", file=sys.stderr)
-        return 1
+        print(f"error: {trace_file}: no spans recorded", file=sys.stderr)
+        return 2
     print(f"trace: {trace_file} ({len(spans)} spans)")
     print()
     print(obs.render_span_tree(spans, min_percent=min_percent))
     print()
     print(obs.render_hot_paths(spans, top=top))
+    print()
+    print(obs.render_span_quantiles(spans, top=top))
     return 0
 
 
@@ -772,7 +849,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     arguments = _build_parser().parse_args(argv)
     trace_path = getattr(arguments, "trace", None)
     metrics_path = getattr(arguments, "metrics", None)
-    if trace_path is None and metrics_path is None:
+    profile_path = getattr(arguments, "profile", None)
+    events_path = getattr(arguments, "events", None)
+    if (
+        trace_path is None
+        and metrics_path is None
+        and profile_path is None
+        and events_path is None
+    ):
         try:
             return _dispatch(arguments)
         except KeyboardInterrupt:
@@ -783,10 +867,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     tracer = obs.Tracer() if trace_path else None
     registry = obs.MetricsRegistry() if metrics_path else None
+    profiler = obs.SamplingProfiler() if profile_path else None
+    events_log = obs.EventLog() if events_path else None
     status = EXIT_INTERRUPTED
     try:
         with obs.tracing(tracer) if tracer else _noop(), (
             obs.collecting(registry) if registry else _noop()
+        ), (obs.profiling(profiler) if profiler else _noop()), (
+            obs.emitting(events_log) if events_log else _noop()
         ):
             with obs.span(f"cli.{arguments.command}") as root:
                 status = _dispatch(arguments)
@@ -799,12 +887,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("interrupted", file=sys.stderr)
         status = EXIT_INTERRUPTED
     finally:
-        _flush_observability(tracer, trace_path, registry, metrics_path)
+        _flush_observability(
+            tracer,
+            trace_path,
+            registry,
+            metrics_path,
+            profiler,
+            profile_path,
+            events_log,
+            events_path,
+        )
     return status
 
 
-def _flush_observability(tracer, trace_path, registry, metrics_path) -> None:
-    """Write collected spans/metrics; never raise (runs on Ctrl-C too)."""
+def _flush_observability(
+    tracer,
+    trace_path,
+    registry,
+    metrics_path,
+    profiler=None,
+    profile_path=None,
+    events_log=None,
+    events_path=None,
+) -> None:
+    """Write collected spans/metrics/profile/events; never raise (runs
+    on Ctrl-C too)."""
     try:
         if tracer is not None:
             tracer.export_jsonl(trace_path)
@@ -818,6 +925,20 @@ def _flush_observability(tracer, trace_path, registry, metrics_path) -> None:
             else:
                 registry.export_prometheus(metrics_path)
             print(f"metrics written to {metrics_path}", file=sys.stderr)
+        if profiler is not None:
+            profiler.stop()
+            profiler.export_folded(profile_path)
+            print(
+                f"profile: {profiler.samples} samples written to "
+                f"{profile_path}",
+                file=sys.stderr,
+            )
+        if events_log is not None:
+            events_log.export_jsonl(events_path)
+            print(
+                f"events: {len(events_log.events)} written to {events_path}",
+                file=sys.stderr,
+            )
     except OSError as error:
         print(f"error: observability flush failed: {error}", file=sys.stderr)
 
@@ -891,7 +1012,10 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             )
         if arguments.command == "profile":
             return _cmd_profile(
-                arguments.trace_file, arguments.min_percent, arguments.top
+                arguments.trace_file,
+                arguments.min_percent,
+                arguments.top,
+                arguments.sample,
             )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -608,7 +608,15 @@ def _sweep_rows(
 
 def _worker_chunk(
     payload: dict,
-) -> Tuple[List[PairOutcome], dict, dict, Optional[list], Optional[dict]]:
+) -> Tuple[
+    List[PairOutcome],
+    dict,
+    dict,
+    Optional[list],
+    Optional[dict],
+    Optional[dict],
+    Optional[list],
+]:
     """One worker's share of a parallel sweep (module-level: picklable).
 
     Recreates the engine from its ``(name, options)`` spec — under the
@@ -617,10 +625,13 @@ def _worker_chunk(
     the pool started — sweeps its chunk of primary rows, and returns
     the outcomes plus any *new* repair reports, a detached
     :meth:`~repro.core.engine.EngineStats.as_dict` snapshot, and — when
-    the parent had a tracer / metrics registry installed — the worker's
-    serialised spans and metrics snapshot.  The parent grafts the spans
-    into its own trace and merges the metrics, so ``workers=N`` loses
-    no telemetry to the process boundary (observers excepted; see
+    the parent had a tracer / metrics registry / sampling profiler /
+    event log installed — the worker's serialised spans, metrics
+    snapshot, folded-stack counts and event records.  The parent grafts
+    the spans into its own trace, merges the metrics and profile, and
+    ingests the events (remapping their span links through the graft's
+    id map), so ``workers=N`` loses no telemetry to the process
+    boundary (observers excepted; see
     :meth:`~repro.core.engine.Engine.worker_spec`).
     """
     chunk_index = payload.get("chunk_index", 0)
@@ -634,36 +645,49 @@ def _worker_chunk(
     worker_label = f"worker-{chunk_index}"
     tracer = obs.Tracer(worker=worker_label) if payload.get("trace") else None
     registry = obs.MetricsRegistry() if payload.get("collect_metrics") else None
+    profiler = obs.SamplingProfiler() if payload.get("profile") else None
+    events_spec = payload.get("events")
+    events_log = (
+        obs.EventLog(
+            slow_op_budgets=events_spec.get("budgets"),
+            default_slow_op_budget=events_spec.get("default"),
+            worker=worker_label,
+        )
+        if events_spec
+        else None
+    )
     policy = payload.get("retry_policy") or DEFAULT_BATCH_RETRY_POLICY
     with obs.tracing(tracer) if tracer is not None else nullcontext():
         with obs.collecting(registry) if registry is not None else nullcontext():
-            with obs.span(
-                "batch.worker",
-                chunk=chunk_index,
-                attempt=attempt,
-                pid=os.getpid(),
-                primaries=len(payload["primary_ids"]),
-            ):
-                with obs.span(
-                    "batch.chunk",
-                    chunk=chunk_index,
-                    primaries=len(payload["primary_ids"]),
-                ):
-                    with deadline_scope(payload.get("deadline_seconds")):
-                        outcomes = _sweep_rows(
-                            payload["primary_ids"],
-                            payload["all_ids"],
-                            include_self=payload["include_self"],
-                            healthy=payload["healthy"],
-                            boxes=payload["boxes"],
-                            repairs=repairs,
-                            broken=broken,
-                            backend=backend,
-                            percentages=payload["percentages"],
-                            repair=payload["repair"],
-                            policy=policy,
-                            attempt=attempt,
-                        )
+            with obs.emitting(events_log) if events_log is not None else nullcontext():
+                with profiler if profiler is not None else nullcontext():
+                    with obs.span(
+                        "batch.worker",
+                        chunk=chunk_index,
+                        attempt=attempt,
+                        pid=os.getpid(),
+                        primaries=len(payload["primary_ids"]),
+                    ):
+                        with obs.span(
+                            "batch.chunk",
+                            chunk=chunk_index,
+                            primaries=len(payload["primary_ids"]),
+                        ):
+                            with deadline_scope(payload.get("deadline_seconds")):
+                                outcomes = _sweep_rows(
+                                    payload["primary_ids"],
+                                    payload["all_ids"],
+                                    include_self=payload["include_self"],
+                                    healthy=payload["healthy"],
+                                    boxes=payload["boxes"],
+                                    repairs=repairs,
+                                    broken=broken,
+                                    backend=backend,
+                                    percentages=payload["percentages"],
+                                    repair=payload["repair"],
+                                    policy=policy,
+                                    attempt=attempt,
+                                )
     new_repairs = {
         region_id: report
         for region_id, report in repairs.items()
@@ -675,6 +699,8 @@ def _worker_chunk(
         backend.stats.as_dict(),
         tracer.to_payload() if tracer is not None else None,
         registry.snapshot() if registry is not None else None,
+        profiler.to_payload() if profiler is not None else None,
+        events_log.to_payload() if events_log is not None else None,
     )
 
 
@@ -808,9 +834,10 @@ def _plane_chunk(task: dict) -> tuple:
     fresh engine per chunk keeps the stats snapshot scoped to exactly
     this dispatch (re-dispatched chunks must not double-count).  Returns
     ``(rows_done, masks, paths, areas, cpu_seconds, stats, spans,
-    metrics)`` — compact numpy blocks the parent assembles into
-    outcomes, the chunk's CPU cost (feeding the adaptive sizer), plus
-    the same telemetry graft payloads the legacy worker ships.
+    metrics, profile, events)`` — compact numpy blocks the parent
+    assembles into outcomes, the chunk's CPU cost (feeding the adaptive
+    sizer), plus the same telemetry graft payloads the legacy worker
+    ships.
     """
     plane = _WORKER_PLANE
     spec = _WORKER_ENGINE_SPEC
@@ -830,33 +857,47 @@ def _plane_chunk(task: dict) -> tuple:
         else None
     )
     registry = obs.MetricsRegistry() if task.get("collect_metrics") else None
+    worker_label = f"worker-{chunk_index}"
+    profiler = obs.SamplingProfiler() if task.get("profile") else None
+    events_spec = task.get("events")
+    events_log = (
+        obs.EventLog(
+            slow_op_budgets=events_spec.get("budgets"),
+            default_slow_op_budget=events_spec.get("default"),
+            worker=worker_label,
+        )
+        if events_spec
+        else None
+    )
     started = time.perf_counter()
     cpu_started = time.process_time()
     with obs.tracing(tracer) if tracer is not None else nullcontext():
         with obs.collecting(registry) if registry is not None else nullcontext():
-            with obs.span(
-                "batch.worker",
-                chunk=chunk_index,
-                attempt=attempt,
-                pid=os.getpid(),
-                primaries=rows,
-            ):
-                with obs.span(
-                    "batch.chunk", chunk=chunk_index, primaries=rows
-                ):
-                    with deadline_scope(task.get("deadline_seconds")):
-                        rows_done, masks, paths, areas = sweep_plane(
-                            plane,
-                            task["start"],
-                            task["stop"],
-                            include_self=task["include_self"],
-                            percentages=task["percentages"],
-                            attempt=attempt,
-                            row_index=restriction[0],
-                            column_index=restriction[1],
-                        )
-                        if rows_done < rows:
-                            count_deadline_exceeded("batch.sweep")
+            with obs.emitting(events_log) if events_log is not None else nullcontext():
+                with profiler if profiler is not None else nullcontext():
+                    with obs.span(
+                        "batch.worker",
+                        chunk=chunk_index,
+                        attempt=attempt,
+                        pid=os.getpid(),
+                        primaries=rows,
+                    ):
+                        with obs.span(
+                            "batch.chunk", chunk=chunk_index, primaries=rows
+                        ):
+                            with deadline_scope(task.get("deadline_seconds")):
+                                rows_done, masks, paths, areas = sweep_plane(
+                                    plane,
+                                    task["start"],
+                                    task["stop"],
+                                    include_self=task["include_self"],
+                                    percentages=task["percentages"],
+                                    attempt=attempt,
+                                    row_index=restriction[0],
+                                    column_index=restriction[1],
+                                )
+                                if rows_done < rows:
+                                    count_deadline_exceeded("batch.sweep")
     elapsed = time.perf_counter() - started
     # CPU seconds, not wall: under N-way contention the wall latency of
     # a chunk inflates with the worker count, and sizing chunks from it
@@ -873,6 +914,8 @@ def _plane_chunk(task: dict) -> tuple:
         backend.stats.as_dict(),
         tracer.to_payload() if tracer is not None else None,
         registry.snapshot() if registry is not None else None,
+        profiler.to_payload() if profiler is not None else None,
+        events_log.to_payload() if events_log is not None else None,
     )
 
 
@@ -1141,6 +1184,8 @@ def _supervise_plane_pool(
 
     tracer = obs.current_tracer()
     registry = obs.current_metrics()
+    profiler = obs.current_profiler()
+    events_log = obs.current_events()
     engine_spec = backend.worker_spec()
     deadline = current_deadline()
     total_rows = len(all_ids) if row_index is None else len(row_index)
@@ -1184,6 +1229,10 @@ def _supervise_plane_pool(
             ),
             "trace": tracer is not None,
             "collect_metrics": registry is not None,
+            "profile": profiler is not None,
+            "events": (
+                events_log.budget_spec() if events_log is not None else None
+            ),
         }
 
     def _count_lost(count: int, reason: str) -> None:
@@ -1193,6 +1242,7 @@ def _supervise_plane_pool(
                 "repro_worker_restart_total",
                 "Parallel batch chunk dispatches lost to worker failures.",
             ).inc(count, reason=reason)
+        obs.emit("batch.worker_lost", "warning", count=count, reason=reason)
 
     def _requeue(chunk: _PlaneChunk) -> None:
         if chunk.attempt + 1 < policy.max_attempts:
@@ -1218,12 +1268,25 @@ def _supervise_plane_pool(
             stats_snapshot,
             span_payload,
             metrics_snapshot,
+            profile_payload,
+            events_payload,
         ) = result
         backend.stats.merge(stats_snapshot)
+        span_id_map: Dict[str, str] = {}
         if span_payload and tracer is not None:
-            tracer.ingest(span_payload, worker=f"worker-{chunk.index}")
+            tracer.ingest(
+                span_payload, worker=f"worker-{chunk.index}", id_map=span_id_map
+            )
         if metrics_snapshot and registry is not None:
             registry.merge(metrics_snapshot)
+        if profile_payload and profiler is not None:
+            profiler.merge(profile_payload)
+        if events_payload and events_log is not None:
+            events_log.ingest(
+                events_payload,
+                worker=f"worker-{chunk.index}",
+                span_map=span_id_map or None,
+            )
         if rows_done > 0:
             sizer.observe(rows_done, cpu_seconds)
             completed.append(
@@ -1358,6 +1421,12 @@ def _supervise_plane_pool(
                             "Parallel batch chunk dispatches lost "
                             "to worker failures.",
                         ).inc(reason=type(error).__name__)
+                    obs.emit(
+                        "batch.worker_lost",
+                        "warning",
+                        count=1,
+                        reason=type(error).__name__,
+                    )
                     _requeue(finished)
                 else:
                     _absorb(finished, result)
@@ -1681,6 +1750,8 @@ def _parallel_sweep(
 
     tracer = obs.current_tracer()
     registry = obs.current_metrics()
+    profiler = obs.current_profiler()
+    events_log = obs.current_events()
     engine_spec = backend.worker_spec()
     deadline = current_deadline()
     primary_ids = list(primaries) if primaries is not None else all_ids
@@ -1711,6 +1782,10 @@ def _parallel_sweep(
             ),
             "trace": tracer is not None,
             "collect_metrics": registry is not None,
+            "profile": profiler is not None,
+            "events": (
+                events_log.budget_spec() if events_log is not None else None
+            ),
         }
 
     results: Dict[int, List[PairOutcome]] = {}
@@ -1723,14 +1798,27 @@ def _parallel_sweep(
             stats_snapshot,
             span_payload,
             metrics_snapshot,
+            profile_payload,
+            events_payload,
         ) = result
         results[index] = chunk_outcomes
         repairs.update(new_repairs)
         backend.stats.merge(stats_snapshot)
+        span_id_map: Dict[str, str] = {}
         if span_payload and tracer is not None:
-            tracer.ingest(span_payload, worker=f"worker-{index}")
+            tracer.ingest(
+                span_payload, worker=f"worker-{index}", id_map=span_id_map
+            )
         if metrics_snapshot and registry is not None:
             registry.merge(metrics_snapshot)
+        if profile_payload and profiler is not None:
+            profiler.merge(profile_payload)
+        if events_payload and events_log is not None:
+            events_log.ingest(
+                events_payload,
+                worker=f"worker-{index}",
+                span_map=span_id_map or None,
+            )
 
     def _count_lost(count: int, reason: str) -> None:
         stats["worker_failures"] += count
@@ -1739,6 +1827,7 @@ def _parallel_sweep(
                 "repro_worker_restart_total",
                 "Parallel batch chunk dispatches lost to worker failures.",
             ).inc(count, reason=reason)
+        obs.emit("batch.worker_lost", "warning", count=count, reason=reason)
 
     pending = list(range(len(chunks)))
     for round_number in range(policy.max_attempts):
@@ -1805,6 +1894,12 @@ def _parallel_sweep(
                                 "Parallel batch chunk dispatches lost "
                                 "to worker failures.",
                             ).inc(reason=type(error).__name__)
+                        obs.emit(
+                            "batch.worker_lost",
+                            "warning",
+                            count=1,
+                            reason=type(error).__name__,
+                        )
         finally:
             # Join the pool's internals unless a chunk is genuinely hung
             # (then the management thread is stuck behind the hung task

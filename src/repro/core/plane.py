@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.region import Region
+from repro.obs.events import emit as emit_event
 from repro.resilience.faults import fault_point
 
 __all__ = ["GeometryPlane"]
@@ -202,6 +203,14 @@ class GeometryPlane:
         views["y1"][:] = np.asarray(y1_all, dtype=np.float64)
         views["x2"][:] = np.asarray(x2_all, dtype=np.float64)
         views["y2"][:] = np.asarray(y2_all, dtype=np.float64)
+        emit_event(
+            "plane.build",
+            "info",
+            name=segment.name,
+            regions=n,
+            edges=edge_count,
+            bytes=sections["total"],
+        )
         return cls(
             segment,
             ids=tuple(all_ids),
@@ -237,6 +246,13 @@ class GeometryPlane:
         edge_count = int(meta["edges"])
         sections = _section_layout(meta_length, n, edge_count)
         views = _section_views(segment, sections, n, edge_count)
+        emit_event(
+            "plane.attach",
+            "debug",
+            name=name,
+            generation=generation,
+            regions=n,
+        )
         return cls(
             segment,
             ids=tuple(meta["ids"]),
@@ -320,8 +336,11 @@ class GeometryPlane:
 
     def destroy(self) -> None:
         """``close`` + ``unlink`` — the owner's guaranteed teardown."""
+        already_unlinked = self._unlinked
         self.close()
         self.unlink()
+        if not already_unlinked:
+            emit_event("plane.destroy", "debug", name=self._name)
 
     def _release_views(self) -> None:
         empty_f = np.empty(0, dtype=np.float64)

@@ -1,18 +1,28 @@
-"""``repro.obs`` — zero-dependency tracing and metrics for the stack.
+"""``repro.obs`` — zero-dependency observability for the stack.
 
-The observability subsystem has three parts:
+The observability subsystem has four sinks plus the instrumentation
+that feeds them:
 
 * **span tracer** (:mod:`repro.obs.trace`) — nested, timed spans with
   attributes, JSONL export, cross-process payload merging, and a no-op
   mode whose per-call cost while disabled is a single ``None`` check;
 * **metrics registry** (:mod:`repro.obs.metrics`) — named counters,
-  gauges and histograms with JSON and Prometheus-text exporters and a
-  snapshot/merge channel for process-pool workers;
+  gauges and histograms with deterministic p50/p95/p99 quantile
+  reservoirs, JSON and Prometheus-text exporters and a snapshot/merge
+  channel for process-pool workers;
+* **sampling profiler** (:mod:`repro.obs.profiler`) — a background
+  thread snapshotting every thread's stack (rate via
+  ``REPRO_PROFILE_HZ``), counting folded flamegraph-ready stacks
+  attributed to the enclosing span, mergeable across workers;
+* **event log** (:mod:`repro.obs.events`) — discrete, severity-graded
+  moments correlated with the open span, JSONL export, and slow-op
+  budgets (``REPRO_SLOW_OP_BUDGET`` / ``REPRO_SLOW_OP_BUDGETS``) that
+  auto-flag over-budget spans;
 * **instrumentation** — the engine layer, batch executor, repair
   pipeline, consistency solver, query evaluator and relation store all
-  report into whichever tracer/registry is *installed*
-  (:func:`install_tracer` / :func:`install_metrics`); nothing is
-  recorded while none is.
+  report into whichever sinks are *installed* (:func:`install_tracer`
+  / :func:`install_metrics` / :func:`install_profiler` /
+  :func:`install_events`); nothing is recorded while none is.
 
 Quick start::
 
@@ -25,28 +35,52 @@ Quick start::
     print(obs.render_span_tree(tracer.spans))
 
 On the CLI the same wiring is one flag away: every ``cardirect``
-subcommand accepts ``--trace FILE`` and ``--metrics FILE``, and
-``cardirect profile`` prints the aggregated span tree with hot-path
-percentages.  See ``docs/OBSERVABILITY.md``.
+subcommand accepts ``--trace``, ``--metrics``, ``--profile`` and
+``--events`` FILE options; ``cardirect profile`` prints the aggregated
+span tree with hot-path percentages and per-span quantiles, and
+``cardirect profile --sample`` ranks hot functions from a folded
+profile.  See ``docs/OBSERVABILITY.md``.
 """
 
 from repro.obs.adapter import EngineEventAdapter
+from repro.obs.events import (
+    Event,
+    EventLog,
+    current_events,
+    emit,
+    emitting,
+    install_events,
+    uninstall_events,
+)
+from repro.obs.events import load_jsonl as load_events_jsonl
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    QuantileReservoir,
     collecting,
     current_metrics,
     install_metrics,
     uninstall_metrics,
+)
+from repro.obs.profiler import (
+    SamplingProfiler,
+    current_profiler,
+    install_profiler,
+    parse_folded,
+    profiling,
+    render_folded_top,
+    uninstall_profiler,
 )
 from repro.obs.report import (
     SpanGroup,
     aggregate_tree,
     hot_paths,
     render_hot_paths,
+    render_span_quantiles,
     render_span_tree,
+    span_quantiles,
 )
 from repro.obs.trace import (
     NULL_SPAN,
@@ -64,26 +98,44 @@ from repro.obs.trace import (
 __all__ = [
     "Counter",
     "EngineEventAdapter",
+    "Event",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
+    "QuantileReservoir",
+    "SamplingProfiler",
     "Span",
     "SpanGroup",
     "Tracer",
     "aggregate_tree",
     "collecting",
+    "current_events",
     "current_metrics",
+    "current_profiler",
     "current_tracer",
+    "emit",
+    "emitting",
     "hot_paths",
+    "install_events",
     "install_metrics",
+    "install_profiler",
     "install_tracer",
+    "load_events_jsonl",
     "load_jsonl",
+    "parse_folded",
+    "profiling",
     "record",
+    "render_folded_top",
     "render_hot_paths",
+    "render_span_quantiles",
     "render_span_tree",
     "span",
+    "span_quantiles",
     "tracing",
+    "uninstall_events",
     "uninstall_metrics",
+    "uninstall_profiler",
     "uninstall_tracer",
 ]

@@ -54,6 +54,13 @@ DEFAULT_BUCKETS = (
 )
 
 
+#: Reservoir size per histogram series; thinning keeps it bounded.
+RESERVOIR_CAPACITY = 256
+
+#: The quantiles surfaced by the exporters and ``cardirect profile``.
+EXPORT_QUANTILES = (0.5, 0.95, 0.99)
+
+
 def _label_key(labels: Mapping[str, object]) -> LabelKey:
     return tuple(sorted((name, str(value)) for name, value in labels.items()))
 
@@ -129,13 +136,103 @@ class Gauge(_Metric):
         return float(self._series.get(_label_key(labels), 0))
 
 
+class QuantileReservoir:
+    """A fixed-size, deterministic, mergeable sample of a distribution.
+
+    Fixed buckets give cheap cumulative counts but their resolution is
+    frozen at construction; a reservoir recovers p50/p95/p99 at the
+    data's own resolution.  This one is **deterministic** (no RNG, so
+    snapshots and tests reproduce exactly): it keeps every
+    ``stride``-th observation, and when the kept samples reach
+    ``capacity`` it thins them to every other one and doubles the
+    stride — each survivor then represents ``stride`` observations.
+
+    Merging aligns both sides to the larger stride (thinning the finer
+    one) and concatenates, so per-worker reservoirs fold into one
+    parent reservoir whose quantiles cover the whole sweep.  Quantiles
+    are nearest-rank over the kept samples: exact until the first thin,
+    approximate (but stride-weighted fair) after.
+    """
+
+    __slots__ = ("capacity", "stride", "samples", "_skip")
+
+    def __init__(self, capacity: int = RESERVOIR_CAPACITY) -> None:
+        if capacity < 2:
+            raise ValueError(f"reservoir capacity must be >= 2, got {capacity}")
+        self.capacity = capacity
+        self.stride = 1
+        self.samples: List[float] = []
+        self._skip = 0
+
+    def observe(self, value: float) -> None:
+        """Offer one observation; kept if it lands on the stride."""
+        if self._skip:
+            self._skip -= 1
+            return
+        self.samples.append(value)
+        self._skip = self.stride - 1
+        if len(self.samples) >= self.capacity:
+            self._thin()
+
+    def _thin(self) -> None:
+        self.samples = self.samples[::2]
+        self.stride *= 2
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank quantile of the kept samples (``None`` if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = int(q * len(ordered) + 0.999999) - 1
+        return ordered[max(0, min(len(ordered) - 1, rank))]
+
+    def quantiles(
+        self, qs: Sequence[float] = EXPORT_QUANTILES
+    ) -> Dict[str, float]:
+        """``{"0.5": p50, ...}`` for every requested quantile (empty
+        reservoir → empty dict)."""
+        if not self.samples:
+            return {}
+        ordered = sorted(self.samples)
+        result: Dict[str, float] = {}
+        for q in qs:
+            rank = int(q * len(ordered) + 0.999999) - 1
+            result[_format_value(q)] = ordered[
+                max(0, min(len(ordered) - 1, rank))
+            ]
+        return result
+
+    def to_payload(self) -> Dict[str, object]:
+        """The merge wire form: stride + kept samples."""
+        return {"stride": self.stride, "samples": list(self.samples)}
+
+    def merge(self, payload: Mapping[str, object]) -> None:
+        """Fold another reservoir's payload into this one."""
+        raw_samples = payload.get("samples")
+        if not isinstance(raw_samples, list):
+            return
+        other_stride = int(payload.get("stride", 1) or 1)
+        other_samples = [float(value) for value in raw_samples]
+        while self.stride < other_stride:
+            self._thin()
+        while other_stride < self.stride:
+            other_samples = other_samples[::2]
+            other_stride *= 2
+        self.samples.extend(other_samples)
+        while len(self.samples) >= self.capacity:
+            self._thin()
+
+
 class _HistogramSeries:
-    __slots__ = ("counts", "total", "count")
+    __slots__ = ("counts", "total", "count", "reservoir")
 
     def __init__(self, n_buckets: int) -> None:
         self.counts = [0] * (n_buckets + 1)  # +1: the +Inf bucket
         self.total = 0.0
         self.count = 0
+        self.reservoir = QuantileReservoir()
 
 
 class Histogram(_Metric):
@@ -163,6 +260,7 @@ class Histogram(_Metric):
             series.counts[bisect_left(self.buckets, value)] += 1
             series.total += value
             series.count += 1
+            series.reservoir.observe(value)
 
     def count(self, **labels: object) -> int:
         series = self._series.get(_label_key(labels))
@@ -171,6 +269,14 @@ class Histogram(_Metric):
     def sum(self, **labels: object) -> float:
         series = self._series.get(_label_key(labels))
         return series.total if series is not None else 0.0
+
+    def quantile(self, q: float, **labels: object) -> Optional[float]:
+        """The reservoir's nearest-rank quantile for one series."""
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            return None
+        assert isinstance(series, _HistogramSeries)
+        return series.reservoir.quantile(q)
 
 
 class MetricsRegistry:
@@ -236,6 +342,8 @@ class MetricsRegistry:
                     entry["buckets"] = list(value.counts)
                     entry["sum"] = value.total
                     entry["count"] = value.count
+                    entry["quantiles"] = value.reservoir.quantiles()
+                    entry["reservoir"] = value.reservoir.to_payload()
                 else:
                     entry["value"] = value
                 series.append(entry)
@@ -286,6 +394,9 @@ class MetricsRegistry:
                             series.counts[index] += count
                         series.total += entry["sum"]
                         series.count += entry["count"]
+                        reservoir = entry.get("reservoir")
+                        if isinstance(reservoir, Mapping):
+                            series.reservoir.merge(reservoir)
                 else:  # pragma: no cover - future kinds pass through
                     continue
 
@@ -326,6 +437,12 @@ class MetricsRegistry:
                         f"{metric.name}_count{_format_labels(key)} "
                         f"{value.count}"
                     )
+                    for q_label, q_value in value.reservoir.quantiles().items():
+                        lines.append(
+                            f"{metric.name}"
+                            f"{_format_labels(key, ('quantile', q_label))}"
+                            f" {repr(q_value)}"
+                        )
                 else:
                     lines.append(
                         f"{metric.name}{_format_labels(key)} "

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import EXPORT_QUANTILES, QuantileReservoir
 from repro.obs.trace import Span
 
 
@@ -153,3 +154,60 @@ def render_hot_paths(
         f"{name:<{width}}  {seconds:>9.3f}s  {share:>5.1f}%  ({count}x)"
         for name, seconds, share, count in rows
     )
+
+
+def span_quantiles(
+    spans: Sequence[Span],
+    *,
+    quantiles: Sequence[float] = EXPORT_QUANTILES,
+) -> List[Tuple[str, int, Dict[str, float]]]:
+    """Per-name duration quantiles: ``(name, count, {"0.5": p50, ...})``.
+
+    Durations feed the same deterministic reservoir
+    (:class:`repro.obs.metrics.QuantileReservoir`) the metrics
+    histograms use, so a trace-derived p95 and a histogram-derived p95
+    of the same operation agree on method.  Rows are sorted by count
+    descending — the most-called operations are the ones whose tail
+    matters.
+    """
+    reservoirs: Dict[str, QuantileReservoir] = {}
+    counts: Dict[str, int] = {}
+    for span in spans:
+        if span.seconds is None:
+            continue
+        reservoir = reservoirs.get(span.name)
+        if reservoir is None:
+            reservoir = reservoirs[span.name] = QuantileReservoir()
+        reservoir.observe(span.seconds)
+        counts[span.name] = counts.get(span.name, 0) + 1
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return [
+        (name, count, reservoirs[name].quantiles(quantiles))
+        for name, count in ranked
+    ]
+
+
+def render_span_quantiles(
+    spans: Sequence[Span], *, top: Optional[int] = 10
+) -> str:
+    """The :func:`span_quantiles` table as aligned text (ms columns)."""
+    rows = span_quantiles(spans)
+    if top is not None:
+        rows = rows[:top]
+    if not rows:
+        return "(empty trace)"
+    width = max(len(name) for name, *_ in rows)
+    header = (
+        f"{'span':<{width}}  {'count':>8}  {'p50':>10}  {'p95':>10}  "
+        f"{'p99':>10}"
+    )
+    lines = [header]
+    for name, count, values in rows:
+        p50 = values.get("0.5", 0.0) * 1e3
+        p95 = values.get("0.95", 0.0) * 1e3
+        p99 = values.get("0.99", 0.0) * 1e3
+        lines.append(
+            f"{name:<{width}}  {count:>8}  {p50:>8.3f}ms  {p95:>8.3f}ms  "
+            f"{p99:>8.3f}ms"
+        )
+    return "\n".join(lines)

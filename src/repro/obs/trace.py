@@ -31,10 +31,45 @@ import json
 import threading
 import time
 from contextvars import ContextVar
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 #: Attribute values are kept JSON-scalar so every span serialises.
 AttributeValue = Union[str, int, float, bool, None]
+
+#: Per-thread stacks of *open* span names, keyed by thread id.  The
+#: sampling profiler (:mod:`repro.obs.profiler`) reads this from its own
+#: thread to attribute each sample to the sampled thread's innermost
+#: span — contextvars cannot be read across threads, a plain dict can.
+_THREAD_SPAN_STACKS: Dict[int, List[str]] = {}
+
+#: Observer invoked with every *finished* span (live or post-hoc) —
+#: how the event log's slow-op watcher sees span durations without the
+#: tracer importing :mod:`repro.obs.events`.  ``None`` costs one check.
+_SPAN_OBSERVER: Optional[Callable[["Span"], None]] = None
+
+
+def thread_span_name(thread_id: int) -> Optional[str]:
+    """The innermost open span name on ``thread_id``, or ``None``.
+
+    Best-effort by design: reads race with span entry/exit on the
+    target thread, and a stale or missing name mis-labels one sample,
+    not the trace.
+    """
+    stack = _THREAD_SPAN_STACKS.get(thread_id)
+    if stack:
+        try:
+            return stack[-1]
+        except IndexError:  # pragma: no cover - racing pop
+            return None
+    return None
+
+
+def set_span_observer(
+    observer: Optional[Callable[["Span"], None]],
+) -> None:
+    """Install (or clear, with ``None``) the finished-span observer."""
+    global _SPAN_OBSERVER
+    _SPAN_OBSERVER = observer
 
 
 class Span:
@@ -203,6 +238,9 @@ class Tracer:
         )
         with self._lock:
             self._spans.append(span)
+        observer = _SPAN_OBSERVER
+        if observer is not None:
+            observer(span)
         return span
 
     def current_id(self) -> Optional[str]:
@@ -228,6 +266,7 @@ class Tracer:
         *,
         parent_id: Optional[str] = None,
         worker: Optional[str] = None,
+        id_map: Optional[Dict[str, str]] = None,
     ) -> List[Span]:
         """Graft another tracer's payload into this trace.
 
@@ -235,6 +274,9 @@ class Tracer:
         from several workers would otherwise collide) and root spans of
         the payload — those whose parent is absent from the payload —
         are re-parented under ``parent_id`` (default: the current span).
+        Pass a dict as ``id_map`` to receive the old-id → new-id
+        mapping, e.g. for remapping the span links of a worker's event
+        log (:meth:`repro.obs.events.EventLog.ingest`).
         """
         if parent_id is None:
             parent_id = self.current_id()
@@ -242,6 +284,8 @@ class Tracer:
         mapping: Dict[str, str] = {}
         for span in spans:
             mapping[span.span_id] = self._allocate_id()
+        if id_map is not None:
+            id_map.update(mapping)
         grafted: List[Span] = []
         for span in spans:
             span.span_id = mapping[span.span_id]
@@ -275,6 +319,9 @@ class Tracer:
     def _push(self, span: Span) -> None:
         span._perf_start = time.perf_counter()
         self._stack.set(self._stack.get() + (span.span_id,))
+        _THREAD_SPAN_STACKS.setdefault(threading.get_ident(), []).append(
+            span.name
+        )
 
     def _pop(self, span: Span) -> None:
         span.seconds = time.perf_counter() - (span._perf_start or 0.0)
@@ -283,8 +330,20 @@ class Tracer:
             self._stack.set(stack[:-1])
         else:  # pragma: no cover - mis-nested exit; drop just this id
             self._stack.set(tuple(i for i in stack if i != span.span_id))
+        thread_id = threading.get_ident()
+        names = _THREAD_SPAN_STACKS.get(thread_id)
+        if names:
+            for index in range(len(names) - 1, -1, -1):
+                if names[index] == span.name:
+                    del names[index]
+                    break
+            if not names:
+                del _THREAD_SPAN_STACKS[thread_id]
         with self._lock:
             self._spans.append(span)
+        observer = _SPAN_OBSERVER
+        if observer is not None:
+            observer(span)
 
 
 def load_jsonl(path: str) -> List[Span]:

@@ -110,12 +110,115 @@ class TestProfileCommand:
         out = capsys.readouterr().out
         assert "cli.relations" in out
 
+    def test_quantile_table_in_output(self, demo_xml, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        main(["relations", str(demo_xml), "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["profile", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "p50" in out
+        assert "p99" in out
+
     def test_empty_trace_file(self, tmp_path, capsys):
         empty = tmp_path / "empty.jsonl"
         empty.write_text("")
-        assert main(["profile", str(empty)]) == 1
-        assert "no spans" in capsys.readouterr().err
+        assert main(["profile", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "no spans" in err
+        assert len(err.strip().splitlines()) == 1
 
     def test_missing_trace_file(self, tmp_path, capsys):
-        assert main(["profile", str(tmp_path / "nope.jsonl")]) == 1
+        assert main(["profile", str(tmp_path / "nope.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_corrupt_trace_file(self, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_text('{"name": "x"\nnot json at all\n')
+        assert main(["profile", str(corrupt)]) == 2
+        err = capsys.readouterr().err
+        assert "not a JSONL span trace" in err
+        assert len(err.strip().splitlines()) == 1
+
+
+class TestProfileSampleMode:
+    def test_renders_top_functions(self, tmp_path, capsys):
+        folded = tmp_path / "profile.folded"
+        folded.write_text(
+            "cli.relations;engine.py:sweep;fast.py:_bands 7\n"
+            "cli.relations;engine.py:sweep 3\n"
+        )
+        assert main(["profile", "--sample", str(folded)]) == 0
+        out = capsys.readouterr().out
+        assert "10 samples" in out
+        assert "fast.py:_bands" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["profile", "--sample", str(tmp_path / "no.folded")]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.folded"
+        empty.write_text("")
+        assert main(["profile", "--sample", str(empty)]) == 2
+        assert "no samples" in capsys.readouterr().err
+
+    def test_corrupt_file(self, tmp_path, capsys):
+        corrupt = tmp_path / "bad.folded"
+        corrupt.write_text("stack;without;a;count\n")
+        assert main(["profile", "--sample", str(corrupt)]) == 2
+        err = capsys.readouterr().err
+        assert "not a collapsed-stack profile" in err
+        assert len(err.strip().splitlines()) == 1
+
+
+class TestProfileOption:
+    def test_profile_flag_writes_folded(self, demo_xml, tmp_path, capsys):
+        out = tmp_path / "run.folded"
+        assert main(["relations", str(demo_xml), "--profile", str(out)]) == 0
+        assert "samples written" in capsys.readouterr().err
+        # A tiny run may record zero samples; the file must still parse.
+        from repro import obs
+
+        counts = obs.parse_folded(out.read_text())
+        assert isinstance(counts, dict)
+
+    def test_profiler_uninstalled_afterwards(self, demo_xml, tmp_path):
+        from repro.obs import current_profiler
+
+        main(["relations", str(demo_xml), "--profile", str(tmp_path / "p")])
+        assert current_profiler() is None
+
+
+class TestEventsOption:
+    def test_events_flag_writes_jsonl(self, demo_xml, tmp_path, capsys):
+        out = tmp_path / "events.jsonl"
+        assert main([
+            "relations", str(demo_xml),
+            "--events", str(out),
+            "--trace", str(tmp_path / "t.jsonl"),
+        ]) == 0
+        assert "events:" in capsys.readouterr().err
+        assert out.exists()
+
+    def test_slow_op_budget_env(self, demo_xml, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SLOW_OP_BUDGET", "0")
+        out = tmp_path / "events.jsonl"
+        assert main([
+            "relations", str(demo_xml),
+            "--events", str(out),
+            "--trace", str(tmp_path / "t.jsonl"),
+        ]) == 0
+        from repro import obs
+
+        events = obs.load_events_jsonl(str(out))
+        slow = [e for e in events if e.name == "slow_op"]
+        assert slow, "zero budget must flag every span as slow"
+        assert all(e.severity == "warning" for e in slow)
+
+    def test_events_uninstalled_afterwards(self, demo_xml, tmp_path):
+        from repro.obs import current_events
+
+        main(["relations", str(demo_xml), "--events", str(tmp_path / "e")])
+        assert current_events() is None

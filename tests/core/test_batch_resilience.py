@@ -272,3 +272,108 @@ class TestCorruptIngestion:
         assert "r1" in report.repairs
         assert not report.error_outcomes()
         assert len(report.outcomes) == 6
+
+
+class TestObservabilityUnderFaults:
+    """Worker telemetry must survive injected faults: spans, metrics and
+    events from chunks that completed (including retried dispatches of a
+    killed chunk) still graft into the parent's sinks."""
+
+    def test_kill_fault_keeps_worker_spans(self):
+        from repro import obs
+
+        configuration = grid_configuration(8)
+        expected = serial_oracle(configuration)
+        with obs.tracing() as tracer:
+            with injecting(
+                FaultSpec(
+                    site="batch.worker",
+                    kind="kill",
+                    only={"chunk": 0, "attempt": 0},
+                ),
+                seed=CHAOS_SEED,
+            ):
+                report = batch_relations(
+                    configuration,
+                    engine="sweep",
+                    workers=4,
+                    retry_policy=TWO_ATTEMPTS,
+                )
+        assert outcome_tuples(report) == expected
+        assert report.worker_failures >= 1
+        # Chunks that completed (and the killed chunk's successful
+        # retry) shipped their spans despite the crash next door.
+        worker_spans = [s for s in tracer.spans if s.worker is not None]
+        assert worker_spans, "no worker spans were grafted"
+        by_id = {s.span_id: s for s in tracer.spans}
+        assert len(by_id) == len(tracer.spans), "span id collision"
+        for span in worker_spans:
+            if span.parent_id is not None:
+                assert span.parent_id in by_id, "dangling grafted parent"
+
+    def test_kill_fault_keeps_worker_metrics_and_events(self):
+        from repro import obs
+
+        configuration = grid_configuration(8)
+        expected = serial_oracle(configuration)
+        with obs.collecting() as registry:
+            with obs.emitting(obs.EventLog()) as events:
+                with injecting(
+                    FaultSpec(
+                        site="batch.worker",
+                        kind="kill",
+                        only={"chunk": 0, "attempt": 0},
+                    ),
+                    seed=CHAOS_SEED,
+                ):
+                    report = batch_relations(
+                        configuration,
+                        engine="sweep",
+                        workers=4,
+                        retry_policy=TWO_ATTEMPTS,
+                    )
+        assert outcome_tuples(report) == expected
+        # The loss itself is an event...
+        lost = [e for e in events.events if e.name == "batch.worker_lost"]
+        assert lost and all(e.severity == "warning" for e in lost)
+        # ...and a labelled restart counter.
+        snapshot = registry.snapshot()
+        restart = snapshot.get("repro_worker_restart_total")
+        assert restart is not None
+        assert sum(s["value"] for s in restart["series"]) >= 1
+        # Engine work done in surviving workers reached the registry.
+        operations = snapshot.get("repro_engine_operations_total")
+        assert operations is not None
+        assert sum(s["value"] for s in operations["series"]) > 0
+
+    def test_kill_fault_keeps_worker_event_span_links(self):
+        from repro import obs
+
+        configuration = grid_configuration(8)
+        with obs.tracing() as tracer:
+            with obs.emitting(
+                obs.EventLog(default_slow_op_budget=0.0)
+            ) as events:
+                with injecting(
+                    FaultSpec(
+                        site="batch.worker",
+                        kind="kill",
+                        only={"chunk": 0, "attempt": 0},
+                    ),
+                    seed=CHAOS_SEED,
+                ):
+                    batch_relations(
+                        configuration,
+                        engine="sweep",
+                        workers=4,
+                        retry_policy=TWO_ATTEMPTS,
+                    )
+        worker_events = [e for e in events.events if e.worker is not None]
+        assert worker_events, "no worker events were grafted"
+        # Every surviving span link must resolve against the grafted
+        # parent trace (unmappable links are dropped, never dangling).
+        span_ids = {s.span_id for s in tracer.spans}
+        linked = [e for e in worker_events if e.span_id is not None]
+        assert linked, "no grafted event kept its span link"
+        for event in linked:
+            assert event.span_id in span_ids

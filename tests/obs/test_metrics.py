@@ -163,3 +163,124 @@ class TestGlobalHelpers:
         with collecting() as inner:
             assert current_metrics() is inner
         assert current_metrics() is outer
+
+
+class TestQuantileReservoir:
+    def _reservoir(self):
+        from repro.obs.metrics import QuantileReservoir
+
+        return QuantileReservoir
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            self._reservoir()(capacity=1)
+
+    def test_exact_until_capacity(self):
+        reservoir = self._reservoir()(capacity=256)
+        for value in range(100):
+            reservoir.observe(float(value))
+        assert reservoir.quantile(0.0) == 0.0
+        assert reservoir.quantile(0.5) == 49.0
+        assert reservoir.quantile(1.0) == 99.0
+
+    def test_empty_reservoir(self):
+        reservoir = self._reservoir()()
+        assert reservoir.quantile(0.5) is None
+        assert reservoir.quantiles() == {}
+
+    def test_quantile_range_validated(self):
+        with pytest.raises(ValueError, match=r"in \[0, 1\]"):
+            self._reservoir()().quantile(1.5)
+
+    def test_deterministic(self):
+        a, b = self._reservoir()(capacity=16), self._reservoir()(capacity=16)
+        for value in range(1000):
+            a.observe(float(value))
+            b.observe(float(value))
+        assert a.samples == b.samples
+        assert a.stride == b.stride
+
+    def test_thinning_keeps_accuracy(self):
+        reservoir = self._reservoir()(capacity=64)
+        count = 10_000
+        for value in range(count):
+            reservoir.observe(float(value))
+        for q in (0.5, 0.95, 0.99):
+            estimate = reservoir.quantile(q)
+            exact = q * (count - 1)
+            assert abs(estimate - exact) / count < 0.10
+
+    def test_merge_aligns_strides(self):
+        fine = self._reservoir()(capacity=1024)
+        coarse = self._reservoir()(capacity=16)
+        for value in range(500):
+            fine.observe(float(value))
+            coarse.observe(float(value) + 500.0)
+        fine.merge(coarse.to_payload())
+        median = fine.quantile(0.5)
+        assert 300.0 < median < 700.0
+
+    def test_merge_ignores_malformed_payload(self):
+        reservoir = self._reservoir()()
+        reservoir.observe(1.0)
+        reservoir.merge({"samples": None})
+        reservoir.merge({})
+        assert reservoir.samples == [1.0]
+
+    def test_quantiles_keys_match_export_quantiles(self):
+        from repro.obs.metrics import EXPORT_QUANTILES
+
+        reservoir = self._reservoir()()
+        reservoir.observe(3.0)
+        assert set(reservoir.quantiles()) == {"0.5", "0.95", "0.99"}
+        assert len(EXPORT_QUANTILES) == 3
+
+
+class TestHistogramQuantiles:
+    def test_quantile_per_label_series(self):
+        histogram = MetricsRegistry().histogram("repro_op_seconds")
+        for value in range(1, 101):
+            histogram.observe(value / 100.0, op="a")
+        histogram.observe(5.0, op="b")
+        assert histogram.quantile(0.5, op="a") == pytest.approx(0.5)
+        assert histogram.quantile(0.5, op="b") == 5.0
+        assert histogram.quantile(0.5, op="missing") is None
+
+    def test_snapshot_carries_quantiles_and_reservoir(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_op_seconds")
+        histogram.observe(1.0)
+        entry = registry.snapshot()["repro_op_seconds"]["series"][0]
+        assert entry["quantiles"]["0.5"] == 1.0
+        assert entry["reservoir"]["stride"] == 1
+        assert entry["reservoir"]["samples"] == [1.0]
+
+    def test_merge_folds_worker_reservoirs(self):
+        parent = MetricsRegistry()
+        parent.histogram("repro_op_seconds").observe(1.0)
+        worker = MetricsRegistry()
+        worker.histogram("repro_op_seconds").observe(3.0)
+        parent.merge(worker.snapshot())
+        merged = parent.histogram("repro_op_seconds")
+        assert merged.count() == 2
+        assert merged.quantile(1.0) == 3.0
+
+    def test_prometheus_summary_lines(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_op_seconds", "Op latency.", buckets=(1.0,)
+        )
+        for value in (0.1, 0.2, 0.3):
+            histogram.observe(value, op="x")
+        text = registry.to_prometheus_text()
+        assert 'repro_op_seconds{op="x",quantile="0.5"} 0.2' in text
+        assert 'quantile="0.99"' in text
+        # Quantile lines come after the histogram count line.
+        lines = text.splitlines()
+        count_at = next(
+            i for i, line in enumerate(lines) if "_count" in line
+        )
+        q_at = next(
+            i for i, line in enumerate(lines) if 'quantile="0.5"' in line
+        )
+        assert q_at > count_at

@@ -1,0 +1,241 @@
+"""Tests for the sampling profiler (repro.obs.profiler)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import (
+    DEFAULT_HZ,
+    ENV_PROFILE_HZ,
+    NO_SPAN,
+    SamplingProfiler,
+    _frame_label,
+    current_profiler,
+    default_hz,
+    install_profiler,
+    parse_folded,
+    profiling,
+    render_folded_top,
+    uninstall_profiler,
+)
+from repro.obs.trace import tracing, uninstall_tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    uninstall_profiler()
+    uninstall_tracer()
+    yield
+    uninstall_profiler()
+    uninstall_tracer()
+
+
+def _busy_wait(seconds: float) -> int:
+    """Burn CPU (not sleep) so the sampler has frames to catch."""
+    total = 0
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        total += sum(range(100))
+    return total
+
+
+class TestDefaultHz:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_PROFILE_HZ, raising=False)
+        assert default_hz() == DEFAULT_HZ
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_PROFILE_HZ, "250")
+        assert default_hz() == 250.0
+
+    @pytest.mark.parametrize("raw", ["nonsense", "-5", "0"])
+    def test_malformed_override_ignored(self, monkeypatch, raw):
+        monkeypatch.setenv(ENV_PROFILE_HZ, raw)
+        assert default_hz() == DEFAULT_HZ
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            SamplingProfiler(hz=0)
+
+
+class TestFrameLabel:
+    def test_basename_only(self):
+        assert _frame_label("/a/b/mod.py", "fn") == "mod.py:fn"
+
+    def test_semicolons_sanitised(self):
+        assert ";" not in _frame_label("w;x.py", "f;g")
+
+
+class TestSampling:
+    def test_collects_samples_from_busy_thread(self):
+        profiler = SamplingProfiler(hz=500)
+        with profiler:
+            _busy_wait(0.15)
+        assert profiler.samples > 0
+        counts = profiler.counts()
+        assert counts
+        joined = " ".join(counts)
+        assert "test_profiler.py:_busy_wait" in joined
+
+    def test_stacks_are_root_first(self):
+        profiler = SamplingProfiler(hz=500)
+        with profiler:
+            _busy_wait(0.15)
+        # Leaf (where the CPU was) must be last: the busy loop, not the
+        # test runner's entry point.
+        hot = max(profiler.counts().items(), key=lambda item: item[1])[0]
+        assert hot.rsplit(";", 1)[-1].startswith(
+            ("test_profiler.py", "<")
+        )
+
+    def test_span_attribution(self):
+        profiler = SamplingProfiler(hz=500)
+        with tracing() as tracer, profiler:
+            with tracer.span("hot.work"):
+                _busy_wait(0.15)
+        attributed = [
+            stack
+            for stack in profiler.counts()
+            if stack.startswith("hot.work;")
+        ]
+        assert attributed, "samples taken inside the span must lead with it"
+
+    def test_no_span_placeholder(self):
+        profiler = SamplingProfiler(hz=500)
+        with profiler:
+            _busy_wait(0.1)
+        assert any(
+            stack.startswith(NO_SPAN) for stack in profiler.counts()
+        )
+
+    def test_stop_is_idempotent_and_counts_retained(self):
+        profiler = SamplingProfiler(hz=500)
+        profiler.start()
+        _busy_wait(0.1)
+        profiler.stop()
+        taken = profiler.samples
+        assert taken > 0
+        profiler.stop()
+        time.sleep(0.05)
+        assert profiler.samples == taken
+
+    def test_max_depth_bounds_stacks(self):
+        def recurse(n: int) -> int:
+            if n <= 0:
+                return _busy_wait(0.12)
+            return recurse(n - 1)
+
+        profiler = SamplingProfiler(hz=500, max_depth=8)
+        with profiler:
+            recurse(100)
+        for stack in profiler.counts():
+            assert len(stack.split(";")) <= 9  # span segment + 8 frames
+
+    def test_sampler_thread_excluded(self):
+        profiler = SamplingProfiler(hz=500)
+        with profiler:
+            _busy_wait(0.1)
+        assert not any(
+            "profiler.py:_run" in stack for stack in profiler.counts()
+        )
+
+    def test_samples_other_threads(self):
+        profiler = SamplingProfiler(hz=500)
+        worker = threading.Thread(target=_busy_wait, args=(0.15,))
+        with profiler:
+            worker.start()
+            worker.join()
+        assert any(
+            "test_profiler.py:_busy_wait" in stack
+            for stack in profiler.counts()
+        )
+
+
+class TestFoldedFormat:
+    def test_roundtrip(self, tmp_path):
+        profiler = SamplingProfiler(hz=1.0)
+        profiler.merge(
+            {"samples": 5, "counts": {"a;b.py:f": 3, "a;b.py:g": 2}}
+        )
+        path = tmp_path / "out.folded"
+        profiler.export_folded(str(path))
+        assert parse_folded(path.read_text()) == {
+            "a;b.py:f": 3,
+            "a;b.py:g": 2,
+        }
+
+    def test_to_folded_hottest_first(self):
+        profiler = SamplingProfiler(hz=1.0)
+        profiler.merge({"samples": 3, "counts": {"cold": 1, "hot": 2}})
+        lines = profiler.to_folded().splitlines()
+        assert lines == ["hot 2", "cold 1"]
+
+    def test_parse_duplicate_stacks_accumulate(self):
+        assert parse_folded("x;y 2\nx;y 3\n") == {"x;y": 5}
+
+    def test_parse_blank_lines_skipped(self):
+        assert parse_folded("\n  \na 1\n") == {"a": 1}
+
+    def test_parse_error_carries_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_folded("a 1\nbroken-line\n")
+
+    def test_parse_non_integer_count(self):
+        with pytest.raises(ValueError, match="not an integer"):
+            parse_folded("a b\n")
+
+
+class TestMergeAndRanking:
+    def test_merge_adds_counts_and_samples(self):
+        parent = SamplingProfiler(hz=1.0)
+        parent.merge({"samples": 2, "counts": {"s;a": 1}})
+        parent.merge({"samples": 3, "counts": {"s;a": 2, "s;b": 4}})
+        assert parent.samples == 5
+        assert parent.counts() == {"s;a": 3, "s;b": 4}
+
+    def test_merge_ignores_malformed_payload(self):
+        profiler = SamplingProfiler(hz=1.0)
+        profiler.merge({"counts": None})
+        profiler.merge({})
+        assert profiler.counts() == {}
+
+    def test_top_functions_rank_leaves(self):
+        profiler = SamplingProfiler(hz=1.0)
+        profiler.merge(
+            {
+                "samples": 6,
+                "counts": {"s;a.py:f;b.py:g": 4, "s;a.py:f": 2},
+            }
+        )
+        rows = profiler.top_functions()
+        assert rows[0][0] == "b.py:g"
+        assert rows[0][1] == 4
+        assert rows[0][2] == pytest.approx(100.0 * 4 / 6)
+
+    def test_render_folded_top(self):
+        text = render_folded_top({"s;a.py:f": 3}, top=5)
+        assert "a.py:f" in text
+        assert "100.0%" in text
+
+    def test_render_top_empty(self):
+        assert SamplingProfiler(hz=1.0).render_top() == "(no samples)"
+
+
+class TestGlobalInstall:
+    def test_install_current_uninstall(self):
+        assert current_profiler() is None
+        profiler = install_profiler()
+        try:
+            assert current_profiler() is profiler
+        finally:
+            returned = uninstall_profiler()
+        assert returned is profiler
+        assert current_profiler() is None
+
+    def test_profiling_scope_restores_previous(self):
+        outer = install_profiler()
+        with profiling() as inner:
+            assert current_profiler() is inner
+        assert current_profiler() is outer
+        uninstall_profiler()

@@ -96,3 +96,45 @@ class TestHotPaths:
         assert text.splitlines()[0].startswith(("op", "chunk"))
         assert "(4x)" in text
         assert render_hot_paths([]) == "(empty trace)"
+
+
+class TestSpanQuantiles:
+    def test_per_name_quantiles(self):
+        from repro.obs.report import span_quantiles
+
+        spans = [
+            _span("op", str(i), None, i / 100.0) for i in range(1, 101)
+        ]
+        spans.append(_span("rare", "x", None, 2.0))
+        rows = span_quantiles(spans)
+        # Sorted by count descending: "op" first.
+        assert rows[0][0] == "op"
+        assert rows[0][1] == 100
+        assert rows[0][2]["0.5"] == pytest.approx(0.5)
+        assert rows[1] == ("rare", 1, {"0.5": 2.0, "0.95": 2.0, "0.99": 2.0})
+
+    def test_open_spans_skipped(self):
+        from repro.obs.report import span_quantiles
+
+        rows = span_quantiles([_span("open", "1", None, None)])
+        assert rows == []
+
+    def test_render(self):
+        from repro.obs.report import render_span_quantiles
+
+        spans = [_span("op", str(i), None, 0.25) for i in range(4)]
+        text = render_span_quantiles(spans)
+        assert "p50" in text and "p95" in text and "p99" in text
+        assert "250.000ms" in text
+        assert render_span_quantiles([]) == "(empty trace)"
+
+    def test_top_limits_rows(self):
+        from repro.obs.report import render_span_quantiles
+
+        spans = [
+            _span(f"name{i}", f"{i}-{j}", None, 0.1)
+            for i in range(5)
+            for j in range(i + 1)
+        ]
+        text = render_span_quantiles(spans, top=2)
+        assert len(text.splitlines()) == 3  # header + 2 rows
