@@ -31,6 +31,7 @@ import pytest
 
 from repro.core.engine import available_engines, create_engine
 from repro.core.tiles import Tile
+from repro.errors import DeadlineExceeded
 
 from benchmarks.conftest import (
     rectilinear_workload,
@@ -116,6 +117,11 @@ def run_quick(edges: int = 256, verbose: bool = True) -> int:
             try:
                 relation = engine.relation(region, box)
                 matrix = engine.percentages(region, box)
+            except DeadlineExceeded:
+                # A deadline, if one is ever scoped around the smoke,
+                # is a budget decision — propagate, don't record it as
+                # a broken backend.
+                raise
             except Exception as error:  # a broken registration must fail CI
                 failures.append(f"{name} on {label}: {type(error).__name__}: {error}")
                 continue

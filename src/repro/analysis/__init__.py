@@ -1,13 +1,20 @@
 """``repro.analysis`` — project-native static analysis.
 
-Three pillars, all zero-dependency (stdlib ``ast`` plus the reasoning
+Four pillars, all zero-dependency (stdlib ``ast`` plus the reasoning
 stack itself):
 
 * **domain linter** (:mod:`repro.analysis.linter` /
   :mod:`repro.analysis.rules`) — AST rules for the invariants the
   engine registry, the observability conventions and the numeric
-  layers rely on, with ``# repro: noqa[RULE]`` suppressions, pluggable
-  third-party rules and text/JSON reporters;
+  layers rely on, with ``# repro: noqa[RULE]`` /
+  ``# repro: noqa-file[RULE]`` suppressions, pluggable third-party
+  rules and text/JSON/SARIF reporters plus a ``--baseline`` ratchet
+  (:mod:`repro.analysis.baseline`, :mod:`repro.analysis.sarif`);
+* **flow-sensitive engine** (:mod:`repro.analysis.cfg` /
+  :mod:`repro.analysis.dataflow` / :mod:`repro.analysis.flow_rules`)
+  — per-function CFGs and a worklist gen/kill framework powering the
+  path-sensitive rules RA007–RA010 (resource lifecycle, deadline
+  discipline, fork safety, exception transparency);
 * **D\\* algebra verifier** (:mod:`repro.analysis.algebra`) — proves
   the inverse/composition tables of the reasoning stack satisfy the
   involution, identity, closure and witness-coherence theorems over
@@ -17,8 +24,9 @@ stack itself):
   reporting a structured pass/fail/skip.
 
 Everything surfaces through ``cardirect analyze`` (``--strict`` for CI
-gating, ``--algebra`` for the table proofs, ``--format json`` for the
-machine-readable artifact).  See ``docs/STATIC_ANALYSIS.md``.
+gating, ``--algebra`` for the table proofs, ``--format json`` /
+``--format sarif`` for the machine-readable artifacts).  See
+``docs/STATIC_ANALYSIS.md``.
 """
 
 from repro.analysis.algebra import (
@@ -27,6 +35,21 @@ from repro.analysis.algebra import (
     AlgebraViolation,
     default_coherence_pairs,
     verify_algebra,
+)
+from repro.analysis.baseline import (
+    BaselineError,
+    fingerprint_findings,
+    load_baseline,
+    partition_findings,
+    write_baseline,
+)
+from repro.analysis.cfg import CFG, CFGNode, build_cfg, function_cfgs
+from repro.analysis.dataflow import DataflowAnalysis, DataflowResult, solve
+from repro.analysis.flow_rules import (
+    DeadlineLoopRule,
+    ExceptionShieldRule,
+    ForkSafetyRule,
+    ResourceLifecycleRule,
 )
 from repro.analysis.linter import (
     LintError,
@@ -46,6 +69,7 @@ from repro.analysis.rules import (
     register_rule,
     unregister_rule,
 )
+from repro.analysis.sarif import render_sarif, sarif_report
 from repro.analysis.typing_gate import (
     STRICT_PACKAGES,
     TypingReport,
@@ -56,23 +80,41 @@ __all__ = [
     "AlgebraCheck",
     "AlgebraReport",
     "AlgebraViolation",
+    "BaselineError",
+    "CFG",
+    "CFGNode",
+    "DataflowAnalysis",
+    "DataflowResult",
+    "DeadlineLoopRule",
+    "ExceptionShieldRule",
+    "ForkSafetyRule",
     "LintError",
     "LintFinding",
     "LintResult",
     "Linter",
     "ModuleInfo",
+    "ResourceLifecycleRule",
     "Rule",
     "STRICT_PACKAGES",
     "TypingReport",
     "available_rules",
+    "build_cfg",
     "create_rules",
     "default_coherence_pairs",
+    "fingerprint_findings",
+    "function_cfgs",
     "lint_paths",
+    "load_baseline",
+    "partition_findings",
     "register_rule",
     "render_json",
+    "render_sarif",
     "render_text",
     "result_as_dict",
     "run_typing_gate",
+    "sarif_report",
+    "solve",
     "unregister_rule",
     "verify_algebra",
+    "write_baseline",
 ]

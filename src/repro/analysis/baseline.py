@@ -1,0 +1,155 @@
+"""Adopt-then-ratchet baselines for lint findings.
+
+A baseline is a JSON file of *fingerprints* for findings a team has
+decided to tolerate for now.  ``cardirect analyze --baseline FILE``
+subtracts baselined findings from the strict gate, so a new flow rule
+can land (adopt) with the pre-existing debt recorded, and the file only
+ever shrinks (ratchet): fixing a finding removes its fingerprint,
+``--update-baseline`` rewrites the file, and CI fails on any finding
+that is neither fixed nor already in the file.
+
+Fingerprints are stable under unrelated edits: they hash the rule id,
+the repository-relative path, the *text* of the flagged line (stripped)
+and an occurrence counter — not the line number, which moves every time
+code above it changes.  Editing the flagged line itself invalidates the
+fingerprint on purpose: touched code must meet the current bar.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.rules import LintFinding
+
+__all__ = [
+    "BaselineError",
+    "fingerprint_findings",
+    "load_baseline",
+    "partition_findings",
+    "write_baseline",
+]
+
+_FORMAT = "repro-baseline-v1"
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or not in the expected shape."""
+
+
+def _flagged_line(
+    finding: LintFinding, cache: Dict[str, List[str]]
+) -> str:
+    if finding.path not in cache:
+        try:
+            source = Path(finding.path).read_text(encoding="utf-8")
+        except OSError:
+            source = ""
+        cache[finding.path] = source.splitlines()
+    lines = cache[finding.path]
+    if 1 <= finding.line <= len(lines):
+        return lines[finding.line - 1].strip()
+    return ""
+
+
+def _relative_path(path: str, root: Optional[Path]) -> str:
+    candidate = Path(path)
+    if root is not None:
+        try:
+            candidate = candidate.resolve().relative_to(root.resolve())
+        except ValueError:
+            pass
+    return candidate.as_posix()
+
+
+def fingerprint_findings(
+    findings: Sequence[LintFinding], *, root: Optional[Path] = None
+) -> List[str]:
+    """One stable fingerprint per finding, in input order.
+
+    ``root`` relativises paths so the fingerprints agree between a
+    checkout at ``/home/ci/repo`` and one at ``/root/repo``.  Identical
+    (rule, path, line-text) triples are disambiguated by an occurrence
+    counter, so two copies of the same bad line get two entries and
+    fixing one of them is visible.
+    """
+    cache: Dict[str, List[str]] = {}
+    seen: Dict[Tuple[str, str, str], int] = {}
+    prints: List[str] = []
+    for finding in findings:
+        key = (
+            finding.rule_id,
+            _relative_path(finding.path, root),
+            _flagged_line(finding, cache),
+        )
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        payload = "\x1f".join((*key, str(occurrence)))
+        prints.append(hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20])
+    return prints
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """The fingerprints in a baseline file (missing file → empty)."""
+    if not path.exists():
+        return set()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise BaselineError(f"{path}: {error}") from error
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != _FORMAT
+        or not isinstance(payload.get("fingerprints"), list)
+    ):
+        raise BaselineError(
+            f"{path}: not a {_FORMAT} file; regenerate with "
+            "cardirect analyze --update-baseline"
+        )
+    return {str(print_) for print_ in payload["fingerprints"]}
+
+
+def write_baseline(
+    path: Path,
+    findings: Sequence[LintFinding],
+    *,
+    root: Optional[Path] = None,
+) -> int:
+    """Write the baseline for the given findings; returns the count.
+
+    Fingerprints are sorted and deduplicated so the file diffs cleanly
+    and rewriting without code changes is a no-op.
+    """
+    prints = sorted(set(fingerprint_findings(findings, root=root)))
+    payload = {
+        "format": _FORMAT,
+        "comment": (
+            "Tolerated pre-existing findings; shrink-only. Regenerate "
+            "with: cardirect analyze --update-baseline"
+        ),
+        "fingerprints": prints,
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(prints)
+
+
+def partition_findings(
+    findings: Sequence[LintFinding],
+    baseline: Iterable[str],
+    *,
+    root: Optional[Path] = None,
+) -> Tuple[List[LintFinding], List[LintFinding]]:
+    """Split findings into ``(new, baselined)`` against a baseline."""
+    known = set(baseline)
+    new: List[LintFinding] = []
+    old: List[LintFinding] = []
+    for finding, print_ in zip(
+        findings, fingerprint_findings(findings, root=root)
+    ):
+        (old if print_ in known else new).append(finding)
+    return new, old

@@ -1,0 +1,167 @@
+"""A small worklist dataflow framework over :mod:`repro.analysis.cfg`.
+
+An analysis is a :class:`DataflowAnalysis` subclass declaring a
+direction (forward or backward), a meet (*may* = union over paths,
+*must* = intersection), and per-node transfer via ``gen`` / ``kill``
+sets.  :func:`solve` iterates a worklist to the fixed point and returns
+facts at both sides of every node.
+
+The framework is deliberately minimal — plain ``frozenset`` facts, no
+lattice abstraction beyond may/must — because the flow rules built on
+it (:mod:`repro.analysis.flow_rules`) all fit the classic gen/kill
+mould:
+
+* RA007 (resource lifecycle) is a backward **must** problem — "on every
+  path from here, is the segment guaranteed released?"
+* RA008 (deadline discipline) uses reachability plus a module-level
+  summary, not a full transfer, but shares the CFG.
+* RA009 (fork safety) is a forward **may** problem — "can a live lock /
+  open span reach this pool-spawn site?"
+
+Analyses can restrict which edge kinds they traverse via
+``edge_kinds`` (default: both normal and exception edges), and may
+override :meth:`DataflowAnalysis.transfer` entirely when gen/kill is
+not expressive enough.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from .cfg import CFG, EXCEPTION, NORMAL, CFGNode
+
+__all__ = [
+    "BACKWARD",
+    "DataflowAnalysis",
+    "DataflowResult",
+    "FORWARD",
+    "solve",
+]
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+Facts = FrozenSet[str]
+_EMPTY: Facts = frozenset()
+
+
+class DataflowAnalysis:
+    """Base class: declare direction/meet, implement gen/kill."""
+
+    #: :data:`FORWARD` or :data:`BACKWARD`.
+    direction: str = FORWARD
+    #: ``True`` → may analysis (union over paths); ``False`` → must
+    #: (intersection over paths).
+    may: bool = True
+    #: Which edge kinds the analysis flows along.
+    edge_kinds: Tuple[str, ...] = (NORMAL, EXCEPTION)
+
+    def universe(self, cfg: CFG) -> Facts:
+        """All facts (the ⊤ initialiser for must analyses)."""
+        return _EMPTY
+
+    def boundary(self, cfg: CFG) -> Facts:
+        """Facts at the entry (forward) or exit (backward) node."""
+        return _EMPTY
+
+    def gen(self, node: CFGNode) -> Facts:
+        return _EMPTY
+
+    def kill(self, node: CFGNode) -> Facts:
+        return _EMPTY
+
+    def transfer(self, node: CFGNode, facts: Facts) -> Facts:
+        """``gen ∪ (facts − kill)``; override for non-gen/kill rules."""
+        return self.gen(node) | (facts - self.kill(node))
+
+
+class DataflowResult:
+    """Fixed-point facts on both sides of every node.
+
+    ``entry_facts`` are the facts *before* the node executes in program
+    order, ``exit_facts`` the facts after — regardless of the analysis
+    direction, so rules read them the same way either way.
+    """
+
+    def __init__(
+        self,
+        analysis: DataflowAnalysis,
+        entry_facts: Dict[int, Facts],
+        exit_facts: Dict[int, Facts],
+    ) -> None:
+        self.analysis = analysis
+        self._entry = entry_facts
+        self._exit = exit_facts
+
+    def entry_facts(self, node: CFGNode) -> Facts:
+        return self._entry.get(node.index, _EMPTY)
+
+    def exit_facts(self, node: CFGNode) -> Facts:
+        return self._exit.get(node.index, _EMPTY)
+
+
+def _meet(analysis: DataflowAnalysis, values: Iterable[Facts]) -> Optional[Facts]:
+    result: Optional[Facts] = None
+    for value in values:
+        if result is None:
+            result = value
+        elif analysis.may:
+            result = result | value
+        else:
+            result = result & value
+    return result
+
+
+def solve(cfg: CFG, analysis: DataflowAnalysis) -> DataflowResult:
+    """Iterate to the meet-over-paths fixed point.
+
+    Unreachable nodes keep the ⊤ initialiser (universe for must,
+    empty for may) — they contribute nothing spurious to the meet at
+    reachable nodes.
+    """
+    forward = analysis.direction == FORWARD
+    boundary_node = cfg.entry if forward else cfg.exit
+    top = _EMPTY if analysis.may else analysis.universe(cfg)
+
+    def inputs(node: CFGNode) -> Iterable[CFGNode]:
+        neighbours = cfg.predecessors if forward else cfg.successors
+        return [
+            neighbour
+            for kind in analysis.edge_kinds
+            for neighbour in neighbours(node, kind)
+        ]
+
+    # ``before``/``after`` are in *analysis* order: ``before`` is the
+    # side facts flow in on, ``after`` the side the transfer produces.
+    before: Dict[int, Facts] = {n.index: top for n in cfg.nodes}
+    after: Dict[int, Facts] = {n.index: top for n in cfg.nodes}
+    before[boundary_node.index] = analysis.boundary(cfg)
+    after[boundary_node.index] = analysis.transfer(
+        boundary_node, before[boundary_node.index]
+    )
+
+    work = [node for node in cfg.nodes if node is not boundary_node]
+    pending = {node.index for node in work}
+    while work:
+        node = work.pop(0)
+        pending.discard(node.index)
+        met = _meet(analysis, (after[n.index] for n in inputs(node)))
+        if met is None:
+            met = top
+        before[node.index] = met
+        produced = analysis.transfer(node, met)
+        if produced != after[node.index]:
+            after[node.index] = produced
+            outputs = (
+                cfg.successors(node) if forward else cfg.predecessors(node)
+            )
+            for neighbour in outputs:
+                if neighbour is boundary_node:
+                    continue
+                if neighbour.index not in pending:
+                    pending.add(neighbour.index)
+                    work.append(neighbour)
+
+    if forward:
+        return DataflowResult(analysis, before, after)
+    return DataflowResult(analysis, after, before)

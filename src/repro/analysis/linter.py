@@ -4,12 +4,16 @@ The linter walks a set of files or directory roots, parses each module
 once, runs every registered rule (:mod:`repro.analysis.rules`) over the
 AST and collects :class:`~repro.analysis.rules.LintFinding` records.
 
-Suppression is per physical line, with an explicit project marker so
-generic-tool noqa comments (ruff's, flake8's) never silence a domain
-rule by accident::
+Suppression uses an explicit project marker so generic-tool noqa
+comments (ruff's, flake8's) never silence a domain rule by accident.
+Per physical line::
 
     distance == 0.0  # repro: noqa[RA001]  -- exact sentinel, documented
     anything()       # repro: noqa         -- silences every rule
+
+or for a whole module, in the first five lines of the file::
+
+    # repro: noqa-file[RA008]  -- table generator, deadline-free by design
 
 Reporters: :func:`render_text` (one finding per line, compiler style)
 and :func:`result_as_dict` (JSON-friendly, the shape the CI artifact
@@ -22,7 +26,7 @@ import json
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Union
 
 from repro.analysis.rules import (
     LintFinding,
@@ -41,10 +45,24 @@ __all__ = [
     "result_as_dict",
 ]
 
-#: ``# repro: noqa`` or ``# repro: noqa[RA001, RA004]``.
+#: ``# repro: noqa`` or ``# repro: noqa[RA001, RA004]``.  The lookahead
+#: keeps the *file*-scoped marker (``noqa-file``) from being misread as
+#: a bare line suppression.
 _NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?", re.IGNORECASE
+    r"#\s*repro:\s*noqa(?!-)(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?",
+    re.IGNORECASE,
 )
+
+#: ``# repro: noqa-file[RA007]`` (or bare ``noqa-file``): suppresses the
+#: named rules for the whole module.  Honoured only in the first
+#: :data:`_FILE_NOQA_WINDOW` physical lines, next to the docstring and
+#: the future import, so a file's opt-outs are visible at the top.
+_FILE_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa-file(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?",
+    re.IGNORECASE,
+)
+
+_FILE_NOQA_WINDOW = 5
 
 #: Sentinel for a bare ``# repro: noqa`` (suppresses every rule).
 _ALL_RULES: FrozenSet[str] = frozenset({"*"})
@@ -120,12 +138,13 @@ class Linter:
         except SyntaxError as error:
             raise LintError(f"{path}: {error}") from error
         suppressions = _suppressions(info.lines)
+        file_rules = _file_suppressions(info.lines)
         self._result.files_checked += 1
         for rule in self.rules:
             if not rule.applies_to(info):
                 continue
             for finding in rule.check(info):
-                self._record(finding, suppressions)
+                self._record(finding, suppressions, file_rules)
 
     def finish(self) -> LintResult:
         """Collect cross-module findings and return the sorted result.
@@ -135,7 +154,10 @@ class Linter:
         """
         for rule in self.rules:
             for finding in rule.finalize():
-                self._record(finding, _suppressions_for_path(finding.path))
+                lines = _lines_for_path(finding.path)
+                self._record(
+                    finding, _suppressions(lines), _file_suppressions(lines)
+                )
         self._result.findings.sort(
             key=lambda f: (f.path, f.line, f.column, f.rule_id)
         )
@@ -144,8 +166,14 @@ class Linter:
     # -- internals ----------------------------------------------------
 
     def _record(
-        self, finding: LintFinding, suppressions: Dict[int, FrozenSet[str]]
+        self,
+        finding: LintFinding,
+        suppressions: Dict[int, FrozenSet[str]],
+        file_rules: FrozenSet[str] = frozenset(),
     ) -> None:
+        if "*" in file_rules or finding.rule_id in file_rules:
+            self._result.suppressed += 1
+            return
         suppressed = suppressions.get(finding.line)
         if suppressed is not None and (
             suppressed is _ALL_RULES
@@ -227,13 +255,35 @@ def _suppressions(lines: Sequence[str]) -> Dict[int, FrozenSet[str]]:
     return table
 
 
-def _suppressions_for_path(path: str) -> Dict[int, FrozenSet[str]]:
-    """Re-read suppressions for finalize-phase findings (cheap, rare)."""
+def _file_suppressions(lines: Sequence[str]) -> FrozenSet[str]:
+    """Rule ids suppressed module-wide by a top-of-file ``noqa-file``."""
+    rules: Set[str] = set()
+    for line in lines[:_FILE_NOQA_WINDOW]:
+        if "noqa-file" not in line:
+            continue
+        match = _FILE_NOQA_RE.search(line)
+        if match is None:
+            continue
+        names = match.group("rules")
+        if names is None:
+            rules.add("*")
+        else:
+            parsed = {
+                part.strip().upper()
+                for part in names.split(",")
+                if part.strip()
+            }
+            rules.update(parsed or {"*"})
+    return frozenset(rules)
+
+
+def _lines_for_path(path: str) -> List[str]:
+    """Re-read a file for finalize-phase suppression checks (rare)."""
     try:
         source = Path(path).read_text(encoding="utf-8")
     except OSError:
-        return {}
-    return _suppressions(source.splitlines())
+        return []
+    return source.splitlines()
 
 
 # ---------------------------------------------------------------------------

@@ -44,7 +44,21 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.cfg import CFG
 
 __all__ = [
     "LintFinding",
@@ -59,7 +73,13 @@ __all__ = [
 
 @dataclass(frozen=True)
 class LintFinding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``severity`` is ``"error"`` (gates ``--strict``) or ``"warning"``
+    (reported, mapped to the SARIF ``warning`` level, never fails the
+    build) — RA003's dynamically-built-name advisory is the canonical
+    warning.
+    """
 
     rule_id: str
     rule_name: str
@@ -67,11 +87,13 @@ class LintFinding:
     line: int
     column: int
     message: str
+    severity: str = "error"
 
     def __str__(self) -> str:
         return (
             f"{self.path}:{self.line}:{self.column}: "
-            f"{self.rule_id} [{self.rule_name}] {self.message}"
+            f"{self.rule_id} [{self.rule_name}] {self.severity}: "
+            f"{self.message}"
         )
 
     def as_dict(self) -> Dict[str, object]:
@@ -82,6 +104,7 @@ class LintFinding:
             "line": self.line,
             "column": self.column,
             "message": self.message,
+            "severity": self.severity,
         }
 
 
@@ -100,6 +123,20 @@ class ModuleInfo:
         self.source = source
         self.tree = ast.parse(source, filename=path)
         self.lines = source.splitlines()
+        self._cfgs: Optional[List[Tuple[str, ast.AST, "CFG"]]] = None
+
+    def function_cfgs(self) -> List[Tuple[str, ast.AST, "CFG"]]:
+        """``(qualname, function node, CFG)`` per function, built once.
+
+        Several flow rules (RA007–RA009) each need every function's
+        CFG; the per-module cache means the graphs are built once per
+        lint run however many rules ask.
+        """
+        if self._cfgs is None:
+            from repro.analysis.cfg import function_cfgs
+
+            self._cfgs = list(function_cfgs(self.tree))
+        return self._cfgs
 
 
 class Rule:
@@ -132,7 +169,12 @@ class Rule:
         return iter(())
 
     def finding(
-        self, module: ModuleInfo, node: ast.AST, message: str
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        message: str,
+        *,
+        severity: str = "error",
     ) -> LintFinding:
         return LintFinding(
             rule_id=self.id,
@@ -141,6 +183,7 @@ class Rule:
             line=getattr(node, "lineno", 1),
             column=getattr(node, "col_offset", 0) + 1,
             message=message,
+            severity=severity,
         )
 
 
@@ -374,6 +417,28 @@ def _called_name(node: ast.Call) -> Optional[str]:
     return None
 
 
+def _is_dynamic_name(node: ast.AST) -> bool:
+    """A name argument assembled at runtime (f-string, format, concat).
+
+    Bare ``Name`` references are excluded: passing a module-level
+    literal through a variable is common and checkable at its
+    definition site; what cannot be checked is a value glued together
+    in the call.
+    """
+    if isinstance(node, ast.JoinedStr):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Mod)):
+        return True
+    if isinstance(node, ast.Call):
+        function = node.func
+        if isinstance(function, ast.Attribute) and function.attr in (
+            "format",
+            "join",
+        ):
+            return True
+    return False
+
+
 def _is_span_call(node: ast.Call) -> bool:
     """Is this ``span(...)`` / ``record(...)`` call really a tracer call?
 
@@ -439,8 +504,31 @@ class TelemetryNameRule(Rule):
                             f"metric name {first.value!r} does not match "
                             "the repro_[a-z0-9_]+ convention",
                         )
+                elif _is_dynamic_name(first):
+                    yield self.finding(
+                        module,
+                        first,
+                        "metric name is built dynamically (f-string/"
+                        "format/concat); the convention check cannot see "
+                        "it and a typo ships silently — prefer a literal "
+                        "repro_* name per series",
+                        severity="warning",
+                    )
             elif callee in _SPAN_CALLABLES and _is_span_call(node):
                 yield from self._check_span_name(module, first)
+
+    def _check_dynamic_span(
+        self, module: ModuleInfo, first: ast.AST
+    ) -> Iterator[LintFinding]:
+        if _is_dynamic_name(first) and not isinstance(first, ast.JoinedStr):
+            yield self.finding(
+                module,
+                first,
+                "span name is built dynamically; constant fragments "
+                "cannot be checked — prefer an f-string (fragments are "
+                "checked) or a literal",
+                severity="warning",
+            )
 
     @staticmethod
     def _is_tracerish(receiver: ast.AST) -> bool:
@@ -472,6 +560,8 @@ class TelemetryNameRule(Rule):
                             "dotted lowercase",
                         )
                         break
+        else:
+            yield from self._check_dynamic_span(module, first)
 
 
 # ---------------------------------------------------------------------------

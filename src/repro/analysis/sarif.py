@@ -1,0 +1,130 @@
+"""SARIF 2.1.0 export for lint findings.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format code-scanning UIs (GitHub's among them)
+ingest; emitting it makes the domain linter's findings appear as inline
+PR annotations with no custom tooling.  The report is deliberately
+minimal — one ``run``, the registered rules as ``tool.driver.rules``,
+one ``result`` per finding — but shape-valid: the keys emitted here are
+the ones the 2.1.0 schema requires, and a spot-check test pins them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.linter import LintResult
+from repro.analysis.rules import LintFinding, Rule
+
+__all__ = ["render_sarif", "sarif_report"]
+
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: LintFinding severities → SARIF result levels (both happen to use
+#: "error"/"warning"; the mapping keeps unknown values from leaking).
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _artifact_uri(path: str, root: Optional[Path]) -> str:
+    candidate = Path(path)
+    if root is not None:
+        try:
+            candidate = candidate.resolve().relative_to(root.resolve())
+        except ValueError:
+            pass
+    return candidate.as_posix()
+
+
+def _result(
+    finding: LintFinding,
+    rule_indexes: Dict[str, int],
+    root: Optional[Path],
+) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS.get(finding.severity, "error"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _artifact_uri(finding.path, root)
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.column, 1),
+                    },
+                }
+            }
+        ],
+    }
+    if finding.rule_id in rule_indexes:
+        result["ruleIndex"] = rule_indexes[finding.rule_id]
+    return result
+
+
+def sarif_report(
+    result: LintResult,
+    *,
+    rules: Sequence[Rule] = (),
+    root: Optional[Path] = None,
+    tool_version: str = "0",
+) -> Dict[str, object]:
+    """The findings of one lint run as a SARIF 2.1.0 ``log`` object.
+
+    ``rules`` populates ``tool.driver.rules`` (rule metadata shown in
+    scanning UIs); ``root`` relativises file URIs to the repository so
+    annotations land on the right files regardless of checkout path.
+    """
+    ordered = sorted({rule.id: rule for rule in rules}.items())
+    rule_indexes = {rule_id: index for index, (rule_id, _) in enumerate(ordered)}
+    driver_rules: List[Dict[str, object]] = [
+        {
+            "id": rule_id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description or rule.name},
+        }
+        for rule_id, rule in ordered
+    ]
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/"
+                            "STATIC_ANALYSIS.md"
+                        ),
+                        "version": tool_version,
+                        "rules": driver_rules,
+                    }
+                },
+                "results": [
+                    _result(finding, rule_indexes, root)
+                    for finding in result.findings
+                ],
+            }
+        ],
+    }
+
+
+def render_sarif(
+    result: LintResult,
+    *,
+    rules: Sequence[Rule] = (),
+    root: Optional[Path] = None,
+) -> str:
+    """:func:`sarif_report`, serialised with stable key order."""
+    return json.dumps(
+        sarif_report(result, rules=rules, root=root),
+        indent=2,
+        sort_keys=True,
+    )

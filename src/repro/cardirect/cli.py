@@ -291,13 +291,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "paths",
         nargs="*",
         help="files or directories to lint (default: the installed "
-        "repro package sources)",
+        "repro package sources plus the repository's tests/ and "
+        "benchmarks/ trees under a relaxed rule subset)",
     )
     analyze.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format on stdout (default: text)",
+    )
+    analyze.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="additionally write a SARIF 2.1.0 report to FILE (the "
+        "code-scanning CI artifact), whatever --format says",
+    )
+    analyze.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="subtract findings fingerprinted in FILE from the strict "
+        "gate (adopt-then-ratchet; a missing file is an empty baseline)",
+    )
+    analyze.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline FILE from the current error findings "
+        "and exit 0 (the adopt step; requires --baseline)",
     )
     analyze.add_argument(
         "--select",
@@ -332,8 +351,9 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--strict",
         action="store_true",
-        help="gate mode: exit 5 on lint findings, 6 on algebra "
-        "violations, 7 on typing-gate failure (skips stay green)",
+        help="gate mode: exit 5 on non-baselined error-severity lint "
+        "findings, 6 on algebra violations, 7 on typing-gate failure "
+        "(warnings and skips stay green)",
     )
 
     profile = commands.add_parser(
@@ -692,6 +712,28 @@ def _print_core_if_basic(stored) -> None:
         print(explain_inconsistency(constraints))
 
 
+#: Rules applied to ``tests/`` and ``benchmarks/`` when the default
+#: discovery lints them: the path-safety invariants travel (a leaked
+#: segment in a benchmark leaks all the same), the source-tree style
+#: rules (annotations, telemetry names, engine contracts) do not.
+_RELAXED_TEST_RULES = ("RA004", "RA007", "RA009", "RA010")
+
+
+def _repo_root() -> Optional[Path]:
+    """The checkout root when running from the src layout, else None.
+
+    ``src/repro/__init__.py`` → parents[2] is the repository root; an
+    installed wheel has no ``tests``/``benchmarks`` siblings there, so
+    the default discovery quietly skips them.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parents[2]
+    if (root / "tests").is_dir() or (root / "benchmarks").is_dir():
+        return root
+    return None
+
+
 def _cmd_analyze(
     paths: List[str],
     output_format: str,
@@ -701,30 +743,67 @@ def _cmd_analyze(
     no_mypy: bool,
     report_path: Optional[str],
     strict: bool,
+    sarif_path: Optional[str] = None,
+    baseline_path: Optional[str] = None,
+    update_baseline: bool = False,
 ) -> int:
     """The static-analysis front end: lint + algebra + typing gate.
 
-    Exit codes in ``--strict`` mode: 5 for lint findings, 6 for algebra
-    violations, 7 for a typing-gate *failure* (a skip — mypy not
-    installed — stays green but is reported).  Without ``--strict``
-    everything is reported and the exit code stays 0, so exploratory
-    runs never break pipelines that only wanted the report.
+    Exit codes in ``--strict`` mode: 5 for non-baselined error-severity
+    lint findings, 6 for algebra violations, 7 for a typing-gate
+    *failure* (a skip — mypy not installed — stays green but is
+    reported).  Warnings are reported but never gate.  Without
+    ``--strict`` everything is reported and the exit code stays 0, so
+    exploratory runs never break pipelines that only wanted the report.
     """
     import json as json_module
 
     from repro import analysis, obs
 
-    if not paths:
-        import repro
+    if update_baseline and not baseline_path:
+        print("error: --update-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
 
-        paths = [str(Path(repro.__file__).parent)]
     rule_selection = (
         [rule_id.strip().upper() for rule_id in select.split(",") if rule_id.strip()]
         if select
         else None
     )
-    with obs.span("analysis.lint", paths=len(paths)):
-        lint_result = analysis.lint_paths(paths, select=rule_selection)
+
+    root = _repo_root()
+    relaxed_paths: List[str] = []
+    if not paths:
+        import repro
+
+        paths = [str(Path(repro.__file__).parent)]
+        if root is not None:
+            relaxed_paths = [
+                str(root / tree)
+                for tree in ("tests", "benchmarks")
+                if (root / tree).is_dir()
+            ]
+
+    linter = analysis.Linter(select=rule_selection)
+    with obs.span(
+        "analysis.lint", paths=len(paths) + len(relaxed_paths)
+    ):
+        lint_result = linter.lint_paths(paths)
+        if relaxed_paths:
+            relaxed_selection = [
+                rule_id
+                for rule_id in _RELAXED_TEST_RULES
+                if rule_selection is None or rule_id in rule_selection
+            ]
+            if relaxed_selection:
+                relaxed_result = analysis.Linter(
+                    select=relaxed_selection
+                ).lint_paths(relaxed_paths)
+                lint_result.findings.extend(relaxed_result.findings)
+                lint_result.findings.sort(
+                    key=lambda f: (f.path, f.line, f.column, f.rule_id)
+                )
+                lint_result.files_checked += relaxed_result.files_checked
+                lint_result.suppressed += relaxed_result.suppressed
     registry = obs.current_metrics()
     if registry is not None and lint_result.findings:
         counter = registry.counter(
@@ -732,6 +811,26 @@ def _cmd_analyze(
         )
         for finding in lint_result.findings:
             counter.inc(rule=finding.rule_id)
+
+    # Severity split + baseline ratchet: only *new errors* can gate.
+    errors = [f for f in lint_result.findings if f.severity == "error"]
+    fingerprint_root = root if root is not None else Path.cwd()
+    if update_baseline:
+        assert baseline_path is not None
+        count = analysis.write_baseline(
+            Path(baseline_path), errors, root=fingerprint_root
+        )
+        print(
+            f"baseline written to {baseline_path} "
+            f"({count} fingerprint(s))",
+            file=sys.stderr,
+        )
+    baselined: List["analysis.LintFinding"] = []
+    if baseline_path:
+        known = analysis.load_baseline(Path(baseline_path))
+        errors, baselined = analysis.partition_findings(
+            errors, known, root=fingerprint_root
+        )
 
     algebra_report = None
     if algebra:
@@ -749,6 +848,15 @@ def _cmd_analyze(
 
     payload = {
         "lint": analysis.result_as_dict(lint_result),
+        "baseline": (
+            {
+                "file": baseline_path,
+                "baselined": len(baselined),
+                "new_errors": len(errors),
+            }
+            if baseline_path
+            else None
+        ),
         "algebra": algebra_report.as_dict() if algebra_report else None,
         "typing": typing_report.as_dict() if typing_report else None,
     }
@@ -757,13 +865,31 @@ def _cmd_analyze(
             json_module.dumps(payload, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
+    if sarif_path or output_format == "sarif":
+        sarif_text = analysis.render_sarif(
+            lint_result, rules=linter.rules, root=fingerprint_root
+        )
+        if sarif_path:
+            Path(sarif_path).write_text(sarif_text + "\n", encoding="utf-8")
+            print(f"SARIF report written to {sarif_path}", file=sys.stderr)
     if output_format == "json":
         print(json_module.dumps(payload, indent=2, sort_keys=True))
+    elif output_format == "sarif":
+        print(sarif_text)
     else:
+        baselined_set = {id(finding) for finding in baselined}
         if lint_result.findings:
             for finding in lint_result.findings:
-                print(str(finding))
+                marker = (
+                    "  [baselined]" if id(finding) in baselined_set else ""
+                )
+                print(str(finding) + marker)
         print(f"lint: {lint_result.summary()}")
+        if baseline_path:
+            print(
+                f"baseline: {len(baselined)} finding(s) tolerated, "
+                f"{len(errors)} new error(s)"
+            )
         if algebra_report is not None:
             print(algebra_report.render())
         if typing_report is not None:
@@ -773,7 +899,7 @@ def _cmd_analyze(
     if report_path:
         print(f"JSON report written to {report_path}", file=sys.stderr)
     if strict:
-        if lint_result.findings:
+        if errors:
             return 5
         if algebra_report is not None and not algebra_report.ok:
             return 6
@@ -1009,6 +1135,9 @@ def _dispatch(arguments: argparse.Namespace) -> int:
                 arguments.no_mypy,
                 arguments.report,
                 arguments.strict,
+                arguments.sarif,
+                arguments.baseline,
+                arguments.update_baseline,
             )
         if arguments.command == "profile":
             return _cmd_profile(

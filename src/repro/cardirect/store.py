@@ -27,7 +27,7 @@ from repro.core.engine import (
 from repro.core.index import SpatialIndex
 from repro.core.matrix import PercentageMatrix
 from repro.core.relation import CardinalDirection
-from repro.errors import GeometryError, ReproError
+from repro.errors import DeadlineExceeded, GeometryError, ReproError
 from repro.extensions.distance import DistanceFrame, minimum_distance
 from repro.extensions.topology import RCC8, rcc8
 from repro.geometry.bbox import BoundingBox
@@ -340,6 +340,12 @@ class RelationStore:
                     continue
                 try:
                     relation = self.relation(primary_id, reference_id)
+                except DeadlineExceeded:
+                    # The compute budget is gone: stop the iteration
+                    # instead of converting every remaining pair into a
+                    # labelled failure (batch_relations is the API that
+                    # labels partial results under a deadline).
+                    raise
                 except ReproError as error:
                     if isinstance(error, GeometryError):
                         error.with_context(region_id=primary_id)

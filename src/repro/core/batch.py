@@ -1094,13 +1094,10 @@ def _plane_parallel_sweep(
     """
     from repro.core.plane import GeometryPlane
 
-    plane = GeometryPlane.build(
-        all_ids,
-        healthy=healthy,
-        boxes=boxes,
-        broken=broken,
-        repaired=tuple(repairs),
-    )
+    # Index mapping happens *before* the plane exists: a stale id in
+    # ``primaries``/``references`` raises KeyError here, where there is
+    # no segment to leak yet (RA007 — nothing fallible may sit between
+    # build() and the try/finally that guarantees destroy()).
     position_of = {region_id: index for index, region_id in enumerate(all_ids)}
     row_index = (
         None
@@ -1111,6 +1108,13 @@ def _plane_parallel_sweep(
         None
         if references is None
         else tuple(position_of[region_id] for region_id in references)
+    )
+    plane = GeometryPlane.build(
+        all_ids,
+        healthy=healthy,
+        boxes=boxes,
+        broken=broken,
+        repaired=tuple(repairs),
     )
     try:
         return _supervise_plane_pool(
@@ -1411,6 +1415,15 @@ def _supervise_plane_pool(
                 except BrokenProcessPool:
                     _lose(finished, "broken_pool")
                     pool_broken = True
+                except DeadlineExceeded:
+                    # The worker saw the deadline before the supervisor
+                    # did.  Not a worker failure: re-dispatching would
+                    # burn retry budget on a budget that is already
+                    # gone, so the chunk goes straight to the exhausted
+                    # pile and the inline fallback labels its pairs
+                    # DEADLINE.
+                    count_deadline_exceeded("batch.plane")
+                    exhausted.append(finished)
                 except Exception as error:
                     # The worker raised (e.g. an injected fault): the
                     # chunk is lost but the pool survives — no rebuild.
@@ -1882,6 +1895,12 @@ def _parallel_sweep(
                     except BrokenProcessPool:
                         lost.append(index)
                         _count_lost(1, "broken_pool")
+                    except DeadlineExceeded:
+                        # Deadline expiry is not a worker failure: the
+                        # inline fallback labels the chunk's pairs
+                        # DEADLINE instead of burning a retry.
+                        count_deadline_exceeded("batch.sweep")
+                        lost.append(index)
                     except Exception as error:
                         # A worker died mid-chunk or returned garbage;
                         # either way the chunk is re-dispatched, so a

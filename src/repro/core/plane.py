@@ -193,38 +193,51 @@ class GeometryPlane:
 
         sections = _section_layout(len(meta), n, edge_count)
         segment = shared_memory.SharedMemory(create=True, size=sections["total"])
-        segment.buf[: _HEADER.size] = _HEADER.pack(len(meta))
-        segment.buf[_HEADER.size : _HEADER.size + len(meta)] = meta
-        views = _section_views(segment, sections, n, edge_count)
-        views["offsets"][:] = offsets
-        views["boxes"][:] = box_rows
-        views["health"][:] = health
-        views["x1"][:] = np.asarray(x1_all, dtype=np.float64)
-        views["y1"][:] = np.asarray(y1_all, dtype=np.float64)
-        views["x2"][:] = np.asarray(x2_all, dtype=np.float64)
-        views["y2"][:] = np.asarray(y2_all, dtype=np.float64)
-        emit_event(
-            "plane.build",
-            "info",
-            name=segment.name,
-            regions=n,
-            edges=edge_count,
-            bytes=sections["total"],
-        )
-        return cls(
-            segment,
-            ids=tuple(all_ids),
-            broken=dict(broken),
-            repaired=tuple(repaired),
-            offsets=views["offsets"],
-            boxes=views["boxes"],
-            health=views["health"],
-            x1=views["x1"],
-            y1=views["y1"],
-            x2=views["x2"],
-            y2=views["y2"],
-            owner=True,
-        )
+        try:
+            segment.buf[: _HEADER.size] = _HEADER.pack(len(meta))
+            segment.buf[_HEADER.size : _HEADER.size + len(meta)] = meta
+            views = _section_views(segment, sections, n, edge_count)
+            views["offsets"][:] = offsets
+            views["boxes"][:] = box_rows
+            views["health"][:] = health
+            views["x1"][:] = np.asarray(x1_all, dtype=np.float64)
+            views["y1"][:] = np.asarray(y1_all, dtype=np.float64)
+            views["x2"][:] = np.asarray(x2_all, dtype=np.float64)
+            views["y2"][:] = np.asarray(y2_all, dtype=np.float64)
+            emit_event(
+                "plane.build",
+                "info",
+                name=segment.name,
+                regions=n,
+                edges=edge_count,
+                bytes=sections["total"],
+            )
+            return cls(
+                segment,
+                ids=tuple(all_ids),
+                broken=dict(broken),
+                repaired=tuple(repaired),
+                offsets=views["offsets"],
+                boxes=views["boxes"],
+                health=views["health"],
+                x1=views["x1"],
+                y1=views["y1"],
+                x2=views["x2"],
+                y2=views["y2"],
+                owner=True,
+            )
+        except BaseException:
+            # A failure between shm creation and the constructor taking
+            # ownership would leak a named /dev/shm segment for the life
+            # of the machine.  unlink() frees the backing memory and is
+            # never blocked by views; close() is best effort (a view
+            # created above can pin the mapping until this frame dies).
+            segment.unlink()
+            try:
+                segment.close()
+            except BufferError:
+                pass
+            raise
 
     @classmethod
     def attach(cls, name: str, *, generation: int = 0) -> "GeometryPlane":

@@ -1,0 +1,131 @@
+"""Baseline fingerprints: stability, ratchet semantics, file format."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BaselineError,
+    fingerprint_findings,
+    load_baseline,
+    partition_findings,
+    write_baseline,
+)
+from repro.analysis.rules import LintFinding
+
+
+def finding(path, line, *, rule="RA007", message="leak"):
+    return LintFinding(
+        rule_id=rule,
+        rule_name="resource-lifecycle",
+        path=str(path),
+        line=line,
+        column=1,
+        message=message,
+    )
+
+
+def write_module(tmp_path, name, lines):
+    path = tmp_path / name
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+class TestFingerprints:
+    def test_stable_across_line_moves(self, tmp_path):
+        before = write_module(
+            tmp_path, "a.py", ["plane = build()", "work(plane)"]
+        )
+        first = fingerprint_findings([finding(before, 1)], root=tmp_path)
+        # The same flagged line, pushed down by an unrelated insertion.
+        write_module(
+            tmp_path,
+            "a.py",
+            ["import os", "", "plane = build()", "work(plane)"],
+        )
+        second = fingerprint_findings([finding(before, 3)], root=tmp_path)
+        assert first == second
+
+    def test_editing_the_flagged_line_invalidates(self, tmp_path):
+        path = write_module(tmp_path, "a.py", ["plane = build()"])
+        first = fingerprint_findings([finding(path, 1)], root=tmp_path)
+        write_module(tmp_path, "a.py", ["plane = build(regions)"])
+        second = fingerprint_findings([finding(path, 1)], root=tmp_path)
+        assert first != second
+
+    def test_duplicate_lines_get_distinct_fingerprints(self, tmp_path):
+        path = write_module(
+            tmp_path, "a.py", ["plane = build()", "plane = build()"]
+        )
+        prints = fingerprint_findings(
+            [finding(path, 1), finding(path, 2)], root=tmp_path
+        )
+        assert len(set(prints)) == 2
+
+    def test_root_relativisation(self, tmp_path):
+        path = write_module(tmp_path, "a.py", ["plane = build()"])
+        relative = fingerprint_findings([finding(path, 1)], root=tmp_path)
+        absolute = fingerprint_findings([finding(path, 1)], root=None)
+        assert relative != absolute
+
+    def test_rule_id_is_part_of_the_identity(self, tmp_path):
+        path = write_module(tmp_path, "a.py", ["plane = build()"])
+        a = fingerprint_findings([finding(path, 1, rule="RA007")], root=tmp_path)
+        b = fingerprint_findings([finding(path, 1, rule="RA009")], root=tmp_path)
+        assert a != b
+
+
+class TestBaselineFile:
+    def test_write_then_load_roundtrip(self, tmp_path):
+        module = write_module(tmp_path, "a.py", ["plane = build()"])
+        findings = [finding(module, 1)]
+        baseline = tmp_path / "baseline.json"
+        count = write_baseline(baseline, findings, root=tmp_path)
+        assert count == 1
+        assert load_baseline(baseline) == set(
+            fingerprint_findings(findings, root=tmp_path)
+        )
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == set()
+
+    def test_garbage_raises_baseline_error(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("not json", encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_wrong_format_marker_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"format": "other", "fingerprints": []}),
+            encoding="utf-8",
+        )
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+
+class TestPartition:
+    def test_adopt_then_ratchet(self, tmp_path):
+        module = write_module(
+            tmp_path, "a.py", ["plane = build()", "pool = spawn()"]
+        )
+        old = finding(module, 1)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, [old], root=tmp_path)
+        known = load_baseline(baseline_file)
+
+        # The adopted finding is subtracted; a new one is not.
+        fresh = finding(module, 2, rule="RA009")
+        new, baselined = partition_findings(
+            [old, fresh], known, root=tmp_path
+        )
+        assert baselined == [old]
+        assert new == [fresh]
+
+    def test_empty_baseline_keeps_everything_new(self, tmp_path):
+        module = write_module(tmp_path, "a.py", ["plane = build()"])
+        new, baselined = partition_findings(
+            [finding(module, 1)], set(), root=tmp_path
+        )
+        assert len(new) == 1 and baselined == []

@@ -1,0 +1,407 @@
+"""CFG construction: whole edge sets against hand-written graphs.
+
+Every test parses a small function whose line numbers are pinned by
+writing the source as explicit ``\\n``-joined lines, builds its CFG and
+compares ``cfg.edge_set()`` — per edge kind where the distinction
+matters — against an expected set written out by hand.  The stable
+``kind:lineno`` labels are part of the :mod:`repro.analysis.cfg`
+contract, so these tests double as its specification.
+"""
+
+import ast
+
+from repro.analysis.cfg import (
+    EXCEPTION,
+    NORMAL,
+    build_cfg,
+    function_cfgs,
+)
+
+
+def cfg_of(*lines):
+    tree = ast.parse("\n".join(lines) + "\n")
+    function = next(
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return build_cfg(function)
+
+
+class TestStraightLine:
+    def test_simple_body(self):
+        cfg = cfg_of(
+            "def f(x):",        # 1
+            "    y = x + 1",    # 2
+            "    return y",     # 3
+        )
+        assert cfg.edge_set() == {
+            ("entry", "assign:2"),
+            ("assign:2", "return:3"),
+            ("return:3", "exit"),
+        }
+
+    def test_call_statements_get_exception_edges(self):
+        cfg = cfg_of(
+            "def f(x):",        # 1
+            "    y = g(x)",     # 2
+            "    return y",     # 3
+        )
+        assert cfg.edge_set(NORMAL) == {
+            ("entry", "assign:2"),
+            ("assign:2", "return:3"),
+            ("return:3", "exit"),
+        }
+        assert cfg.edge_set(EXCEPTION) == {("assign:2", "exit")}
+
+    def test_code_after_return_is_unreachable(self):
+        cfg = cfg_of(
+            "def f():",         # 1
+            "    return 1",     # 2
+            "    x = 2",        # 3
+        )
+        assert cfg.edge_set() == {
+            ("entry", "return:2"),
+            ("return:2", "exit"),
+        }
+        labels = {node.label for node in cfg.nodes}
+        assert "assign:3" not in labels
+
+
+class TestBranches:
+    def test_if_without_else_falls_through(self):
+        cfg = cfg_of(
+            "def f(x):",        # 1
+            "    if x:",        # 2
+            "        y = 1",    # 3
+            "    return x",     # 4
+        )
+        assert cfg.edge_set() == {
+            ("entry", "if:2"),
+            ("if:2", "assign:3"),
+            ("if:2", "return:4"),
+            ("assign:3", "return:4"),
+            ("return:4", "exit"),
+        }
+
+    def test_if_else_diamond(self):
+        cfg = cfg_of(
+            "def f(x):",        # 1
+            "    if x:",        # 2
+            "        y = 1",    # 3
+            "    else:",        # 4
+            "        y = 2",    # 5
+            "    return y",     # 6
+        )
+        assert cfg.edge_set() == {
+            ("entry", "if:2"),
+            ("if:2", "assign:3"),
+            ("if:2", "assign:5"),
+            ("assign:3", "return:6"),
+            ("assign:5", "return:6"),
+            ("return:6", "exit"),
+        }
+
+    def test_try_except_exception_edges(self):
+        cfg = cfg_of(
+            "def f(x):",            # 1
+            "    try:",             # 2
+            "        step()",       # 3
+            "    except ValueError:",  # 4
+            "        handle()",     # 5
+            "    return done()",    # 6
+        )
+        # ``except ValueError`` is not a catch-all: step() keeps an
+        # escape edge out of the function.
+        assert cfg.edge_set(NORMAL) == {
+            ("entry", "try:2"),
+            ("try:2", "expr:3"),
+            ("except:4", "expr:5"),
+            ("expr:3", "return:6"),
+            ("expr:5", "return:6"),
+            ("return:6", "exit"),
+        }
+        assert cfg.edge_set(EXCEPTION) == {
+            ("expr:3", "except:4"),
+            ("expr:3", "exit"),
+            ("expr:5", "exit"),
+        }
+
+    def test_bare_except_stops_propagation(self):
+        cfg = cfg_of(
+            "def f(x):",        # 1
+            "    try:",         # 2
+            "        step()",   # 3
+            "    except:",      # 4
+            "        pass",     # 5
+            "    return x",     # 6
+        )
+        assert cfg.edge_set(EXCEPTION) == {("expr:3", "except:4")}
+
+
+class TestLoops:
+    def test_for_loop_back_edge(self):
+        cfg = cfg_of(
+            "def f(items):",        # 1
+            "    for item in items:",  # 2
+            "        use(item)",    # 3
+            "    return None",      # 4
+        )
+        assert cfg.edge_set(NORMAL) == {
+            ("entry", "for:2"),
+            ("for:2", "expr:3"),
+            ("expr:3", "for:2"),
+            ("for:2", "return:4"),
+            ("return:4", "exit"),
+        }
+        assert cfg.edge_set(EXCEPTION) == {("expr:3", "exit")}
+
+    def test_while_true_only_exits_via_break(self):
+        cfg = cfg_of(
+            "def f():",             # 1
+            "    while True:",      # 2
+            "        if done():",   # 3
+            "            break",    # 4
+            "    return 1",         # 5
+        )
+        # No fall-through from the ``while True`` header: the only
+        # normal path to ``return`` is through the break.
+        assert cfg.edge_set(NORMAL) == {
+            ("entry", "while:2"),
+            ("while:2", "if:3"),
+            ("if:3", "break:4"),
+            ("if:3", "while:2"),
+            ("break:4", "return:5"),
+            ("return:5", "exit"),
+        }
+        assert cfg.edge_set(EXCEPTION) == {("if:3", "exit")}
+
+    def test_loop_else_runs_on_fall_through(self):
+        cfg = cfg_of(
+            "def f(items):",        # 1
+            "    for item in items:",  # 2
+            "        use(item)",    # 3
+            "    else:",            # 4
+            "        cleanup()",    # 5
+            "    return None",      # 6
+        )
+        assert cfg.edge_set(NORMAL) == {
+            ("entry", "for:2"),
+            ("for:2", "expr:3"),
+            ("expr:3", "for:2"),
+            ("for:2", "expr:5"),
+            ("expr:5", "return:6"),
+            ("return:6", "exit"),
+        }
+
+
+class TestFinallyRouting:
+    def test_return_routes_through_finally(self):
+        cfg = cfg_of(
+            "def f(x):",        # 1
+            "    try:",         # 2
+            "        return x",  # 3
+            "    finally:",     # 4
+            "        release()",  # 5
+        )
+        # The return detours through the finally body, then continues
+        # to the function exit from its tail.  release() itself may
+        # raise; the NORMAL continuation upgrades the duplicate edge.
+        assert cfg.edge_set() == {
+            ("entry", "try:2"),
+            ("try:2", "return:3"),
+            ("return:3", "expr:5"),
+            ("expr:5", "exit"),
+        }
+        assert cfg.edge_set(NORMAL) == cfg.edge_set()
+
+    def test_break_and_continue_route_through_finally_in_loop(self):
+        cfg = cfg_of(
+            "def f(items):",            # 1
+            "    for item in items:",   # 2
+            "        try:",             # 3
+            "            if item:",     # 4
+            "                break",    # 5
+            "            continue",     # 6
+            "        finally:",         # 7
+            "            note()",       # 8
+            "    return None",          # 9
+        )
+        # Both jumps enter the shared finally body; from its tail the
+        # continue goes back to the loop header and the break goes to
+        # the statement after the loop.
+        assert cfg.edge_set(NORMAL) == {
+            ("entry", "for:2"),
+            ("for:2", "try:3"),
+            ("try:3", "if:4"),
+            ("if:4", "break:5"),
+            ("if:4", "continue:6"),
+            ("break:5", "expr:8"),
+            ("continue:6", "expr:8"),
+            ("expr:8", "for:2"),
+            ("expr:8", "return:9"),
+            ("for:2", "return:9"),
+            ("return:9", "exit"),
+        }
+        assert cfg.edge_set(EXCEPTION) == {("expr:8", "exit")}
+
+    def test_return_in_loop_routes_through_nested_finallies(self):
+        cfg = cfg_of(
+            "def f(items):",            # 1
+            "    try:",                 # 2
+            "        for item in items:",  # 3
+            "            try:",         # 4
+            "                return item",  # 5
+            "            finally:",     # 6
+            "                inner()",  # 7
+            "    finally:",             # 8
+            "        outer()",          # 9
+        )
+        # The return must traverse inner() then outer() before exit.
+        normal = cfg.edge_set(NORMAL)
+        assert ("return:5", "expr:7") in normal
+        assert ("expr:7", "expr:9") in normal
+        assert ("expr:9", "exit") in normal
+        # It must NOT shortcut straight to exit.
+        assert ("return:5", "exit") not in normal
+        assert ("return:5", "expr:9") not in normal
+
+
+class TestWith:
+    def test_nested_with_synthetic_exits(self):
+        cfg = cfg_of(
+            "def f(a, b):",             # 1
+            "    with a() as x:",       # 2
+            "        with b() as y:",   # 3
+            "            use(x, y)",    # 4
+            "    return None",          # 5
+        )
+        # Each ``with`` contributes a with_exit node on the normal
+        # path, innermost first.
+        assert cfg.edge_set(NORMAL) == {
+            ("entry", "with:2"),
+            ("with:2", "with:3"),
+            ("with:3", "expr:4"),
+            ("expr:4", "with_exit:3"),
+            ("with_exit:3", "with_exit:2"),
+            ("with_exit:2", "return:5"),
+            ("return:5", "exit"),
+        }
+        assert cfg.edge_set(EXCEPTION) == {
+            ("with:2", "exit"),
+            ("with:3", "exit"),
+            ("expr:4", "exit"),
+        }
+
+    def test_abrupt_with_body_bypasses_with_exit(self):
+        cfg = cfg_of(
+            "def f(a):",            # 1
+            "    with a() as x:",   # 2
+            "        return x",     # 3
+            "    y = 1",            # 4
+        )
+        # Every body path is abrupt: with_exit exists but is an orphan
+        # and the statement after the with is unreachable.
+        assert cfg.edge_set(NORMAL) == {
+            ("entry", "with:2"),
+            ("with:2", "return:3"),
+            ("return:3", "exit"),
+        }
+        assert cfg.node("with_exit:2").kind == "with_exit"
+        assert "assign:4" not in {node.label for node in cfg.nodes}
+
+
+class TestMatch:
+    def test_case_chain_with_wildcard(self):
+        cfg = cfg_of(
+            "def f(v):",                # 1
+            "    match v:",             # 2
+            "        case 1:",          # 3
+            "            return 'one'",  # 4
+            "        case _:",          # 5
+            "            return 'other'",  # 6
+            "    return 'unreachable'",  # 7
+        )
+        # Case nodes are labelled by their pattern's line; the final
+        # wildcard is irrefutable so nothing falls past the match.
+        assert cfg.edge_set() == {
+            ("entry", "match:2"),
+            ("match:2", "case:3"),
+            ("case:3", "return:4"),
+            ("case:3", "case:5"),
+            ("case:5", "return:6"),
+            ("return:4", "exit"),
+            ("return:6", "exit"),
+        }
+        assert "return:7" not in {node.label for node in cfg.nodes}
+
+    def test_refutable_match_falls_through(self):
+        cfg = cfg_of(
+            "def f(v):",            # 1
+            "    match v:",         # 2
+            "        case 1:",      # 3
+            "            act()",    # 4
+            "    return v",         # 5
+        )
+        assert cfg.edge_set(NORMAL) == {
+            ("entry", "match:2"),
+            ("match:2", "case:3"),
+            ("case:3", "expr:4"),
+            ("expr:4", "return:5"),
+            ("case:3", "return:5"),
+            ("return:5", "exit"),
+        }
+
+
+class TestGenerators:
+    def test_generator_builds_like_a_plain_function(self):
+        cfg = cfg_of(
+            "def gen(items):",          # 1
+            "    for item in items:",   # 2
+            "        yield item",       # 3
+            "    return None",          # 4
+        )
+        assert cfg.edge_set() == {
+            ("entry", "for:2"),
+            ("for:2", "expr:3"),
+            ("expr:3", "for:2"),
+            ("for:2", "return:4"),
+            ("return:4", "exit"),
+        }
+
+    def test_async_function_with_await(self):
+        cfg = cfg_of(
+            "async def f(x):",          # 1
+            "    y = await g(x)",       # 2
+            "    return y",             # 3
+        )
+        assert cfg.edge_set(EXCEPTION) == {("assign:2", "exit")}
+
+
+class TestFunctionCfgs:
+    def test_yields_nested_and_methods_with_qualnames(self):
+        tree = ast.parse(
+            "def top():\n"
+            "    def inner():\n"
+            "        return 1\n"
+            "    return inner\n"
+            "class Box:\n"
+            "    def method(self):\n"
+            "        return 2\n"
+        )
+        names = [qualname for qualname, _, _ in function_cfgs(tree)]
+        assert names == ["top", "top.inner", "Box.method"]
+
+    def test_each_cfg_is_intraprocedural(self):
+        tree = ast.parse(
+            "def top():\n"
+            "    def inner():\n"
+            "        helper()\n"
+            "    return inner\n"
+        )
+        graphs = {qualname: cfg for qualname, _, cfg in function_cfgs(tree)}
+        # ``top``'s graph contains the def statement, not inner's body.
+        top_labels = {node.label for node in graphs["top"].nodes}
+        assert "def:2" in top_labels
+        assert "expr:3" not in top_labels
+        assert "expr:3" in {node.label for node in graphs["top.inner"].nodes}

@@ -56,6 +56,68 @@ class TestNoqa:
         assert [f.rule_id for f in result.findings] == ["RA001"]
 
 
+class TestFileNoqa:
+    def test_file_noqa_suppresses_named_rule_everywhere(self):
+        result = lint(
+            "# repro: noqa-file[RA001] -- fixture exercises exact floats\n"
+            "def f(x: float) -> bool:\n"
+            "    return x == 1.0\n"
+            "\n"
+            "def g(y: float) -> bool:\n"
+            "    return y == 2.0\n"
+        )
+        assert result.findings == []
+        assert result.suppressed == 2
+
+    def test_bare_file_noqa_suppresses_all_rules(self):
+        result = lint(
+            "# repro: noqa-file\n"
+            "def f(x: float, a=[]) -> object:\n"
+            "    return x == 1.0, a\n"
+        )
+        assert result.findings == []
+        assert result.suppressed >= 2
+
+    def test_file_noqa_leaves_other_rules_alone(self):
+        result = lint(
+            "# repro: noqa-file[RA004]\n"
+            "def f(x: float) -> bool:\n"
+            "    return x == 1.0\n"
+        )
+        assert [f.rule_id for f in result.findings] == ["RA001"]
+
+    def test_file_noqa_can_name_several_rules(self):
+        result = lint(
+            "# repro: noqa-file[RA001, RA004]\n"
+            "def f(x: float, a: object = []) -> object:\n"
+            "    return x == 1.0, a\n"
+        )
+        assert result.findings == []
+
+    def test_marker_below_the_window_is_inert(self):
+        # Only the first five lines are scanned: a marker buried in the
+        # body must not silence the file.
+        result = lint(
+            "'''Docstring.'''\n"
+            "\n"
+            "VALUE = 1\n"
+            "OTHER = 2\n"
+            "MORE = 3\n"
+            "# repro: noqa-file[RA001]\n"
+            "def f(x: float) -> bool:\n"
+            "    return x == 1.0\n"
+        )
+        assert [f.rule_id for f in result.findings] == ["RA001"]
+
+    def test_file_marker_is_not_a_line_noqa(self):
+        # ``noqa-file`` on a flagged line must not double as a bare
+        # line-level ``noqa`` for unrelated rules.
+        result = lint(
+            "x = 1.0 == 1.0  # repro: noqa-file[RA004]\n",
+        )
+        assert [f.rule_id for f in result.findings] == ["RA001"]
+
+
 class TestSelection:
     def test_select_restricts_rules(self):
         source = "def f(x: float, a=[]) -> object:\n    return x == 1.0, a\n"

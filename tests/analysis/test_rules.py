@@ -151,6 +151,48 @@ class TestTelemetryName:
         # span name — only tracer-shaped receivers are checked.
         assert lint("self.stats.record('Relation Computed')\n", select=["RA003"]) == []
 
+    def test_dynamic_metric_name_is_a_warning(self):
+        findings = lint(
+            "registry.counter(f'repro_{kind}_total', 'help').inc()\n",
+            select=["RA003"],
+        )
+        assert rule_ids(findings) == ["RA003"]
+        assert findings[0].severity == "warning"
+        assert "built dynamically" in findings[0].message
+
+    def test_concatenated_metric_name_is_a_warning(self):
+        findings = lint(
+            "registry.counter('repro_' + kind + '_total', 'help').inc()\n",
+            select=["RA003"],
+        )
+        assert rule_ids(findings) == ["RA003"]
+        assert findings[0].severity == "warning"
+
+    def test_format_call_metric_name_is_a_warning(self):
+        findings = lint(
+            "registry.counter('repro_{}_total'.format(kind), 'help').inc()\n",
+            select=["RA003"],
+        )
+        assert rule_ids(findings) == ["RA003"]
+        assert findings[0].severity == "warning"
+
+    def test_metric_name_via_plain_variable_is_fine(self):
+        # A module-level constant passed through a name is checkable at
+        # its definition site — not flagged at the call.
+        assert lint(
+            "registry.counter(METRIC_NAME, 'help').inc()\n",
+            select=["RA003"],
+        ) == []
+
+    def test_dynamic_span_name_is_a_warning(self):
+        findings = lint(
+            "with obs.span('engine.' + operation):\n    pass\n",
+            select=["RA003"],
+        )
+        assert rule_ids(findings) == ["RA003"]
+        assert findings[0].severity == "warning"
+        assert "span name" in findings[0].message
+
 
 class TestMutableDefault:
     def test_flags_list_dict_set_defaults(self):
